@@ -1,0 +1,77 @@
+//! Shared helpers for the benchmark harness and the `figures` binary.
+//!
+//! The heavy lifting lives in `pd-core`; this crate only provides the
+//! scale presets the benches and the figure regenerator share, so that
+//! `cargo bench` and `cargo run --bin figures` measure the same
+//! workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pd_core::ExperimentConfig;
+
+/// The workload scale to run at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-friendly: minutes of work shrunk to seconds.
+    Small,
+    /// Mid-size: large enough for stable figure shapes.
+    Medium,
+    /// The paper's full scale (1500 crowd checks; 21 × ~100 × 7 crawl).
+    Paper,
+}
+
+impl Scale {
+    /// Builds the experiment config for this scale.
+    #[must_use]
+    pub fn config(self, seed: u64) -> ExperimentConfig {
+        match self {
+            Scale::Small => ExperimentConfig::small(seed),
+            Scale::Medium => {
+                let mut c = ExperimentConfig::paper(seed);
+                c.crowd.checks = 400;
+                c.crowd.users = 120;
+                c.crawl.products_per_retailer = 30;
+                c.crawl.days = 3;
+                c.filler_domains = 150;
+                c
+            }
+            Scale::Paper => ExperimentConfig::paper(seed),
+        }
+    }
+
+    /// Parses a CLI flag value.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "paper" | "full" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_scales() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("medium"), Some(Scale::Medium));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("full"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn configs_scale_monotonically() {
+        let s = Scale::Small.config(1);
+        let m = Scale::Medium.config(1);
+        let p = Scale::Paper.config(1);
+        assert!(s.crowd.checks < m.crowd.checks);
+        assert!(m.crowd.checks < p.crowd.checks);
+        assert!(m.crawl.products_per_retailer < p.crawl.products_per_retailer);
+    }
+}

@@ -1,0 +1,112 @@
+//! Experiment configuration.
+
+use pd_crawler::CrawlConfig;
+use pd_sheriff::CrowdConfig;
+use pd_util::Seed;
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of one reproduction run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Root seed; every stochastic component derives from it.
+    pub seed: Seed,
+    /// Crowd-phase parameters.
+    pub crowd: CrowdConfig,
+    /// Crawl-phase parameters.
+    pub crawl: CrawlConfig,
+    /// Long-tail domains beyond the 30 named retailers. 800 fillers give
+    /// the crowd room to *reach* ~600 distinct domains in 1500 checks
+    /// (the paper reports 600 domains checked).
+    pub filler_domains: usize,
+    /// FX-series horizon in days (must cover crowd window + crawl week).
+    pub fx_days: usize,
+    /// Products in the Fig. 10 login experiment.
+    pub login_products: usize,
+    /// Products per retailer in the persona experiment.
+    pub persona_products: usize,
+}
+
+impl ExperimentConfig {
+    /// The paper-scale configuration: 340 users, 1 500 checks over 151
+    /// days, 570 filler domains (600 total), 21-retailer crawl with ≤100
+    /// products × 7 days, 40-ebook login experiment.
+    #[must_use]
+    pub fn paper(seed: u64) -> Self {
+        ExperimentConfig {
+            seed: Seed::new(seed),
+            crowd: CrowdConfig::default(),
+            crawl: CrawlConfig::default(),
+            filler_domains: 800,
+            fx_days: 160,
+            login_products: 40,
+            persona_products: 20,
+        }
+    }
+
+    /// A scaled-down configuration for tests and examples: same
+    /// structure, ~30× less work.
+    #[must_use]
+    pub fn small(seed: u64) -> Self {
+        ExperimentConfig {
+            seed: Seed::new(seed),
+            crowd: CrowdConfig {
+                users: 60,
+                checks: 150,
+                window_days: 40,
+                ..CrowdConfig::default()
+            },
+            crawl: CrawlConfig {
+                products_per_retailer: 12,
+                days: 3,
+                start_day: 45,
+                ..CrawlConfig::default()
+            },
+            filler_domains: 60,
+            fx_days: 60,
+            login_products: 15,
+            persona_products: 8,
+        }
+    }
+}
+
+impl Default for ExperimentConfig {
+    /// Defaults to the paper scale with the experiment seed 1307.
+    fn default() -> Self {
+        Self::paper(pd_util::seed::EXPERIMENT_SEED.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_paper_numbers() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.seed.value(), 1307);
+        assert_eq!(c.crowd.users, 340);
+        assert_eq!(c.crowd.checks, 1_500);
+        assert_eq!(c.crowd.window_days, 151);
+        assert_eq!(c.crawl.products_per_retailer, 100);
+        assert_eq!(c.crawl.days, 7);
+        assert_eq!(c.filler_domains, 800);
+        assert_eq!(c.login_products, 40);
+    }
+
+    #[test]
+    fn small_is_structurally_complete() {
+        let c = ExperimentConfig::small(1);
+        assert!(c.crowd.checks > 0);
+        assert!(c.crawl.products_per_retailer > 0);
+        assert!(c.fx_days as u64 > c.crawl.start_day + c.crawl.days);
+    }
+
+    #[test]
+    fn config_serializes() {
+        let c = ExperimentConfig::small(7);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.seed, c.seed);
+        assert_eq!(back.crowd.checks, c.crowd.checks);
+    }
+}

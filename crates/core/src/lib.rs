@@ -1,0 +1,54 @@
+//! # pd-core — crowd-assisted search for price discrimination
+//!
+//! The public pipeline API of the reproduction of Mikians et al.,
+//! *"Crowd-assisted Search for Price Discrimination in E-Commerce: First
+//! results"* (CoNEXT 2013). The paper's study is a four-stage funnel, and
+//! so is this crate:
+//!
+//! 1. **Build a world** — simulated retailers with ground-truth pricing
+//!    strategies, a 14-probe vantage fleet, and a crowd of $heriff users
+//!    ([`World::build`]).
+//! 2. **Crowd phase** — the crowd checks prices on ~600 domains; the
+//!    noisy dataset is cleaned ([`Experiment::run_crowd_phase`]).
+//! 3. **Crawl phase** — the flagged retailers are crawled daily for a
+//!    week, ≤100 products each, from every vantage point
+//!    ([`Experiment::run_crawl_phase`]).
+//! 4. **Analysis** — every figure and table of the paper's evaluation is
+//!    recomputed ([`Experiment::analyze`], producing a [`report::Report`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pd_core::{Experiment, ExperimentConfig};
+//!
+//! // A scaled-down experiment (the default config reproduces the paper's
+//! // full scale: 1500 crowd checks, 21 retailers × ~100 products × 7 days).
+//! let report = Experiment::run(ExperimentConfig::small(42));
+//! assert!(report.summary.crowd_requests > 0);
+//! println!("{}", report.render_fig1());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod pipeline;
+pub mod report;
+pub mod world;
+
+pub use config::ExperimentConfig;
+pub use pipeline::Experiment;
+pub use report::Report;
+pub use world::World;
+
+// Re-export the component crates so downstream users need one dependency.
+pub use pd_analysis as analysis;
+pub use pd_crawler as crawler;
+pub use pd_currency as currency;
+pub use pd_extract as extract;
+pub use pd_html as html;
+pub use pd_net as net;
+pub use pd_pricing as pricing;
+pub use pd_sheriff as sheriff;
+pub use pd_util as util;
+pub use pd_web as web;

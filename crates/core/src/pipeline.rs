@@ -1,0 +1,473 @@
+//! The four-stage experiment pipeline.
+
+use crate::config::ExperimentConfig;
+use crate::report::{Fig8Grid, Report};
+use crate::world::World;
+use pd_analysis::{crawl, crowd as crowd_figs, location, login, strategy, summary, thirdparty};
+use pd_crawler::{select_targets, Crawler};
+use pd_currency::Locale;
+use pd_extract::HighlightExtractor;
+use pd_net::clock::SimTime;
+use pd_net::geo::{Country, Location};
+use pd_sheriff::cleaning::{clean, CleaningReport};
+use pd_sheriff::personas::{login_experiment, persona_experiment};
+use pd_sheriff::MeasurementStore;
+use pd_web::template::price_selector;
+use pd_web::Request;
+
+/// The experiment driver.
+#[derive(Debug)]
+pub struct Experiment {
+    config: ExperimentConfig,
+    world: World,
+}
+
+impl Experiment {
+    /// Builds the world for `config`.
+    #[must_use]
+    pub fn new(config: ExperimentConfig) -> Self {
+        let world = World::build(&config);
+        Experiment { config, world }
+    }
+
+    /// The world (read access for examples and diagnostics).
+    #[must_use]
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline and produces the report.
+    #[must_use]
+    pub fn run(config: ExperimentConfig) -> Report {
+        let mut exp = Experiment::new(config);
+        let (crowd_raw, crowd_clean, cleaning) = exp.run_crowd_phase();
+        let (crawl_store, _stats) = exp.run_crawl_phase();
+        exp.analyze(&crowd_raw, &crowd_clean, cleaning, &crawl_store)
+    }
+
+    /// Stage 2: the crowd campaign plus cleaning. Returns (raw, cleaned,
+    /// report).
+    #[must_use]
+    pub fn run_crowd_phase(&mut self) -> (MeasurementStore, MeasurementStore, CleaningReport) {
+        let raw = self.world.crowd.run_campaign(&self.world.web, &self.world.sheriff);
+        let web = &self.world.web;
+        let crowd = &self.world.crowd;
+        let fx = web.fx();
+        let (cleaned, mut report) = clean(&raw, fx, |m| {
+            // Refetch the URI as the user's own browser would and
+            // re-extract with the retailer's template highlight.
+            let user = crowd.users().get(m.user.index())?;
+            let server = web.server_by_domain(&m.domain)?;
+            let req = Request::get(
+                &m.domain,
+                &format!("/product/{}", m.product_slug),
+                user_addr(user),
+                m.time,
+            );
+            let resp = web.fetch(&req);
+            if resp.status.code() != 200 {
+                return None;
+            }
+            let doc = pd_html::parse(&resp.body);
+            let ex = HighlightExtractor::from_highlight(
+                &doc,
+                &price_selector(server.spec().template_style),
+            )?;
+            ex.extract(&doc, Some(Locale::of_country(user.location.country)))
+                .ok()
+                .map(|e| e.price)
+        });
+        // The paper's manual tax check, automated: drop domains whose
+        // variation is explained by inlined taxes (pre-tax checkout
+        // items agree across locations while displayed prices differ).
+        let tax_explained: std::collections::HashSet<String> = cleaned
+            .domains()
+            .into_iter()
+            .filter(|d| self.is_tax_explained(d))
+            .collect();
+        let mut final_store = MeasurementStore::new();
+        for m in cleaned.records() {
+            if tax_explained.contains(&m.domain) {
+                report.dropped_tax_explained += 1;
+                report.kept -= 1;
+            } else {
+                final_store.push(m.clone());
+            }
+        }
+        (raw, final_store, report)
+    }
+
+    /// The paper's stated future work, implemented: attribute a
+    /// retailer's price variation to specific request factors (country,
+    /// city, session, day, login) by controlled probing. Returns `None`
+    /// for unknown domains.
+    #[must_use]
+    pub fn attribute_factors(
+        &self,
+        domain: &str,
+        products: usize,
+    ) -> Option<pd_analysis::Attribution> {
+        let vp = |label: &str| {
+            let v = self.world.vantage_by_label(label)?;
+            Some((v.addr, v.location.clone()))
+        };
+        let probes = pd_analysis::ProbeSet {
+            us_a: vp("USA - Boston")?,
+            us_b: vp("USA - Chicago")?,
+            us_c: vp("USA - New York")?,
+            foreign: vp("Finland - Tampere")?,
+        };
+        let base_day = self.config.crawl.start_day + self.config.crawl.days + 2;
+        pd_analysis::attribute(&self.world.web, &probes, domain, products, base_day)
+    }
+
+    /// The automated version of the paper's manual tax/shipping check:
+    /// fetch the same product's *checkout* from two countries with the
+    /// same session; if the pre-tax item lines agree (within the exchange
+    /// band) while the displayed product prices genuinely differ, the
+    /// variation is tax inlining, not discrimination.
+    #[must_use]
+    pub fn is_tax_explained(&self, domain: &str) -> bool {
+        let web = &self.world.web;
+        let fx = web.fx();
+        let Some(server) = web.server_by_domain(domain) else {
+            return false;
+        };
+        let Some(product) = server.catalog().iter().next() else {
+            return false;
+        };
+        let style = server.spec().template_style;
+        let probe_a = self.world.vantage_by_label("USA - Boston");
+        let probe_b = self.world.vantage_by_label("Germany - Berlin");
+        let (Some(a), Some(b)) = (probe_a, probe_b) else {
+            return false;
+        };
+        let time = SimTime::from_millis(
+            self.config.crowd.window_days * 24 * 3_600_000 + 9 * 3_600_000,
+        );
+        let day = (time.day_index() as usize).min(fx.days().saturating_sub(1));
+
+        let page_price = |addr, country| {
+            let req = Request::get(domain, &format!("/product/{}", product.slug), addr, time)
+                .with_cookie("sid", "424242");
+            let resp = web.fetch(&req);
+            if resp.status.code() != 200 {
+                return None;
+            }
+            let doc = pd_html::parse(&resp.body);
+            let ex = HighlightExtractor::from_highlight(&doc, &price_selector(style))?;
+            ex.extract(&doc, Some(Locale::of_country(country))).ok().map(|e| e.price)
+        };
+        let item_price = |addr, country| {
+            let req = Request::get(domain, &format!("/checkout/{}", product.slug), addr, time)
+                .with_cookie("sid", "424242");
+            let resp = web.fetch(&req);
+            if resp.status.code() != 200 {
+                return None;
+            }
+            let doc = pd_html::parse(&resp.body);
+            let cells = pd_html::Selector::parse("td.line-amount")
+                .expect("static selector")
+                .query_all(&doc);
+            let first = cells.first()?;
+            Locale::of_country(country)
+                .parse(doc.text_content(*first).trim())
+                .ok()
+        };
+
+        let (Some(pa), Some(pb)) = (
+            page_price(a.addr, a.location.country),
+            page_price(b.addr, b.location.country),
+        ) else {
+            return false;
+        };
+        let (Some(ia), Some(ib)) = (
+            item_price(a.addr, a.location.country),
+            item_price(b.addr, b.location.country),
+        ) else {
+            return false;
+        };
+        let page_differs = pd_currency::band_filter(fx, &[pa, pb], day)
+            .map(|v| v.genuine)
+            .unwrap_or(false);
+        let item_differs = pd_currency::band_filter(fx, &[ia, ib], day)
+            .map(|v| v.genuine)
+            .unwrap_or(false);
+        page_differs && !item_differs
+    }
+
+    /// Stage 3: the systematic crawl of the paper's 21 retailers.
+    #[must_use]
+    pub fn run_crawl_phase(
+        &self,
+    ) -> (
+        MeasurementStore,
+        Vec<pd_crawler::crawl::RetailerCrawlStats>,
+    ) {
+        let crawler = Crawler::new(self.config.seed, self.config.crawl.clone());
+        let targets = self.world.paper_crawl_targets();
+        crawler.crawl(&self.world.web, &self.world.sheriff, &targets)
+    }
+
+    /// Data-driven variant of target selection (used by the
+    /// `crawl_retailers` example and the crowd-value ablation): rank
+    /// domains by confirmed crowd variation instead of taking the
+    /// paper's list.
+    #[must_use]
+    pub fn targets_from_crowd(
+        &self,
+        cleaned: &MeasurementStore,
+        min_confirmed: usize,
+    ) -> Vec<String> {
+        select_targets(cleaned, self.world.web.fx(), min_confirmed)
+            .into_iter()
+            .map(|t| t.domain)
+            .collect()
+    }
+
+    /// Stage 4: every figure and table.
+    #[must_use]
+    pub fn analyze(
+        &self,
+        crowd_raw: &MeasurementStore,
+        crowd_clean: &MeasurementStore,
+        cleaning: CleaningReport,
+        crawl_store: &MeasurementStore,
+    ) -> Report {
+        let fx = self.world.web.fx();
+        let crowd_frame = pd_analysis::CheckFrame::build(crowd_clean, fx);
+        let crawl_frame = pd_analysis::CheckFrame::build(crawl_store, fx);
+        let labels = self.world.vantage_labels();
+
+        // Fig. 1 + Fig. 2 (crowd view).
+        let fig1 = crowd_figs::fig1_ranking(&crowd_frame, 27);
+        let fig1_domains: Vec<String> = fig1.iter().map(|b| b.domain.clone()).collect();
+        let fig2 = crowd_figs::fig2_ratio_boxes(&crowd_frame, &fig1_domains);
+
+        // Figs. 3–5 (crawl view).
+        let fig3 = crawl::fig3_extent(&crawl_frame);
+        let fig4 = crawl::fig4_magnitude(&crawl_frame);
+        let (fig5_points, fig5_envelope) = crawl::fig5_scatter(&crawl_frame);
+
+        // Fig. 6: digitalrev (multiplicative) and energie (additive), at
+        // the paper's three locations: New York, UK, Finland.
+        let fig6_locs: Vec<_> = ["USA - New York", "UK - London", "Finland - Tampere"]
+            .iter()
+            .filter_map(|l| {
+                self.world
+                    .vantage_by_label(l)
+                    .map(|vp| (vp.id, vp.label()))
+            })
+            .collect();
+        let fig6a = strategy::fig6_curves(&crawl_frame, "www.digitalrev.com", &fig6_locs);
+        let fig6b = strategy::fig6_curves(&crawl_frame, "www.energie.it", &fig6_locs);
+
+        // Fig. 7 over the full fleet.
+        let fig7 = location::fig7_location_boxes(&crawl_frame, &labels);
+
+        // Fig. 8 grids.
+        let grid = |domain: &str, labels: &[&str]| {
+            let vps: Vec<_> = labels
+                .iter()
+                .filter_map(|l| {
+                    self.world
+                        .vantage_by_label(l)
+                        .map(|vp| (vp.id, vp.label()))
+                })
+                .collect();
+            Fig8Grid {
+                domain: domain.to_owned(),
+                cells: location::fig8_pairwise(&crawl_frame, domain, &vps),
+            }
+        };
+        let fig8a = grid(
+            "www.homedepot.com",
+            &[
+                "USA - Albany",
+                "USA - Boston",
+                "USA - Los Angeles",
+                "USA - Chicago",
+                "USA - Lincoln",
+                "USA - New York",
+            ],
+        );
+        let fig8b = grid(
+            "www.amazon.com",
+            &[
+                "Belgium - Liege",
+                "Brazil - Sao Paulo",
+                "Finland - Tampere",
+                "Germany - Berlin",
+                "Spain (Linux,FF)",
+                "USA - New York",
+            ],
+        );
+        let fig8c = grid(
+            "store.killah.com",
+            &[
+                "Brazil - Sao Paulo",
+                "Finland - Tampere",
+                "Germany - Berlin",
+                "Spain (Linux,FF)",
+                "UK - London",
+                "USA - New York",
+            ],
+        );
+
+        // Fig. 9: Finland vs min.
+        let finland = self
+            .world
+            .vantage_by_label("Finland - Tampere")
+            .expect("Finland probe exists")
+            .id;
+        let fig9 = location::fig9_finland(&crawl_frame, finland);
+
+        // Fig. 10 + persona experiment: fixed US location and instant.
+        let boston = Location::new(Country::UnitedStates, "Boston");
+        let boston_vp = self
+            .world
+            .vantage_by_label("USA - Boston")
+            .expect("Boston probe exists");
+        let exp_time = SimTime::from_millis(
+            (self.config.crawl.start_day + self.config.crawl.days + 1) * 24 * 3_600_000
+                + 12 * 3_600_000,
+        );
+        let login_exp = login_experiment(
+            &self.world.web,
+            self.config.seed,
+            "www.amazon.com",
+            &boston,
+            boston_vp.addr,
+            exp_time,
+            self.config.login_products,
+        );
+        let fig10 = login::fig10(&login_exp);
+        let persona_exp = persona_experiment(
+            &self.world.web,
+            &[
+                "www.amazon.com",
+                "www.digitalrev.com",
+                "www.hotels.com",
+                "www.energie.it",
+            ],
+            &boston,
+            boston_vp.addr,
+            exp_time,
+            self.config.persona_products,
+        );
+        let persona = login::persona_summary(&persona_exp);
+
+        // Third-party presence over the crawled set.
+        let targets = self.world.paper_crawl_targets();
+        let third_party = thirdparty::scan_third_parties(
+            &self.world.web,
+            &targets,
+            boston_vp.addr,
+            exp_time,
+        );
+
+        let summary = summary::dataset_summary(&self.world.crowd, crowd_raw, crawl_store);
+
+        // Extension: per-retailer factor attribution over the crawled set.
+        let attribution: Vec<pd_analysis::Attribution> = targets
+            .iter()
+            .filter_map(|d| self.attribute_factors(d, 8))
+            .collect();
+
+        Report {
+            summary,
+            cleaning,
+            fig1,
+            fig2,
+            fig3,
+            fig4,
+            fig5_points,
+            fig5_envelope,
+            fig6a,
+            fig6b,
+            fig7,
+            fig8a,
+            fig8b,
+            fig8c,
+            fig9,
+            fig10,
+            persona,
+            third_party,
+            attribution,
+        }
+    }
+}
+
+/// The crowd user's client address. (Accessor lives here to keep the
+/// `CrowdUser` field private in `pd-sheriff`.)
+fn user_addr(user: &pd_sheriff::crowd::CrowdUser) -> std::net::Ipv4Addr {
+    user.addr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_small_pipeline_runs() {
+        let report = Experiment::run(ExperimentConfig::small(1307));
+        assert!(report.summary.crowd_requests > 100);
+        assert!(report.summary.crawled_retailers == 21);
+        assert!(!report.fig1.is_empty());
+        assert!(!report.fig3.is_empty());
+        assert!(!report.fig5_points.is_empty());
+        assert_eq!(report.fig8a.cells.len(), 30, "6×6 grid minus diagonal");
+        assert!(report.persona.null_result);
+    }
+
+    #[test]
+    fn crowd_phase_cleaning_drops_noise() {
+        let mut exp = Experiment::new(ExperimentConfig::small(2));
+        let (raw, cleaned, report) = exp.run_crowd_phase();
+        assert!(cleaned.len() <= raw.len());
+        assert_eq!(report.kept, cleaned.len());
+        // Default noise rates (7 %) over 150 checks: some drops expected.
+        assert!(report.dropped_inconsistent > 0, "{report:?}");
+    }
+
+    #[test]
+    fn tax_check_catches_the_inliner_confound() {
+        let exp = Experiment::new(ExperimentConfig::small(3));
+        // Filler #0 inlines tax by construction (the injected confound).
+        assert!(exp.is_tax_explained("www.shop-000.example"));
+        // Real discriminators are not explained away by taxes.
+        assert!(!exp.is_tax_explained("www.digitalrev.com"));
+        assert!(!exp.is_tax_explained("www.energie.it"));
+        // Unknown domains are trivially not tax-explained.
+        assert!(!exp.is_tax_explained("gone.example"));
+    }
+
+    #[test]
+    fn targets_from_crowd_rank_real_discriminators() {
+        let mut exp = Experiment::new(ExperimentConfig::small(3));
+        let (_, cleaned, _) = exp.run_crowd_phase();
+        let targets = exp.targets_from_crowd(&cleaned, 1);
+        assert!(!targets.is_empty());
+        // Every selected target must actually be discriminating (no
+        // false positives at threshold 1 thanks to the band filter).
+        for t in &targets {
+            let spec = exp
+                .world()
+                .web
+                .server_by_domain(t)
+                .map(|s| s.spec().clone());
+            if let Some(spec) = spec {
+                assert!(
+                    spec.is_discriminating(),
+                    "{t} selected but not discriminating"
+                );
+            }
+        }
+    }
+}

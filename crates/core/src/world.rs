@@ -1,0 +1,121 @@
+//! World assembly: retailers + vantage fleet + crowd.
+
+use crate::config::ExperimentConfig;
+use pd_net::ip::IpAllocator;
+use pd_net::latency::LatencyModel;
+use pd_net::vantage::{paper_vantage_points, VantagePoint};
+use pd_pricing::{filler_retailers, paper_retailers};
+use pd_sheriff::{Crowd, Sheriff};
+use pd_util::VantageId;
+use pd_web::WebWorld;
+
+/// The assembled simulation world.
+#[derive(Debug)]
+pub struct World {
+    /// The simulated web (servers, DNS, geo-IP, FX).
+    pub web: WebWorld,
+    /// The fan-out engine with the 14-probe fleet.
+    pub sheriff: Sheriff,
+    /// The $heriff user population.
+    pub crowd: Crowd,
+}
+
+impl World {
+    /// Builds the world for a configuration.
+    #[must_use]
+    pub fn build(config: &ExperimentConfig) -> Self {
+        let seed = config.seed;
+        let mut specs = paper_retailers(seed);
+        specs.extend(filler_retailers(seed, config.filler_domains));
+        let mut web = WebWorld::build(seed, specs, config.fx_days);
+
+        // Vantage points draw their client addresses from the world's
+        // allocator so retailers geo-locate them city-accurately.
+        let mut scratch = IpAllocator::new();
+        let vantage_points: Vec<VantagePoint> = paper_vantage_points(&mut scratch)
+            .into_iter()
+            .map(|mut vp| {
+                vp.addr = web.allocate_client(&vp.location);
+                vp
+            })
+            .collect();
+        let sheriff = Sheriff::new(vantage_points, LatencyModel::new(seed));
+        let crowd = Crowd::new(seed, config.crowd.clone(), &mut web);
+        World {
+            web,
+            sheriff,
+            crowd,
+        }
+    }
+
+    /// `(id, Fig. 7 label)` pairs for the full vantage fleet.
+    #[must_use]
+    pub fn vantage_labels(&self) -> Vec<(VantageId, String)> {
+        self.sheriff
+            .vantage_points()
+            .iter()
+            .map(|vp| (vp.id, vp.label()))
+            .collect()
+    }
+
+    /// Looks a vantage point up by its Fig. 7 label.
+    #[must_use]
+    pub fn vantage_by_label(&self, label: &str) -> Option<&VantagePoint> {
+        self.sheriff
+            .vantage_points()
+            .iter()
+            .find(|vp| vp.label() == label)
+    }
+
+    /// The crawl-target domains, paper fidelity: the 21 retailers of
+    /// Figs. 3/4/9.
+    #[must_use]
+    pub fn paper_crawl_targets(&self) -> Vec<String> {
+        self.web
+            .servers()
+            .iter()
+            .filter(|s| s.spec().crawled)
+            .map(|s| s.spec().domain.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+
+    #[test]
+    fn world_builds_with_small_config() {
+        let w = World::build(&ExperimentConfig::small(1));
+        assert_eq!(w.sheriff.vantage_points().len(), 14);
+        assert_eq!(w.web.servers().len(), 30 + 60);
+        assert_eq!(w.paper_crawl_targets().len(), 21);
+    }
+
+    #[test]
+    fn vantage_lookup_by_label() {
+        let w = World::build(&ExperimentConfig::small(1));
+        assert!(w.vantage_by_label("Finland - Tampere").is_some());
+        assert!(w.vantage_by_label("Spain (Mac,Safari)").is_some());
+        assert!(w.vantage_by_label("Mars - Olympus").is_none());
+        assert_eq!(w.vantage_labels().len(), 14);
+    }
+
+    #[test]
+    fn world_is_deterministic() {
+        let a = World::build(&ExperimentConfig::small(9));
+        let b = World::build(&ExperimentConfig::small(9));
+        for (sa, sb) in a.web.servers().iter().zip(b.web.servers()) {
+            assert_eq!(sa.spec(), sb.spec());
+        }
+        for (va, vb) in a
+            .sheriff
+            .vantage_points()
+            .iter()
+            .zip(b.sheriff.vantage_points())
+        {
+            assert_eq!(va, vb);
+        }
+    }
+}

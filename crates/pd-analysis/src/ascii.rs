@@ -1,0 +1,263 @@
+//! ASCII renderers for the `figures` binary.
+//!
+//! Each figure's data structure gets a terminal rendering that mirrors
+//! the paper's plot: ranked bars (Figs. 1, 3), labeled boxplot rows
+//! (Figs. 2, 4, 7, 9), a log-bucketed envelope (Fig. 5), per-location
+//! curve summaries (Fig. 6), the pairwise relation grid (Fig. 8), and the
+//! four-series table (Fig. 10).
+
+use crate::crawl::Fig3Bar;
+use crate::crowd::{Fig1Bar, RatioBox};
+use crate::location::{Fig7Box, Fig8Cell, Fig9Box, PairRelation};
+use crate::login::Fig10;
+use crate::strategy::LocationCurve;
+use pd_util::stats::LogBucket;
+use std::fmt::Write as _;
+
+const BAR_WIDTH: usize = 40;
+
+/// Renders Fig. 1 as ranked bars.
+#[must_use]
+pub fn render_fig1(bars: &[Fig1Bar]) -> String {
+    let mut out = String::from("Fig.1  Domains with most requests showing price differences\n");
+    let max = bars
+        .iter()
+        .map(|b| b.differing_requests)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    for b in bars {
+        let w = b.differing_requests * BAR_WIDTH / max;
+        let _ = writeln!(
+            out,
+            "{:>34} | {:<width$} {}",
+            b.domain,
+            "#".repeat(w.max(1)),
+            b.differing_requests,
+            width = BAR_WIDTH
+        );
+    }
+    out
+}
+
+fn render_box_row(out: &mut String, label: &str, stats: &pd_util::stats::BoxStats) {
+    let _ = writeln!(
+        out,
+        "{label:>34} | min {:>5.2}  q1 {:>5.2}  med {:>5.2}  q3 {:>5.2}  max {:>5.2}  (n={})",
+        stats.min, stats.q1, stats.median, stats.q3, stats.max, stats.count
+    );
+}
+
+/// Renders a ratio-box family (Figs. 2 and 4).
+#[must_use]
+pub fn render_ratio_boxes(title: &str, boxes: &[RatioBox]) -> String {
+    let mut out = format!("{title}\n");
+    for b in boxes {
+        render_box_row(&mut out, &b.domain, &b.stats);
+    }
+    out
+}
+
+/// Renders Fig. 3's extent bars.
+#[must_use]
+pub fn render_fig3(bars: &[Fig3Bar]) -> String {
+    let mut out = String::from("Fig.3  Extent of price variations per domain\n");
+    for b in bars {
+        let w = (b.extent * BAR_WIDTH as f64).round() as usize;
+        let _ = writeln!(
+            out,
+            "{:>34} | {:<width$} {:.2}",
+            b.domain,
+            "#".repeat(w),
+            b.extent,
+            width = BAR_WIDTH
+        );
+    }
+    out
+}
+
+/// Renders Fig. 5's envelope buckets.
+#[must_use]
+pub fn render_fig5(envelope: &[LogBucket]) -> String {
+    let mut out =
+        String::from("Fig.5  Maximal ratio of price difference per product price (envelope)\n");
+    for b in envelope {
+        if b.count == 0 {
+            let _ = writeln!(out, "  ${:>8.0} - ${:>8.0} | (no products)", b.lo, b.hi);
+        } else {
+            let _ = writeln!(
+                out,
+                "  ${:>8.0} - ${:>8.0} | max x{:.2}  mean x{:.2}  (n={})",
+                b.lo,
+                b.hi,
+                b.max_value.unwrap_or(1.0),
+                b.mean_value.unwrap_or(1.0),
+                b.count
+            );
+        }
+    }
+    out
+}
+
+/// Renders Fig. 6 curve summaries for one retailer.
+#[must_use]
+pub fn render_fig6(domain: &str, curves: &[LocationCurve]) -> String {
+    let mut out = format!("Fig.6  Ratio of price differences per product price — {domain}\n");
+    for c in curves {
+        let _ = writeln!(
+            out,
+            "{:>22} | fit ratio(p) = {:.3} + {:.2}/p  → {:?}  ({} products)",
+            c.label,
+            c.mult_factor,
+            c.additive_usd,
+            c.strategy,
+            c.points.len()
+        );
+    }
+    out
+}
+
+/// Renders Fig. 7 location boxplots.
+#[must_use]
+pub fn render_fig7(boxes: &[Fig7Box]) -> String {
+    let mut out = String::from("Fig.7  Magnitude of price differences per location (all)\n");
+    for b in boxes {
+        render_box_row(&mut out, &b.label, &b.stats);
+    }
+    out
+}
+
+/// Renders a Fig. 8 pairwise grid as a relation matrix.
+#[must_use]
+pub fn render_fig8(domain: &str, cells: &[Fig8Cell]) -> String {
+    let mut out = format!("Fig.8  Pairwise price relations — {domain}\n");
+    for c in cells {
+        let sym = match c.relation {
+            PairRelation::Similar => "=",
+            PairRelation::RowDearer => ">",
+            PairRelation::ColDearer => "<",
+            PairRelation::Mixed => "~",
+        };
+        let _ = writeln!(
+            out,
+            "  {:<22} {sym} {:<22} ({} products)",
+            c.row,
+            c.col,
+            c.points.len()
+        );
+    }
+    out
+}
+
+/// Renders Fig. 9 Finland boxes.
+#[must_use]
+pub fn render_fig9(boxes: &[Fig9Box]) -> String {
+    let mut out = String::from("Fig.9  Price ratio Finland/min per domain\n");
+    for b in boxes {
+        render_box_row(&mut out, &b.domain, &b.stats);
+        if b.finland_cheapest {
+            let _ = writeln!(out, "{:>34} | ^ Finland among the cheapest here", "");
+        }
+    }
+    out
+}
+
+/// Renders Fig. 10's table.
+#[must_use]
+pub fn render_fig10(fig: &Fig10) -> String {
+    let mut out = format!(
+        "Fig.10  Impact of login on ebook prices at {} \
+         (variation on {:.0}% of products, login correlation {})\n",
+        fig.domain,
+        fig.variation_fraction * 100.0,
+        fig.login_correlation
+            .map_or("n/a".to_owned(), |c| format!("{c:+.3}"))
+    );
+    let _ = writeln!(out, "  product |  w/o login |    user A |    user B |    user C");
+    for (i, wo, a, b, c) in &fig.series {
+        let f = |v: &Option<f64>| v.map_or("      -".to_owned(), |x| format!("{x:>7.2}"));
+        let _ = writeln!(
+            out,
+            "  {:>7} | {:>10} | {:>9} | {:>9} | {:>9}",
+            i,
+            f(wo),
+            f(a),
+            f(b),
+            f(c)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_util::stats::BoxStats;
+
+    fn stats() -> BoxStats {
+        BoxStats::compute(&[1.0, 1.1, 1.2, 1.3, 1.4]).unwrap()
+    }
+
+    #[test]
+    fn fig1_renders_bars() {
+        let bars = vec![
+            Fig1Bar {
+                domain: "www.amazon.com".into(),
+                differing_requests: 50,
+                total_requests: 60,
+            },
+            Fig1Bar {
+                domain: "www.zavvi.com".into(),
+                differing_requests: 5,
+                total_requests: 9,
+            },
+        ];
+        let s = render_fig1(&bars);
+        assert!(s.contains("www.amazon.com"));
+        assert!(s.contains("50"));
+        // Longest bar belongs to the top domain.
+        let amazon_line = s.lines().find(|l| l.contains("amazon")).unwrap();
+        let zavvi_line = s.lines().find(|l| l.contains("zavvi")).unwrap();
+        assert!(
+            amazon_line.matches('#').count() > zavvi_line.matches('#').count()
+        );
+    }
+
+    #[test]
+    fn box_rows_render_quartiles() {
+        let boxes = vec![RatioBox {
+            domain: "x.example".into(),
+            stats: stats(),
+        }];
+        let s = render_ratio_boxes("Fig.2", &boxes);
+        assert!(s.contains("med  1.20"));
+        assert!(s.contains("n=5"));
+    }
+
+    #[test]
+    fn fig10_renders_missing_as_dash() {
+        let fig = Fig10 {
+            domain: "www.amazon.com".into(),
+            series: vec![(0, Some(9.99), None, Some(10.5), Some(8.75))],
+            variation_fraction: 1.0,
+            login_correlation: Some(0.01),
+        };
+        let s = render_fig10(&fig);
+        assert!(s.contains('-'));
+        assert!(s.contains("9.99"));
+        assert!(s.contains("+0.010"));
+    }
+
+    #[test]
+    fn fig5_renders_empty_buckets() {
+        let buckets = vec![pd_util::stats::LogBucket {
+            lo: 10.0,
+            hi: 100.0,
+            count: 0,
+            max_value: None,
+            mean_value: None,
+        }];
+        let s = render_fig5(&buckets);
+        assert!(s.contains("no products"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Fig. 3, Fig. 4 and Fig. 5: the crawled dataset's aggregate views.
+
+use crate::crowd::RatioBox;
+use crate::frame::CheckFrame;
+use pd_util::stats::{fraction_above, log_bucketize, BoxStats, LogBucket};
+use serde::{Deserialize, Serialize};
+
+/// One bar of Fig. 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Bar {
+    /// Domain.
+    pub domain: String,
+    /// Fraction of checks with a confirmed price variation (the paper's
+    /// "extent of price differences", 0..=1).
+    pub extent: f64,
+    /// Number of checks behind the fraction.
+    pub checks: usize,
+}
+
+/// Fig. 3 — extent of price variation per crawled domain. The paper's
+/// headline: "for the majority of retailers in the crawled dataset, we
+/// see the extent of price variation to be near complete (100%)".
+#[must_use]
+pub fn fig3_extent(frame: &CheckFrame) -> Vec<Fig3Bar> {
+    let mut out: Vec<Fig3Bar> = frame
+        .domains()
+        .into_iter()
+        .map(|domain| {
+            let ratios: Vec<f64> = frame.by_domain(&domain).map(|r| r.ratio).collect();
+            Fig3Bar {
+                domain,
+                extent: fraction_above(&ratios, 1.0),
+                checks: ratios.len(),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.extent
+            .partial_cmp(&a.extent)
+            .expect("extent is finite")
+            .then_with(|| a.domain.cmp(&b.domain))
+    });
+    out
+}
+
+/// Fig. 4 — magnitude of price variability per crawled domain: box
+/// statistics of the per-product ratio (median across the product's
+/// daily checks; the median absorbs day-level noise like A/B flips,
+/// matching the paper's "repeated the same set of measurements multiple
+/// times" methodology).
+#[must_use]
+pub fn fig4_magnitude(frame: &CheckFrame) -> Vec<RatioBox> {
+    let mut per_domain: std::collections::BTreeMap<String, Vec<f64>> =
+        std::collections::BTreeMap::new();
+    for ((domain, _slug), rows) in frame.by_product() {
+        let mut daily: Vec<f64> = rows.iter().map(|r| r.ratio).collect();
+        daily.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = pd_util::stats::quantile_sorted(&daily, 0.5);
+        per_domain.entry(domain).or_default().push(median);
+    }
+    per_domain
+        .into_iter()
+        .filter_map(|(domain, ratios)| {
+            BoxStats::compute(&ratios).map(|stats| RatioBox { domain, stats })
+        })
+        .collect()
+}
+
+/// One point of Fig. 5's scatter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Point {
+    /// Domain.
+    pub domain: String,
+    /// Product slug.
+    pub slug: String,
+    /// Minimum observed USD price of the product (x-axis).
+    pub min_price: f64,
+    /// Maximal ratio of price difference over all checks (y-axis).
+    pub max_ratio: f64,
+}
+
+/// Fig. 5 — "Maximal ratio of price differences per product price (all
+/// stores)": one point per product, plus the log-bucketed envelope the
+/// paper's claims quantify (×3 near $10, ≤×1.5 past $2K).
+#[must_use]
+pub fn fig5_scatter(frame: &CheckFrame) -> (Vec<Fig5Point>, Vec<LogBucket>) {
+    let points: Vec<Fig5Point> = frame
+        .by_product()
+        .into_iter()
+        .map(|((domain, slug), rows)| {
+            let min_price = rows.iter().map(|r| r.min_usd).fold(f64::MAX, f64::min);
+            let max_ratio = rows.iter().map(|r| r.ratio).fold(1.0f64, f64::max);
+            Fig5Point {
+                domain,
+                slug,
+                min_price,
+                max_ratio,
+            }
+        })
+        .collect();
+    let pairs: Vec<(f64, f64)> = points.iter().map(|p| (p.min_price, p.max_ratio)).collect();
+    let envelope = log_bucketize(&pairs, 1.0, 10_000.0, 2);
+    (points, envelope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::CheckRow;
+    use pd_util::VantageId;
+
+    fn row(domain: &str, slug: &str, day: usize, min_usd: f64, ratio: f64) -> CheckRow {
+        CheckRow {
+            domain: domain.into(),
+            slug: slug.into(),
+            day,
+            usd: vec![
+                (VantageId::new(0), min_usd),
+                (VantageId::new(1), min_usd * ratio),
+            ],
+            genuine: ratio > 1.0,
+            ratio,
+            min_usd,
+        }
+    }
+
+    fn frame(rows: Vec<CheckRow>) -> CheckFrame {
+        serde_json::from_value(serde_json::json!({ "rows": rows })).unwrap()
+    }
+
+    #[test]
+    fn fig3_full_and_partial_extent() {
+        let f = frame(vec![
+            row("full.example", "a", 0, 100.0, 1.2),
+            row("full.example", "b", 0, 100.0, 1.3),
+            row("half.example", "a", 0, 100.0, 1.2),
+            row("half.example", "b", 0, 100.0, 1.0),
+        ]);
+        let bars = fig3_extent(&f);
+        assert_eq!(bars[0].domain, "full.example");
+        assert_eq!(bars[0].extent, 1.0);
+        assert_eq!(bars[1].domain, "half.example");
+        assert_eq!(bars[1].extent, 0.5);
+        assert_eq!(bars[1].checks, 2);
+    }
+
+    #[test]
+    fn fig4_uses_per_product_daily_median() {
+        // One product, three days: 1.0, 1.2, 1.2 → median 1.2. A/B-style
+        // flicker on one day must not drag the product to 1.0.
+        let f = frame(vec![
+            row("a.example", "p", 0, 100.0, 1.0),
+            row("a.example", "p", 1, 100.0, 1.2),
+            row("a.example", "p", 2, 100.0, 1.2),
+        ]);
+        let boxes = fig4_magnitude(&f);
+        assert_eq!(boxes.len(), 1);
+        assert!((boxes[0].stats.median - 1.2).abs() < 1e-9);
+        assert_eq!(boxes[0].stats.count, 1, "one product, one value");
+    }
+
+    #[test]
+    fn fig5_takes_max_ratio_and_min_price() {
+        let f = frame(vec![
+            row("a.example", "p", 0, 110.0, 1.1),
+            row("a.example", "p", 1, 100.0, 1.4),
+            row("a.example", "q", 0, 20.0, 3.0),
+        ]);
+        let (points, envelope) = fig5_scatter(&f);
+        assert_eq!(points.len(), 2);
+        let p = points.iter().find(|p| p.slug == "p").unwrap();
+        assert_eq!(p.min_price, 100.0);
+        assert_eq!(p.max_ratio, 1.4);
+        let q = points.iter().find(|p| p.slug == "q").unwrap();
+        assert_eq!(q.max_ratio, 3.0);
+        // Envelope spans the $1–$10K axis at 2 buckets/decade.
+        assert_eq!(envelope.len(), 8);
+        let total: usize = envelope.iter().map(|b| b.count).sum();
+        assert_eq!(total, 2);
+    }
+}

@@ -1,0 +1,144 @@
+//! Fig. 1 and Fig. 2: the crowdsourced dataset's view of retailers.
+
+use crate::frame::CheckFrame;
+use pd_util::stats::BoxStats;
+use serde::{Deserialize, Serialize};
+
+/// One bar of Fig. 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig1Bar {
+    /// Domain.
+    pub domain: String,
+    /// Number of crowd requests on this domain that showed a confirmed
+    /// price difference.
+    pub differing_requests: usize,
+    /// Total crowd requests on the domain.
+    pub total_requests: usize,
+}
+
+/// Fig. 1 — "Domains with the highest number of requests where price
+/// differences occurred": domains ranked by confirmed-difference count.
+#[must_use]
+pub fn fig1_ranking(frame: &CheckFrame, top: usize) -> Vec<Fig1Bar> {
+    let mut counts: std::collections::BTreeMap<&str, (usize, usize)> =
+        std::collections::BTreeMap::new();
+    for row in frame.rows() {
+        let e = counts.entry(&row.domain).or_insert((0, 0));
+        e.1 += 1;
+        if row.genuine {
+            e.0 += 1;
+        }
+    }
+    let mut bars: Vec<Fig1Bar> = counts
+        .into_iter()
+        .filter(|(_, (diff, _))| *diff > 0)
+        .map(|(domain, (differing, total))| Fig1Bar {
+            domain: domain.to_owned(),
+            differing_requests: differing,
+            total_requests: total,
+        })
+        .collect();
+    bars.sort_by(|a, b| {
+        b.differing_requests
+            .cmp(&a.differing_requests)
+            .then_with(|| a.domain.cmp(&b.domain))
+    });
+    bars.truncate(top);
+    bars
+}
+
+/// One box of Fig. 2 (and Fig. 4, which shares the shape).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RatioBox {
+    /// Domain.
+    pub domain: String,
+    /// Box statistics of the per-check max/min price ratio.
+    pub stats: BoxStats,
+}
+
+/// Fig. 2 — "Magnitude of price differences per domain": for each of the
+/// given domains, box statistics of the per-request max/min ratio.
+///
+/// Ratios of non-genuine checks enter as 1.0, as in the paper (a checked
+/// product with no confirmed difference has ratio 1).
+#[must_use]
+pub fn fig2_ratio_boxes(frame: &CheckFrame, domains: &[String]) -> Vec<RatioBox> {
+    domains
+        .iter()
+        .filter_map(|domain| {
+            let ratios: Vec<f64> = frame.by_domain(domain).map(|r| r.ratio).collect();
+            BoxStats::compute(&ratios).map(|stats| RatioBox {
+                domain: domain.clone(),
+                stats,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::CheckRow;
+    use pd_util::VantageId;
+
+    fn row(domain: &str, ratio: f64) -> CheckRow {
+        CheckRow {
+            domain: domain.into(),
+            slug: "p".into(),
+            day: 0,
+            usd: vec![(VantageId::new(0), 100.0), (VantageId::new(1), 100.0 * ratio)],
+            genuine: ratio > 1.0,
+            ratio,
+            min_usd: 100.0,
+        }
+    }
+
+    fn frame(rows: Vec<CheckRow>) -> CheckFrame {
+        // Round-trip through serde to construct (fields are private).
+        let json = serde_json::json!({ "rows": rows });
+        serde_json::from_value(json).unwrap()
+    }
+
+    #[test]
+    fn fig1_ranks_by_differing_count() {
+        let f = frame(vec![
+            row("a.example", 1.2),
+            row("a.example", 1.3),
+            row("a.example", 1.0),
+            row("b.example", 1.1),
+            row("c.example", 1.0),
+        ]);
+        let bars = fig1_ranking(&f, 10);
+        assert_eq!(bars.len(), 2, "domains with zero differences excluded");
+        assert_eq!(bars[0].domain, "a.example");
+        assert_eq!(bars[0].differing_requests, 2);
+        assert_eq!(bars[0].total_requests, 3);
+        assert_eq!(bars[1].domain, "b.example");
+    }
+
+    #[test]
+    fn fig1_truncates_to_top() {
+        let f = frame(vec![row("a.example", 1.2), row("b.example", 1.2)]);
+        assert_eq!(fig1_ranking(&f, 1).len(), 1);
+    }
+
+    #[test]
+    fn fig1_tie_break_is_alphabetical() {
+        let f = frame(vec![row("z.example", 1.2), row("a.example", 1.2)]);
+        let bars = fig1_ranking(&f, 10);
+        assert_eq!(bars[0].domain, "a.example");
+    }
+
+    #[test]
+    fn fig2_box_per_domain() {
+        let f = frame(vec![
+            row("a.example", 1.1),
+            row("a.example", 1.2),
+            row("a.example", 1.3),
+        ]);
+        let boxes = fig2_ratio_boxes(&f, &["a.example".to_owned(), "missing.example".to_owned()]);
+        assert_eq!(boxes.len(), 1);
+        assert!((boxes[0].stats.median - 1.2).abs() < 1e-9);
+        assert_eq!(boxes[0].stats.count, 3);
+    }
+}

@@ -1,0 +1,39 @@
+//! Figure and table analyses (Sec. 3.2 and Sec. 4 of the paper).
+//!
+//! Every artifact of the paper's evaluation has a function here that
+//! turns measurement stores into the exact series/statistics the figure
+//! plots, plus an ASCII renderer used by the `figures` binary:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`crowd`] | Fig. 1 (request counts), Fig. 2 (crowd ratio boxplots) |
+//! | [`crawl`] | Fig. 3 (extent), Fig. 4 (magnitude), Fig. 5 (ratio vs price) |
+//! | [`strategy`] | Fig. 6 (multiplicative vs additive curves) |
+//! | [`location`] | Fig. 7 (per-location boxplots), Fig. 8 (pairwise grids), Fig. 9 (Finland) |
+//! | [`login`] | Fig. 10 (login impact) + persona null result |
+//! | [`thirdparty`] | Sec. 4.4 third-party presence scan |
+//! | [`summary`] | Sec. 3.2 dataset statistics |
+//! | [`attribution`] | Sec. 6's future work: per-factor attribution by controlled probing |
+//!
+//! All analyses consume the *operational* data (extracted prices and the
+//! shared FX series) — never the simulator's ground truth — so the
+//! pipeline is exactly as blind as the paper's was. The common
+//! representation is [`frame::CheckFrame`], one row per synchronized
+//! check with band-filter verdicts precomputed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod attribution;
+pub mod crawl;
+pub mod crowd;
+pub mod frame;
+pub mod location;
+pub mod login;
+pub mod strategy;
+pub mod summary;
+pub mod thirdparty;
+
+pub use attribution::{attribute, Attribution, Factor, ProbeSet};
+pub use frame::{CheckFrame, CheckRow};

@@ -1,0 +1,256 @@
+//! Fig. 7, Fig. 8 and Fig. 9: does location have an impact?
+
+use crate::frame::CheckFrame;
+use pd_util::stats::BoxStats;
+use pd_util::VantageId;
+use serde::{Deserialize, Serialize};
+
+/// One box of Fig. 7.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Box {
+    /// Vantage label (Fig. 7's x-axis, e.g. "Spain (Linux,FF)").
+    pub label: String,
+    /// Vantage id.
+    pub vantage: VantageId,
+    /// Box statistics of price(location)/min-price ratios over all
+    /// products of all retailers.
+    pub stats: BoxStats,
+}
+
+/// Fig. 7 — per-location ratio boxplots across all crawled retailers.
+/// Paper: "locations in USA and Brazil tend to get lower prices than
+/// locations in Europe. Within Europe, Finland stands out as the most
+/// expensive location."
+#[must_use]
+pub fn fig7_location_boxes(
+    frame: &CheckFrame,
+    vantages: &[(VantageId, String)],
+) -> Vec<Fig7Box> {
+    // Per product × location: median daily ratio to the product minimum.
+    let mut per_loc: std::collections::HashMap<VantageId, Vec<f64>> =
+        std::collections::HashMap::new();
+    for ((_domain, _slug), rows) in frame.by_product() {
+        let mut loc_ratios: std::collections::HashMap<VantageId, Vec<f64>> =
+            std::collections::HashMap::new();
+        for row in rows {
+            if row.min_usd <= 0.0 {
+                continue;
+            }
+            for &(vid, usd) in &row.usd {
+                loc_ratios.entry(vid).or_default().push(usd / row.min_usd);
+            }
+        }
+        for (vid, mut ratios) in loc_ratios {
+            ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let median = pd_util::stats::quantile_sorted(&ratios, 0.5);
+            per_loc.entry(vid).or_default().push(median);
+        }
+    }
+    vantages
+        .iter()
+        .filter_map(|(vid, label)| {
+            let ratios = per_loc.get(vid)?;
+            BoxStats::compute(ratios).map(|stats| Fig7Box {
+                label: label.clone(),
+                vantage: *vid,
+                stats,
+            })
+        })
+        .collect()
+}
+
+/// Relationship of a location pair in one Fig. 8 subplot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PairRelation {
+    /// Dots on the diagonal: both locations get similar prices.
+    Similar,
+    /// Dots cluster toward the y-axis: the row location is dearer.
+    RowDearer,
+    /// Dots cluster toward the x-axis: the column location is dearer.
+    ColDearer,
+    /// Some products dearer on one side, some on the other.
+    Mixed,
+}
+
+/// One subplot of a Fig. 8 grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig8Cell {
+    /// Row location label (the subplot's y-axis).
+    pub row: String,
+    /// Column location label (x-axis).
+    pub col: String,
+    /// Per-product points `(col_ratio, row_ratio)` — each location's
+    /// price over the product's minimum across all locations.
+    pub points: Vec<(f64, f64)>,
+    /// Classified relationship.
+    pub relation: PairRelation,
+}
+
+/// Fig. 8 — the pairwise grid for one retailer over chosen locations.
+#[must_use]
+pub fn fig8_pairwise(
+    frame: &CheckFrame,
+    domain: &str,
+    vantages: &[(VantageId, String)],
+) -> Vec<Fig8Cell> {
+    // Per product: median ratio per location (to the product min).
+    let mut per_product: Vec<std::collections::HashMap<VantageId, f64>> = Vec::new();
+    for ((d, _slug), rows) in frame.by_product() {
+        if d != domain {
+            continue;
+        }
+        let mut loc_ratios: std::collections::HashMap<VantageId, Vec<f64>> =
+            std::collections::HashMap::new();
+        for row in rows {
+            if row.min_usd <= 0.0 {
+                continue;
+            }
+            for &(vid, usd) in &row.usd {
+                loc_ratios.entry(vid).or_default().push(usd / row.min_usd);
+            }
+        }
+        per_product.push(
+            loc_ratios
+                .into_iter()
+                .map(|(vid, mut rs)| {
+                    rs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                    (vid, pd_util::stats::quantile_sorted(&rs, 0.5))
+                })
+                .collect(),
+        );
+    }
+
+    let mut cells = Vec::new();
+    for (ri, (rvid, rlabel)) in vantages.iter().enumerate() {
+        for (ci, (cvid, clabel)) in vantages.iter().enumerate() {
+            if ri == ci {
+                continue;
+            }
+            let points: Vec<(f64, f64)> = per_product
+                .iter()
+                .filter_map(|m| Some((*m.get(cvid)?, *m.get(rvid)?)))
+                .collect();
+            let relation = classify_pair(&points);
+            cells.push(Fig8Cell {
+                row: rlabel.clone(),
+                col: clabel.clone(),
+                points,
+                relation,
+            });
+        }
+    }
+    cells
+}
+
+/// Classifies a pairwise cloud. Tolerance 2 % around the diagonal.
+fn classify_pair(points: &[(f64, f64)]) -> PairRelation {
+    if points.is_empty() {
+        return PairRelation::Similar;
+    }
+    const TOL: f64 = 0.02;
+    let mut row_dearer = 0usize;
+    let mut col_dearer = 0usize;
+    let mut similar = 0usize;
+    for &(x, y) in points {
+        if (y - x).abs() <= TOL {
+            similar += 1;
+        } else if y > x {
+            row_dearer += 1;
+        } else {
+            col_dearer += 1;
+        }
+    }
+    let n = points.len() as f64;
+    if similar as f64 / n >= 0.8 {
+        PairRelation::Similar
+    } else if row_dearer as f64 / n >= 0.6 {
+        PairRelation::RowDearer
+    } else if col_dearer as f64 / n >= 0.6 {
+        PairRelation::ColDearer
+    } else {
+        PairRelation::Mixed
+    }
+}
+
+/// One box of Fig. 9.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig9Box {
+    /// Domain.
+    pub domain: String,
+    /// Box statistics of price(Finland)/min ratios per product.
+    pub stats: BoxStats,
+    /// True when Finland is (essentially) the cheapest location for at
+    /// least three quarters of the retailer's products (q3 ≈ 1) — the
+    /// paper's visual "Finland is the cheaper location here" judgement.
+    pub finland_cheapest: bool,
+}
+
+/// Fig. 9 — the Finland ratio per crawled domain. Paper: "Finland is
+/// almost never the cheaper location (exceptions with mauijim.com and
+/// tuscanyleather.it)".
+#[must_use]
+pub fn fig9_finland(frame: &CheckFrame, finland: VantageId) -> Vec<Fig9Box> {
+    let mut per_domain: std::collections::BTreeMap<String, Vec<f64>> =
+        std::collections::BTreeMap::new();
+    for ((domain, _slug), rows) in frame.by_product() {
+        let mut ratios = Vec::new();
+        for row in rows {
+            if row.min_usd <= 0.0 {
+                continue;
+            }
+            if let Some(fi) = row.usd_at(finland) {
+                ratios.push(fi / row.min_usd);
+            }
+        }
+        if !ratios.is_empty() {
+            ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let median = pd_util::stats::quantile_sorted(&ratios, 0.5);
+            per_domain.entry(domain).or_default().push(median);
+        }
+    }
+    per_domain
+        .into_iter()
+        .filter_map(|(domain, ratios)| {
+            BoxStats::compute(&ratios).map(|stats| Fig9Box {
+                finland_cheapest: stats.q3 <= 1.005,
+                domain,
+                stats,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_pair_similar() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (1.0 + i as f64 * 0.01, 1.0 + i as f64 * 0.01)).collect();
+        assert_eq!(classify_pair(&pts), PairRelation::Similar);
+    }
+
+    #[test]
+    fn classify_pair_row_dearer() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|_| (1.0, 1.15)).collect();
+        assert_eq!(classify_pair(&pts), PairRelation::RowDearer);
+    }
+
+    #[test]
+    fn classify_pair_col_dearer() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|_| (1.2, 1.0)).collect();
+        assert_eq!(classify_pair(&pts), PairRelation::ColDearer);
+    }
+
+    #[test]
+    fn classify_pair_mixed() {
+        let mut pts: Vec<(f64, f64)> = (0..5).map(|_| (1.0, 1.2)).collect();
+        pts.extend((0..5).map(|_| (1.2, 1.0)));
+        assert_eq!(classify_pair(&pts), PairRelation::Mixed);
+    }
+
+    #[test]
+    fn classify_pair_empty_is_similar() {
+        assert_eq!(classify_pair(&[]), PairRelation::Similar);
+    }
+}

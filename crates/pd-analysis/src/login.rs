@@ -1,0 +1,129 @@
+//! Fig. 10 and the persona null result (Sec. 4.4).
+//!
+//! The measurement harnesses live in `pd_sheriff::personas`; this module
+//! reduces their output to the figure's series and headline statistics.
+
+use pd_sheriff::personas::{LoginExperiment, PersonaExperiment};
+use serde::{Deserialize, Serialize};
+
+/// One Fig. 10 row: `(product #, w/o login, user A, user B, user C)`,
+/// prices in USD.
+pub type Fig10Row = (usize, Option<f64>, Option<f64>, Option<f64>, Option<f64>);
+
+/// Fig. 10's plotted series plus its two headline statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig10 {
+    /// Domain measured.
+    pub domain: String,
+    /// Per-product USD prices: `(product #, w/o login, user A, B, C)`.
+    pub series: Vec<Fig10Row>,
+    /// Fraction of products whose four identities disagree.
+    pub variation_fraction: f64,
+    /// Pearson correlation between login status and normalized price
+    /// (paper: no meaningful correlation).
+    pub login_correlation: Option<f64>,
+}
+
+/// Reduces a login experiment to Fig. 10.
+#[must_use]
+pub fn fig10(exp: &LoginExperiment) -> Fig10 {
+    let series = exp
+        .rows
+        .iter()
+        .map(|r| {
+            let f = |p: Option<pd_currency::Price>| p.map(|p| p.amount.to_f64());
+            (
+                r.product,
+                f(r.without_login),
+                f(r.users[0]),
+                f(r.users[1]),
+                f(r.users[2]),
+            )
+        })
+        .collect();
+    Fig10 {
+        domain: exp.domain.clone(),
+        series,
+        variation_fraction: exp.variation_fraction(),
+        login_correlation: exp.login_price_correlation(),
+    }
+}
+
+/// The persona experiment's summary line (the paper's: "we find no price
+/// differences").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PersonaSummary {
+    /// Retailers measured.
+    pub domains: Vec<String>,
+    /// Checked (retailer, product) pairs.
+    pub total_pairs: usize,
+    /// Pairs where personas saw different prices.
+    pub differing_pairs: usize,
+    /// True iff the null result reproduced.
+    pub null_result: bool,
+}
+
+/// Reduces a persona experiment.
+#[must_use]
+pub fn persona_summary(exp: &PersonaExperiment) -> PersonaSummary {
+    PersonaSummary {
+        domains: exp.domains.clone(),
+        total_pairs: exp.total_pairs,
+        differing_pairs: exp.differing_pairs,
+        null_result: exp.differing_pairs == 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_currency::{Currency, Price};
+    use pd_sheriff::personas::LoginRow;
+    use pd_util::Money;
+
+    fn price(minor: i64) -> Option<Price> {
+        Some(Price::new(Money::from_minor(minor), Currency::Usd))
+    }
+
+    #[test]
+    fn fig10_reduces_series() {
+        let exp = LoginExperiment {
+            domain: "www.amazon.com".into(),
+            rows: vec![
+                LoginRow {
+                    product: 0,
+                    slug: "a".into(),
+                    without_login: price(1_000),
+                    users: [price(1_050), price(990), price(1_010)],
+                },
+                LoginRow {
+                    product: 1,
+                    slug: "b".into(),
+                    without_login: price(700),
+                    users: [price(700), price(700), price(700)],
+                },
+            ],
+        };
+        let fig = fig10(&exp);
+        assert_eq!(fig.series.len(), 2);
+        assert_eq!(fig.series[0].1, Some(10.0));
+        assert!((fig.variation_fraction - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn persona_summary_null() {
+        let exp = PersonaExperiment {
+            domains: vec!["a".into()],
+            products_per_retailer: 5,
+            differing_pairs: 0,
+            total_pairs: 5,
+        };
+        let s = persona_summary(&exp);
+        assert!(s.null_result);
+        let exp2 = PersonaExperiment {
+            differing_pairs: 1,
+            ..exp
+        };
+        assert!(!persona_summary(&exp2).null_result);
+    }
+}

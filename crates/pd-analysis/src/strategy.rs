@@ -1,0 +1,213 @@
+//! Fig. 6: per-retailer ratio-vs-price curves and the
+//! multiplicative/additive strategy classifier.
+//!
+//! Fig. 6(a) (a photography retailer): per-location ratio lines that are
+//! *parallel to the x-axis* — multiplicative pricing. Fig. 6(b) (a
+//! clothes manufacturer): one location's curve starts high at cheap
+//! products and decays, converging to a flat line past ~$100 — an
+//! additive term. Beyond re-plotting, this module implements the
+//! *inference* the paper performs visually: fitting `ratio(p) = f + a/p`
+//! per location and classifying the strategy from the fitted `a`.
+
+use crate::frame::CheckFrame;
+use pd_util::VantageId;
+use serde::{Deserialize, Serialize};
+
+/// One (min-price, ratio) point of a location's Fig. 6 series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Product's minimum USD price across locations.
+    pub min_price: f64,
+    /// Price at this location over the minimum, per-product median
+    /// across days.
+    pub ratio: f64,
+}
+
+/// A per-location ratio-vs-price series with its strategy fit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocationCurve {
+    /// Vantage label (e.g. "Finland - Tampere").
+    pub label: String,
+    /// Vantage id.
+    pub vantage: VantageId,
+    /// Points, ascending by price.
+    pub points: Vec<CurvePoint>,
+    /// Fitted multiplicative factor `f` of `ratio(p) = f + a/p`.
+    pub mult_factor: f64,
+    /// Fitted additive USD term `a`.
+    pub additive_usd: f64,
+    /// Classification from the fit.
+    pub strategy: StrategyClass,
+}
+
+/// What the fit says the location's pricing looks like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StrategyClass {
+    /// Ratio ≈ 1 everywhere: no discrimination at this location.
+    Flat,
+    /// Parallel line above 1: multiplicative.
+    Multiplicative,
+    /// Decaying curve: an additive term dominates.
+    Additive,
+    /// Both components significant.
+    Mixed,
+}
+
+/// Builds Fig. 6 for one retailer: a curve per requested vantage point.
+///
+/// `vantages` maps ids to display labels (from the vantage fleet).
+#[must_use]
+pub fn fig6_curves(
+    frame: &CheckFrame,
+    domain: &str,
+    vantages: &[(VantageId, String)],
+) -> Vec<LocationCurve> {
+    // Per product: min price + per-location median ratio across days.
+    struct ProductAgg {
+        min_price: f64,
+        per_loc: std::collections::HashMap<VantageId, Vec<f64>>,
+    }
+    let mut products: std::collections::HashMap<String, ProductAgg> =
+        std::collections::HashMap::new();
+    for row in frame.by_domain(domain) {
+        let agg = products.entry(row.slug.clone()).or_insert(ProductAgg {
+            min_price: f64::MAX,
+            per_loc: std::collections::HashMap::new(),
+        });
+        agg.min_price = agg.min_price.min(row.min_usd);
+        for &(vid, usd) in &row.usd {
+            if row.min_usd > 0.0 {
+                agg.per_loc.entry(vid).or_default().push(usd / row.min_usd);
+            }
+        }
+    }
+
+    vantages
+        .iter()
+        .map(|(vid, label)| {
+            let mut points: Vec<CurvePoint> = products
+                .values()
+                .filter_map(|agg| {
+                    let ratios = agg.per_loc.get(vid)?;
+                    let mut sorted = ratios.clone();
+                    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                    Some(CurvePoint {
+                        min_price: agg.min_price,
+                        ratio: pd_util::stats::quantile_sorted(&sorted, 0.5),
+                    })
+                })
+                .collect();
+            points.sort_by(|a, b| a.min_price.partial_cmp(&b.min_price).expect("finite"));
+            let (mult_factor, additive_usd) = fit_mult_additive(&points);
+            let strategy = classify(mult_factor, additive_usd);
+            LocationCurve {
+                label: label.clone(),
+                vantage: *vid,
+                points,
+                mult_factor,
+                additive_usd,
+                strategy,
+            }
+        })
+        .collect()
+}
+
+/// Least-squares fit of `ratio = f + a · (1/p)` — linear in `1/p`.
+fn fit_mult_additive(points: &[CurvePoint]) -> (f64, f64) {
+    if points.len() < 2 {
+        let f = points.first().map_or(1.0, |p| p.ratio);
+        return (f, 0.0);
+    }
+    let xs: Vec<f64> = points.iter().map(|p| 1.0 / p.min_price.max(0.01)).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.ratio).collect();
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return (sy / n, 0.0);
+    }
+    let a = (n * sxy - sx * sy) / denom;
+    let f = (sy - a * sx) / n;
+    (f, a)
+}
+
+/// Thresholds: a location is multiplicative when its flat component is
+/// ≥2 % above par; additive when the fitted term exceeds $1.
+fn classify(mult_factor: f64, additive_usd: f64) -> StrategyClass {
+    let mult = mult_factor > 1.02;
+    let add = additive_usd > 1.0;
+    match (mult, add) {
+        (false, false) => StrategyClass::Flat,
+        (true, false) => StrategyClass::Multiplicative,
+        (false, true) => StrategyClass::Additive,
+        (true, true) => StrategyClass::Mixed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points(f: f64, a: f64, prices: &[f64]) -> Vec<CurvePoint> {
+        prices
+            .iter()
+            .map(|&p| CurvePoint {
+                min_price: p,
+                ratio: f + a / p,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fit_recovers_pure_multiplicative() {
+        let pts = points(1.25, 0.0, &[10.0, 50.0, 100.0, 500.0, 2000.0]);
+        let (f, a) = fit_mult_additive(&pts);
+        assert!((f - 1.25).abs() < 1e-9, "f {f}");
+        assert!(a.abs() < 1e-9, "a {a}");
+        assert_eq!(classify(f, a), StrategyClass::Multiplicative);
+    }
+
+    #[test]
+    fn fit_recovers_pure_additive() {
+        let pts = points(1.0, 8.0, &[10.0, 20.0, 50.0, 100.0, 200.0]);
+        let (f, a) = fit_mult_additive(&pts);
+        assert!((f - 1.0).abs() < 1e-6, "f {f}");
+        assert!((a - 8.0).abs() < 1e-6, "a {a}");
+        assert_eq!(classify(f, a), StrategyClass::Additive);
+    }
+
+    #[test]
+    fn fit_recovers_mixed() {
+        let pts = points(1.05, 6.0, &[10.0, 25.0, 60.0, 150.0, 400.0]);
+        let (f, a) = fit_mult_additive(&pts);
+        assert!((f - 1.05).abs() < 1e-6);
+        assert!((a - 6.0).abs() < 1e-6);
+        assert_eq!(classify(f, a), StrategyClass::Mixed);
+    }
+
+    #[test]
+    fn flat_location_classified_flat() {
+        let pts = points(1.0, 0.0, &[10.0, 100.0, 1000.0]);
+        let (f, a) = fit_mult_additive(&pts);
+        assert_eq!(classify(f, a), StrategyClass::Flat);
+    }
+
+    #[test]
+    fn degenerate_fits() {
+        assert_eq!(fit_mult_additive(&[]), (1.0, 0.0));
+        let single = [CurvePoint {
+            min_price: 50.0,
+            ratio: 1.3,
+        }];
+        let (f, a) = fit_mult_additive(&single);
+        assert_eq!((f, a), (1.3, 0.0));
+        // All-same-price points: denom ≈ 0 path.
+        let same = points(1.2, 0.0, &[100.0, 100.0, 100.0]);
+        let (f, a) = fit_mult_additive(&same);
+        assert!((f - 1.2).abs() < 1e-9);
+        assert_eq!(a, 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Sec. 3.2 dataset summary statistics (the reproduction's "T0").
+
+use pd_sheriff::{Crowd, MeasurementStore};
+use serde::{Deserialize, Serialize};
+
+/// The headline numbers of Sec. 3.2.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetSummary {
+    /// Crowd price-check requests (paper: 1 500).
+    pub crowd_requests: usize,
+    /// Distinct crowd users (paper: 340).
+    pub crowd_users: usize,
+    /// Distinct user countries (paper: 18).
+    pub crowd_countries: usize,
+    /// Distinct domains checked by the crowd (paper: 600).
+    pub crowd_domains: usize,
+    /// Retailers in the crawled dataset (paper: 21).
+    pub crawled_retailers: usize,
+    /// Total products crawled.
+    pub crawled_products: usize,
+    /// Crawl days per retailer (paper: 7).
+    pub crawl_days: usize,
+    /// Extracted prices in the crawled dataset (paper: 188 K).
+    pub crawled_prices: usize,
+}
+
+/// Builds the summary from the two stores and the crowd.
+#[must_use]
+pub fn dataset_summary(
+    crowd: &Crowd,
+    crowd_store: &MeasurementStore,
+    crawl_store: &MeasurementStore,
+) -> DatasetSummary {
+    let crowd_users: std::collections::HashSet<_> =
+        crowd_store.records().iter().map(|m| m.user).collect();
+    let crawled_products: std::collections::HashSet<_> = crawl_store
+        .records()
+        .iter()
+        .map(|m| (m.domain.clone(), m.product_slug.clone()))
+        .collect();
+    let crawl_days: std::collections::HashSet<_> =
+        crawl_store.records().iter().map(|m| m.day()).collect();
+    DatasetSummary {
+        crowd_requests: crowd_store.len(),
+        crowd_users: crowd_users.len(),
+        crowd_countries: crowd.country_count(),
+        crowd_domains: crowd_store.domains().len(),
+        crawled_retailers: crawl_store.domains().len(),
+        crawled_products: crawled_products.len(),
+        crawl_days: crawl_days.len(),
+        crawled_prices: crawl_store.total_extracted_prices(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_currency::{Currency, Price};
+    use pd_net::clock::SimTime;
+    use pd_sheriff::measurement::{Measurement, NoiseTruth};
+    use pd_sheriff::{CrowdConfig, PriceObservation};
+    use pd_util::{Money, RequestId, Seed, UserId, VantageId};
+
+    fn meas(domain: &str, slug: &str, user: u32, day: u64, n_prices: usize) -> Measurement {
+        Measurement {
+            request: RequestId::new(0),
+            user: UserId::new(user),
+            domain: domain.into(),
+            product_slug: slug.into(),
+            time: SimTime::from_millis(day * 24 * 3_600_000),
+            user_price: None,
+            observations: (0..n_prices)
+                .map(|i| {
+                    PriceObservation::ok(
+                        VantageId::new(i as u32),
+                        Price::new(Money::from_minor(100), Currency::Usd),
+                        String::new(),
+                    )
+                })
+                .collect(),
+            noise_truth: NoiseTruth::Clean,
+        }
+    }
+
+    #[test]
+    fn summary_counts() {
+        let seed = Seed::new(1307);
+        let mut world = pd_web::WebWorld::build(seed, pd_pricing::paper_retailers(seed), 160);
+        let crowd = pd_sheriff::Crowd::new(
+            seed,
+            CrowdConfig {
+                users: 10,
+                checks: 0,
+                ..CrowdConfig::default()
+            },
+            &mut world,
+        );
+        let mut crowd_store = MeasurementStore::new();
+        crowd_store.push(meas("a.example", "x", 1, 3, 14));
+        crowd_store.push(meas("b.example", "y", 2, 4, 14));
+        crowd_store.push(meas("a.example", "z", 1, 5, 14));
+        let mut crawl_store = MeasurementStore::new();
+        crawl_store.push(meas("a.example", "x", u32::MAX, 120, 14));
+        crawl_store.push(meas("a.example", "x", u32::MAX, 121, 14));
+        crawl_store.push(meas("a.example", "w", u32::MAX, 120, 13));
+
+        let s = dataset_summary(&crowd, &crowd_store, &crawl_store);
+        assert_eq!(s.crowd_requests, 3);
+        assert_eq!(s.crowd_users, 2);
+        assert_eq!(s.crowd_domains, 2);
+        assert_eq!(s.crawled_retailers, 1);
+        assert_eq!(s.crawled_products, 2);
+        assert_eq!(s.crawl_days, 2);
+        assert_eq!(s.crawled_prices, 14 + 14 + 13);
+    }
+}

@@ -1,0 +1,21 @@
+//! The systematic crawler (Sec. 4).
+//!
+//! "Afterwards, we systematically crawled the sites of retailers where
+//! $heriff revealed price differences. … The crawled dataset focuses on
+//! 21 retailers. We randomly picked up to 100 products per retailer and
+//! checked the prices of these products on a daily basis for a week."
+//!
+//! * [`select`] — ranks crowd-flagged domains by confirmed-variation
+//!   count and picks the crawl targets,
+//! * [`crawl`] — the crawl driver: product sampling, the 7-day daily
+//!   schedule, synchronized 14-point checks per product, politeness
+//!   spacing and retry bookkeeping.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crawl;
+pub mod select;
+
+pub use crawl::{CrawlConfig, Crawler};
+pub use select::select_targets;

@@ -1,0 +1,152 @@
+//! Crawl-target selection from the crowdsourced dataset.
+//!
+//! A domain becomes a crawl target when the (cleaned) crowd data shows at
+//! least `min_confirmed` checks whose price variation survives the
+//! exchange-band filter. This is the paper's funnel: the crowd covers 600
+//! domains cheaply; the expensive systematic crawl focuses on the
+//! retailers the crowd flagged.
+
+use pd_currency::FxSeries;
+use pd_sheriff::MeasurementStore;
+use serde::{Deserialize, Serialize};
+
+/// One ranked crawl candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TargetCandidate {
+    /// Domain name.
+    pub domain: String,
+    /// Crowd checks on this domain.
+    pub checks: usize,
+    /// Checks with band-confirmed price variation.
+    pub confirmed: usize,
+}
+
+/// Ranks domains by confirmed-variation count (descending, then by
+/// domain for determinism) and returns those with at least
+/// `min_confirmed` confirmed checks.
+#[must_use]
+pub fn select_targets(
+    store: &MeasurementStore,
+    fx: &FxSeries,
+    min_confirmed: usize,
+) -> Vec<TargetCandidate> {
+    let mut by_domain: std::collections::BTreeMap<String, (usize, usize)> =
+        std::collections::BTreeMap::new();
+    for m in store.records() {
+        let entry = by_domain.entry(m.domain.clone()).or_insert((0, 0));
+        entry.0 += 1;
+        let day = m.day().min(fx.days().saturating_sub(1));
+        let confirmed = pd_currency::band_filter(fx, &m.prices(), day)
+            .map(|v| v.genuine)
+            .unwrap_or(false);
+        if confirmed {
+            entry.1 += 1;
+        }
+    }
+    let mut out: Vec<TargetCandidate> = by_domain
+        .into_iter()
+        .map(|(domain, (checks, confirmed))| TargetCandidate {
+            domain,
+            checks,
+            confirmed,
+        })
+        .filter(|c| c.confirmed >= min_confirmed)
+        .collect();
+    out.sort_by(|a, b| {
+        b.confirmed
+            .cmp(&a.confirmed)
+            .then_with(|| a.domain.cmp(&b.domain))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_currency::{Currency, Price};
+    use pd_net::clock::SimTime;
+    use pd_sheriff::measurement::{Measurement, NoiseTruth};
+    use pd_sheriff::PriceObservation;
+    use pd_util::{Money, RequestId, Seed, UserId, VantageId};
+
+    fn fx() -> FxSeries {
+        FxSeries::generate(Seed::new(1307), 160)
+    }
+
+    fn meas(domain: &str, prices_minor: &[i64]) -> Measurement {
+        Measurement {
+            request: RequestId::new(0),
+            user: UserId::new(0),
+            domain: domain.into(),
+            product_slug: "p".into(),
+            time: SimTime::from_millis(3 * 24 * 3_600_000),
+            user_price: None,
+            observations: prices_minor
+                .iter()
+                .enumerate()
+                .map(|(i, m)| {
+                    PriceObservation::ok(
+                        VantageId::new(i as u32),
+                        Price::new(Money::from_minor(*m), Currency::Usd),
+                        String::new(),
+                    )
+                })
+                .collect(),
+            noise_truth: NoiseTruth::Clean,
+        }
+    }
+
+    #[test]
+    fn flags_only_varying_domains() {
+        let mut store = pd_sheriff::MeasurementStore::new();
+        store.push(meas("flat.example", &[1000, 1000, 1000]));
+        store.push(meas("vary.example", &[1000, 1300]));
+        store.push(meas("vary.example", &[2000, 2500]));
+        let targets = select_targets(&store, &fx(), 1);
+        assert_eq!(targets.len(), 1);
+        assert_eq!(targets[0].domain, "vary.example");
+        assert_eq!(targets[0].checks, 2);
+        assert_eq!(targets[0].confirmed, 2);
+    }
+
+    #[test]
+    fn threshold_filters_one_offs() {
+        let mut store = pd_sheriff::MeasurementStore::new();
+        store.push(meas("once.example", &[1000, 1300]));
+        store.push(meas("twice.example", &[1000, 1300]));
+        store.push(meas("twice.example", &[1000, 1200]));
+        let targets = select_targets(&store, &fx(), 2);
+        assert_eq!(targets.len(), 1);
+        assert_eq!(targets[0].domain, "twice.example");
+    }
+
+    #[test]
+    fn ranking_is_descending_and_deterministic() {
+        let mut store = pd_sheriff::MeasurementStore::new();
+        for _ in 0..5 {
+            store.push(meas("big.example", &[1000, 1300]));
+        }
+        for _ in 0..2 {
+            store.push(meas("small.example", &[1000, 1300]));
+        }
+        store.push(meas("tie-a.example", &[1000, 1300]));
+        store.push(meas("tie-b.example", &[1000, 1300]));
+        let targets = select_targets(&store, &fx(), 1);
+        let domains: Vec<_> = targets.iter().map(|t| t.domain.as_str()).collect();
+        assert_eq!(
+            domains,
+            vec![
+                "big.example",
+                "small.example",
+                "tie-a.example",
+                "tie-b.example"
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_store_selects_nothing() {
+        let store = pd_sheriff::MeasurementStore::new();
+        assert!(select_targets(&store, &fx(), 1).is_empty());
+    }
+}

@@ -1,0 +1,225 @@
+//! Currencies and priced amounts.
+
+use pd_net::geo::Country;
+use pd_util::Money;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Currencies of the simulated countries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Currency {
+    Usd,
+    Eur,
+    Gbp,
+    Brl,
+    Pln,
+    Sek,
+    Cad,
+    Aud,
+    Jpy,
+}
+
+impl Currency {
+    /// All modeled currencies.
+    pub const ALL: [Currency; 9] = [
+        Currency::Usd,
+        Currency::Eur,
+        Currency::Gbp,
+        Currency::Brl,
+        Currency::Pln,
+        Currency::Sek,
+        Currency::Cad,
+        Currency::Aud,
+        Currency::Jpy,
+    ];
+
+    /// ISO 4217 code.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            Currency::Usd => "USD",
+            Currency::Eur => "EUR",
+            Currency::Gbp => "GBP",
+            Currency::Brl => "BRL",
+            Currency::Pln => "PLN",
+            Currency::Sek => "SEK",
+            Currency::Cad => "CAD",
+            Currency::Aud => "AUD",
+            Currency::Jpy => "JPY",
+        }
+    }
+
+    /// Display symbol used by the simulated retail templates.
+    #[must_use]
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Currency::Usd => "$",
+            Currency::Eur => "€",
+            Currency::Gbp => "£",
+            Currency::Brl => "R$",
+            Currency::Pln => "zł",
+            Currency::Sek => "kr",
+            Currency::Cad => "C$",
+            Currency::Aud => "A$",
+            Currency::Jpy => "¥",
+        }
+    }
+
+    /// Number of minor-unit digits (JPY prices are integer yen).
+    #[must_use]
+    pub fn decimals(self) -> u32 {
+        match self {
+            Currency::Jpy => 0,
+            _ => 2,
+        }
+    }
+
+    /// Dense index into [`Currency::ALL`], used for seed derivation.
+    #[must_use]
+    pub fn index(self) -> usize {
+        Currency::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("currency present in ALL")
+    }
+
+    /// The local currency of a country — the one its residents are shown
+    /// by geo-locating retailers.
+    #[must_use]
+    pub fn of_country(country: Country) -> Currency {
+        match country {
+            Country::UnitedStates => Currency::Usd,
+            Country::UnitedKingdom => Currency::Gbp,
+            Country::Brazil => Currency::Brl,
+            Country::Poland => Currency::Pln,
+            Country::Sweden => Currency::Sek,
+            Country::Canada => Currency::Cad,
+            Country::Australia => Currency::Aud,
+            Country::Japan => Currency::Jpy,
+            // Eurozone members in the model.
+            Country::Germany
+            | Country::Spain
+            | Country::Finland
+            | Country::Belgium
+            | Country::Italy
+            | Country::France
+            | Country::Netherlands
+            | Country::Portugal
+            | Country::Greece
+            | Country::Ireland => Currency::Eur,
+        }
+    }
+}
+
+impl fmt::Display for Currency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// An exact amount in a specific currency — what a product page displays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Price {
+    /// Amount in the currency's minor units ([`Currency::decimals`]).
+    pub amount: Money,
+    /// Currency of the amount.
+    pub currency: Currency,
+}
+
+impl Price {
+    /// Creates a price.
+    #[must_use]
+    pub fn new(amount: Money, currency: Currency) -> Self {
+        Price { amount, currency }
+    }
+
+    /// USD price helper (tests and catalogs).
+    #[must_use]
+    pub fn usd(amount: Money) -> Self {
+        Price::new(amount, Currency::Usd)
+    }
+
+    /// The amount as a float in *major* units, respecting the currency's
+    /// minor-digit convention (JPY minor units are whole yen).
+    #[must_use]
+    pub fn major_value(self) -> f64 {
+        let divisor = 10f64.powi(self.currency.decimals() as i32);
+        // Money always stores two implied decimals; JPY amounts are stored
+        // with minor==0 cents semantics (amount in "yen-cents") so the
+        // generic path divides by 100 regardless. We keep Money uniform
+        // and let decimals() drive *formatting* only.
+        let _ = divisor;
+        self.amount.to_f64()
+    }
+}
+
+impl fmt::Display for Price {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.amount, self.currency.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_and_symbols_unique() {
+        let codes: std::collections::HashSet<_> = Currency::ALL.iter().map(|c| c.code()).collect();
+        assert_eq!(codes.len(), Currency::ALL.len());
+        let symbols: std::collections::HashSet<_> =
+            Currency::ALL.iter().map(|c| c.symbol()).collect();
+        assert_eq!(symbols.len(), Currency::ALL.len());
+    }
+
+    #[test]
+    fn eurozone_countries_use_eur() {
+        for c in [
+            Country::Germany,
+            Country::Spain,
+            Country::Finland,
+            Country::Belgium,
+            Country::Italy,
+        ] {
+            assert_eq!(Currency::of_country(c), Currency::Eur);
+        }
+    }
+
+    #[test]
+    fn non_euro_currencies() {
+        assert_eq!(Currency::of_country(Country::UnitedStates), Currency::Usd);
+        assert_eq!(Currency::of_country(Country::UnitedKingdom), Currency::Gbp);
+        assert_eq!(Currency::of_country(Country::Brazil), Currency::Brl);
+        assert_eq!(Currency::of_country(Country::Japan), Currency::Jpy);
+    }
+
+    #[test]
+    fn every_country_has_a_currency() {
+        for &c in &Country::ALL {
+            // Must not panic; the result must be one of ALL.
+            let cur = Currency::of_country(c);
+            assert!(Currency::ALL.contains(&cur));
+        }
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, c) in Currency::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn jpy_has_no_decimals() {
+        assert_eq!(Currency::Jpy.decimals(), 0);
+        assert_eq!(Currency::Eur.decimals(), 2);
+    }
+
+    #[test]
+    fn price_display() {
+        let p = Price::usd(Money::from_minor(1299));
+        assert_eq!(p.to_string(), "12.99 USD");
+        assert_eq!(p.major_value(), 12.99);
+    }
+}

@@ -1,0 +1,218 @@
+//! The exchange-band filter (Sec. 2.2 of the paper).
+//!
+//! Quoting the methodology: *"We convert the prices obtained by the
+//! different vantage points for the same product into US dollars using
+//! the daily lowest and highest exchange rates. We keep only products
+//! whose price variation is strictly greater than the maximum gap that
+//! can exist given the two extreme exchange rates in our dataset. This
+//! guarantees that the observed price differences are not due to currency
+//! translation issues."*
+//!
+//! Formally: each observed price maps to a USD *interval*
+//! `[amount·rate_low, amount·rate_high]`. A set of same-product
+//! observations shows a genuine variation **iff the intervals do not all
+//! overlap** — i.e. the largest lower bound strictly exceeds the smallest
+//! upper bound. The conservative variation ratio is then
+//! `max_i(lo_i) / min_i(hi_i)`, a *lower bound* on the true ratio under
+//! any realized exchange rates.
+
+use crate::currency::Price;
+use crate::rates::FxSeries;
+use serde::{Deserialize, Serialize};
+
+/// The USD value range a single observed price may represent, given the
+/// day's exchange-rate band.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UsdInterval {
+    /// Lowest possible USD value.
+    pub lo: f64,
+    /// Highest possible USD value.
+    pub hi: f64,
+}
+
+impl UsdInterval {
+    /// Builds the interval for `price` on `day`.
+    #[must_use]
+    pub fn of(fx: &FxSeries, price: Price, day: usize) -> Self {
+        UsdInterval {
+            lo: fx.to_usd_low(price, day),
+            hi: fx.to_usd_high(price, day),
+        }
+    }
+
+    /// Midpoint (reporting only).
+    #[must_use]
+    pub fn mid(self) -> f64 {
+        (self.lo + self.hi) / 2.0
+    }
+}
+
+/// Outcome of the band filter over one product's same-day observations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandVerdict {
+    /// True iff the variation cannot be explained by exchange rates.
+    pub genuine: bool,
+    /// Conservative (lower-bound) max/min USD ratio. `1.0` when not
+    /// genuine.
+    pub conservative_ratio: f64,
+    /// Midpoint-rate max/min ratio, for reporting. Compare with
+    /// `conservative_ratio` to see how much the filter discounts.
+    pub nominal_ratio: f64,
+}
+
+/// Applies the paper's exchange-band filter to one product's observations
+/// from a single synchronized round (`prices[i]` observed on `day`).
+///
+/// Returns `None` for fewer than two observations — no comparison is
+/// possible.
+#[must_use]
+pub fn band_filter(fx: &FxSeries, prices: &[Price], day: usize) -> Option<BandVerdict> {
+    if prices.len() < 2 {
+        return None;
+    }
+    let intervals: Vec<UsdInterval> = prices
+        .iter()
+        .map(|&p| UsdInterval::of(fx, p, day))
+        .collect();
+    let max_lo = intervals.iter().map(|i| i.lo).fold(f64::MIN, f64::max);
+    let min_hi = intervals.iter().map(|i| i.hi).fold(f64::MAX, f64::min);
+    let max_mid = intervals.iter().map(|i| i.mid()).fold(f64::MIN, f64::max);
+    let min_mid = intervals.iter().map(|i| i.mid()).fold(f64::MAX, f64::min);
+    let genuine = max_lo > min_hi && min_hi > 0.0;
+    Some(BandVerdict {
+        genuine,
+        conservative_ratio: if genuine { max_lo / min_hi } else { 1.0 },
+        nominal_ratio: if min_mid > 0.0 { max_mid / min_mid } else { 1.0 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::currency::Currency;
+    use pd_util::{Money, Seed};
+    use proptest::prelude::*;
+
+    fn fx() -> FxSeries {
+        FxSeries::generate(Seed::new(1307), 160)
+    }
+
+    fn usd(minor: i64) -> Price {
+        Price::new(Money::from_minor(minor), Currency::Usd)
+    }
+
+    fn eur(minor: i64) -> Price {
+        Price::new(Money::from_minor(minor), Currency::Eur)
+    }
+
+    #[test]
+    fn identical_usd_prices_are_not_genuine() {
+        let v = band_filter(&fx(), &[usd(9999), usd(9999)], 3).unwrap();
+        assert!(!v.genuine);
+        assert_eq!(v.conservative_ratio, 1.0);
+        assert!((v.nominal_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_same_currency_gap_is_genuine() {
+        let v = band_filter(&fx(), &[usd(10_000), usd(13_000)], 3).unwrap();
+        assert!(v.genuine);
+        assert!((v.conservative_ratio - 1.3).abs() < 1e-9);
+        assert!((v.nominal_ratio - 1.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pure_currency_translation_is_filtered_out() {
+        // $100 vs its exact EUR equivalent at the daily mid rate: the
+        // nominal ratio is ~1 but, crucially, the intervals overlap, so
+        // the verdict must be "not genuine".
+        let f = fx();
+        let day = 7;
+        let mid = f.rate(Currency::Eur, day).mid();
+        let eur_equiv = (100.0 / mid * 100.0).round() as i64;
+        let v = band_filter(&f, &[usd(10_000), eur(eur_equiv)], day).unwrap();
+        assert!(!v.genuine, "currency translation misflagged: {v:?}");
+    }
+
+    #[test]
+    fn genuine_cross_currency_gap_survives() {
+        // $100 vs €130 (~$171): far outside any band.
+        let v = band_filter(&fx(), &[usd(10_000), eur(13_000)], 7).unwrap();
+        assert!(v.genuine);
+        assert!(v.conservative_ratio > 1.5);
+        // Conservative ratio is a lower bound on nominal.
+        assert!(v.conservative_ratio <= v.nominal_ratio + 1e-12);
+    }
+
+    #[test]
+    fn borderline_gap_inside_band_is_rejected() {
+        // A cross-currency pair whose nominal ratio is smaller than the
+        // band width must NOT be flagged.
+        let f = fx();
+        let day = 11;
+        let mid = f.rate(Currency::Eur, day).mid();
+        // EUR price whose mid-rate USD value is 0.2% above $100 — inside
+        // the EUR side's ±0.25% band (USD, the numéraire, has no band).
+        let eur_minor = (100.2 / mid * 100.0).round() as i64;
+        let v = band_filter(&f, &[usd(10_000), eur(eur_minor)], day).unwrap();
+        assert!(!v.genuine, "sub-band gap misflagged: {v:?}");
+        assert!(v.nominal_ratio > 1.0);
+    }
+
+    #[test]
+    fn single_observation_is_none() {
+        assert!(band_filter(&fx(), &[usd(100)], 0).is_none());
+        assert!(band_filter(&fx(), &[], 0).is_none());
+    }
+
+    #[test]
+    fn many_vantage_points_mixed_currencies() {
+        // 14-point observation: 12 equal, 2 inflated (multiplicative 1.2).
+        let f = fx();
+        let day = 30;
+        let mid = f.rate(Currency::Eur, day).mid();
+        let base_eur = (80.0 / mid * 100.0).round() as i64;
+        let mut prices = vec![usd(8_000); 10];
+        prices.push(eur(base_eur)); // same value in EUR
+        prices.push(eur((f64::from(u32::try_from(base_eur).unwrap()) * 1.2) as i64));
+        let v = band_filter(&f, &prices, day).unwrap();
+        assert!(v.genuine);
+        assert!((v.conservative_ratio - 1.2).abs() < 0.02);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_conservative_never_exceeds_nominal(
+            a in 1_000i64..1_000_000,
+            b in 1_000i64..1_000_000,
+            day in 0usize..150,
+        ) {
+            let v = band_filter(&fx(), &[usd(a), eur(b)], day).unwrap();
+            prop_assert!(v.conservative_ratio <= v.nominal_ratio + 1e-9);
+            prop_assert!(v.conservative_ratio >= 1.0);
+        }
+
+        #[test]
+        fn prop_identical_prices_never_genuine(
+            minor in 1_000i64..1_000_000,
+            day in 0usize..150,
+            n in 2usize..14,
+        ) {
+            let prices = vec![eur(minor); n];
+            let v = band_filter(&fx(), &prices, day).unwrap();
+            prop_assert!(!v.genuine);
+        }
+
+        #[test]
+        fn prop_scaling_both_prices_preserves_verdict(
+            minor in 1_000i64..100_000,
+            day in 0usize..150,
+        ) {
+            // Multiplying both prices by 10 must not change the verdict:
+            // the filter is scale-free.
+            let v1 = band_filter(&fx(), &[usd(minor), eur(minor)], day).unwrap();
+            let v2 = band_filter(&fx(), &[usd(minor * 10), eur(minor * 10)], day).unwrap();
+            prop_assert_eq!(v1.genuine, v2.genuine);
+        }
+    }
+}

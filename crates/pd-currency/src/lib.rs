@@ -1,0 +1,34 @@
+//! Currency substrate.
+//!
+//! The paper's vantage points "can be displayed prices on different
+//! currencies (the local one) because retailers typically geo-locate
+//! their IP address" (Sec. 2.2). Comparing those prices without
+//! committing false positives requires the paper's most careful piece of
+//! methodology: conversion to USD at the *daily lowest and highest*
+//! exchange rates, keeping only price variations "strictly greater than
+//! the maximum gap that can exist given the two extreme exchange rates".
+//!
+//! This crate provides everything around that:
+//!
+//! * [`currency`] — the currencies of the simulated countries, with
+//!   minor-unit conventions (JPY has none),
+//! * [`locale`] — per-country price *formatting* ("$1,234.56" vs
+//!   "1.234,56 €" vs "1 234,56 zł") and exact locale-aware parsing; the
+//!   "diverse number formats across countries" the paper lists as a noise
+//!   source live here,
+//! * [`rates`] — a seeded daily high/low FX series calibrated to 2013
+//!   parities (substitution for the historical ECB feed, per DESIGN.md),
+//! * [`filter`] — the exchange-band filter itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod currency;
+pub mod filter;
+pub mod locale;
+pub mod rates;
+
+pub use currency::{Currency, Price};
+pub use filter::{band_filter, UsdInterval};
+pub use locale::{Locale, ParsePriceError};
+pub use rates::{DailyRate, FxSeries};

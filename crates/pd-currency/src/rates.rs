@@ -1,0 +1,249 @@
+//! Daily high/low exchange-rate series.
+//!
+//! Substitution (DESIGN.md): the paper converted prices "using the daily
+//! lowest and highest exchange rates" from early-2013 market data. We
+//! generate a deterministic series with the same structure — a bounded
+//! mean-reverting walk around the January-2013 parities, plus an intraday
+//! low/high band — so the filter logic runs against realistic inputs.
+//!
+//! Rates are quoted as **USD per one unit of the currency** (EUR 1.32
+//! means €1 = $1.32).
+
+use crate::currency::{Currency, Price};
+use pd_util::Seed;
+use serde::{Deserialize, Serialize};
+
+/// One day's rate band for one currency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DailyRate {
+    /// Daily low (USD per unit).
+    pub low: f64,
+    /// Daily high (USD per unit).
+    pub high: f64,
+}
+
+impl DailyRate {
+    /// Midpoint of the band.
+    #[must_use]
+    pub fn mid(self) -> f64 {
+        (self.low + self.high) / 2.0
+    }
+}
+
+/// January-2013 reference parity (USD per unit).
+fn parity(currency: Currency) -> f64 {
+    match currency {
+        Currency::Usd => 1.0,
+        Currency::Eur => 1.32,
+        Currency::Gbp => 1.54,
+        Currency::Brl => 0.50,
+        Currency::Pln => 0.32,
+        Currency::Sek => 0.155,
+        Currency::Cad => 0.98,
+        Currency::Aud => 1.03,
+        Currency::Jpy => 0.0105,
+    }
+}
+
+/// Maximum cumulative drift from parity (±3 %) and intraday half-band
+/// (±0.25 %) — both in line with 2013 G10 FX behaviour.
+const MAX_DRIFT: f64 = 0.03;
+const INTRADAY_HALF_BAND: f64 = 0.0025;
+
+/// A deterministic daily FX series.
+///
+/// # Examples
+///
+/// ```
+/// use pd_currency::{Currency, FxSeries};
+/// use pd_util::Seed;
+///
+/// let fx = FxSeries::generate(Seed::new(1307), 200);
+/// let r = fx.rate(Currency::Eur, 10);
+/// assert!(r.low < r.high);
+/// assert!((r.mid() - 1.32).abs() < 0.05);
+/// // USD is the numéraire: always exactly 1.
+/// assert_eq!(fx.rate(Currency::Usd, 10).low, 1.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FxSeries {
+    days: usize,
+    /// `rates[currency.index()][day]`
+    rates: Vec<Vec<DailyRate>>,
+}
+
+impl FxSeries {
+    /// Generates `days` days of rates from `seed`.
+    #[must_use]
+    pub fn generate(seed: Seed, days: usize) -> Self {
+        let seed = seed.derive("fx-series");
+        let mut rates = Vec::with_capacity(Currency::ALL.len());
+        for &currency in &Currency::ALL {
+            let base = parity(currency);
+            let cseed = seed.derive(currency.code());
+            let mut series = Vec::with_capacity(days);
+            let mut drift: f64 = 0.0;
+            for day in 0..days {
+                if currency != Currency::Usd {
+                    // Mean-reverting bounded step in [-0.4%, +0.4%].
+                    let u = unit_f64(cseed.derive_idx(day as u64));
+                    let step = (u - 0.5) * 0.008 - drift * 0.05;
+                    drift = (drift + step).clamp(-MAX_DRIFT, MAX_DRIFT);
+                }
+                let mid = base * (1.0 + drift);
+                let half = if currency == Currency::Usd {
+                    0.0
+                } else {
+                    mid * INTRADAY_HALF_BAND
+                };
+                series.push(DailyRate {
+                    low: mid - half,
+                    high: mid + half,
+                });
+            }
+            rates.push(series);
+        }
+        FxSeries { days, rates }
+    }
+
+    /// Number of days covered.
+    #[must_use]
+    pub fn days(&self) -> usize {
+        self.days
+    }
+
+    /// The rate band for `currency` on `day`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `day` is outside the generated range — callers must
+    /// generate a long-enough series up front.
+    #[must_use]
+    pub fn rate(&self, currency: Currency, day: usize) -> DailyRate {
+        assert!(day < self.days, "day {day} outside FX series ({})", self.days);
+        self.rates[currency.index()][day]
+    }
+
+    /// Converts a price to USD at the daily **low** rate (the smallest
+    /// plausible USD value).
+    #[must_use]
+    pub fn to_usd_low(&self, price: Price, day: usize) -> f64 {
+        price.amount.to_f64() * self.rate(price.currency, day).low
+    }
+
+    /// Converts a price to USD at the daily **high** rate.
+    #[must_use]
+    pub fn to_usd_high(&self, price: Price, day: usize) -> f64 {
+        price.amount.to_f64() * self.rate(price.currency, day).high
+    }
+
+    /// Converts at the midpoint rate (used for *reporting*, never for the
+    /// filter decision).
+    #[must_use]
+    pub fn to_usd_mid(&self, price: Price, day: usize) -> f64 {
+        price.amount.to_f64() * self.rate(price.currency, day).mid()
+    }
+}
+
+/// Uniform f64 in [0,1) from a seed.
+fn unit_f64(seed: Seed) -> f64 {
+    (seed.value() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_util::Money;
+    use proptest::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = FxSeries::generate(Seed::new(1307), 150);
+        let b = FxSeries::generate(Seed::new(1307), 150);
+        for &c in &Currency::ALL {
+            for d in 0..150 {
+                assert_eq!(a.rate(c, d), b.rate(c, d));
+            }
+        }
+    }
+
+    #[test]
+    fn usd_is_identity() {
+        let fx = FxSeries::generate(Seed::new(1), 30);
+        for d in 0..30 {
+            let r = fx.rate(Currency::Usd, d);
+            assert_eq!(r.low, 1.0);
+            assert_eq!(r.high, 1.0);
+        }
+        let p = Price::usd(Money::from_minor(1299));
+        assert!((fx.to_usd_mid(p, 3) - 12.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_stay_near_parity() {
+        let fx = FxSeries::generate(Seed::new(1307), 150);
+        for &c in &Currency::ALL {
+            let base = parity(c);
+            for d in 0..150 {
+                let r = fx.rate(c, d);
+                assert!(
+                    (r.mid() / base - 1.0).abs() <= MAX_DRIFT + INTRADAY_HALF_BAND + 1e-9,
+                    "{c:?} day {d}: {}",
+                    r.mid()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn low_below_high() {
+        let fx = FxSeries::generate(Seed::new(2), 100);
+        for &c in &Currency::ALL {
+            for d in 0..100 {
+                let r = fx.rate(c, d);
+                assert!(r.low <= r.high);
+                assert!(r.low > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn rates_actually_move_day_to_day() {
+        let fx = FxSeries::generate(Seed::new(3), 100);
+        let moved = (1..100).any(|d| {
+            (fx.rate(Currency::Eur, d).mid() - fx.rate(Currency::Eur, d - 1).mid()).abs() > 1e-9
+        });
+        assert!(moved, "EUR series is frozen");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside FX series")]
+    fn out_of_range_day_panics() {
+        let fx = FxSeries::generate(Seed::new(1), 10);
+        let _ = fx.rate(Currency::Eur, 10);
+    }
+
+    #[test]
+    fn conversion_ordering() {
+        let fx = FxSeries::generate(Seed::new(4), 10);
+        let p = Price::new(Money::from_minor(10_000), Currency::Eur);
+        let (lo, mid, hi) = (
+            fx.to_usd_low(p, 5),
+            fx.to_usd_mid(p, 5),
+            fx.to_usd_high(p, 5),
+        );
+        assert!(lo < mid && mid < hi);
+        // €100 is roughly $132.
+        assert!((120.0..145.0).contains(&mid));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_band_is_tight(day in 0usize..150, cidx in 0usize..9) {
+            let fx = FxSeries::generate(Seed::new(1307), 150);
+            let r = fx.rate(Currency::ALL[cidx], day);
+            // Intraday band never exceeds 2×0.25 % of mid.
+            prop_assert!(r.high - r.low <= r.mid() * 2.0 * INTRADAY_HALF_BAND + 1e-12);
+        }
+    }
+}

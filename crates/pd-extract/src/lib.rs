@@ -1,0 +1,26 @@
+//! Price extraction from product pages.
+//!
+//! This crate is the detector side of the paper's challenge (i). It
+//! offers two extractors:
+//!
+//! * [`extractor::HighlightExtractor`] — $heriff's mechanism: resolve the
+//!   user's highlight ([`pd_html::NodePath`]) on each vantage point's
+//!   copy of the page and parse the element's text with the vantage's
+//!   expected locale (falling back to symbol-driven detection).
+//! * [`extractor::extract_naive`] — the strawman the paper dismisses:
+//!   take the first currency-looking string on the page. The ablation
+//!   bench quantifies exactly how often this grabs a promo banner or a
+//!   recommended product instead of the product price.
+//!
+//! [`parse_price`] holds the symbol-driven generic parser: currency
+//! symbol tables, separator inference ("1.234,56" vs "1,234.56"), and the
+//! documented ambiguity rules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extractor;
+pub mod parse_price;
+
+pub use extractor::{extract_naive, ExtractError, Extracted, HighlightExtractor};
+pub use parse_price::parse_price_text;

@@ -1,0 +1,252 @@
+//! Ergonomic document builder.
+//!
+//! The synthetic retailer templates (`pd-web`) assemble product pages
+//! programmatically; this builder keeps that code readable. It is a thin
+//! cursor over [`Document`]: `open` descends, `close` ascends, `text` and
+//! `leaf` append.
+
+use crate::dom::{Document, NodeData, NodeId};
+use crate::token::Attribute;
+
+/// A cursor-style builder over a [`Document`].
+///
+/// # Examples
+///
+/// ```
+/// use pd_html::DocBuilder;
+///
+/// let doc = DocBuilder::page(|b| {
+///     b.open("div", &[("id", "product")]);
+///     b.open("span", &[("class", "price")]);
+///     b.text("$9.99");
+///     b.close();
+///     b.close();
+/// });
+/// assert!(doc.to_html(pd_html::NodeId::ROOT).contains("$9.99"));
+/// ```
+#[derive(Debug)]
+pub struct DocBuilder {
+    doc: Document,
+    stack: Vec<NodeId>,
+}
+
+impl DocBuilder {
+    /// Starts an empty builder positioned at the root.
+    #[must_use]
+    pub fn new() -> Self {
+        DocBuilder {
+            doc: Document::new(),
+            stack: vec![NodeId::ROOT],
+        }
+    }
+
+    /// Builds a full page: doctype + `<html><head></head><body>…</body></html>`,
+    /// with `f` invoked inside `<body>`.
+    #[must_use]
+    pub fn page(f: impl FnOnce(&mut DocBuilder)) -> Document {
+        let mut b = DocBuilder::new();
+        b.doctype("html");
+        b.open("html", &[]);
+        b.open("head", &[]);
+        b.close();
+        b.open("body", &[]);
+        f(&mut b);
+        b.close(); // body
+        b.close(); // html
+        b.finish()
+    }
+
+    /// Like [`DocBuilder::page`] but lets the caller populate `<head>` too.
+    #[must_use]
+    pub fn page_with_head(
+        head: impl FnOnce(&mut DocBuilder),
+        body: impl FnOnce(&mut DocBuilder),
+    ) -> Document {
+        let mut b = DocBuilder::new();
+        b.doctype("html");
+        b.open("html", &[]);
+        b.open("head", &[]);
+        head(&mut b);
+        b.close();
+        b.open("body", &[]);
+        body(&mut b);
+        b.close();
+        b.close();
+        b.finish()
+    }
+
+    /// Appends a doctype at the current position.
+    pub fn doctype(&mut self, d: &str) {
+        let top = self.top();
+        self.doc.append(top, NodeData::Doctype(d.to_owned()));
+    }
+
+    /// Opens an element and descends into it.
+    pub fn open(&mut self, tag: &str, attrs: &[(&str, &str)]) -> &mut Self {
+        let top = self.top();
+        let id = self.doc.append_element(top, tag, to_attrs(attrs));
+        self.stack.push(id);
+        self
+    }
+
+    /// Closes the current element.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called at the root — a builder bug in the template.
+    pub fn close(&mut self) -> &mut Self {
+        assert!(self.stack.len() > 1, "close() without matching open()");
+        self.stack.pop();
+        self
+    }
+
+    /// Appends a text node at the current position.
+    pub fn text(&mut self, t: &str) -> &mut Self {
+        let top = self.top();
+        self.doc.append(top, NodeData::Text(t.to_owned()));
+        self
+    }
+
+    /// Appends a childless element (e.g. `<img>`, `<meta>`).
+    pub fn leaf(&mut self, tag: &str, attrs: &[(&str, &str)]) -> &mut Self {
+        let top = self.top();
+        self.doc.append_element(top, tag, to_attrs(attrs));
+        self
+    }
+
+    /// Appends an element containing a single text node — the most common
+    /// template pattern (`<span class=price>$9.99</span>`).
+    pub fn text_element(&mut self, tag: &str, attrs: &[(&str, &str)], text: &str) -> &mut Self {
+        self.open(tag, attrs);
+        self.text(text);
+        self.close();
+        self
+    }
+
+    /// Appends a comment.
+    pub fn comment(&mut self, c: &str) -> &mut Self {
+        let top = self.top();
+        self.doc.append(top, NodeData::Comment(c.to_owned()));
+        self
+    }
+
+    /// Id of the element currently being built (the top of the stack).
+    #[must_use]
+    pub fn current(&self) -> NodeId {
+        self.top()
+    }
+
+    /// Finishes and returns the document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if elements remain open — templates must be balanced.
+    #[must_use]
+    pub fn finish(self) -> Document {
+        assert_eq!(
+            self.stack.len(),
+            1,
+            "unbalanced builder: {} elements left open",
+            self.stack.len() - 1
+        );
+        self.doc
+    }
+
+    fn top(&self) -> NodeId {
+        *self.stack.last().expect("stack never empty")
+    }
+}
+
+impl Default for DocBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn to_attrs(attrs: &[(&str, &str)]) -> Vec<Attribute> {
+    attrs
+        .iter()
+        .map(|(n, v)| Attribute {
+            name: (*n).to_owned(),
+            value: (*v).to_owned(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::selector::Selector;
+
+    #[test]
+    fn builds_and_serializes() {
+        let doc = DocBuilder::page(|b| {
+            b.text_element("h1", &[], "Title");
+            b.open("div", &[("class", "x")]);
+            b.leaf("img", &[("src", "p.png")]);
+            b.close();
+        });
+        let html = doc.to_html(NodeId::ROOT);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<h1>Title</h1>"));
+        assert!(html.contains("<img src=\"p.png\">"));
+    }
+
+    #[test]
+    fn built_document_round_trips_through_parser() {
+        let doc = DocBuilder::page(|b| {
+            b.open("div", &[("id", "product")]);
+            b.text_element("span", &[("class", "price")], "$1,299.00");
+            b.close();
+        });
+        let html = doc.to_html(NodeId::ROOT);
+        let reparsed = parse(&html);
+        let hit = Selector::parse("#product > span.price")
+            .unwrap()
+            .query_first(&reparsed)
+            .unwrap();
+        assert_eq!(reparsed.text_content(hit), "$1,299.00");
+    }
+
+    #[test]
+    fn page_with_head_populates_head() {
+        let doc = DocBuilder::page_with_head(
+            |h| {
+                h.text_element("title", &[], "Shop");
+                h.leaf("meta", &[("charset", "utf-8")]);
+            },
+            |b| {
+                b.text_element("p", &[], "body");
+            },
+        );
+        let html = doc.to_html(NodeId::ROOT);
+        assert!(html.contains("<title>Shop</title>"));
+        assert!(html.contains("<meta charset=\"utf-8\">"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn unbalanced_builder_panics() {
+        let mut b = DocBuilder::new();
+        b.open("div", &[]);
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "close() without matching open()")]
+    fn close_at_root_panics() {
+        let mut b = DocBuilder::new();
+        b.close();
+    }
+
+    #[test]
+    fn current_tracks_position() {
+        let mut b = DocBuilder::new();
+        let before = b.current();
+        b.open("div", &[]);
+        assert_ne!(b.current(), before);
+        b.close();
+        assert_eq!(b.current(), before);
+    }
+}

@@ -1,0 +1,444 @@
+//! Arena-backed document tree.
+//!
+//! Nodes live in a flat `Vec`; [`NodeId`] is an index. This keeps the tree
+//! cache-friendly, trivially serializable, and free of `Rc` cycles — the
+//! same layout smoltcp-style Rust favors for protocol state. Parent and
+//! child links are explicit indices.
+
+use crate::escape::{escape_text, unescape};
+use crate::token::Attribute;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node within its [`Document`] arena.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The document root (always index 0).
+    pub const ROOT: NodeId = NodeId(0);
+
+    pub(crate) fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node arena overflow"))
+    }
+
+    /// Arena index of the node.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+/// Payload of a node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeData {
+    /// The synthetic root that holds the doctype and `<html>`.
+    Root,
+    /// An element with lowercased tag name and source-order attributes.
+    Element {
+        /// Lowercased tag name.
+        tag: String,
+        /// Attributes in source order (values entity-decoded).
+        attrs: Vec<Attribute>,
+    },
+    /// A text node (entity-decoded).
+    Text(String),
+    /// A comment.
+    Comment(String),
+    /// The doctype, e.g. `html`.
+    Doctype(String),
+}
+
+/// One node: payload plus tree links.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// Payload.
+    pub data: NodeData,
+    /// Parent link (`None` only for the root).
+    pub parent: Option<NodeId>,
+    /// Children in document order.
+    pub children: Vec<NodeId>,
+}
+
+/// An HTML document: an arena of nodes rooted at [`NodeId::ROOT`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Document {
+    nodes: Vec<Node>,
+}
+
+impl Document {
+    /// Creates an empty document containing only the root.
+    #[must_use]
+    pub fn new() -> Self {
+        Document {
+            nodes: vec![Node {
+                data: NodeData::Root,
+                parent: None,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// Borrows a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id from another document (out of bounds).
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes, including the root.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always false: the root exists.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Checks whether `id` belongs to this document.
+    #[must_use]
+    pub fn contains(&self, id: NodeId) -> bool {
+        id.index() < self.nodes.len()
+    }
+
+    /// Appends a child under `parent` and returns its id.
+    pub fn append(&mut self, parent: NodeId, data: NodeData) -> NodeId {
+        let id = NodeId::new(self.nodes.len());
+        self.nodes.push(Node {
+            data,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Appends an element child, decoding attribute entities.
+    pub fn append_element(
+        &mut self,
+        parent: NodeId,
+        tag: &str,
+        attrs: Vec<Attribute>,
+    ) -> NodeId {
+        let attrs = attrs
+            .into_iter()
+            .map(|a| Attribute {
+                name: a.name,
+                value: unescape(&a.value).into_owned(),
+            })
+            .collect();
+        self.append(
+            parent,
+            NodeData::Element {
+                tag: tag.to_ascii_lowercase(),
+                attrs,
+            },
+        )
+    }
+
+    /// Appends a text child, decoding entities.
+    pub fn append_text(&mut self, parent: NodeId, raw: &str) -> NodeId {
+        self.append(parent, NodeData::Text(unescape(raw).into_owned()))
+    }
+
+    /// Tag name of an element node, `None` otherwise.
+    #[must_use]
+    pub fn tag(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).data {
+            NodeData::Element { tag, .. } => Some(tag),
+            _ => None,
+        }
+    }
+
+    /// Attribute value of an element node.
+    #[must_use]
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        match &self.node(id).data {
+            NodeData::Element { attrs, .. } => attrs
+                .iter()
+                .find(|a| a.name == name)
+                .map(|a| a.value.as_str()),
+            _ => None,
+        }
+    }
+
+    /// `id` attribute shortcut.
+    #[must_use]
+    pub fn element_id(&self, id: NodeId) -> Option<&str> {
+        self.attr(id, "id")
+    }
+
+    /// Whitespace-separated class list of an element.
+    pub fn classes(&self, id: NodeId) -> impl Iterator<Item = &str> {
+        self.attr(id, "class").unwrap_or("").split_whitespace()
+    }
+
+    /// True if the element carries class `class_name`.
+    #[must_use]
+    pub fn has_class(&self, id: NodeId, class_name: &str) -> bool {
+        self.classes(id).any(|c| c == class_name)
+    }
+
+    /// Concatenated text content of the subtree rooted at `id`
+    /// (document order, no separators) — what a user sees highlighted.
+    #[must_use]
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.collect_text(id, &mut out);
+        out
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        match &self.node(id).data {
+            NodeData::Text(t) => out.push_str(t),
+            NodeData::Comment(_) | NodeData::Doctype(_) => {}
+            _ => {
+                for &child in &self.node(id).children {
+                    self.collect_text(child, out);
+                }
+            }
+        }
+    }
+
+    /// Depth-first pre-order traversal of the whole document.
+    #[must_use]
+    pub fn descendants(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            // Push children reversed so the traversal is document order.
+            for &c in self.node(n).children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// All element ids in document order.
+    #[must_use]
+    pub fn elements(&self) -> Vec<NodeId> {
+        self.descendants(NodeId::ROOT)
+            .into_iter()
+            .filter(|&n| matches!(self.node(n).data, NodeData::Element { .. }))
+            .collect()
+    }
+
+    /// Index of `id` among its element siblings with the same tag
+    /// (0-based), the quantity CSS `nth-of-type` uses and node paths
+    /// record.
+    #[must_use]
+    pub fn same_tag_sibling_index(&self, id: NodeId) -> usize {
+        let Some(parent) = self.node(id).parent else {
+            return 0;
+        };
+        let tag = self.tag(id);
+        self.node(parent)
+            .children
+            .iter()
+            .filter(|&&c| self.tag(c) == tag && self.tag(c).is_some())
+            .position(|&c| c == id)
+            .unwrap_or(0)
+    }
+
+    /// Serializes the subtree at `id` back to HTML.
+    #[must_use]
+    pub fn to_html(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.write_html(id, &mut out);
+        out
+    }
+
+    fn write_html(&self, id: NodeId, out: &mut String) {
+        match &self.node(id).data {
+            NodeData::Root => {
+                for &c in &self.node(id).children {
+                    self.write_html(c, out);
+                }
+            }
+            NodeData::Doctype(d) => {
+                out.push_str("<!DOCTYPE ");
+                out.push_str(d);
+                out.push('>');
+            }
+            NodeData::Comment(c) => {
+                out.push_str("<!--");
+                out.push_str(c);
+                out.push_str("-->");
+            }
+            NodeData::Text(t) => {
+                out.push_str(&escape_text(t));
+            }
+            NodeData::Element { tag, attrs } => {
+                out.push('<');
+                out.push_str(tag);
+                for a in attrs {
+                    out.push(' ');
+                    out.push_str(&a.name);
+                    if !a.value.is_empty() {
+                        out.push_str("=\"");
+                        out.push_str(&escape_text(&a.value));
+                        out.push('"');
+                    }
+                }
+                out.push('>');
+                if is_void(tag) {
+                    return;
+                }
+                for &c in &self.node(id).children {
+                    self.write_html(c, out);
+                }
+                out.push_str("</");
+                out.push_str(tag);
+                out.push('>');
+            }
+        }
+    }
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// HTML void elements (may not have children or close tags).
+#[must_use]
+pub fn is_void(tag: &str) -> bool {
+    matches!(
+        tag,
+        "area"
+            | "base"
+            | "br"
+            | "col"
+            | "embed"
+            | "hr"
+            | "img"
+            | "input"
+            | "link"
+            | "meta"
+            | "param"
+            | "source"
+            | "track"
+            | "wbr"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attr(n: &str, v: &str) -> Attribute {
+        Attribute {
+            name: n.into(),
+            value: v.into(),
+        }
+    }
+
+    #[test]
+    fn build_small_tree() {
+        let mut doc = Document::new();
+        let html = doc.append_element(NodeId::ROOT, "html", vec![]);
+        let body = doc.append_element(html, "body", vec![]);
+        let p = doc.append_element(body, "p", vec![attr("class", "price main")]);
+        doc.append_text(p, "12.99");
+        assert_eq!(doc.len(), 5);
+        assert_eq!(doc.tag(p), Some("p"));
+        assert!(doc.has_class(p, "price"));
+        assert!(doc.has_class(p, "main"));
+        assert!(!doc.has_class(p, "pric"));
+        assert_eq!(doc.text_content(p), "12.99");
+        assert_eq!(doc.text_content(NodeId::ROOT), "12.99");
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let mut doc = Document::new();
+        let div = doc.append_element(NodeId::ROOT, "div", vec![attr("id", "x"), attr("a", "1")]);
+        assert_eq!(doc.element_id(div), Some("x"));
+        assert_eq!(doc.attr(div, "a"), Some("1"));
+        assert_eq!(doc.attr(div, "b"), None);
+    }
+
+    #[test]
+    fn attribute_entities_decoded() {
+        let mut doc = Document::new();
+        let a = doc.append_element(
+            NodeId::ROOT,
+            "a",
+            vec![attr("title", "Tom &amp; Jerry")],
+        );
+        assert_eq!(doc.attr(a, "title"), Some("Tom & Jerry"));
+    }
+
+    #[test]
+    fn text_entities_decoded() {
+        let mut doc = Document::new();
+        let s = doc.append_element(NodeId::ROOT, "span", vec![]);
+        doc.append_text(s, "&euro;9");
+        assert_eq!(doc.text_content(s), "€9");
+    }
+
+    #[test]
+    fn descendants_are_document_order() {
+        let mut doc = Document::new();
+        let a = doc.append_element(NodeId::ROOT, "a", vec![]);
+        let b = doc.append_element(a, "b", vec![]);
+        let c = doc.append_element(a, "c", vec![]);
+        let d = doc.append_element(b, "d", vec![]);
+        assert_eq!(doc.descendants(NodeId::ROOT), vec![NodeId::ROOT, a, b, d, c]);
+    }
+
+    #[test]
+    fn same_tag_sibling_index_counts_only_same_tag() {
+        let mut doc = Document::new();
+        let ul = doc.append_element(NodeId::ROOT, "ul", vec![]);
+        let li0 = doc.append_element(ul, "li", vec![]);
+        let _sp = doc.append_element(ul, "span", vec![]);
+        let li1 = doc.append_element(ul, "li", vec![]);
+        assert_eq!(doc.same_tag_sibling_index(li0), 0);
+        assert_eq!(doc.same_tag_sibling_index(li1), 1);
+        assert_eq!(doc.same_tag_sibling_index(NodeId::ROOT), 0);
+    }
+
+    #[test]
+    fn to_html_round_trip_escaping() {
+        let mut doc = Document::new();
+        let p = doc.append_element(NodeId::ROOT, "p", vec![attr("title", "a\"b")]);
+        doc.append_text(p, "1 < 2 & 3");
+        let html = doc.to_html(NodeId::ROOT);
+        assert_eq!(html, "<p title=\"a&quot;b\">1 &lt; 2 &amp; 3</p>");
+    }
+
+    #[test]
+    fn void_elements_render_without_close() {
+        let mut doc = Document::new();
+        doc.append_element(NodeId::ROOT, "br", vec![]);
+        assert_eq!(doc.to_html(NodeId::ROOT), "<br>");
+        assert!(is_void("img"));
+        assert!(!is_void("div"));
+    }
+
+    #[test]
+    fn text_content_skips_comments() {
+        let mut doc = Document::new();
+        let p = doc.append_element(NodeId::ROOT, "p", vec![]);
+        doc.append(p, NodeData::Comment("hidden".into()));
+        doc.append_text(p, "visible");
+        assert_eq!(doc.text_content(p), "visible");
+    }
+}

@@ -1,0 +1,201 @@
+//! HTML entity escaping and unescaping.
+//!
+//! Price strings travel *into* templates (escaped) and *out of* parsed
+//! documents (unescaped). Currency symbols are exactly the characters
+//! retail templates love to write as entities (`&euro;`, `&pound;`,
+//! `&#8364;`), so the unescaper must handle named, decimal and hex forms —
+//! otherwise the extractor would misparse "€1.299,00".
+
+use std::borrow::Cow;
+
+/// Escapes text for use inside an HTML text node.
+///
+/// Only `&`, `<`, `>` need escaping in text content; we escape quotes too
+/// so the same function is safe for attribute values.
+#[must_use]
+pub fn escape_text(input: &str) -> Cow<'_, str> {
+    if !input.contains(['&', '<', '>', '"', '\'']) {
+        return Cow::Borrowed(input);
+    }
+    let mut out = String::with_capacity(input.len() + 8);
+    for ch in input.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            c => out.push(c),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// The named entities that occur in retail price markup, plus the HTML
+/// basics. Deliberately small: unknown entities pass through verbatim
+/// (browser-like leniency).
+fn named_entity(name: &str) -> Option<char> {
+    Some(match name {
+        "amp" => '&',
+        "lt" => '<',
+        "gt" => '>',
+        "quot" => '"',
+        "apos" => '\'',
+        "nbsp" => '\u{a0}',
+        "euro" => '€',
+        "pound" => '£',
+        "yen" => '¥',
+        "cent" => '¢',
+        "copy" => '©',
+        "reg" => '®',
+        "trade" => '™',
+        "mdash" => '—',
+        "ndash" => '–',
+        "hellip" => '…',
+        "laquo" => '«',
+        "raquo" => '»',
+        "times" => '×',
+        _ => return None,
+    })
+}
+
+/// Unescapes HTML entities in `input`.
+///
+/// Handles named (`&euro;`), decimal (`&#8364;`) and hex (`&#x20AC;`)
+/// references. Malformed references are passed through unchanged, as
+/// browsers do.
+#[must_use]
+pub fn unescape(input: &str) -> Cow<'_, str> {
+    if !input.contains('&') {
+        return Cow::Borrowed(input);
+    }
+    let mut out = String::with_capacity(input.len());
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            // Advance over one UTF-8 scalar.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&input[i..i + ch_len]);
+            i += ch_len;
+            continue;
+        }
+        // Find the terminating ';' within a sane distance.
+        let end = input[i + 1..]
+            .char_indices()
+            .take(32)
+            .find(|(_, c)| *c == ';')
+            .map(|(off, _)| i + 1 + off);
+        let Some(end) = end else {
+            out.push('&');
+            i += 1;
+            continue;
+        };
+        let body = &input[i + 1..end];
+        let decoded = decode_entity(body);
+        match decoded {
+            Some(c) => {
+                out.push(c);
+                i = end + 1;
+            }
+            None => {
+                out.push('&');
+                i += 1;
+            }
+        }
+    }
+    Cow::Owned(out)
+}
+
+fn decode_entity(body: &str) -> Option<char> {
+    if let Some(num) = body.strip_prefix('#') {
+        let code = if let Some(hex) = num.strip_prefix(['x', 'X']) {
+            u32::from_str_radix(hex, 16).ok()?
+        } else {
+            num.parse::<u32>().ok()?
+        };
+        char::from_u32(code)
+    } else {
+        named_entity(body)
+    }
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >> 5 == 0b110 => 2,
+        b if b >> 4 == 0b1110 => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn escape_basic() {
+        assert_eq!(escape_text("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&#39;");
+        assert_eq!(escape_text("plain"), "plain");
+        assert!(matches!(escape_text("plain"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn unescape_named() {
+        assert_eq!(unescape("&euro;1.299,00"), "€1.299,00");
+        assert_eq!(unescape("&pound;12.99"), "£12.99");
+        assert_eq!(unescape("a&amp;b"), "a&b");
+        assert_eq!(unescape("x&nbsp;y"), "x\u{a0}y");
+    }
+
+    #[test]
+    fn unescape_numeric() {
+        assert_eq!(unescape("&#8364;5"), "€5");
+        assert_eq!(unescape("&#x20AC;5"), "€5");
+        assert_eq!(unescape("&#X20ac;5"), "€5");
+        assert_eq!(unescape("&#65;"), "A");
+    }
+
+    #[test]
+    fn unescape_malformed_passes_through() {
+        assert_eq!(unescape("AT&T"), "AT&T");
+        assert_eq!(unescape("a & b"), "a & b");
+        assert_eq!(unescape("&unknown;"), "&unknown;");
+        assert_eq!(unescape("&#xZZ;"), "&#xZZ;");
+        assert_eq!(unescape("&#1114112;"), "&#1114112;"); // beyond char range
+        assert_eq!(unescape("trailing&"), "trailing&");
+    }
+
+    #[test]
+    fn unescape_no_entities_borrows() {
+        assert!(matches!(unescape("no entities"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn unescape_multibyte_passthrough() {
+        assert_eq!(unescape("ほげ€ & ふが"), "ほげ€ & ふが");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_escape_then_unescape_round_trips(s in "\\PC{0,64}") {
+            let escaped = escape_text(&s);
+            let unescaped = unescape(&escaped);
+            prop_assert_eq!(unescaped.as_ref(), s.as_str());
+        }
+
+        #[test]
+        fn prop_unescape_never_panics(s in "\\PC{0,128}") {
+            let _ = unescape(&s);
+        }
+
+        #[test]
+        fn prop_escaped_has_no_raw_specials(s in "\\PC{0,64}") {
+            let escaped = escape_text(&s);
+            prop_assert!(!escaped.contains('<'));
+            prop_assert!(!escaped.contains('>'));
+            prop_assert!(!escaped.contains('"'));
+        }
+    }
+}

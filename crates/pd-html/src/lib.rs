@@ -1,0 +1,46 @@
+//! From-scratch HTML substrate.
+//!
+//! Challenge (i) of the paper (Sec. 2.2) is that every retailer renders
+//! products with a different HTML template, and price extraction from an
+//! unknown template is non-trivial — "a simple search for dollar or euro
+//! sign would fail since typically product pages include additional
+//! recommended or advertised products along with their prices". $heriff
+//! solves this by letting the *user* highlight the price once; the system
+//! then re-finds the same element in the copies downloaded at every
+//! vantage point.
+//!
+//! Reproducing that mechanism needs a real HTML pipeline, which this crate
+//! provides, dependency-free:
+//!
+//! * [`escape`] — entity escaping/unescaping,
+//! * [`token`] — a streaming tokenizer,
+//! * [`dom`] — an arena-backed document tree,
+//! * [`parser`] — tree construction from tokens,
+//! * [`selector`] — a CSS-like selector engine (tag / `#id` / `.class` /
+//!   `[attr]`, descendant and child combinators),
+//! * [`path`] — structural node paths, the representation of a user's
+//!   highlight that travels to the other vantage points,
+//! * [`build`] — an ergonomic document builder used by the synthetic
+//!   retailer templates.
+//!
+//! The parser targets the well-formed-but-sloppy HTML that 2013 retail
+//! templates produce: unquoted attributes, void elements, unclosed `<li>`
+//! / `<p>`, comments, raw-text `<script>`/`<style>`. It never panics on
+//! arbitrary input (a property-based test pins that down).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod dom;
+pub mod escape;
+pub mod parser;
+pub mod path;
+pub mod selector;
+pub mod token;
+
+pub use build::DocBuilder;
+pub use dom::{Document, Node, NodeData, NodeId};
+pub use parser::parse;
+pub use path::NodePath;
+pub use selector::Selector;

@@ -1,0 +1,240 @@
+//! Tree construction: tokens → [`Document`].
+//!
+//! A pragmatic subset of the HTML5 tree-building rules, sufficient for the
+//! sloppy-but-sane markup of 2013 retail templates:
+//!
+//! * void elements never push onto the open-element stack,
+//! * `<li>`, `<p>`, `<option>`, `<tr>`, `<td>`, `<th>` close an open
+//!   element of the same tag implicitly,
+//! * stray end tags are ignored,
+//! * unclosed elements are closed at end of input,
+//! * raw `<script>`/`<style>` text arrives pre-chunked from the tokenizer.
+
+use crate::dom::{is_void, Document, NodeData, NodeId};
+use crate::token::{tokenize, Token};
+
+/// Parses HTML text into a document. Total: never fails, never panics;
+/// arbitrarily broken input yields a best-effort tree.
+///
+/// # Examples
+///
+/// ```
+/// use pd_html::{parse, Selector};
+///
+/// let doc = parse(r#"<div class="price">$12.99</div>"#);
+/// let sel = Selector::parse("div.price").unwrap();
+/// let hit = sel.query_first(&doc).unwrap();
+/// assert_eq!(doc.text_content(hit), "$12.99");
+/// ```
+#[must_use]
+pub fn parse(input: &str) -> Document {
+    let mut doc = Document::new();
+    let mut stack: Vec<NodeId> = vec![NodeId::ROOT];
+
+    for token in tokenize(input) {
+        let top = *stack.last().expect("stack never empty");
+        match token {
+            Token::Doctype(d) => {
+                doc.append(NodeId::ROOT, NodeData::Doctype(d));
+            }
+            Token::Comment(c) => {
+                doc.append(top, NodeData::Comment(c));
+            }
+            Token::Text(t) => {
+                // Skip pure inter-tag whitespace to keep trees small; real
+                // content whitespace (inside inline elements) survives
+                // because it always neighbours non-space characters.
+                if !t.trim().is_empty() || doc.tag(top).is_some_and(is_phrasing_container) {
+                    doc.append_text(top, &t);
+                }
+            }
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
+                // Implicit close: a new <li> closes the previous <li>, etc.
+                if implicitly_self_nesting(&name) {
+                    if let Some(pos) = stack.iter().rposition(|&n| doc.tag(n) == Some(&*name)) {
+                        // Only close if the match is above the nearest
+                        // scoping ancestor (a list/table container).
+                        let blocked = stack[pos + 1..]
+                            .iter()
+                            .any(|&n| doc.tag(n).is_some_and(is_scope_boundary));
+                        if !blocked {
+                            stack.truncate(pos);
+                        }
+                    }
+                }
+                let parent = *stack.last().expect("stack never empty");
+                let id = doc.append_element(parent, &name, attrs);
+                if !self_closing && !is_void(&name) {
+                    stack.push(id);
+                }
+            }
+            Token::EndTag { name } => {
+                if let Some(pos) = stack.iter().rposition(|&n| doc.tag(n) == Some(&*name)) {
+                    if pos > 0 {
+                        stack.truncate(pos);
+                    }
+                }
+                // Stray end tag: ignored.
+            }
+        }
+    }
+    doc
+}
+
+/// Elements whose start tag implicitly closes a same-tag ancestor.
+fn implicitly_self_nesting(tag: &str) -> bool {
+    matches!(tag, "li" | "p" | "option" | "tr" | "td" | "th" | "dt" | "dd")
+}
+
+/// Elements that bound the implicit-close search (a nested `<ul>` starts a
+/// fresh `<li>` scope).
+fn is_scope_boundary(tag: &str) -> bool {
+    matches!(tag, "ul" | "ol" | "table" | "div" | "section" | "article")
+}
+
+/// Containers where whitespace-only text is meaningful enough to keep.
+fn is_phrasing_container(tag: &str) -> bool {
+    matches!(tag, "span" | "b" | "i" | "em" | "strong" | "a" | "small" | "sup" | "sub")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::Selector;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_nested_structure() {
+        let doc = parse("<html><body><div id=a><p>one</p><p>two</p></div></body></html>");
+        let sel = Selector::parse("div p").unwrap();
+        let hits = sel.query_all(&doc);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(doc.text_content(hits[0]), "one");
+        assert_eq!(doc.text_content(hits[1]), "two");
+    }
+
+    #[test]
+    fn doctype_recorded() {
+        let doc = parse("<!DOCTYPE html><html></html>");
+        let root_children = &doc.node(NodeId::ROOT).children;
+        assert!(matches!(
+            doc.node(root_children[0]).data,
+            NodeData::Doctype(_)
+        ));
+    }
+
+    #[test]
+    fn li_implicit_close() {
+        let doc = parse("<ul><li>a<li>b<li>c</ul>");
+        let sel = Selector::parse("ul > li").unwrap();
+        let lis = sel.query_all(&doc);
+        assert_eq!(lis.len(), 3);
+        assert_eq!(doc.text_content(lis[0]), "a");
+        assert_eq!(doc.text_content(lis[2]), "c");
+    }
+
+    #[test]
+    fn nested_list_does_not_close_outer_li() {
+        let doc = parse("<ul><li>a<ul><li>inner</li></ul></li><li>b</li></ul>");
+        let outer = Selector::parse("ul > li").unwrap().query_all(&doc);
+        // Outer list has 2 items; inner list has 1. query_all sees all 3
+        // li elements, but the first outer li must *contain* the inner.
+        let all_li = Selector::parse("li").unwrap().query_all(&doc);
+        assert_eq!(all_li.len(), 3);
+        assert!(doc.text_content(outer[0]).contains("inner"));
+    }
+
+    #[test]
+    fn p_implicit_close() {
+        let doc = parse("<body><p>first<p>second</body>");
+        let ps = Selector::parse("p").unwrap().query_all(&doc);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(doc.text_content(ps[0]), "first");
+    }
+
+    #[test]
+    fn stray_end_tag_ignored() {
+        let doc = parse("<div>a</span></div><p>b</p>");
+        let ps = Selector::parse("p").unwrap().query_all(&doc);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(doc.text_content(ps[0]), "b");
+    }
+
+    #[test]
+    fn unclosed_elements_closed_at_eof() {
+        let doc = parse("<div><span>x");
+        let span = Selector::parse("div > span").unwrap().query_first(&doc);
+        assert!(span.is_some());
+        assert_eq!(doc.text_content(span.unwrap()), "x");
+    }
+
+    #[test]
+    fn void_elements_do_not_nest() {
+        let doc = parse("<div><img src=a.png><span>after</span></div>");
+        // <span> must be a child of <div>, not of <img>.
+        let span = Selector::parse("div > span").unwrap().query_first(&doc);
+        assert!(span.is_some());
+    }
+
+    #[test]
+    fn script_text_preserved_raw() {
+        let doc = parse("<script>var a = \"<div>\" ;</script>");
+        let script = Selector::parse("script").unwrap().query_first(&doc).unwrap();
+        assert!(doc.text_content(script).contains("<div>"));
+        // No spurious div element was created.
+        assert!(Selector::parse("div").unwrap().query_first(&doc).is_none());
+    }
+
+    #[test]
+    fn whitespace_between_blocks_dropped() {
+        let doc = parse("<div>\n  <p>a</p>\n  <p>b</p>\n</div>");
+        let div = Selector::parse("div").unwrap().query_first(&doc).unwrap();
+        // Children: exactly the two <p>, no whitespace text nodes.
+        assert_eq!(doc.node(div).children.len(), 2);
+    }
+
+    #[test]
+    fn entity_in_text_decoded() {
+        let doc = parse("<span class=price>&euro;12,99</span>");
+        let s = Selector::parse("span.price").unwrap().query_first(&doc).unwrap();
+        assert_eq!(doc.text_content(s), "€12,99");
+    }
+
+    #[test]
+    fn table_cells_implicitly_close() {
+        let doc = parse("<table><tr><td>a<td>b<tr><td>c</table>");
+        let tds = Selector::parse("td").unwrap().query_all(&doc);
+        assert_eq!(tds.len(), 3);
+        let trs = Selector::parse("tr").unwrap().query_all(&doc);
+        assert_eq!(trs.len(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_parse_never_panics(s in "\\PC{0,512}") {
+            let _ = parse(&s);
+        }
+
+        #[test]
+        fn prop_parse_tag_soup_never_panics(s in "[<>/a-z \"=!-]{0,512}") {
+            let _ = parse(&s);
+        }
+
+        #[test]
+        fn prop_reserialized_output_reparses_to_same_tree(
+            s in "[a-z<>/ ]{0,128}"
+        ) {
+            // Parse → serialize → parse must be a fixed point (idempotent
+            // normal form), a classic parser invariant.
+            let d1 = parse(&s);
+            let html1 = d1.to_html(crate::dom::NodeId::ROOT);
+            let d2 = parse(&html1);
+            let html2 = d2.to_html(crate::dom::NodeId::ROOT);
+            prop_assert_eq!(html1, html2);
+        }
+    }
+}

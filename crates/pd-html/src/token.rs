@@ -1,0 +1,499 @@
+//! Streaming HTML tokenizer.
+//!
+//! Produces a flat token stream — start tags with attributes, end tags,
+//! text, comments, doctype — from raw HTML. The tokenizer is lenient in
+//! the ways 2013 retail HTML demands: unquoted and single-quoted
+//! attributes, boolean attributes, stray `<` in text, `<script>`/`<style>`
+//! raw-text handling, and unterminated constructs at end of input.
+
+use serde::{Deserialize, Serialize};
+
+/// One HTML attribute (`name="value"`); value is raw (entities are
+/// resolved by the parser, not the tokenizer).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Lowercased attribute name.
+    pub name: String,
+    /// Attribute value; empty string for boolean attributes.
+    pub value: String,
+}
+
+/// A token of the HTML stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Token {
+    /// `<!doctype html>`.
+    Doctype(String),
+    /// `<tag attr=v ...>`; `self_closing` records an explicit `/>`.
+    StartTag {
+        /// Lowercased tag name.
+        name: String,
+        /// Attributes in source order.
+        attrs: Vec<Attribute>,
+        /// Whether the tag ended with `/>`.
+        self_closing: bool,
+    },
+    /// `</tag>`.
+    EndTag {
+        /// Lowercased tag name.
+        name: String,
+    },
+    /// A run of character data (entities unresolved).
+    Text(String),
+    /// `<!-- ... -->`.
+    Comment(String),
+}
+
+/// Tokenizes an HTML string. Never fails: malformed input degrades to
+/// text tokens, as in browsers.
+#[must_use]
+pub fn tokenize(input: &str) -> Vec<Token> {
+    Tokenizer::new(input).run()
+}
+
+struct Tokenizer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(input: &'a str) -> Self {
+        Tokenizer {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'<' {
+                self.tag_open();
+            } else {
+                self.text_run();
+            }
+        }
+        self.tokens
+    }
+
+    fn remaining(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn starts_with_ci(&self, prefix: &str) -> bool {
+        let rest = &self.bytes[self.pos..];
+        rest.len() >= prefix.len()
+            && rest[..prefix.len()]
+                .iter()
+                .zip(prefix.as_bytes())
+                .all(|(a, b)| a.eq_ignore_ascii_case(b))
+    }
+
+    /// Consumes a text run up to the next plausible tag start.
+    fn text_run(&mut self) {
+        let start = self.pos;
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'<' && self.plausible_tag_at(self.pos) {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text = &self.input[start..self.pos];
+        if !text.is_empty() {
+            self.tokens.push(Token::Text(text.to_owned()));
+        }
+    }
+
+    /// A `<` starts markup only if followed by a letter, `/`, `!` or `?`
+    /// — otherwise it is literal text ("price < 10€").
+    fn plausible_tag_at(&self, at: usize) -> bool {
+        match self.bytes.get(at + 1) {
+            Some(b) => b.is_ascii_alphabetic() || *b == b'/' || *b == b'!' || *b == b'?',
+            None => false,
+        }
+    }
+
+    fn tag_open(&mut self) {
+        if !self.plausible_tag_at(self.pos) {
+            self.text_run();
+            return;
+        }
+        if self.starts_with_ci("<!--") {
+            self.comment();
+        } else if self.starts_with_ci("<!doctype") {
+            self.doctype();
+        } else if self.starts_with_ci("</") {
+            self.end_tag();
+        } else if self.starts_with_ci("<?") {
+            // Processing instruction / bogus comment: skip to '>'.
+            self.skip_until(b'>');
+            self.pos = (self.pos + 1).min(self.bytes.len());
+        } else if self.starts_with_ci("<!") {
+            // Bogus comment (e.g. <![CDATA[ ... in HTML): skip to '>'.
+            self.skip_until(b'>');
+            self.pos = (self.pos + 1).min(self.bytes.len());
+        } else {
+            self.start_tag();
+        }
+    }
+
+    fn comment(&mut self) {
+        self.pos += 4; // "<!--"
+        let start = self.pos;
+        let end = self.remaining().find("-->").map(|o| self.pos + o);
+        match end {
+            Some(end) => {
+                self.tokens
+                    .push(Token::Comment(self.input[start..end].to_owned()));
+                self.pos = end + 3;
+            }
+            None => {
+                // Unterminated comment: swallow the rest.
+                self.tokens
+                    .push(Token::Comment(self.input[start..].to_owned()));
+                self.pos = self.bytes.len();
+            }
+        }
+    }
+
+    fn doctype(&mut self) {
+        self.pos += "<!doctype".len();
+        let start = self.pos;
+        self.skip_until(b'>');
+        let body = self.input[start..self.pos].trim().to_owned();
+        self.tokens.push(Token::Doctype(body));
+        self.pos = (self.pos + 1).min(self.bytes.len());
+    }
+
+    fn end_tag(&mut self) {
+        self.pos += 2; // "</"
+        let name = self.tag_name();
+        self.skip_until(b'>');
+        self.pos = (self.pos + 1).min(self.bytes.len());
+        if !name.is_empty() {
+            self.tokens.push(Token::EndTag { name });
+        }
+    }
+
+    fn start_tag(&mut self) {
+        self.pos += 1; // "<"
+        let name = self.tag_name();
+        let mut attrs = Vec::new();
+        let mut self_closing = false;
+        loop {
+            self.skip_whitespace();
+            match self.bytes.get(self.pos) {
+                None => break,
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.bytes.get(self.pos) == Some(&b'>') {
+                        self.pos += 1;
+                        self_closing = true;
+                        break;
+                    }
+                }
+                Some(_) => {
+                    if let Some(attr) = self.attribute() {
+                        attrs.push(attr);
+                    }
+                }
+            }
+        }
+        // Raw-text elements: consume until the matching close tag without
+        // tokenizing the contents.
+        if name == "script" || name == "style" {
+            self.tokens.push(Token::StartTag {
+                name: name.clone(),
+                attrs,
+                self_closing,
+            });
+            let close = format!("</{name}");
+            let rest = self.remaining();
+            let end = find_ci(rest, &close).unwrap_or(rest.len());
+            if end > 0 {
+                self.tokens
+                    .push(Token::Text(self.input[self.pos..self.pos + end].to_owned()));
+            }
+            self.pos += end;
+            // Consume the close tag if present.
+            if self.pos < self.bytes.len() {
+                self.end_tag_raw();
+            }
+            return;
+        }
+        self.tokens.push(Token::StartTag {
+            name,
+            attrs,
+            self_closing,
+        });
+    }
+
+    /// Consumes `</script>`-style closers after raw text; emits EndTag.
+    fn end_tag_raw(&mut self) {
+        self.pos += 2;
+        let name = self.tag_name();
+        self.skip_until(b'>');
+        self.pos = (self.pos + 1).min(self.bytes.len());
+        self.tokens.push(Token::EndTag { name });
+    }
+
+    fn tag_name(&mut self) -> String {
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && (self.bytes[self.pos].is_ascii_alphanumeric()
+                || self.bytes[self.pos] == b'-'
+                || self.bytes[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        self.input[start..self.pos].to_ascii_lowercase()
+    }
+
+    fn attribute(&mut self) -> Option<Attribute> {
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && !matches!(self.bytes[self.pos], b'=' | b'>' | b'/' | b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            // Unparseable byte (e.g. stray quote): skip it to make progress.
+            self.pos += 1;
+            return None;
+        }
+        let name = self.input[start..self.pos].to_ascii_lowercase();
+        self.skip_whitespace();
+        if self.bytes.get(self.pos) != Some(&b'=') {
+            return Some(Attribute {
+                name,
+                value: String::new(),
+            });
+        }
+        self.pos += 1; // '='
+        self.skip_whitespace();
+        let value = match self.bytes.get(self.pos) {
+            Some(&q @ (b'"' | b'\'')) => {
+                self.pos += 1;
+                let vstart = self.pos;
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != q {
+                    self.pos += 1;
+                }
+                let v = self.input[vstart..self.pos].to_owned();
+                self.pos = (self.pos + 1).min(self.bytes.len());
+                v
+            }
+            _ => {
+                let vstart = self.pos;
+                while self.pos < self.bytes.len()
+                    && !matches!(self.bytes[self.pos], b'>' | b' ' | b'\t' | b'\n' | b'\r')
+                {
+                    self.pos += 1;
+                }
+                self.input[vstart..self.pos].to_owned()
+            }
+        };
+        Some(Attribute { name, value })
+    }
+
+    fn skip_whitespace(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_until(&mut self, byte: u8) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != byte {
+            self.pos += 1;
+        }
+    }
+}
+
+/// Case-insensitive substring search (ASCII).
+fn find_ci(haystack: &str, needle: &str) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    let hay = haystack.as_bytes();
+    let nee = needle.as_bytes();
+    (0..=hay.len() - nee.len()).find(|&i| {
+        hay[i..i + nee.len()]
+            .iter()
+            .zip(nee)
+            .all(|(a, b)| a.eq_ignore_ascii_case(b))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn start(name: &str, attrs: &[(&str, &str)]) -> Token {
+        Token::StartTag {
+            name: name.into(),
+            attrs: attrs
+                .iter()
+                .map(|(n, v)| Attribute {
+                    name: (*n).into(),
+                    value: (*v).into(),
+                })
+                .collect(),
+            self_closing: false,
+        }
+    }
+
+    #[test]
+    fn basic_document() {
+        let toks = tokenize("<html><body>Hi</body></html>");
+        assert_eq!(
+            toks,
+            vec![
+                start("html", &[]),
+                start("body", &[]),
+                Token::Text("Hi".into()),
+                Token::EndTag {
+                    name: "body".into()
+                },
+                Token::EndTag {
+                    name: "html".into()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_quoted_unquoted_boolean() {
+        let toks = tokenize(r#"<div id="p1" class='price main' data-x=5 hidden>"#);
+        assert_eq!(
+            toks,
+            vec![start(
+                "div",
+                &[
+                    ("id", "p1"),
+                    ("class", "price main"),
+                    ("data-x", "5"),
+                    ("hidden", ""),
+                ]
+            )]
+        );
+    }
+
+    #[test]
+    fn self_closing_and_void() {
+        let toks = tokenize("<br/><img src=x.png />");
+        assert_eq!(
+            toks,
+            vec![
+                Token::StartTag {
+                    name: "br".into(),
+                    attrs: vec![],
+                    self_closing: true
+                },
+                Token::StartTag {
+                    name: "img".into(),
+                    attrs: vec![Attribute {
+                        name: "src".into(),
+                        value: "x.png".into()
+                    }],
+                    self_closing: true
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn doctype_and_comment() {
+        let toks = tokenize("<!DOCTYPE html><!-- tracker --><p>x</p>");
+        assert_eq!(toks[0], Token::Doctype("html".into()));
+        assert_eq!(toks[1], Token::Comment(" tracker ".into()));
+    }
+
+    #[test]
+    fn tag_names_lowercased() {
+        let toks = tokenize("<DIV CLASS=Price></DIV>");
+        assert_eq!(toks[0], start("div", &[("class", "Price")]));
+        assert_eq!(
+            toks[1],
+            Token::EndTag {
+                name: "div".into()
+            }
+        );
+    }
+
+    #[test]
+    fn stray_lt_is_text() {
+        let toks = tokenize("price < 10 eur");
+        assert_eq!(toks, vec![Token::Text("price < 10 eur".into())]);
+    }
+
+    #[test]
+    fn script_contents_not_tokenized() {
+        let html = r#"<script>if (a < b) { track("<div>"); }</script><p>after</p>"#;
+        let toks = tokenize(html);
+        // raw text is emitted before the script start tag marker
+        assert!(toks.iter().any(
+            |t| matches!(t, Token::Text(s) if s.contains("a < b") && s.contains("<div>"))
+        ));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, Token::StartTag { name, .. } if name == "p")));
+    }
+
+    #[test]
+    fn unterminated_comment_consumed() {
+        let toks = tokenize("<!-- never ends");
+        assert_eq!(toks, vec![Token::Comment(" never ends".into())]);
+    }
+
+    #[test]
+    fn unterminated_tag_at_eof() {
+        let toks = tokenize("<div class=");
+        assert_eq!(toks.len(), 1);
+        assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "div"));
+    }
+
+    #[test]
+    fn entities_left_unresolved() {
+        let toks = tokenize("<span>&euro;12</span>");
+        assert_eq!(toks[1], Token::Text("&euro;12".into()));
+    }
+
+    #[test]
+    fn processing_instruction_skipped() {
+        let toks = tokenize("<?xml version=\"1.0\"?><p>x</p>");
+        assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "p"));
+    }
+
+    #[test]
+    fn find_ci_works() {
+        assert_eq!(find_ci("abcDEFg", "def"), Some(3));
+        assert_eq!(find_ci("abc", "zz"), None);
+        assert_eq!(find_ci("ab", "abc"), None);
+        assert_eq!(find_ci("x</SCRIPT>", "</script"), Some(1));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_tokenizer_never_panics(s in "\\PC{0,256}") {
+            let _ = tokenize(&s);
+        }
+
+        #[test]
+        fn prop_tokenizer_terminates_on_angle_soup(s in "[<>a-z/!\"= -]{0,256}") {
+            let _ = tokenize(&s);
+        }
+
+        #[test]
+        fn prop_text_round_trips_when_no_markup(s in "[a-zA-Z0-9 .,]{1,64}") {
+            let toks = tokenize(&s);
+            prop_assert_eq!(toks, vec![Token::Text(s.clone())]);
+        }
+    }
+}

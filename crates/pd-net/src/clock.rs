@@ -1,0 +1,437 @@
+//! Simulated time.
+//!
+//! The simulation epoch is **2013-01-01 00:00:00 UTC** — the start of the
+//! paper's crowdsourced collection window (Jan–May 2013). Time is a count
+//! of milliseconds since that epoch; civil-date conversion uses the
+//! days-from-civil algorithm so "daily" schedules and per-day FX rates are
+//! exact, leap years included.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Milliseconds in one day.
+pub const MILLIS_PER_DAY: u64 = 24 * 60 * 60 * 1000;
+
+/// An instant of simulated time (ms since 2013-01-01 00:00:00 UTC).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulated time in milliseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Duration from milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// Duration from whole seconds.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1000)
+    }
+
+    /// Duration from whole minutes.
+    #[must_use]
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60_000)
+    }
+
+    /// Duration from whole hours.
+    #[must_use]
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * 3_600_000)
+    }
+
+    /// Duration from whole days.
+    #[must_use]
+    pub const fn from_days(d: u64) -> Self {
+        SimDuration(d * MILLIS_PER_DAY)
+    }
+
+    /// Length in milliseconds.
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+}
+
+impl SimTime {
+    /// The simulation epoch, 2013-01-01 00:00:00 UTC.
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Instant from raw milliseconds since the epoch.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Milliseconds since the epoch.
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Day index since the epoch (day 0 = 2013-01-01).
+    #[must_use]
+    pub const fn day_index(self) -> u64 {
+        self.0 / MILLIS_PER_DAY
+    }
+
+    /// Milliseconds elapsed within the current day.
+    #[must_use]
+    pub const fn millis_of_day(self) -> u64 {
+        self.0 % MILLIS_PER_DAY
+    }
+
+    /// The civil (Gregorian) date of this instant.
+    #[must_use]
+    pub fn civil_date(self) -> CivilDate {
+        CivilDate::from_day_index(self.day_index())
+    }
+
+    /// Saturating difference between two instants.
+    #[must_use]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.civil_date();
+        let ms = self.millis_of_day();
+        let (h, m, s) = (ms / 3_600_000, (ms / 60_000) % 60, (ms / 1000) % 60);
+        write!(f, "{d} {h:02}:{m:02}:{s:02}Z")
+    }
+}
+
+/// A Gregorian calendar date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CivilDate {
+    /// Four-digit year.
+    pub year: i32,
+    /// Month, `1..=12`.
+    pub month: u8,
+    /// Day of month, `1..=31`.
+    pub day: u8,
+}
+
+/// Days from 1970-01-01 to 2013-01-01 (the simulation epoch).
+const EPOCH_OFFSET_1970: i64 = 15_706;
+
+impl CivilDate {
+    /// Builds a date, validating ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range month/day (this is generator-side code;
+    /// parsed dates go through [`CivilDate::checked_new`]).
+    #[must_use]
+    pub fn new(year: i32, month: u8, day: u8) -> Self {
+        Self::checked_new(year, month, day).expect("invalid civil date")
+    }
+
+    /// Builds a date, returning `None` when out of range.
+    #[must_use]
+    pub fn checked_new(year: i32, month: u8, day: u8) -> Option<Self> {
+        if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
+            return None;
+        }
+        Some(CivilDate { year, month, day })
+    }
+
+    /// Date of a simulation day index (day 0 = 2013-01-01).
+    #[must_use]
+    pub fn from_day_index(day_index: u64) -> Self {
+        civil_from_days(day_index as i64 + EPOCH_OFFSET_1970)
+    }
+
+    /// Simulation day index of this date (negative before 2013).
+    #[must_use]
+    pub fn day_index(self) -> i64 {
+        days_from_civil(self.year, self.month, self.day) - EPOCH_OFFSET_1970
+    }
+
+    /// Midnight at the start of this date as a [`SimTime`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for dates before the 2013 epoch.
+    #[must_use]
+    pub fn midnight(self) -> SimTime {
+        let idx = self.day_index();
+        assert!(idx >= 0, "date {self} precedes the simulation epoch");
+        SimTime::from_millis(idx as u64 * MILLIS_PER_DAY)
+    }
+}
+
+impl fmt::Display for CivilDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// True for Gregorian leap years.
+#[must_use]
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Number of days in a month.
+#[must_use]
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap_year(year) => 29,
+        2 => 28,
+        _ => 0,
+    }
+}
+
+/// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
+fn days_from_civil(y: i32, m: u8, d: u8) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = i64::from((m as i32 + 9) % 12); // [0, 11]
+    let doy = (153 * mp + 2) / 5 + i64::from(d) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date for days since 1970-01-01 (inverse of [`days_from_civil`]).
+fn civil_from_days(z: i64) -> CivilDate {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8; // [1, 12]
+    CivilDate {
+        year: (y + i64::from(m <= 2)) as i32,
+        month: m,
+        day: d,
+    }
+}
+
+/// A monotonically advancing simulated clock.
+///
+/// The clock is deliberately *manual*: nothing in the simulation advances
+/// it implicitly, so tests and experiments control time exactly. The
+/// crawler advances it one day per crawl round; the crowd simulator
+/// advances it between user sessions.
+///
+/// # Examples
+///
+/// ```
+/// use pd_net::clock::{SimClock, SimDuration};
+///
+/// let mut clock = SimClock::new();
+/// assert_eq!(clock.now().day_index(), 0);
+/// clock.advance(SimDuration::from_days(3));
+/// assert_eq!(clock.now().day_index(), 3);
+/// assert_eq!(clock.now().civil_date().to_string(), "2013-01-04");
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimClock {
+    now: SimTime,
+}
+
+impl SimClock {
+    /// A clock at the simulation epoch.
+    #[must_use]
+    pub fn new() -> Self {
+        SimClock {
+            now: SimTime::EPOCH,
+        }
+    }
+
+    /// A clock starting at a specific instant.
+    #[must_use]
+    pub fn starting_at(t: SimTime) -> Self {
+        SimClock { now: t }
+    }
+
+    /// Current simulated instant.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&mut self, d: SimDuration) {
+        self.now += d;
+    }
+
+    /// Advances the clock to `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past — simulated time never rewinds.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "clock cannot rewind: {} -> {}", self.now, t);
+        self.now = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn epoch_is_2013_01_01() {
+        assert_eq!(SimTime::EPOCH.civil_date(), CivilDate::new(2013, 1, 1));
+    }
+
+    #[test]
+    fn crowdsourcing_window_jan_to_may() {
+        // The crowd window ends 2013-05-31; 150 days after the epoch.
+        let may31 = CivilDate::new(2013, 5, 31);
+        assert_eq!(may31.day_index(), 150);
+        assert_eq!(CivilDate::from_day_index(150), may31);
+    }
+
+    #[test]
+    fn civil_round_trip_2013() {
+        for idx in 0..365 {
+            let d = CivilDate::from_day_index(idx);
+            assert_eq!(d.day_index(), idx as i64, "round-trip failed at {d}");
+            assert_eq!(d.year, 2013);
+        }
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        assert!(is_leap_year(2012));
+        assert!(!is_leap_year(2013));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(2000));
+        assert_eq!(days_in_month(2012, 2), 29);
+        assert_eq!(days_in_month(2013, 2), 28);
+    }
+
+    #[test]
+    fn checked_new_validates() {
+        assert!(CivilDate::checked_new(2013, 2, 29).is_none());
+        assert!(CivilDate::checked_new(2012, 2, 29).is_some());
+        assert!(CivilDate::checked_new(2013, 0, 1).is_none());
+        assert!(CivilDate::checked_new(2013, 13, 1).is_none());
+        assert!(CivilDate::checked_new(2013, 4, 31).is_none());
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = SimTime::from_millis(3 * MILLIS_PER_DAY + 3_600_000 + 90_000);
+        assert_eq!(t.to_string(), "2013-01-04 01:01:30Z");
+        assert_eq!(CivilDate::new(2013, 1, 4).to_string(), "2013-01-04");
+    }
+
+    #[test]
+    fn midnight_matches_day_index() {
+        let d = CivilDate::new(2013, 3, 15);
+        assert_eq!(d.midnight().civil_date(), d);
+        assert_eq!(d.midnight().millis_of_day(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes the simulation epoch")]
+    fn midnight_before_epoch_panics() {
+        let _ = CivilDate::new(2012, 12, 31).midnight();
+    }
+
+    #[test]
+    fn clock_advances() {
+        let mut c = SimClock::new();
+        c.advance(SimDuration::from_hours(25));
+        assert_eq!(c.now().day_index(), 1);
+        c.advance_to(SimTime::from_millis(4 * MILLIS_PER_DAY));
+        assert_eq!(c.now().day_index(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot rewind")]
+    fn clock_rejects_rewind() {
+        let mut c = SimClock::starting_at(SimTime::from_millis(10));
+        c.advance_to(SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_days(1), SimDuration::from_hours(24));
+        assert_eq!(SimDuration::from_hours(1), SimDuration::from_mins(60));
+        assert_eq!(SimDuration::from_mins(1), SimDuration::from_secs(60));
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
+    }
+
+    #[test]
+    fn since_is_saturating() {
+        let a = SimTime::from_millis(10);
+        let b = SimTime::from_millis(30);
+        assert_eq!(b.since(a).as_millis(), 20);
+        assert_eq!(a.since(b).as_millis(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_civil_round_trip(idx in 0u64..40_000) {
+            let d = CivilDate::from_day_index(idx);
+            prop_assert_eq!(d.day_index(), idx as i64);
+            prop_assert!(CivilDate::checked_new(d.year, d.month, d.day).is_some());
+        }
+
+        #[test]
+        fn prop_dates_are_monotone(a in 0u64..40_000, b in 0u64..40_000) {
+            let (da, db) = (CivilDate::from_day_index(a), CivilDate::from_day_index(b));
+            prop_assert_eq!(a.cmp(&b), da.cmp(&db));
+        }
+
+        #[test]
+        fn prop_day_index_consistency(ms in 0u64..(40_000 * MILLIS_PER_DAY)) {
+            let t = SimTime::from_millis(ms);
+            prop_assert_eq!(t.civil_date(), CivilDate::from_day_index(t.day_index()));
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Geography: countries, cities and locations.
+//!
+//! The crowd spans 18 countries (Sec. 3.2); the systematic crawl uses the
+//! 14 vantage-point locations of Fig. 7. Countries carry the attributes
+//! retailers actually key pricing on — the local currency and a coarse
+//! market region.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// ISO-like country identifiers for every country that appears in the
+/// paper's datasets (vantage points, crowd countries) plus enough others
+/// to make up the 18-country crowd.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Country {
+    UnitedStates,
+    UnitedKingdom,
+    Germany,
+    Spain,
+    Finland,
+    Belgium,
+    Brazil,
+    Italy,
+    France,
+    Netherlands,
+    Poland,
+    Portugal,
+    Greece,
+    Sweden,
+    Ireland,
+    Canada,
+    Australia,
+    Japan,
+}
+
+impl Country {
+    /// All modeled countries — exactly the 18 of the crowdsourced dataset.
+    pub const ALL: [Country; 18] = [
+        Country::UnitedStates,
+        Country::UnitedKingdom,
+        Country::Germany,
+        Country::Spain,
+        Country::Finland,
+        Country::Belgium,
+        Country::Brazil,
+        Country::Italy,
+        Country::France,
+        Country::Netherlands,
+        Country::Poland,
+        Country::Portugal,
+        Country::Greece,
+        Country::Sweden,
+        Country::Ireland,
+        Country::Canada,
+        Country::Australia,
+        Country::Japan,
+    ];
+
+    /// Two-letter code (ISO 3166-1 alpha-2).
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            Country::UnitedStates => "US",
+            Country::UnitedKingdom => "GB",
+            Country::Germany => "DE",
+            Country::Spain => "ES",
+            Country::Finland => "FI",
+            Country::Belgium => "BE",
+            Country::Brazil => "BR",
+            Country::Italy => "IT",
+            Country::France => "FR",
+            Country::Netherlands => "NL",
+            Country::Poland => "PL",
+            Country::Portugal => "PT",
+            Country::Greece => "GR",
+            Country::Sweden => "SE",
+            Country::Ireland => "IE",
+            Country::Canada => "CA",
+            Country::Australia => "AU",
+            Country::Japan => "JP",
+        }
+    }
+
+    /// Human-readable name as the paper's figures label it.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Country::UnitedStates => "USA",
+            Country::UnitedKingdom => "UK",
+            Country::Germany => "Germany",
+            Country::Spain => "Spain",
+            Country::Finland => "Finland",
+            Country::Belgium => "Belgium",
+            Country::Brazil => "Brazil",
+            Country::Italy => "Italy",
+            Country::France => "France",
+            Country::Netherlands => "Netherlands",
+            Country::Poland => "Poland",
+            Country::Portugal => "Portugal",
+            Country::Greece => "Greece",
+            Country::Sweden => "Sweden",
+            Country::Ireland => "Ireland",
+            Country::Canada => "Canada",
+            Country::Australia => "Australia",
+            Country::Japan => "Japan",
+        }
+    }
+
+    /// Coarse market region, the granularity at which many of the paper's
+    /// retailers differentiate (e.g. amazon.com: "constant prices across
+    /// US but vary them across countries").
+    #[must_use]
+    pub fn region(self) -> Region {
+        match self {
+            Country::UnitedStates | Country::Canada => Region::NorthAmerica,
+            Country::Brazil => Region::SouthAmerica,
+            Country::Australia | Country::Japan => Region::AsiaPacific,
+            Country::UnitedKingdom | Country::Ireland => Region::EuropeNonEuro,
+            Country::Sweden | Country::Poland => Region::EuropeNonEuro,
+            _ => Region::Eurozone,
+        }
+    }
+
+    /// Index of this country in [`Country::ALL`] — stable and dense, used
+    /// for seed derivation and vector indexing.
+    #[must_use]
+    pub fn index(self) -> usize {
+        Country::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("country present in ALL")
+    }
+}
+
+impl fmt::Display for Country {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Coarse market regions used by region-level pricing strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Region {
+    NorthAmerica,
+    SouthAmerica,
+    Eurozone,
+    EuropeNonEuro,
+    AsiaPacific,
+}
+
+/// A city, identified by name within a country.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct City {
+    /// City name (ASCII, as the paper's labels: "Sao Paulo", "Liege").
+    pub name: String,
+}
+
+impl City {
+    /// Creates a city.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        City {
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A geographic location: country plus city.
+///
+/// Two vantage points may share a `Location` and differ only in platform
+/// (the paper's three Spain probes).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Location {
+    /// Country of the location.
+    pub country: Country,
+    /// City of the location.
+    pub city: City,
+}
+
+impl Location {
+    /// Creates a location.
+    #[must_use]
+    pub fn new(country: Country, city: &str) -> Self {
+        Location {
+            country,
+            city: City::new(city),
+        }
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} - {}", self.country.name(), self.city.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_18_countries() {
+        assert_eq!(Country::ALL.len(), 18);
+        let codes: std::collections::HashSet<_> = Country::ALL.iter().map(|c| c.code()).collect();
+        assert_eq!(codes.len(), 18, "country codes must be unique");
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, c) in Country::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn regions_match_paper_structure() {
+        assert_eq!(Country::UnitedStates.region(), Region::NorthAmerica);
+        assert_eq!(Country::Brazil.region(), Region::SouthAmerica);
+        assert_eq!(Country::Finland.region(), Region::Eurozone);
+        assert_eq!(Country::UnitedKingdom.region(), Region::EuropeNonEuro);
+        assert_eq!(Country::Japan.region(), Region::AsiaPacific);
+    }
+
+    #[test]
+    fn location_display_matches_figure_labels() {
+        let l = Location::new(Country::Finland, "Tampere");
+        assert_eq!(l.to_string(), "Finland - Tampere");
+        let l = Location::new(Country::UnitedStates, "New York");
+        assert_eq!(l.to_string(), "USA - New York");
+    }
+
+    #[test]
+    fn locations_hash_by_value() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Location::new(Country::Spain, "Barcelona"));
+        assert!(s.contains(&Location::new(Country::Spain, "Barcelona")));
+        assert!(!s.contains(&Location::new(Country::Spain, "Madrid")));
+    }
+}

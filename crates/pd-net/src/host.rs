@@ -1,0 +1,159 @@
+//! DNS-like host registry.
+//!
+//! Maps retail domain names (`www.example-books.com`) to dense
+//! [`HostId`]s. The crowd dataset spans 600 domains; the registry is the
+//! single source of truth for which domains exist and guarantees a stable
+//! ordering for seed derivation and reporting.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense id of a registered host (domain).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct HostId(pub u32);
+
+impl HostId {
+    /// Creates a host id from its dense index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        HostId(index)
+    }
+
+    /// The dense index (usable as a `Vec` index).
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host-{}", self.0)
+    }
+}
+
+/// Registry of domain names.
+///
+/// Registration is idempotent: registering the same name twice returns
+/// the same id. Lookup never allocates.
+///
+/// # Examples
+///
+/// ```
+/// use pd_net::host::HostRegistry;
+///
+/// let mut reg = HostRegistry::new();
+/// let id = reg.register("www.digitalrev-photo.example");
+/// assert_eq!(reg.register("www.digitalrev-photo.example"), id);
+/// assert_eq!(reg.resolve("www.digitalrev-photo.example"), Some(id));
+/// assert_eq!(reg.name(id), "www.digitalrev-photo.example");
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HostRegistry {
+    names: Vec<String>,
+    by_name: HashMap<String, HostId>,
+}
+
+impl HostRegistry {
+    /// Empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a domain name (idempotent) and returns its id.
+    ///
+    /// Names are normalized to lowercase, mirroring DNS case
+    /// insensitivity.
+    pub fn register(&mut self, name: &str) -> HostId {
+        let norm = name.to_ascii_lowercase();
+        if let Some(&id) = self.by_name.get(&norm) {
+            return id;
+        }
+        let id = HostId::new(u32::try_from(self.names.len()).expect("host table overflow"));
+        self.names.push(norm.clone());
+        self.by_name.insert(norm, id);
+        id
+    }
+
+    /// Resolves a name to an id, if registered.
+    #[must_use]
+    pub fn resolve(&self, name: &str) -> Option<HostId> {
+        self.by_name.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// Name of a registered host.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id not issued by this registry.
+    #[must_use]
+    pub fn name(&self, id: HostId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of registered hosts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (HostId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (HostId::new(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut reg = HostRegistry::new();
+        let a = reg.register("www.shop.example");
+        let b = reg.register("www.shop.example");
+        assert_eq!(a, b);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn names_are_case_insensitive() {
+        let mut reg = HostRegistry::new();
+        let a = reg.register("WWW.Shop.Example");
+        assert_eq!(reg.resolve("www.shop.example"), Some(a));
+        assert_eq!(reg.name(a), "www.shop.example");
+    }
+
+    #[test]
+    fn resolve_unknown_is_none() {
+        let reg = HostRegistry::new();
+        assert_eq!(reg.resolve("nope.example"), None);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn ids_are_dense_registration_order() {
+        let mut reg = HostRegistry::new();
+        let ids: Vec<HostId> = (0..10)
+            .map(|i| reg.register(&format!("host{i}.example")))
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.index(), i);
+        }
+        let collected: Vec<_> = reg.iter().map(|(id, _)| id).collect();
+        assert_eq!(collected, ids);
+    }
+}

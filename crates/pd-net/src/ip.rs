@@ -1,0 +1,286 @@
+//! IPv4 allocation and geo-IP lookup.
+//!
+//! Retailers in the paper geo-locate the client's IP address and localize
+//! the displayed currency and price accordingly ("our different vantage
+//! points access always the same retailer site, but can be displayed
+//! prices on different currencies because retailers typically geo-locate
+//! their IP address"). This module provides the two halves of that
+//! mechanism: an allocator that hands out per-country address blocks, and
+//! the longest-prefix-match database retailers query.
+
+use crate::geo::Country;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A CIDR block (`base/prefix_len`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Cidr {
+    base: u32,
+    prefix_len: u8,
+}
+
+impl Cidr {
+    /// Creates a block, normalizing the base to the prefix boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix_len > 32`.
+    #[must_use]
+    pub fn new(base: Ipv4Addr, prefix_len: u8) -> Self {
+        assert!(prefix_len <= 32, "prefix length out of range");
+        let raw = u32::from(base);
+        Cidr {
+            base: raw & Self::mask(prefix_len),
+            prefix_len,
+        }
+    }
+
+    fn mask(prefix_len: u8) -> u32 {
+        if prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(prefix_len))
+        }
+    }
+
+    /// True if `addr` falls inside the block.
+    #[must_use]
+    pub fn contains(self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) & Self::mask(self.prefix_len) == self.base
+    }
+
+    /// Prefix length of the block.
+    #[must_use]
+    pub fn prefix_len(self) -> u8 {
+        self.prefix_len
+    }
+
+    /// The `i`-th address of the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` exceeds the block size.
+    #[must_use]
+    pub fn addr(self, i: u32) -> Ipv4Addr {
+        let size = self.size();
+        assert!(u64::from(i) < size, "address index {i} outside /{}", self.prefix_len);
+        Ipv4Addr::from(self.base + i)
+    }
+
+    /// Number of addresses in the block.
+    #[must_use]
+    pub fn size(self) -> u64 {
+        1u64 << (32 - self.prefix_len)
+    }
+}
+
+impl fmt::Display for Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", Ipv4Addr::from(self.base), self.prefix_len)
+    }
+}
+
+/// Per-country /16 assignments inside 10.0.0.0/8 (simulation address
+/// space): country with index `i` owns `10.i.0.0/16`.
+fn country_block(country: Country) -> Cidr {
+    let idx = country.index() as u32;
+    Cidr::new(Ipv4Addr::new(10, idx as u8, 0, 0), 16)
+}
+
+/// Hands out unique addresses per country.
+///
+/// Vantage points and crowd users draw their client addresses here; the
+/// same allocator seeds the [`GeoIpDb`], so lookups are consistent by
+/// construction (a property the tests pin down).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IpAllocator {
+    next_host: Vec<u32>,
+}
+
+impl IpAllocator {
+    /// Creates an allocator with no addresses handed out.
+    #[must_use]
+    pub fn new() -> Self {
+        IpAllocator {
+            next_host: vec![1; Country::ALL.len()], // .0 reserved
+        }
+    }
+
+    /// Allocates the next unused address in `country`'s block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a /16 is exhausted (65 534 hosts — far beyond any
+    /// simulated population).
+    pub fn allocate(&mut self, country: Country) -> Ipv4Addr {
+        let idx = country.index();
+        let host = self.next_host[idx];
+        self.next_host[idx] += 1;
+        let block = country_block(country);
+        assert!(u64::from(host) < block.size() - 1, "address block exhausted");
+        block.addr(host)
+    }
+
+    /// Number of addresses allocated in `country`.
+    #[must_use]
+    pub fn allocated(&self, country: Country) -> u32 {
+        self.next_host[country.index()] - 1
+    }
+}
+
+/// Longest-prefix-match geo-IP database.
+///
+/// Pre-populated with every country's block; retailers call
+/// [`GeoIpDb::lookup`] on the client address of each request, exactly as
+/// commercial geo-IP databases were used by 2013 e-commerce sites.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeoIpDb {
+    entries: Vec<(Cidr, Country)>,
+}
+
+impl GeoIpDb {
+    /// Builds the database covering all simulated countries.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut entries: Vec<(Cidr, Country)> = Country::ALL
+            .iter()
+            .map(|&c| (country_block(c), c))
+            .collect();
+        // Longest prefix first so `lookup` can take the first match.
+        entries.sort_by_key(|e| std::cmp::Reverse(e.0.prefix_len()));
+        GeoIpDb { entries }
+    }
+
+    /// Adds an override entry (used by tests to model mis-geolocation,
+    /// a real-world noise source for geo-IP databases).
+    pub fn add_override(&mut self, block: Cidr, country: Country) {
+        self.entries.push((block, country));
+        self.entries
+            .sort_by_key(|e| std::cmp::Reverse(e.0.prefix_len()));
+    }
+
+    /// Longest-prefix-match lookup. Returns `None` for addresses outside
+    /// every known block (e.g. datacenter ranges the simulation never
+    /// allocates).
+    #[must_use]
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<Country> {
+        self.entries
+            .iter()
+            .find(|(block, _)| block.contains(addr))
+            .map(|(_, c)| *c)
+    }
+}
+
+impl Default for GeoIpDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cidr_membership() {
+        let block = Cidr::new(Ipv4Addr::new(10, 3, 7, 9), 16);
+        assert!(block.contains(Ipv4Addr::new(10, 3, 0, 1)));
+        assert!(block.contains(Ipv4Addr::new(10, 3, 255, 255)));
+        assert!(!block.contains(Ipv4Addr::new(10, 4, 0, 1)));
+        assert_eq!(block.to_string(), "10.3.0.0/16");
+    }
+
+    #[test]
+    fn cidr_zero_prefix_contains_everything() {
+        let all = Cidr::new(Ipv4Addr::new(1, 2, 3, 4), 0);
+        assert!(all.contains(Ipv4Addr::new(255, 255, 255, 255)));
+        assert_eq!(all.size(), 1 << 32);
+    }
+
+    #[test]
+    fn cidr_host_prefix_is_single_address() {
+        let one = Cidr::new(Ipv4Addr::new(10, 0, 0, 7), 32);
+        assert!(one.contains(Ipv4Addr::new(10, 0, 0, 7)));
+        assert!(!one.contains(Ipv4Addr::new(10, 0, 0, 8)));
+        assert_eq!(one.size(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix length out of range")]
+    fn cidr_rejects_long_prefix() {
+        let _ = Cidr::new(Ipv4Addr::new(0, 0, 0, 0), 33);
+    }
+
+    #[test]
+    fn allocator_assigns_unique_addresses() {
+        let mut alloc = IpAllocator::new();
+        let a = alloc.allocate(Country::Finland);
+        let b = alloc.allocate(Country::Finland);
+        let c = alloc.allocate(Country::Brazil);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(alloc.allocated(Country::Finland), 2);
+        assert_eq!(alloc.allocated(Country::Brazil), 1);
+        assert_eq!(alloc.allocated(Country::Japan), 0);
+    }
+
+    #[test]
+    fn geoip_locates_allocated_addresses() {
+        let mut alloc = IpAllocator::new();
+        let db = GeoIpDb::new();
+        for &country in &Country::ALL {
+            for _ in 0..5 {
+                let addr = alloc.allocate(country);
+                assert_eq!(db.lookup(addr), Some(country), "addr {addr}");
+            }
+        }
+    }
+
+    #[test]
+    fn geoip_unknown_address_is_none() {
+        let db = GeoIpDb::new();
+        assert_eq!(db.lookup(Ipv4Addr::new(8, 8, 8, 8)), None);
+        assert_eq!(db.lookup(Ipv4Addr::new(192, 168, 1, 1)), None);
+    }
+
+    #[test]
+    fn geoip_override_wins_by_longest_prefix() {
+        let mut db = GeoIpDb::new();
+        // Carve a /24 of Finland's block and claim it for Sweden —
+        // models a stale geo-IP entry.
+        let fi_idx = Country::Finland.index() as u8;
+        let stale = Cidr::new(Ipv4Addr::new(10, fi_idx, 9, 0), 24);
+        db.add_override(stale, Country::Sweden);
+        assert_eq!(
+            db.lookup(Ipv4Addr::new(10, fi_idx, 9, 77)),
+            Some(Country::Sweden)
+        );
+        assert_eq!(
+            db.lookup(Ipv4Addr::new(10, fi_idx, 10, 77)),
+            Some(Country::Finland)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cidr_normalized_base_contains_base(a in 0u32.., p in 0u8..=32) {
+            let block = Cidr::new(Ipv4Addr::from(a), p);
+            // The normalized base is inside the block.
+            prop_assert!(block.contains(block.addr(0)));
+        }
+
+        #[test]
+        fn prop_allocator_never_collides(counts in proptest::collection::vec(0usize..50, 18)) {
+            let mut alloc = IpAllocator::new();
+            let mut seen = std::collections::HashSet::new();
+            for (i, &n) in counts.iter().enumerate() {
+                for _ in 0..n {
+                    let addr = alloc.allocate(Country::ALL[i]);
+                    prop_assert!(seen.insert(addr), "duplicate address {addr}");
+                }
+            }
+        }
+    }
+}

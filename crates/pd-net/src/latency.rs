@@ -1,0 +1,172 @@
+//! Deterministic network latency model.
+//!
+//! The paper's noise-control argument (Sec. 2.2) is that synchronized
+//! fan-out keeps the *time spread* between vantage-point fetches far below
+//! the timescale at which prices change. To evaluate that argument inside
+//! the simulation (and to ablate it — see `bench/ablations`), requests
+//! need realistic, reproducible round-trip times.
+//!
+//! The model is intentionally simple: a base RTT per region pair plus a
+//! deterministic per-(src,dst) jitter derived from a seed. No queueing —
+//! the crawler's request rate is trivially low.
+
+use crate::geo::{Country, Region};
+use pd_util::Seed;
+use serde::{Deserialize, Serialize};
+
+/// Deterministic latency oracle.
+///
+/// # Examples
+///
+/// ```
+/// use pd_net::{latency::LatencyModel, geo::Country};
+/// use pd_util::Seed;
+///
+/// let m = LatencyModel::new(Seed::new(1));
+/// let rtt = m.rtt_ms(Country::Finland, Country::UnitedStates);
+/// assert!(rtt >= 100 && rtt < 400);
+/// // Deterministic:
+/// assert_eq!(rtt, LatencyModel::new(Seed::new(1)).rtt_ms(Country::Finland, Country::UnitedStates));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyModel {
+    seed: Seed,
+}
+
+impl LatencyModel {
+    /// Creates a model from a seed.
+    #[must_use]
+    pub fn new(seed: Seed) -> Self {
+        LatencyModel {
+            seed: seed.derive("latency"),
+        }
+    }
+
+    /// Base round-trip time between two regions, in milliseconds.
+    fn base_rtt(a: Region, b: Region) -> u64 {
+        use Region::*;
+        if a == b {
+            return 30;
+        }
+        match (a, b) {
+            (NorthAmerica, SouthAmerica) | (SouthAmerica, NorthAmerica) => 150,
+            (NorthAmerica, Eurozone)
+            | (Eurozone, NorthAmerica)
+            | (NorthAmerica, EuropeNonEuro)
+            | (EuropeNonEuro, NorthAmerica) => 110,
+            (Eurozone, EuropeNonEuro) | (EuropeNonEuro, Eurozone) => 40,
+            (SouthAmerica, Eurozone)
+            | (Eurozone, SouthAmerica)
+            | (SouthAmerica, EuropeNonEuro)
+            | (EuropeNonEuro, SouthAmerica) => 200,
+            (AsiaPacific, NorthAmerica) | (NorthAmerica, AsiaPacific) => 140,
+            (AsiaPacific, _) | (_, AsiaPacific) => 250,
+            // `a == b` is handled above; unreachable but required for
+            // exhaustiveness.
+            _ => 30,
+        }
+    }
+
+    /// Round-trip time between two countries in milliseconds: base per
+    /// region pair + stable per-pair jitter in `[0, 30)`.
+    #[must_use]
+    pub fn rtt_ms(&self, src: Country, dst: Country) -> u64 {
+        let base = Self::base_rtt(src.region(), dst.region());
+        let jitter = self
+            .seed
+            .derive_idx((src.index() as u64) << 8 | dst.index() as u64)
+            .value()
+            % 30;
+        base + jitter
+    }
+
+    /// One-way time approximation (half the RTT).
+    #[must_use]
+    pub fn one_way_ms(&self, src: Country, dst: Country) -> u64 {
+        self.rtt_ms(src, dst) / 2
+    }
+
+    /// The worst-case spread of arrival times when `sources` all fire at
+    /// the same instant toward `dst` — the quantity the synchronization
+    /// argument bounds.
+    #[must_use]
+    pub fn fanout_spread_ms(&self, sources: &[Country], dst: Country) -> u64 {
+        let times: Vec<u64> = sources
+            .iter()
+            .map(|&s| self.one_way_ms(s, dst))
+            .collect();
+        match (times.iter().min(), times.iter().max()) {
+            (Some(lo), Some(hi)) => hi - lo,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtt_is_deterministic() {
+        let a = LatencyModel::new(Seed::new(7));
+        let b = LatencyModel::new(Seed::new(7));
+        for &src in &Country::ALL {
+            for &dst in &Country::ALL {
+                assert_eq!(a.rtt_ms(src, dst), b.rtt_ms(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn same_region_is_fast() {
+        let m = LatencyModel::new(Seed::new(1));
+        assert!(m.rtt_ms(Country::Germany, Country::Spain) < 70);
+        assert!(m.rtt_ms(Country::UnitedStates, Country::UnitedStates) < 70);
+    }
+
+    #[test]
+    fn transatlantic_is_slower_than_intra_eu() {
+        let m = LatencyModel::new(Seed::new(1));
+        assert!(
+            m.rtt_ms(Country::UnitedStates, Country::Germany)
+                > m.rtt_ms(Country::France, Country::Germany)
+        );
+    }
+
+    #[test]
+    fn fanout_spread_is_below_price_change_timescale() {
+        // The paper's synchronization argument: the spread of a 14-way
+        // fan-out is hundreds of ms, while prices change on the scale of
+        // hours/days.
+        let m = LatencyModel::new(Seed::new(1));
+        let sources: Vec<Country> = vec![
+            Country::Belgium,
+            Country::Brazil,
+            Country::Finland,
+            Country::Germany,
+            Country::Spain,
+            Country::UnitedKingdom,
+            Country::UnitedStates,
+        ];
+        let spread = m.fanout_spread_ms(&sources, Country::UnitedStates);
+        assert!(spread < 500, "spread {spread} ms");
+    }
+
+    #[test]
+    fn fanout_spread_empty_sources_is_zero() {
+        let m = LatencyModel::new(Seed::new(1));
+        assert_eq!(m.fanout_spread_ms(&[], Country::UnitedStates), 0);
+    }
+
+    #[test]
+    fn different_seeds_give_different_jitter_somewhere() {
+        let a = LatencyModel::new(Seed::new(1));
+        let b = LatencyModel::new(Seed::new(2));
+        let differs = Country::ALL.iter().any(|&src| {
+            Country::ALL
+                .iter()
+                .any(|&dst| a.rtt_ms(src, dst) != b.rtt_ms(src, dst))
+        });
+        assert!(differs);
+    }
+}

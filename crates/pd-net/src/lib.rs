@@ -1,0 +1,39 @@
+//! Simulated internet substrate.
+//!
+//! The paper's measurement system ran on the real internet: 14 vantage
+//! points in different countries issued synchronized HTTP requests, and
+//! retailers geo-located the client IP to decide which price to show. This
+//! crate rebuilds exactly the pieces of that environment the system
+//! interacts with:
+//!
+//! * [`clock`] — a simulated wall clock with civil-date arithmetic. The
+//!   crawl schedule ("daily for a week"), the FX-rate series ("daily lowest
+//!   and highest") and the synchronization logic all consume it.
+//! * [`geo`] — countries, cities and the paper's 14 measurement locations
+//!   (Fig. 7: Liège, São Paulo, Tampere, Berlin, 3× Spain with different
+//!   platforms, London and 6 US cities).
+//! * [`ip`] — per-location IPv4 allocation and a geo-IP database, the
+//!   lookup retailers use to localize clients.
+//! * [`latency`] — a deterministic latency model, used to show that the
+//!   synchronized fan-out keeps the spread of arrival times far below the
+//!   timescale of price changes.
+//! * [`host`] — a DNS-like registry mapping retail domains to simulated
+//!   servers.
+//! * [`vantage`] — vantage-point definitions (location + platform).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod geo;
+pub mod host;
+pub mod ip;
+pub mod latency;
+pub mod vantage;
+
+pub use clock::{CivilDate, SimClock, SimDuration, SimTime};
+pub use geo::{City, Country, Location};
+pub use host::{HostId, HostRegistry};
+pub use ip::{GeoIpDb, IpAllocator};
+pub use latency::LatencyModel;
+pub use vantage::{paper_vantage_points, Browser, Os, Platform, VantagePoint};

@@ -1,0 +1,177 @@
+//! Product categories.
+//!
+//! The paper's crowd surfaced "bookstores, cloth retailers/manufacturers,
+//! office supplies/electronics, car dealers, department stores, hotel and
+//! travel agencies" (Sec. 3.2). Categories drive three things in the
+//! simulation: catalog price ranges, crowd-user interest profiles, and
+//! figure labels.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A product category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Category {
+    Books,
+    Ebooks,
+    Clothing,
+    Shoes,
+    Leather,
+    Eyewear,
+    Electronics,
+    Photography,
+    OfficeSupplies,
+    HomeImprovement,
+    Hotels,
+    Travel,
+    Automobiles,
+    DepartmentStore,
+    Cycling,
+    Nutrition,
+    Games,
+    BabyGoods,
+    Media,
+}
+
+impl Category {
+    /// All categories.
+    pub const ALL: [Category; 19] = [
+        Category::Books,
+        Category::Ebooks,
+        Category::Clothing,
+        Category::Shoes,
+        Category::Leather,
+        Category::Eyewear,
+        Category::Electronics,
+        Category::Photography,
+        Category::OfficeSupplies,
+        Category::HomeImprovement,
+        Category::Hotels,
+        Category::Travel,
+        Category::Automobiles,
+        Category::DepartmentStore,
+        Category::Cycling,
+        Category::Nutrition,
+        Category::Games,
+        Category::BabyGoods,
+        Category::Media,
+    ];
+
+    /// Typical price range of the category in USD (lo, hi), log-uniform.
+    ///
+    /// Ranges are chosen so the union spans Fig. 5's $10–$10 000 axis with
+    /// cheap categories (books/ebooks/media) at the left edge and
+    /// automobiles at the right.
+    #[must_use]
+    pub fn price_range_usd(self) -> (f64, f64) {
+        match self {
+            Category::Ebooks => (4.0, 25.0),
+            Category::Books => (8.0, 60.0),
+            Category::Media => (5.0, 40.0),
+            Category::Nutrition => (10.0, 90.0),
+            Category::Games => (5.0, 70.0),
+            Category::BabyGoods => (15.0, 300.0),
+            Category::Clothing => (15.0, 250.0),
+            Category::Shoes => (30.0, 280.0),
+            Category::OfficeSupplies => (3.0, 500.0),
+            Category::Eyewear => (80.0, 400.0),
+            Category::Leather => (60.0, 900.0),
+            Category::Cycling => (10.0, 3_000.0),
+            Category::DepartmentStore => (10.0, 1_500.0),
+            Category::Electronics => (20.0, 2_500.0),
+            Category::HomeImprovement => (5.0, 2_000.0),
+            Category::Photography => (50.0, 8_000.0),
+            Category::Hotels => (40.0, 800.0),
+            Category::Travel => (60.0, 3_000.0),
+            Category::Automobiles => (2_000.0, 10_000.0),
+        }
+    }
+
+    /// Index into [`Category::ALL`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        Category::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("category present in ALL")
+    }
+
+    /// Short label used in product names and URLs.
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            Category::Books => "book",
+            Category::Ebooks => "ebook",
+            Category::Clothing => "apparel",
+            Category::Shoes => "shoe",
+            Category::Leather => "leather",
+            Category::Eyewear => "eyewear",
+            Category::Electronics => "gadget",
+            Category::Photography => "camera",
+            Category::OfficeSupplies => "office",
+            Category::HomeImprovement => "tool",
+            Category::Hotels => "room",
+            Category::Travel => "trip",
+            Category::Automobiles => "car",
+            Category::DepartmentStore => "item",
+            Category::Cycling => "bike",
+            Category::Nutrition => "supplement",
+            Category::Games => "game",
+            Category::BabyGoods => "baby",
+            Category::Media => "disc",
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_19_unique() {
+        let set: std::collections::HashSet<_> = Category::ALL.iter().collect();
+        assert_eq!(set.len(), 19);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, c) in Category::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn price_ranges_are_sane() {
+        for &c in &Category::ALL {
+            let (lo, hi) = c.price_range_usd();
+            assert!(lo > 0.0 && hi > lo, "{c}: ({lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn union_spans_fig5_axis() {
+        let lo = Category::ALL
+            .iter()
+            .map(|c| c.price_range_usd().0)
+            .fold(f64::MAX, f64::min);
+        let hi = Category::ALL
+            .iter()
+            .map(|c| c.price_range_usd().1)
+            .fold(f64::MIN, f64::max);
+        assert!(lo <= 10.0, "cheapest categories reach $10: {lo}");
+        assert!(hi >= 10_000.0 * 0.99, "dearest reach $10K: {hi}");
+    }
+
+    #[test]
+    fn slugs_unique() {
+        let set: std::collections::HashSet<_> = Category::ALL.iter().map(|c| c.slug()).collect();
+        assert_eq!(set.len(), 19);
+    }
+}

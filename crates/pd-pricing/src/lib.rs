@@ -1,0 +1,36 @@
+//! Product catalogs and ground-truth pricing strategies.
+//!
+//! The paper observes price-variation *behaviours* from the outside:
+//! multiplicative parallel lines (Fig. 6a), additive terms that fade with
+//! price (Fig. 6b), city-level differences (Fig. 8a), country-level tiers
+//! with a constant-US interior (Fig. 8b), login-uncorrelated jitter on
+//! ebooks (Fig. 10). This crate implements those behaviours as explicit,
+//! composable strategies so the measurement pipeline can *rediscover*
+//! them — and so tests can check the detector against known ground truth,
+//! which the original authors could never do.
+//!
+//! * [`category`] — product categories (the paper's: books, clothing,
+//!   hotels, cars, photography, home improvement, …),
+//! * [`product`] — seeded catalog generation with log-uniform charm
+//!   prices in the $10–$10 000 range of Fig. 5,
+//! * [`quote`] — the quote context: who is asking, from where, when,
+//!   logged in or not,
+//! * [`strategy`] — the pricing-strategy components and their engine,
+//! * [`retailer`] — retailer specifications, including
+//!   [`retailer::paper_retailers`], the calibrated world of the paper's
+//!   27 crowd-flagged domains (21 of them crawled).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod category;
+pub mod product;
+pub mod quote;
+pub mod retailer;
+pub mod strategy;
+
+pub use category::Category;
+pub use product::{Catalog, Product};
+pub use quote::{LoginState, Persona, QuoteContext};
+pub use retailer::{filler_retailers, paper_retailers, RetailerSpec};
+pub use strategy::{PricingEngine, StrategyComponent};

@@ -1,0 +1,232 @@
+//! Seeded product-catalog generation.
+//!
+//! Every retailer owns a catalog of products with USD *base prices* —
+//! what the retailer would charge a perfectly neutral customer. Pricing
+//! strategies perturb the base per location/user/time. Base prices are
+//! log-uniform within the category range and snapped to retail "charm"
+//! values (x.99), matching the price texture of the paper's Fig. 5.
+
+use crate::category::Category;
+use pd_util::{Money, ProductId, Seed};
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One product in a retailer's catalog.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Product {
+    /// Dense id within the owning catalog.
+    pub id: ProductId,
+    /// Display name, e.g. `"Camera Nova 0042"`.
+    pub name: String,
+    /// URL slug, e.g. `"camera-nova-0042"`.
+    pub slug: String,
+    /// Category.
+    pub category: Category,
+    /// USD base price (minor units).
+    pub base_price: Money,
+}
+
+/// A retailer's product catalog.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Catalog {
+    products: Vec<Product>,
+}
+
+/// Name fragments combined into deterministic product names.
+const ADJECTIVES: [&str; 16] = [
+    "Nova", "Alpine", "Urban", "Retro", "Prime", "Vivid", "Solid", "Aero", "Terra", "Luna",
+    "Rapid", "Quiet", "Bold", "Pure", "Atlas", "Delta",
+];
+
+impl Catalog {
+    /// Generates `size` products of the given `categories` (round-robin)
+    /// for one retailer.
+    ///
+    /// Deterministic in `seed`. Prices are log-uniform in the category
+    /// range, charm-rounded, and never below $0.99.
+    #[must_use]
+    pub fn generate(seed: Seed, categories: &[Category], size: usize) -> Self {
+        assert!(!categories.is_empty(), "catalog needs at least one category");
+        let mut rng = seed.derive("catalog").rng();
+        let mut products = Vec::with_capacity(size);
+        for i in 0..size {
+            let category = categories[i % categories.len()];
+            let (lo, hi) = category.price_range_usd();
+            let log_price = rng.random_range(lo.ln()..hi.ln());
+            let base = Money::from_f64(log_price.exp()).charm();
+            let adj = ADJECTIVES[rng.random_range(0..ADJECTIVES.len())];
+            let name = format!(
+                "{} {} {:04}",
+                capitalize(category.slug()),
+                adj,
+                i
+            );
+            let slug = format!("{}-{}-{:04}", category.slug(), adj.to_lowercase(), i);
+            products.push(Product {
+                id: ProductId::new(i as u32),
+                name,
+                slug,
+                category,
+                base_price: base,
+            });
+        }
+        Catalog { products }
+    }
+
+    /// Number of products.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.products.len()
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.products.is_empty()
+    }
+
+    /// Borrows a product.
+    ///
+    /// # Panics
+    ///
+    /// Panics for ids not in this catalog.
+    #[must_use]
+    pub fn product(&self, id: ProductId) -> &Product {
+        &self.products[id.index()]
+    }
+
+    /// Looks a product up by slug.
+    #[must_use]
+    pub fn by_slug(&self, slug: &str) -> Option<&Product> {
+        self.products.iter().find(|p| p.slug == slug)
+    }
+
+    /// Iterates all products.
+    pub fn iter(&self) -> impl Iterator<Item = &Product> {
+        self.products.iter()
+    }
+
+    /// Samples `n` distinct products uniformly (or all, if fewer exist),
+    /// deterministic in `seed` — how the crawler picks its "up to 100
+    /// random products per retailer".
+    #[must_use]
+    pub fn sample(&self, seed: Seed, n: usize) -> Vec<ProductId> {
+        let mut rng = seed.derive("catalog-sample").rng();
+        let mut ids: Vec<ProductId> = self.products.iter().map(|p| p.id).collect();
+        ids.shuffle(&mut rng);
+        ids.truncate(n);
+        ids.sort();
+        ids
+    }
+}
+
+fn capitalize(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Catalog::generate(Seed::new(5), &[Category::Books], 50);
+        let b = Catalog::generate(Seed::new(5), &[Category::Books], 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Catalog::generate(Seed::new(5), &[Category::Books], 50);
+        let b = Catalog::generate(Seed::new(6), &[Category::Books], 50);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn prices_within_category_range() {
+        let cat = Catalog::generate(Seed::new(7), &[Category::Photography], 200);
+        let (lo, hi) = Category::Photography.price_range_usd();
+        for p in cat.iter() {
+            let v = p.base_price.to_f64();
+            // Charm rounding may dip one unit below the lower bound.
+            assert!(v >= lo - 1.0 && v <= hi + 1.0, "{}: {v}", p.name);
+        }
+    }
+
+    #[test]
+    fn prices_are_charm() {
+        let cat = Catalog::generate(Seed::new(8), &[Category::Clothing], 100);
+        for p in cat.iter() {
+            assert_eq!(p.base_price.to_minor() % 100, 99, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn categories_round_robin() {
+        let cats = [Category::Books, Category::Ebooks];
+        let c = Catalog::generate(Seed::new(9), &cats, 10);
+        for (i, p) in c.iter().enumerate() {
+            assert_eq!(p.category, cats[i % 2]);
+        }
+    }
+
+    #[test]
+    fn slugs_are_unique_and_resolvable() {
+        let c = Catalog::generate(Seed::new(10), &[Category::Games], 100);
+        let slugs: std::collections::HashSet<_> = c.iter().map(|p| p.slug.clone()).collect();
+        assert_eq!(slugs.len(), 100);
+        for p in c.iter() {
+            assert_eq!(c.by_slug(&p.slug).unwrap().id, p.id);
+        }
+        assert!(c.by_slug("missing").is_none());
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let c = Catalog::generate(Seed::new(11), &[Category::Books], 20);
+        for (i, p) in c.iter().enumerate() {
+            assert_eq!(p.id.index(), i);
+            assert_eq!(c.product(p.id), p);
+        }
+    }
+
+    #[test]
+    fn sample_is_distinct_sorted_and_bounded() {
+        let c = Catalog::generate(Seed::new(12), &[Category::Books], 150);
+        let s = c.sample(Seed::new(1), 100);
+        assert_eq!(s.len(), 100);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 100);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        // Requesting more than exists returns all.
+        let all = c.sample(Seed::new(1), 1_000);
+        assert_eq!(all.len(), 150);
+    }
+
+    #[test]
+    fn sample_is_deterministic_but_seed_sensitive() {
+        let c = Catalog::generate(Seed::new(13), &[Category::Books], 50);
+        assert_eq!(c.sample(Seed::new(1), 10), c.sample(Seed::new(1), 10));
+        assert_ne!(c.sample(Seed::new(1), 10), c.sample(Seed::new(2), 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one category")]
+    fn empty_categories_panics() {
+        let _ = Catalog::generate(Seed::new(1), &[], 10);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_all_prices_positive(seed in 0u64..500, size in 1usize..60) {
+            let c = Catalog::generate(Seed::new(seed), &[Category::DepartmentStore], size);
+            prop_assert!(c.iter().all(|p| p.base_price.is_positive()));
+            prop_assert_eq!(c.len(), size);
+        }
+    }
+}

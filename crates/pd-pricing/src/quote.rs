@@ -1,0 +1,131 @@
+//! Quote context: everything a retailer can observe about a request.
+//!
+//! The paper's open question #4 is whether variations can be attributed
+//! to "specific personal information traits (location, browsing history,
+//! etc.)". The context therefore carries each trait the study controls
+//! for: geo-located location, wall-clock time, login state, trained
+//! persona, and an opaque session token (the handle A/B bucketing hashes).
+
+use pd_net::clock::SimTime;
+use pd_net::geo::Location;
+use serde::{Deserialize, Serialize};
+
+/// Login state of the requesting browser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum LoginState {
+    /// Not logged in (the paper's "W/o login" series in Fig. 10).
+    #[default]
+    Anonymous,
+    /// Logged in as account `user_key` (paper's Users A/B/C).
+    LoggedIn {
+        /// Stable key of the account.
+        user_key: u64,
+    },
+}
+
+/// A trained browsing persona (Sec. 4.4): the affluent and budget
+/// personas were built by visiting luxury vs. discount sites before
+/// measuring. The paper finds **no** persona effect; the simulated
+/// retailers accordingly ignore this field — the field exists so the
+/// experiment can *demonstrate* the null result end-to-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Persona {
+    /// No training.
+    #[default]
+    Neutral,
+    /// Luxury-site browsing history.
+    Affluent,
+    /// Discount-site browsing history.
+    BudgetConscious,
+}
+
+/// The observable context of one price quote.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuoteContext {
+    /// Geo-located client location (country granularity is what geo-IP
+    /// gives; city granularity is available for in-country CDNs, which is
+    /// how city-level strategies like Fig. 8(a)'s retailer operate).
+    pub location: Location,
+    /// Simulated instant of the request.
+    pub time: SimTime,
+    /// Day index (derived from `time`; duplicated for cheap access).
+    pub day: usize,
+    /// Login state.
+    pub login: LoginState,
+    /// Trained persona.
+    pub persona: Persona,
+    /// Opaque per-session token; A/B strategies hash it for bucketing.
+    pub session_token: u64,
+}
+
+impl QuoteContext {
+    /// A neutral anonymous context at `location` and `time`.
+    #[must_use]
+    pub fn anonymous(location: Location, time: SimTime) -> Self {
+        QuoteContext {
+            location,
+            day: time.day_index() as usize,
+            time,
+            login: LoginState::Anonymous,
+            persona: Persona::Neutral,
+            session_token: 0,
+        }
+    }
+
+    /// Returns a copy with the given login state.
+    #[must_use]
+    pub fn with_login(mut self, login: LoginState) -> Self {
+        self.login = login;
+        self
+    }
+
+    /// Returns a copy with the given persona.
+    #[must_use]
+    pub fn with_persona(mut self, persona: Persona) -> Self {
+        self.persona = persona;
+        self
+    }
+
+    /// Returns a copy with the given session token.
+    #[must_use]
+    pub fn with_session(mut self, token: u64) -> Self {
+        self.session_token = token;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_net::geo::Country;
+
+    #[test]
+    fn anonymous_defaults() {
+        let loc = Location::new(Country::Finland, "Tampere");
+        let t = SimTime::from_millis(3 * 24 * 3_600_000 + 5);
+        let ctx = QuoteContext::anonymous(loc.clone(), t);
+        assert_eq!(ctx.location, loc);
+        assert_eq!(ctx.day, 3);
+        assert_eq!(ctx.login, LoginState::Anonymous);
+        assert_eq!(ctx.persona, Persona::Neutral);
+        assert_eq!(ctx.session_token, 0);
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let loc = Location::new(Country::UnitedStates, "Boston");
+        let ctx = QuoteContext::anonymous(loc, SimTime::EPOCH)
+            .with_login(LoginState::LoggedIn { user_key: 42 })
+            .with_persona(Persona::Affluent)
+            .with_session(7);
+        assert_eq!(ctx.login, LoginState::LoggedIn { user_key: 42 });
+        assert_eq!(ctx.persona, Persona::Affluent);
+        assert_eq!(ctx.session_token, 7);
+    }
+
+    #[test]
+    fn default_login_is_anonymous() {
+        assert_eq!(LoginState::default(), LoginState::Anonymous);
+        assert_eq!(Persona::default(), Persona::Neutral);
+    }
+}

@@ -1,0 +1,652 @@
+//! Pricing strategies — the ground truth the detector must rediscover.
+//!
+//! Each retailer's engine is a pipeline of [`StrategyComponent`]s applied
+//! to a product's USD base price. The components are exactly the
+//! behaviours the paper infers from the outside:
+//!
+//! | Component | Paper evidence |
+//! |---|---|
+//! | [`StrategyComponent::MultiplicativeByLocation`] | Fig. 6(a): parallel ratio lines per location |
+//! | [`StrategyComponent::AdditiveByLocation`] | Fig. 6(b): additive term fading as price grows |
+//! | [`StrategyComponent::PerProductMixed`] | Fig. 8(a): "one location more expensive for some products but cheaper for others" |
+//! | [`StrategyComponent::CheapBoost`] | Fig. 5: up to ×3 on cheap products, <×1.5 above $2K |
+//! | [`StrategyComponent::SessionJitter`] | Fig. 10: Kindle price spread uncorrelated with login |
+//! | [`StrategyComponent::AbTest`] | Sec. 2.2's noise source eliminated by repeats |
+//! | [`StrategyComponent::TemporalDrift`] | day-to-day price movement; defeated by synchronization |
+//! | [`StrategyComponent::ProductGate`] | Fig. 3: retailers with <100 % extent |
+//!
+//! All stochastic choices are keyed hashes (seed × product × location ×
+//! session), never shared-RNG draws, so quotes are order-independent:
+//! asking the same question twice — or from 14 vantage points in any
+//! order — gives identical answers, exactly like a deterministic pricing
+//! backend.
+
+use crate::product::Product;
+use crate::quote::QuoteContext;
+use pd_net::geo::{Country, Location};
+use pd_util::{Money, Seed};
+use serde::{Deserialize, Serialize};
+
+/// Location selector for a strategy entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LocKey {
+    /// Matches any city in the country (how geo-IP-level pricing works).
+    Country(Country),
+    /// Matches one city exactly (CDN/city-level pricing, Fig. 8a).
+    City(Country, String),
+}
+
+impl LocKey {
+    /// Whether this key matches a concrete location. City keys are
+    /// checked before country keys by the engine.
+    #[must_use]
+    pub fn matches(&self, loc: &Location) -> bool {
+        match self {
+            LocKey::Country(c) => *c == loc.country,
+            LocKey::City(c, city) => *c == loc.country && *city == loc.city.name,
+        }
+    }
+
+    fn specificity(&self) -> u8 {
+        match self {
+            LocKey::City(..) => 2,
+            LocKey::Country(_) => 1,
+        }
+    }
+}
+
+/// One component of a pricing pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StrategyComponent {
+    /// Per-location multiplicative factor (unlisted locations ⇒ 1.0).
+    MultiplicativeByLocation {
+        /// `(key, factor)` pairs; most specific matching key wins.
+        factors: Vec<(LocKey, f64)>,
+    },
+    /// Per-location additive USD surcharge (unlisted ⇒ zero).
+    AdditiveByLocation {
+        /// `(key, surcharge)` pairs; most specific matching key wins.
+        surcharges: Vec<(LocKey, Money)>,
+    },
+    /// Per-location factor drawn per *product* from `[lo, hi]` — two
+    /// locations with overlapping ranges produce the paper's "mixed"
+    /// pairwise clouds (cheaper for some products, dearer for others).
+    PerProductMixed {
+        /// `(key, lo_factor, hi_factor)` triples.
+        ranges: Vec<(LocKey, f64, f64)>,
+    },
+    /// Price-dependent multiplicative boost for matching locations:
+    /// `factor_at_low` for products at/below `lo_usd`, decaying
+    /// log-linearly to `factor_at_high` at/above `hi_usd`. Produces the
+    /// declining envelope of Fig. 5.
+    CheapBoost {
+        /// Locations that see boosted prices.
+        keys: Vec<LocKey>,
+        /// Factor applied at/below `lo_usd`.
+        factor_at_low: f64,
+        /// Factor applied at/above `hi_usd`.
+        factor_at_high: f64,
+        /// Price where the boost is maximal.
+        lo_usd: f64,
+        /// Price where the boost bottoms out.
+        hi_usd: f64,
+    },
+    /// Per-(product, session) multiplicative jitter of ±`amplitude`,
+    /// independent of login state (Fig. 10's mechanism).
+    SessionJitter {
+        /// Half-width of the jitter (0.1 ⇒ ±10 %).
+        amplitude: f64,
+    },
+    /// Classic A/B price test: a `fraction` of session buckets see the
+    /// price scaled by `factor`.
+    AbTest {
+        /// Fraction of sessions in the treatment bucket.
+        fraction: f64,
+        /// Factor applied to the treatment bucket.
+        factor: f64,
+    },
+    /// Deterministic daily drift: ±`amplitude` multiplicative wobble
+    /// keyed by (product, day).
+    TemporalDrift {
+        /// Half-width of the wobble.
+        amplitude: f64,
+    },
+    /// Only a `fraction` of products (keyed by product id) are subject to
+    /// the *following* components; the rest are priced uniformly.
+    ProductGate {
+        /// Fraction of products that are discriminated.
+        fraction: f64,
+    },
+}
+
+/// A retailer's pricing engine: seed + component pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PricingEngine {
+    seed: Seed,
+    components: Vec<StrategyComponent>,
+}
+
+impl PricingEngine {
+    /// Builds an engine. `seed` should be the retailer's own seed so two
+    /// retailers with identical components still price independently.
+    #[must_use]
+    pub fn new(seed: Seed, components: Vec<StrategyComponent>) -> Self {
+        PricingEngine {
+            seed: seed.derive("pricing-engine"),
+            components,
+        }
+    }
+
+    /// A uniform (non-discriminating) engine.
+    #[must_use]
+    pub fn uniform(seed: Seed) -> Self {
+        Self::new(seed, Vec::new())
+    }
+
+    /// The components of this engine (ground-truth introspection for
+    /// tests and the ablation benches).
+    #[must_use]
+    pub fn components(&self) -> &[StrategyComponent] {
+        &self.components
+    }
+
+    /// True if any component can produce location/user/time variation.
+    #[must_use]
+    pub fn is_discriminating(&self) -> bool {
+        self.components
+            .iter()
+            .any(|c| !matches!(c, StrategyComponent::ProductGate { .. }))
+    }
+
+    /// Quotes the USD price of `product` for `ctx`.
+    ///
+    /// Deterministic: identical `(product, ctx)` always produce identical
+    /// quotes, regardless of call order.
+    #[must_use]
+    pub fn quote(&self, product: &Product, ctx: &QuoteContext) -> Money {
+        let mut value = product.base_price.to_f64();
+        let mut gated_off = false;
+        for component in &self.components {
+            if gated_off {
+                break;
+            }
+            match component {
+                StrategyComponent::ProductGate { fraction } => {
+                    let u = self.unit("gate", product.id.index() as u64, 0);
+                    if u >= *fraction {
+                        gated_off = true;
+                    }
+                }
+                StrategyComponent::MultiplicativeByLocation { factors } => {
+                    if let Some(f) = best_match(factors, &ctx.location) {
+                        value *= f;
+                    }
+                }
+                StrategyComponent::AdditiveByLocation { surcharges } => {
+                    if let Some(s) = best_match(surcharges, &ctx.location) {
+                        value += s.to_f64();
+                    }
+                }
+                StrategyComponent::PerProductMixed { ranges } => {
+                    if let Some((key, lo, hi)) = best_match_triple(ranges, &ctx.location) {
+                        // Keyed by the *matched* selector, not the
+                        // concrete location: a country-keyed range gives
+                        // one factor for the whole country (amazon's
+                        // "constant across US" behaviour).
+                        let u = self.unit(
+                            "mixed",
+                            product.id.index() as u64,
+                            key_hash(key),
+                        );
+                        value *= lo + (hi - lo) * u;
+                    }
+                }
+                StrategyComponent::CheapBoost {
+                    keys,
+                    factor_at_low,
+                    factor_at_high,
+                    lo_usd,
+                    hi_usd,
+                } => {
+                    if keys.iter().any(|k| k.matches(&ctx.location)) {
+                        let p = product.base_price.to_f64().max(0.01);
+                        let w = ((hi_usd.ln() - p.ln()) / (hi_usd.ln() - lo_usd.ln()))
+                            .clamp(0.0, 1.0);
+                        value *= factor_at_high + (factor_at_low - factor_at_high) * w;
+                    }
+                }
+                StrategyComponent::SessionJitter { amplitude } => {
+                    let u = self.unit("jitter", product.id.index() as u64, ctx.session_token);
+                    value *= 1.0 + amplitude * (2.0 * u - 1.0);
+                }
+                StrategyComponent::AbTest { fraction, factor } => {
+                    let u = self.unit(
+                        "ab",
+                        product.id.index() as u64,
+                        ctx.session_token,
+                    );
+                    if u < *fraction {
+                        value *= factor;
+                    }
+                }
+                StrategyComponent::TemporalDrift { amplitude } => {
+                    let u = self.unit("drift", product.id.index() as u64, ctx.day as u64);
+                    value *= 1.0 + amplitude * (2.0 * u - 1.0);
+                }
+            }
+        }
+        Money::from_f64(value.max(0.01))
+    }
+
+    /// Keyed uniform hash in [0,1): label × a × b, independent of call
+    /// order.
+    fn unit(&self, label: &str, a: u64, b: u64) -> f64 {
+        let s = self
+            .seed
+            .derive(label)
+            .derive_idx(a)
+            .derive_idx(b.wrapping_add(0x9e37_79b9));
+        (s.value() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn key_hash(key: &LocKey) -> u64 {
+    match key {
+        LocKey::Country(c) => c.index() as u64,
+        LocKey::City(c, city) => {
+            let mut h: u64 = 0x1000 + c.index() as u64;
+            for b in city.as_bytes() {
+                h = h.wrapping_mul(0x100_0000_01b3) ^ u64::from(*b);
+            }
+            h
+        }
+    }
+}
+
+/// Finds the most specific matching value in a `(LocKey, V)` table.
+fn best_match<V: Copy>(table: &[(LocKey, V)], loc: &Location) -> Option<V> {
+    table
+        .iter()
+        .filter(|(k, _)| k.matches(loc))
+        .max_by_key(|(k, _)| k.specificity())
+        .map(|(_, v)| *v)
+}
+
+fn best_match_triple<'a>(
+    table: &'a [(LocKey, f64, f64)],
+    loc: &Location,
+) -> Option<(&'a LocKey, f64, f64)> {
+    table
+        .iter()
+        .filter(|(k, _, _)| k.matches(loc))
+        .max_by_key(|(k, _, _)| k.specificity())
+        .map(|(k, lo, hi)| (k, *lo, *hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category::Category;
+    use crate::product::Catalog;
+    use crate::quote::LoginState;
+    use pd_net::clock::SimTime;
+    use proptest::prelude::*;
+
+    fn catalog() -> Catalog {
+        Catalog::generate(Seed::new(42), &[Category::Photography], 60)
+    }
+
+    fn ctx_at(country: Country, city: &str) -> QuoteContext {
+        QuoteContext::anonymous(Location::new(country, city), SimTime::EPOCH)
+    }
+
+    #[test]
+    fn uniform_engine_never_varies() {
+        let cat = catalog();
+        let e = PricingEngine::uniform(Seed::new(1));
+        assert!(!e.is_discriminating());
+        for p in cat.iter() {
+            let us = e.quote(p, &ctx_at(Country::UnitedStates, "Boston"));
+            let fi = e.quote(p, &ctx_at(Country::Finland, "Tampere"));
+            assert_eq!(us, fi);
+            assert_eq!(us, p.base_price);
+        }
+    }
+
+    #[test]
+    fn multiplicative_produces_parallel_lines() {
+        // Fig. 6(a): the ratio to the cheapest location is constant
+        // across the whole price range.
+        let cat = catalog();
+        let e = PricingEngine::new(
+            Seed::new(2),
+            vec![StrategyComponent::MultiplicativeByLocation {
+                factors: vec![
+                    (LocKey::Country(Country::Finland), 1.25),
+                    (LocKey::Country(Country::UnitedKingdom), 1.10),
+                ],
+            }],
+        );
+        for p in cat.iter() {
+            let base = e.quote(p, &ctx_at(Country::UnitedStates, "New York"));
+            let fi = e.quote(p, &ctx_at(Country::Finland, "Tampere"));
+            let uk = e.quote(p, &ctx_at(Country::UnitedKingdom, "London"));
+            let rf = fi.ratio_to(base).unwrap();
+            let ru = uk.ratio_to(base).unwrap();
+            assert!((rf - 1.25).abs() < 0.01, "{rf}");
+            assert!((ru - 1.10).abs() < 0.01, "{ru}");
+        }
+    }
+
+    #[test]
+    fn additive_effect_fades_with_price() {
+        // Fig. 6(b): additive surcharge matters for cheap products,
+        // vanishes for expensive ones.
+        let e = PricingEngine::new(
+            Seed::new(3),
+            vec![StrategyComponent::AdditiveByLocation {
+                surcharges: vec![(LocKey::Country(Country::Germany), Money::from_minor(800))],
+            }],
+        );
+        let cat = Catalog::generate(Seed::new(5), &[Category::Clothing], 120);
+        let mut cheap_ratio: f64 = 0.0;
+        let mut dear_ratio = f64::MAX;
+        for p in cat.iter() {
+            let base = e.quote(p, &ctx_at(Country::UnitedStates, "Boston"));
+            let de = e.quote(p, &ctx_at(Country::Germany, "Berlin"));
+            let r = de.ratio_to(base).unwrap();
+            if p.base_price.to_f64() < 25.0 {
+                cheap_ratio = cheap_ratio.max(r);
+            }
+            if p.base_price.to_f64() > 200.0 {
+                dear_ratio = dear_ratio.min(r);
+            }
+        }
+        assert!(cheap_ratio > 1.3, "cheap ratio {cheap_ratio}");
+        assert!(dear_ratio < 1.05, "dear ratio {dear_ratio}");
+    }
+
+    #[test]
+    fn city_key_overrides_country_key() {
+        let e = PricingEngine::new(
+            Seed::new(4),
+            vec![StrategyComponent::MultiplicativeByLocation {
+                factors: vec![
+                    (LocKey::Country(Country::UnitedStates), 1.0),
+                    (
+                        LocKey::City(Country::UnitedStates, "New York".into()),
+                        1.15,
+                    ),
+                ],
+            }],
+        );
+        let cat = catalog();
+        let p = cat.product(pd_util::ProductId::new(0));
+        let ny = e.quote(p, &ctx_at(Country::UnitedStates, "New York"));
+        let chi = e.quote(p, &ctx_at(Country::UnitedStates, "Chicago"));
+        let r = ny.ratio_to(chi).unwrap();
+        assert!((r - 1.15).abs() < 0.01);
+    }
+
+    #[test]
+    fn per_product_mixed_goes_both_ways() {
+        // Fig. 8(a) Boston/Lincoln: some products cheaper, some dearer.
+        let e = PricingEngine::new(
+            Seed::new(5),
+            vec![StrategyComponent::PerProductMixed {
+                ranges: vec![
+                    (
+                        LocKey::City(Country::UnitedStates, "Boston".into()),
+                        0.95,
+                        1.15,
+                    ),
+                    (
+                        LocKey::City(Country::UnitedStates, "Lincoln".into()),
+                        0.95,
+                        1.15,
+                    ),
+                ],
+            }],
+        );
+        let cat = catalog();
+        let mut boston_dearer = 0;
+        let mut lincoln_dearer = 0;
+        for p in cat.iter() {
+            let b = e.quote(p, &ctx_at(Country::UnitedStates, "Boston"));
+            let l = e.quote(p, &ctx_at(Country::UnitedStates, "Lincoln"));
+            match b.cmp(&l) {
+                std::cmp::Ordering::Greater => boston_dearer += 1,
+                std::cmp::Ordering::Less => lincoln_dearer += 1,
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        assert!(boston_dearer >= 10, "{boston_dearer}");
+        assert!(lincoln_dearer >= 10, "{lincoln_dearer}");
+    }
+
+    #[test]
+    fn country_keyed_mixed_is_city_invariant() {
+        // Regression: a country-keyed PerProductMixed must price every
+        // city of that country identically (amazon's "constant across
+        // US but vary across countries").
+        let e = PricingEngine::new(
+            Seed::new(55),
+            vec![StrategyComponent::PerProductMixed {
+                ranges: vec![(LocKey::Country(Country::UnitedStates), 1.0, 1.5)],
+            }],
+        );
+        let cat = catalog();
+        for p in cat.iter().take(20) {
+            let boston = e.quote(p, &ctx_at(Country::UnitedStates, "Boston"));
+            let chicago = e.quote(p, &ctx_at(Country::UnitedStates, "Chicago"));
+            let ny = e.quote(p, &ctx_at(Country::UnitedStates, "New York"));
+            assert_eq!(boston, chicago, "{}", p.slug);
+            assert_eq!(boston, ny, "{}", p.slug);
+        }
+    }
+
+    #[test]
+    fn cheap_boost_envelope_declines() {
+        // Fig. 5: ×3 at $10, ≤×1.5 at $5K.
+        let e = PricingEngine::new(
+            Seed::new(6),
+            vec![StrategyComponent::CheapBoost {
+                keys: vec![LocKey::Country(Country::Finland)],
+                factor_at_low: 3.0,
+                factor_at_high: 1.3,
+                lo_usd: 10.0,
+                hi_usd: 5_000.0,
+            }],
+        );
+        let mk = |usd: f64| Product {
+            id: pd_util::ProductId::new(0),
+            name: "p".into(),
+            slug: "p".into(),
+            category: Category::DepartmentStore,
+            base_price: Money::from_f64(usd),
+        };
+        let base_ctx = ctx_at(Country::UnitedStates, "Boston");
+        let fi_ctx = ctx_at(Country::Finland, "Tampere");
+        let ratio = |usd: f64| {
+            let p = mk(usd);
+            e.quote(&p, &fi_ctx).ratio_to(e.quote(&p, &base_ctx)).unwrap()
+        };
+        assert!((ratio(10.0) - 3.0).abs() < 0.05);
+        assert!(ratio(100.0) < ratio(10.0));
+        assert!(ratio(1_000.0) < ratio(100.0));
+        assert!((ratio(5_000.0) - 1.3).abs() < 0.05);
+        assert!((ratio(9_000.0) - 1.3).abs() < 0.05); // clamped
+    }
+
+    #[test]
+    fn session_jitter_ignores_login() {
+        // Fig. 10: same session token ⇒ same price regardless of login.
+        let e = PricingEngine::new(
+            Seed::new(7),
+            vec![StrategyComponent::SessionJitter { amplitude: 0.1 }],
+        );
+        let cat = catalog();
+        let p = cat.product(pd_util::ProductId::new(3));
+        let anon = ctx_at(Country::UnitedStates, "Boston").with_session(99);
+        let logged = anon
+            .clone()
+            .with_login(LoginState::LoggedIn { user_key: 123 });
+        assert_eq!(e.quote(p, &anon), e.quote(p, &logged));
+        // ...but different sessions see different prices.
+        let other = anon.clone().with_session(100);
+        assert_ne!(e.quote(p, &anon), e.quote(p, &other));
+    }
+
+    #[test]
+    fn ab_test_buckets_fraction_of_sessions() {
+        let e = PricingEngine::new(
+            Seed::new(8),
+            vec![StrategyComponent::AbTest {
+                fraction: 0.3,
+                factor: 1.2,
+            }],
+        );
+        let cat = catalog();
+        let p = cat.product(pd_util::ProductId::new(1));
+        let base = p.base_price;
+        let mut treated = 0;
+        for s in 0..1000 {
+            let ctx = ctx_at(Country::UnitedStates, "Boston").with_session(s);
+            if e.quote(p, &ctx) != base {
+                treated += 1;
+            }
+        }
+        assert!((250..=350).contains(&treated), "treated {treated}");
+    }
+
+    #[test]
+    fn temporal_drift_changes_by_day_only() {
+        let e = PricingEngine::new(
+            Seed::new(9),
+            vec![StrategyComponent::TemporalDrift { amplitude: 0.05 }],
+        );
+        let cat = catalog();
+        let p = cat.product(pd_util::ProductId::new(2));
+        let day0 = QuoteContext::anonymous(
+            Location::new(Country::UnitedStates, "Boston"),
+            SimTime::from_millis(0),
+        );
+        let day0b = QuoteContext::anonymous(
+            Location::new(Country::Finland, "Tampere"),
+            SimTime::from_millis(3_600_000),
+        );
+        let day1 = QuoteContext::anonymous(
+            Location::new(Country::UnitedStates, "Boston"),
+            SimTime::from_millis(24 * 3_600_000 + 1),
+        );
+        // Same day, any location/hour: same price (drift is global).
+        assert_eq!(e.quote(p, &day0), e.quote(p, &day0b));
+        // Different day: may differ.
+        assert_ne!(e.quote(p, &day0), e.quote(p, &day1));
+    }
+
+    #[test]
+    fn product_gate_limits_extent() {
+        let e = PricingEngine::new(
+            Seed::new(10),
+            vec![
+                StrategyComponent::ProductGate { fraction: 0.5 },
+                StrategyComponent::MultiplicativeByLocation {
+                    factors: vec![(LocKey::Country(Country::Finland), 1.3)],
+                },
+            ],
+        );
+        let cat = Catalog::generate(Seed::new(77), &[Category::Books], 400);
+        let varied = cat
+            .iter()
+            .filter(|p| {
+                e.quote(p, &ctx_at(Country::Finland, "Tampere"))
+                    != e.quote(p, &ctx_at(Country::UnitedStates, "Boston"))
+            })
+            .count();
+        let frac = varied as f64 / 400.0;
+        assert!((0.4..0.6).contains(&frac), "extent {frac}");
+    }
+
+    #[test]
+    fn quotes_are_order_independent() {
+        let cat = catalog();
+        let e = PricingEngine::new(
+            Seed::new(11),
+            vec![
+                StrategyComponent::MultiplicativeByLocation {
+                    factors: vec![(LocKey::Country(Country::Finland), 1.2)],
+                },
+                StrategyComponent::SessionJitter { amplitude: 0.05 },
+            ],
+        );
+        let ctx = ctx_at(Country::Finland, "Tampere").with_session(5);
+        let p = cat.product(pd_util::ProductId::new(7));
+        let first = e.quote(p, &ctx);
+        // Interleave other quotes; the original must not change.
+        for s in 0..50 {
+            let _ = e.quote(p, &ctx.clone().with_session(s));
+        }
+        assert_eq!(e.quote(p, &ctx), first);
+    }
+
+    #[test]
+    fn quote_never_nonpositive() {
+        // Huge negative surcharge cannot push a price to zero or below.
+        let e = PricingEngine::new(
+            Seed::new(12),
+            vec![StrategyComponent::AdditiveByLocation {
+                surcharges: vec![(
+                    LocKey::Country(Country::Germany),
+                    Money::from_minor(-100_000_000),
+                )],
+            }],
+        );
+        let cat = catalog();
+        for p in cat.iter() {
+            assert!(e.quote(p, &ctx_at(Country::Germany, "Berlin")).is_positive());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_quote_deterministic(
+            seed in 0u64..200,
+            session in 0u64..100,
+            day_ms in 0u64..(150u64 * 24 * 3_600_000),
+        ) {
+            let cat = catalog();
+            let e = PricingEngine::new(
+                Seed::new(seed),
+                vec![
+                    StrategyComponent::SessionJitter { amplitude: 0.1 },
+                    StrategyComponent::TemporalDrift { amplitude: 0.05 },
+                ],
+            );
+            let ctx = QuoteContext::anonymous(
+                Location::new(Country::Spain, "Barcelona"),
+                SimTime::from_millis(day_ms),
+            ).with_session(session);
+            let p = cat.product(pd_util::ProductId::new(0));
+            prop_assert_eq!(e.quote(p, &ctx), e.quote(p, &ctx));
+        }
+
+        #[test]
+        fn prop_multiplicative_ratio_exact(factor in 1.01f64..2.0) {
+            let cat = catalog();
+            let e = PricingEngine::new(
+                Seed::new(1),
+                vec![StrategyComponent::MultiplicativeByLocation {
+                    factors: vec![(LocKey::Country(Country::Finland), factor)],
+                }],
+            );
+            for p in cat.iter().take(10) {
+                let fi = e.quote(p, &ctx_at(Country::Finland, "Tampere"));
+                let us = e.quote(p, &ctx_at(Country::UnitedStates, "Boston"));
+                let r = fi.ratio_to(us).unwrap();
+                // exact up to cent rounding
+                prop_assert!((r - factor).abs() < 0.02);
+            }
+        }
+    }
+}

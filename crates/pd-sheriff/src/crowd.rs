@@ -1,0 +1,446 @@
+//! The simulated crowd.
+//!
+//! Sec. 3.2: "1500 requests (between Jan–May 2013) … issued by 340
+//! different users from 18 countries … checked products from 600
+//! domains." The crowd model reproduces those aggregates:
+//!
+//! * users are spread over all 18 countries with a popularity skew
+//!   (US/UK/DE-heavy, as browser-extension userbases are),
+//! * each user has 1–3 interest categories; they check products from
+//!   retailers carrying those categories, weighted by retailer
+//!   popularity — so amazon-likes collect tens of checks while niche
+//!   local stores get a handful (the long tail that "underscores the
+//!   usefulness of crowdsourcing"),
+//! * checks are spread over the 151-day window,
+//! * a small fraction of checks carry the paper's noise: product
+//!   customization not encoded in the URI, and mis-highlights.
+
+use crate::fanout::Sheriff;
+use crate::measurement::{Measurement, MeasurementStore, NoiseTruth, PriceObservation};
+use pd_currency::Locale;
+use pd_extract::HighlightExtractor;
+use pd_net::clock::{SimDuration, SimTime};
+use pd_net::geo::{Country, Location};
+use pd_util::{RequestId, Seed, UserId};
+use pd_web::template::price_selector;
+use pd_web::{Request, WebWorld};
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Crowd-simulation parameters. Defaults reproduce the paper's
+/// aggregates; tests shrink them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrowdConfig {
+    /// Number of $heriff users.
+    pub users: usize,
+    /// Total number of checks to issue.
+    pub checks: usize,
+    /// Length of the collection window in days.
+    pub window_days: u64,
+    /// Probability that a check is a customization mismatch.
+    pub customization_noise: f64,
+    /// Probability that a check highlights the wrong element.
+    pub mis_highlight_noise: f64,
+}
+
+impl Default for CrowdConfig {
+    fn default() -> Self {
+        CrowdConfig {
+            users: 340,
+            checks: 1_500,
+            window_days: 151, // Jan 1 – May 31, 2013
+            customization_noise: 0.04,
+            mis_highlight_noise: 0.03,
+        }
+    }
+}
+
+/// One simulated $heriff user.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrowdUser {
+    /// Dense user id.
+    pub id: UserId,
+    /// Where they live (their own page renders from here).
+    pub location: Location,
+    /// Their client address.
+    addr: std::net::Ipv4Addr,
+    /// Interest categories (indices into `Category::ALL`).
+    pub interests: Vec<usize>,
+}
+
+/// User-country skew: extension userbases concentrate in a few countries
+/// while still covering all 18.
+fn user_country(rng: &mut StdRng) -> Country {
+    let weights: [(Country, f64); 18] = [
+        (Country::UnitedStates, 0.22),
+        (Country::Spain, 0.14),
+        (Country::UnitedKingdom, 0.10),
+        (Country::Germany, 0.09),
+        (Country::Italy, 0.07),
+        (Country::France, 0.06),
+        (Country::Finland, 0.05),
+        (Country::Belgium, 0.04),
+        (Country::Brazil, 0.04),
+        (Country::Netherlands, 0.035),
+        (Country::Poland, 0.03),
+        (Country::Portugal, 0.025),
+        (Country::Greece, 0.02),
+        (Country::Sweden, 0.02),
+        (Country::Ireland, 0.02),
+        (Country::Canada, 0.02),
+        (Country::Australia, 0.015),
+        (Country::Japan, 0.015),
+    ];
+    let total: f64 = weights.iter().map(|(_, w)| w).sum();
+    let mut draw = rng.random_range(0.0..total);
+    for (c, w) in weights {
+        if draw < w {
+            return c;
+        }
+        draw -= w;
+    }
+    Country::UnitedStates
+}
+
+impl CrowdUser {
+    /// The user's client IP address (needed by the cleaning refetch).
+    #[must_use]
+    pub fn addr(&self) -> std::net::Ipv4Addr {
+        self.addr
+    }
+}
+
+/// The crowd: users plus the measurement campaign driver.
+#[derive(Debug)]
+pub struct Crowd {
+    users: Vec<CrowdUser>,
+    config: CrowdConfig,
+    seed: Seed,
+}
+
+impl Crowd {
+    /// Creates the user population (allocating their client addresses in
+    /// `world`).
+    #[must_use]
+    pub fn new(seed: Seed, config: CrowdConfig, world: &mut WebWorld) -> Self {
+        let seed = seed.derive("crowd");
+        let mut rng = seed.derive("population").rng();
+        let users = (0..config.users)
+            .map(|i| {
+                let country = user_country(&mut rng);
+                let location = Location::new(country, "Home");
+                let addr = world.allocate_client(&location);
+                let n_interests = rng.random_range(1..=3);
+                let mut interests: Vec<usize> = (0..19).collect();
+                interests.shuffle(&mut rng);
+                interests.truncate(n_interests);
+                CrowdUser {
+                    id: UserId::new(i as u32),
+                    location,
+                    addr,
+                    interests,
+                }
+            })
+            .collect();
+        Crowd {
+            users,
+            config,
+            seed,
+        }
+    }
+
+    /// The user population.
+    #[must_use]
+    pub fn users(&self) -> &[CrowdUser] {
+        &self.users
+    }
+
+    /// Number of distinct user countries (the paper reports 18).
+    #[must_use]
+    pub fn country_count(&self) -> usize {
+        self.users
+            .iter()
+            .map(|u| u.location.country)
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+    }
+
+    /// Runs the whole crowdsourced campaign: `config.checks` checks
+    /// through `sheriff`, recorded into a fresh store.
+    #[must_use]
+    pub fn run_campaign(&self, world: &WebWorld, sheriff: &Sheriff) -> MeasurementStore {
+        let mut store = MeasurementStore::new();
+        let mut rng = self.seed.derive("campaign").rng();
+
+        // Retailer choice weights: popularity × interest match.
+        let servers = world.servers();
+        for check_idx in 0..self.config.checks {
+            let user = &self.users[rng.random_range(0..self.users.len())];
+            // Candidate retailers: those selling an interest category.
+            let weights: Vec<f64> = servers
+                .iter()
+                .map(|s| {
+                    let matches = s
+                        .spec()
+                        .categories
+                        .iter()
+                        .any(|c| user.interests.contains(&c.index()));
+                    if matches {
+                        s.spec().popularity
+                    } else {
+                        s.spec().popularity * 0.05 // occasional off-interest browse
+                    }
+                })
+                .collect();
+            let total: f64 = weights.iter().sum();
+            let mut draw = rng.random_range(0.0..total);
+            let mut chosen = 0;
+            for (i, w) in weights.iter().enumerate() {
+                if draw < *w {
+                    chosen = i;
+                    break;
+                }
+                draw -= w;
+            }
+            let server = &servers[chosen];
+            let catalog = server.catalog();
+            let pidx = rng.random_range(0..catalog.len());
+            let product = catalog.product(pd_util::ProductId::new(pidx as u32));
+            let domain = server.spec().domain.clone();
+
+            // Check time: uniform day, business-ish hour.
+            let day = rng.random_range(0..self.config.window_days);
+            let ms = rng.random_range(8 * 3_600_000..22 * 3_600_000u64);
+            let time = SimTime::from_millis(day * 24 * 3_600_000) + SimDuration::from_millis(ms);
+
+            // Noise lottery.
+            let noise_draw: f64 = rng.random();
+            let noise = if noise_draw < self.config.customization_noise {
+                NoiseTruth::Customization
+            } else if noise_draw
+                < self.config.customization_noise + self.config.mis_highlight_noise
+            {
+                NoiseTruth::MisHighlight
+            } else {
+                NoiseTruth::Clean
+            };
+
+            if let Some(m) = run_one_check(
+                world,
+                sheriff,
+                user,
+                &domain,
+                &product.slug,
+                server.spec().template_style,
+                time,
+                noise,
+                check_idx,
+            ) {
+                store.push(m);
+            }
+        }
+        store
+    }
+}
+
+/// Executes one check end to end: render the user's own page, capture the
+/// highlight, fan out, record. Returns `None` when even the user's own
+/// page failed (never happens for registered domains; kept total anyway).
+#[allow(clippy::too_many_arguments)]
+fn run_one_check(
+    world: &WebWorld,
+    sheriff: &Sheriff,
+    user: &CrowdUser,
+    domain: &str,
+    slug: &str,
+    template_style: u8,
+    time: SimTime,
+    noise: NoiseTruth,
+    check_idx: usize,
+) -> Option<Measurement> {
+    let path = format!("/product/{slug}");
+    let own_req = Request::get(domain, &path, user.addr, time);
+    let own_resp = world.fetch(&own_req);
+    if own_resp.status.code() != 200 {
+        return None;
+    }
+    let own_doc = pd_html::parse(&own_resp.body);
+
+    // Highlight: the price element, or — mis-highlight noise — the promo.
+    let selector = if noise == NoiseTruth::MisHighlight {
+        pd_html::Selector::parse(".promo-banner > em").expect("static selector")
+    } else {
+        price_selector(template_style)
+    };
+    let extractor = HighlightExtractor::from_highlight(&own_doc, &selector)?;
+    let own_locale = Locale::of_country(user.location.country);
+    let own_extract = extractor.extract(&own_doc, Some(own_locale)).ok();
+
+    // Customization noise: the user actually configured a +15 % variant;
+    // their *displayed* price differs from what the URI serves.
+    let user_price = own_extract.as_ref().map(|e| {
+        if noise == NoiseTruth::Customization {
+            pd_currency::Price::new(e.price.amount.scale(1.15), e.price.currency)
+        } else {
+            e.price
+        }
+    });
+
+    let observations: Vec<PriceObservation> =
+        sheriff.check(world, domain, &path, &extractor, time, &[]);
+
+    Some(Measurement {
+        request: RequestId::new(check_idx as u32), // overwritten by store
+        user: user.id,
+        domain: domain.to_owned(),
+        product_slug: slug.to_owned(),
+        time,
+        user_price,
+        observations,
+        noise_truth: noise,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_net::ip::IpAllocator;
+    use pd_net::latency::LatencyModel;
+    use pd_net::vantage::paper_vantage_points;
+    use pd_pricing::{filler_retailers, paper_retailers};
+
+    fn small_world() -> (WebWorld, Sheriff) {
+        let seed = Seed::new(1307);
+        let mut specs = paper_retailers(seed);
+        specs.extend(filler_retailers(seed, 30));
+        let mut world = WebWorld::build(seed, specs, 160);
+        let mut alloc = IpAllocator::new();
+        let vps: Vec<_> = paper_vantage_points(&mut alloc)
+            .into_iter()
+            .map(|mut vp| {
+                vp.addr = world.allocate_client(&vp.location);
+                vp
+            })
+            .collect();
+        let sheriff = Sheriff::new(vps, LatencyModel::new(seed));
+        (world, sheriff)
+    }
+
+    fn small_config() -> CrowdConfig {
+        CrowdConfig {
+            users: 40,
+            checks: 80,
+            window_days: 30,
+            ..CrowdConfig::default()
+        }
+    }
+
+    #[test]
+    fn population_covers_many_countries() {
+        let (mut world, _) = small_world();
+        let crowd = Crowd::new(Seed::new(1307), CrowdConfig::default(), &mut world);
+        assert_eq!(crowd.users().len(), 340);
+        // Full-size population covers all 18 countries.
+        assert_eq!(crowd.country_count(), 18);
+    }
+
+    #[test]
+    fn population_is_deterministic() {
+        let (mut w1, _) = small_world();
+        let (mut w2, _) = small_world();
+        let a = Crowd::new(Seed::new(5), small_config(), &mut w1);
+        let b = Crowd::new(Seed::new(5), small_config(), &mut w2);
+        for (ua, ub) in a.users().iter().zip(b.users()) {
+            assert_eq!(ua.location, ub.location);
+            assert_eq!(ua.interests, ub.interests);
+        }
+    }
+
+    #[test]
+    fn campaign_produces_requested_checks() {
+        let (mut world, sheriff) = small_world();
+        let crowd = Crowd::new(Seed::new(1307), small_config(), &mut world);
+        let store = crowd.run_campaign(&world, &sheriff);
+        assert_eq!(store.len(), 80);
+        // Every measurement has 14 observations.
+        assert!(store.records().iter().all(|m| m.observations.len() == 14));
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let (mut w1, s1) = small_world();
+        let crowd1 = Crowd::new(Seed::new(7), small_config(), &mut w1);
+        let store1 = crowd1.run_campaign(&w1, &s1);
+        let (mut w2, s2) = small_world();
+        let crowd2 = Crowd::new(Seed::new(7), small_config(), &mut w2);
+        let store2 = crowd2.run_campaign(&w2, &s2);
+        assert_eq!(store1.len(), store2.len());
+        for (a, b) in store1.records().iter().zip(store2.records()) {
+            assert_eq!(a.domain, b.domain);
+            assert_eq!(a.product_slug, b.product_slug);
+            assert_eq!(a.prices(), b.prices());
+        }
+    }
+
+    #[test]
+    fn popular_retailers_collect_more_checks() {
+        let (mut world, sheriff) = small_world();
+        let mut cfg = small_config();
+        cfg.checks = 300;
+        let crowd = Crowd::new(Seed::new(1307), cfg, &mut world);
+        let store = crowd.run_campaign(&world, &sheriff);
+        let amazon = store.by_domain("www.amazon.com").count();
+        let bookdep = store.by_domain("www.bookdepository.co.uk").count();
+        assert!(
+            amazon > bookdep,
+            "popularity skew: amazon {amazon} vs bookdepository {bookdep}"
+        );
+    }
+
+    #[test]
+    fn noise_is_injected_at_configured_rate() {
+        let (mut world, sheriff) = small_world();
+        let mut cfg = small_config();
+        cfg.checks = 400;
+        cfg.customization_noise = 0.2;
+        cfg.mis_highlight_noise = 0.1;
+        let crowd = Crowd::new(Seed::new(3), cfg, &mut world);
+        let store = crowd.run_campaign(&world, &sheriff);
+        let custom = store
+            .records()
+            .iter()
+            .filter(|m| m.noise_truth == NoiseTruth::Customization)
+            .count();
+        let mis = store
+            .records()
+            .iter()
+            .filter(|m| m.noise_truth == NoiseTruth::MisHighlight)
+            .count();
+        assert!((40..=120).contains(&custom), "customization {custom}");
+        assert!((15..=70).contains(&mis), "mis-highlight {mis}");
+    }
+
+    #[test]
+    fn customization_noise_shifts_user_price_only() {
+        let (mut world, sheriff) = small_world();
+        let mut cfg = small_config();
+        cfg.checks = 200;
+        cfg.customization_noise = 0.5;
+        cfg.mis_highlight_noise = 0.0;
+        let crowd = Crowd::new(Seed::new(9), cfg, &mut world);
+        let store = crowd.run_campaign(&world, &sheriff);
+        let noisy: Vec<_> = store
+            .records()
+            .iter()
+            .filter(|m| m.noise_truth == NoiseTruth::Customization)
+            .collect();
+        assert!(!noisy.is_empty());
+        for m in noisy {
+            // The user's price is 15% above what their own-country VP
+            // would see — verifiable whenever a same-country VP exists
+            // and extraction succeeded.
+            let user_price = m.user_price.expect("user extracted");
+            assert!(user_price.amount.is_positive());
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Dataset export: JSONL and CSV for external analysis.
+//!
+//! The paper's authors analyzed stored pages offline (in R, by the look
+//! of the figures). Downstream users of this reproduction get the same
+//! affordance: both stores export to line-oriented formats that load
+//! directly into R/pandas. JSONL carries one *measurement* per line;
+//! CSV flattens to one *observation* per row.
+
+use crate::measurement::MeasurementStore;
+use std::fmt::Write as _;
+
+/// Serializes a store as JSON Lines (one measurement per line).
+///
+/// # Panics
+///
+/// Never: measurements contain no non-serializable values.
+#[must_use]
+pub fn to_jsonl(store: &MeasurementStore) -> String {
+    let mut out = String::new();
+    for m in store.records() {
+        out.push_str(&serde_json::to_string(m).expect("measurement serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// CSV header produced by [`to_csv`].
+pub const CSV_HEADER: &str =
+    "request,user,domain,product_slug,day,time_ms,vantage,currency,amount_minor,raw_text,error";
+
+/// Flattens a store to CSV: one row per (measurement, observation).
+/// Fields containing commas or quotes are quoted per RFC 4180.
+#[must_use]
+pub fn to_csv(store: &MeasurementStore) -> String {
+    let mut out = String::with_capacity(store.len() * 128);
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for m in store.records() {
+        for o in &m.observations {
+            let (currency, amount) = match o.price {
+                Some(p) => (p.currency.code(), p.amount.to_minor().to_string()),
+                None => ("", String::new()),
+            };
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{}",
+                m.request,
+                m.user,
+                csv_field(&m.domain),
+                csv_field(&m.product_slug),
+                m.day(),
+                m.time.as_millis(),
+                o.vantage,
+                currency,
+                amount,
+                csv_field(o.raw_text.as_deref().unwrap_or("")),
+                csv_field(o.error.as_deref().unwrap_or("")),
+            );
+        }
+    }
+    out
+}
+
+/// Quotes a CSV field when needed (RFC 4180).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::{Measurement, NoiseTruth, PriceObservation};
+    use pd_currency::{Currency, Price};
+    use pd_net::clock::SimTime;
+    use pd_util::{Money, RequestId, UserId, VantageId};
+
+    fn store() -> MeasurementStore {
+        let mut s = MeasurementStore::new();
+        s.push(Measurement {
+            request: RequestId::new(0),
+            user: UserId::new(3),
+            domain: "shop.example".into(),
+            product_slug: "camera-nova-0001".into(),
+            time: SimTime::from_millis(5 * 24 * 3_600_000 + 42),
+            user_price: None,
+            observations: vec![
+                PriceObservation::ok(
+                    VantageId::new(0),
+                    Price::new(Money::from_minor(1299), Currency::Usd),
+                    "$12.99".into(),
+                ),
+                PriceObservation::failed(VantageId::new(1), "http 503".into()),
+            ],
+            noise_truth: NoiseTruth::Clean,
+        });
+        s
+    }
+
+    #[test]
+    fn jsonl_one_line_per_measurement_and_parses_back() {
+        let s = store();
+        let jsonl = to_jsonl(&s);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 1);
+        let back: Measurement = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(back.domain, "shop.example");
+        assert_eq!(back.observations.len(), 2);
+    }
+
+    #[test]
+    fn csv_one_row_per_observation() {
+        let csv = to_csv(&store());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], CSV_HEADER);
+        assert_eq!(lines.len(), 3); // header + 2 observations
+        assert!(lines[1].contains("USD,1299"));
+        assert!(lines[1].contains("$12.99"));
+        assert!(lines[2].contains("http 503"));
+        assert!(lines[2].contains(",,")); // empty currency/amount
+        // Same column count in every row.
+        let cols = lines[0].split(',').count();
+        assert_eq!(lines[1].split(',').count(), cols);
+    }
+
+    #[test]
+    fn csv_quotes_special_fields() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn empty_store_exports_header_only() {
+        let s = MeasurementStore::new();
+        assert_eq!(to_jsonl(&s), "");
+        assert_eq!(to_csv(&s).lines().count(), 1);
+    }
+}

@@ -1,0 +1,322 @@
+//! The synchronized 14-point check.
+//!
+//! Sec. 2.2: "we synchronized the measurements from different vantage
+//! points so that they occur almost at the same time". Each check sends
+//! the exact URI to all vantage points; every fetch happens at the check
+//! instant plus its one-way network latency (hundreds of ms at most — the
+//! ablation bench removes this synchronization to show what breaks).
+
+use crate::measurement::PriceObservation;
+use pd_currency::Locale;
+use pd_extract::HighlightExtractor;
+use pd_net::clock::{SimDuration, SimTime};
+use pd_net::geo::Country;
+use pd_net::latency::LatencyModel;
+use pd_net::vantage::VantagePoint;
+use pd_web::{Request, WebWorld};
+
+/// The fan-out engine: the fixed vantage-point fleet plus the latency
+/// model used to timestamp each fetch.
+#[derive(Debug, Clone)]
+pub struct Sheriff {
+    vantage_points: Vec<VantagePoint>,
+    latency: LatencyModel,
+    /// Extra per-vantage start skew (zero = synchronized; the ablation
+    /// sets it to minutes/hours to demonstrate the noise it causes).
+    pub desync: SimDuration,
+}
+
+impl Sheriff {
+    /// Builds the engine from a vantage fleet and latency model.
+    #[must_use]
+    pub fn new(vantage_points: Vec<VantagePoint>, latency: LatencyModel) -> Self {
+        Sheriff {
+            vantage_points,
+            latency,
+            desync: SimDuration::ZERO,
+        }
+    }
+
+    /// The vantage fleet.
+    #[must_use]
+    pub fn vantage_points(&self) -> &[VantagePoint] {
+        &self.vantage_points
+    }
+
+    /// Runs one check: fetch `http://host/path` from every vantage point
+    /// at `time`, replay the highlight on each copy, extract.
+    ///
+    /// `extra_cookies` ride on every fetch (the login experiment sets
+    /// `login=<key>`; normal checks pass none). Each vantage fetch is a
+    /// fresh session, as $heriff's probes were.
+    #[must_use]
+    pub fn check(
+        &self,
+        world: &WebWorld,
+        host: &str,
+        path: &str,
+        extractor: &HighlightExtractor,
+        time: SimTime,
+        extra_cookies: &[(String, String)],
+    ) -> Vec<PriceObservation> {
+        // All simulated retailers are modeled as US-hosted origin
+        // servers; only the relative latency spread matters for the
+        // synchronization argument.
+        let dst_country = Country::UnitedStates;
+        let _ = world.server_by_domain(host); // host may be unknown; fetch handles it
+
+        self.vantage_points
+            .iter()
+            .enumerate()
+            .map(|(i, vp)| {
+                let skew_ms = self.desync.as_millis() * i as u64;
+                let arrive = time
+                    + SimDuration::from_millis(
+                        self.latency.one_way_ms(vp.location.country, dst_country) + skew_ms,
+                    );
+                let mut req = Request::get(host, path, vp.addr, arrive)
+                    .with_header("user-agent", &vp.platform.user_agent());
+                for (name, value) in extra_cookies {
+                    req = req.with_cookie(name, value);
+                }
+                let resp = world.fetch(&req);
+                if resp.status.code() != 200 {
+                    return PriceObservation::failed(
+                        vp.id,
+                        format!("http {}", resp.status.code()),
+                    );
+                }
+                let doc = pd_html::parse(&resp.body);
+                let hint = Locale::of_country(vp.location.country);
+                match extractor.extract(&doc, Some(hint)) {
+                    Ok(ex) => PriceObservation::ok(vp.id, ex.price, ex.raw_text),
+                    Err(e) => PriceObservation::failed(vp.id, e.to_string()),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_currency::Currency;
+    use pd_html::parse;
+    use pd_net::ip::IpAllocator;
+    use pd_net::vantage::paper_vantage_points;
+    use pd_pricing::paper_retailers;
+    use pd_util::Seed;
+    use pd_web::template::price_selector;
+
+    struct Rig {
+        world: WebWorld,
+        sheriff: Sheriff,
+    }
+
+    fn rig() -> Rig {
+        let seed = Seed::new(1307);
+        let mut world = WebWorld::build(seed, paper_retailers(seed), 160);
+        let mut alloc = IpAllocator::new();
+        let vps: Vec<VantagePoint> = paper_vantage_points(&mut alloc)
+            .into_iter()
+            .map(|mut vp| {
+                vp.addr = world.allocate_client(&vp.location);
+                vp
+            })
+            .collect();
+        let sheriff = Sheriff::new(vps, LatencyModel::new(seed));
+        Rig { world, sheriff }
+    }
+
+    fn highlight_for(rig: &Rig, domain: &str, slug: &str) -> HighlightExtractor {
+        // Simulate a US user rendering their own page and highlighting.
+        let server = rig.world.server_by_domain(domain).unwrap();
+        let vp = &rig.sheriff.vantage_points()[8]; // USA - Boston
+        let req = Request::get(domain, &format!("/product/{slug}"), vp.addr, SimTime::EPOCH);
+        let resp = rig.world.fetch(&req);
+        let doc = parse(&resp.body);
+        HighlightExtractor::from_highlight(&doc, &price_selector(server.spec().template_style))
+            .unwrap()
+    }
+
+    #[test]
+    fn fourteen_observations_per_check() {
+        let r = rig();
+        let slug = r
+            .world
+            .server_by_domain("www.digitalrev.com")
+            .unwrap()
+            .catalog()
+            .iter()
+            .next()
+            .unwrap()
+            .slug
+            .clone();
+        let ex = highlight_for(&r, "www.digitalrev.com", &slug);
+        let obs = r.sheriff.check(
+            &r.world,
+            "www.digitalrev.com",
+            &format!("/product/{slug}"),
+            &ex,
+            SimTime::EPOCH,
+            &[],
+        );
+        assert_eq!(obs.len(), 14);
+        assert!(obs.iter().all(|o| o.price.is_some()), "{obs:?}");
+    }
+
+    #[test]
+    fn multiplicative_retailer_shows_location_spread() {
+        let r = rig();
+        let slug = r
+            .world
+            .server_by_domain("www.digitalrev.com")
+            .unwrap()
+            .catalog()
+            .iter()
+            .next()
+            .unwrap()
+            .slug
+            .clone();
+        let ex = highlight_for(&r, "www.digitalrev.com", &slug);
+        let obs = r.sheriff.check(
+            &r.world,
+            "www.digitalrev.com",
+            &format!("/product/{slug}"),
+            &ex,
+            SimTime::EPOCH,
+            &[],
+        );
+        // Finnish VP (index 2) sees EUR; US VPs see USD.
+        let fi = &obs[2];
+        assert_eq!(fi.price.unwrap().currency, Currency::Eur);
+        let us = &obs[8];
+        assert_eq!(us.price.unwrap().currency, Currency::Usd);
+        // Convert via world FX: Finland ≈ 1.26× the US price.
+        let f = r.world.fx();
+        let ratio = f.to_usd_mid(fi.price.unwrap(), 0) / f.to_usd_mid(us.price.unwrap(), 0);
+        assert!((1.20..1.32).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn three_spain_probes_agree() {
+        // Same location, different platforms: platform must not change
+        // the price (no platform component in any strategy).
+        let r = rig();
+        let slug = r
+            .world
+            .server_by_domain("www.energie.it")
+            .unwrap()
+            .catalog()
+            .iter()
+            .next()
+            .unwrap()
+            .slug
+            .clone();
+        let ex = highlight_for(&r, "www.energie.it", &slug);
+        let obs = r.sheriff.check(
+            &r.world,
+            "www.energie.it",
+            &format!("/product/{slug}"),
+            &ex,
+            SimTime::EPOCH,
+            &[],
+        );
+        let spain: Vec<_> = (4..=6).map(|i| obs[i].price.unwrap()).collect();
+        assert_eq!(spain[0], spain[1]);
+        assert_eq!(spain[1], spain[2]);
+    }
+
+    #[test]
+    fn unknown_host_fails_observations() {
+        let r = rig();
+        let doc = parse("<html><body><span class=price>$5</span></body></html>");
+        let ex = HighlightExtractor::from_highlight(
+            &doc,
+            &pd_html::Selector::parse(".price").unwrap(),
+        )
+        .unwrap();
+        let obs = r
+            .sheriff
+            .check(&r.world, "gone.example", "/product/x", &ex, SimTime::EPOCH, &[]);
+        assert_eq!(obs.len(), 14);
+        assert!(obs.iter().all(|o| o.price.is_none()));
+        assert!(obs[0].error.as_deref().unwrap().contains("404"));
+    }
+
+    #[test]
+    fn login_cookie_rides_every_fetch() {
+        let r = rig();
+        let slug = r
+            .world
+            .server_by_domain("www.amazon.com")
+            .unwrap()
+            .catalog()
+            .iter()
+            .next()
+            .unwrap()
+            .slug
+            .clone();
+        let ex = highlight_for(&r, "www.amazon.com", &slug);
+        let anon = r.sheriff.check(
+            &r.world,
+            "www.amazon.com",
+            &format!("/product/{slug}"),
+            &ex,
+            SimTime::EPOCH,
+            &[],
+        );
+        let logged = r.sheriff.check(
+            &r.world,
+            "www.amazon.com",
+            &format!("/product/{slug}"),
+            &ex,
+            SimTime::EPOCH,
+            &[("login".to_owned(), "7".to_owned())],
+        );
+        // Amazon's jitter is session-keyed, not login-keyed: with equal
+        // session derivation inputs (addr, time), prices must match.
+        let pa: Vec<_> = anon.iter().map(|o| o.price).collect();
+        let pl: Vec<_> = logged.iter().map(|o| o.price).collect();
+        assert_eq!(pa, pl, "login alone must not shift prices");
+    }
+
+    #[test]
+    fn desync_changes_nothing_for_static_prices_within_day() {
+        let mut r = rig();
+        let slug = r
+            .world
+            .server_by_domain("www.digitalrev.com")
+            .unwrap()
+            .catalog()
+            .iter()
+            .next()
+            .unwrap()
+            .slug
+            .clone();
+        let ex = highlight_for(&r, "www.digitalrev.com", &slug);
+        let sync = r.sheriff.check(
+            &r.world,
+            "www.digitalrev.com",
+            &format!("/product/{slug}"),
+            &ex,
+            SimTime::EPOCH,
+            &[],
+        );
+        r.sheriff.desync = SimDuration::from_mins(1);
+        let desync = r.sheriff.check(
+            &r.world,
+            "www.digitalrev.com",
+            &format!("/product/{slug}"),
+            &ex,
+            SimTime::EPOCH,
+            &[],
+        );
+        // digitalrev has no temporal component and sessions are keyed by
+        // time... prices may differ only if a session-keyed component
+        // exists; digitalrev has none.
+        let a: Vec<_> = sync.iter().map(|o| o.price).collect();
+        let b: Vec<_> = desync.iter().map(|o| o.price).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,359 @@
+//! The Sec. 4.4 personal-information experiments.
+//!
+//! Two harnesses, both holding **location and time fixed** as the paper
+//! stresses:
+//!
+//! * [`persona_experiment`] — affluent vs. budget-conscious trained
+//!   personas checking the same products. The paper finds *no* price
+//!   differences; the simulation reproduces the null result end to end
+//!   (personas ride a cookie the retailers demonstrably ignore).
+//! * [`login_experiment`] — Kindle-style ebook prices for three logged-in
+//!   accounts and a logged-out browser (Fig. 10). Prices vary per
+//!   session, but the variation is uncorrelated with login — the paper's
+//!   exact observation.
+
+use pd_currency::{Locale, Price};
+use pd_extract::HighlightExtractor;
+use pd_net::clock::SimTime;
+use pd_net::geo::Location;
+use pd_util::Seed;
+use pd_web::template::price_selector;
+use pd_web::{Request, WebWorld};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// One product's prices across the four Fig. 10 series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoginRow {
+    /// Product index (x-axis of Fig. 10).
+    pub product: usize,
+    /// Product slug.
+    pub slug: String,
+    /// Price without login.
+    pub without_login: Option<Price>,
+    /// Prices for users A, B, C.
+    pub users: [Option<Price>; 3],
+}
+
+/// Result of the login experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoginExperiment {
+    /// Retailer measured.
+    pub domain: String,
+    /// Per-product rows.
+    pub rows: Vec<LoginRow>,
+}
+
+/// Result of the persona experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PersonaExperiment {
+    /// Retailers measured.
+    pub domains: Vec<String>,
+    /// Products checked per retailer.
+    pub products_per_retailer: usize,
+    /// Number of (retailer, product) pairs where affluent and budget
+    /// personas saw different prices. The paper's result: **0**.
+    pub differing_pairs: usize,
+    /// Total pairs checked.
+    pub total_pairs: usize,
+}
+
+fn fetch_price(
+    world: &WebWorld,
+    domain: &str,
+    slug: &str,
+    addr: Ipv4Addr,
+    time: SimTime,
+    location: &Location,
+    cookies: &[(&str, &str)],
+) -> Option<Price> {
+    let style = world.server_by_domain(domain)?.spec().template_style;
+    let mut req = Request::get(domain, &format!("/product/{slug}"), addr, time);
+    for (name, value) in cookies {
+        req = req.with_cookie(name, value);
+    }
+    let resp = world.fetch(&req);
+    if resp.status.code() != 200 {
+        return None;
+    }
+    let doc = pd_html::parse(&resp.body);
+    let ex = HighlightExtractor::from_highlight(&doc, &price_selector(style))?;
+    ex.extract(&doc, Some(Locale::of_country(location.country)))
+        .ok()
+        .map(|e| e.price)
+}
+
+/// Runs the login experiment against `domain` (the paper used
+/// amazon.com's Kindle store): `products` ebooks, one fixed location,
+/// one fixed instant, four browser identities.
+///
+/// Each identity gets its own session (separate browsers), which is what
+/// makes session-keyed jitter visible; the login cookie itself is the
+/// controlled variable.
+#[must_use]
+pub fn login_experiment(
+    world: &WebWorld,
+    seed: Seed,
+    domain: &str,
+    location: &Location,
+    addr: Ipv4Addr,
+    time: SimTime,
+    products: usize,
+) -> LoginExperiment {
+    let server = world
+        .server_by_domain(domain)
+        .expect("login experiment targets a known domain");
+    let slugs: Vec<String> = server
+        .catalog()
+        .iter()
+        .filter(|p| p.category == pd_pricing::Category::Ebooks)
+        .take(products)
+        .map(|p| p.slug.clone())
+        .collect();
+
+    let session_base = seed.derive("login-exp").value() | 1;
+    let rows = slugs
+        .iter()
+        .enumerate()
+        .map(|(i, slug)| {
+            // Four distinct browser sessions, fixed across products.
+            let sid = |k: u64| (session_base.wrapping_add(k * 7919)).to_string();
+            let without_login = fetch_price(
+                world,
+                domain,
+                slug,
+                addr,
+                time,
+                location,
+                &[("sid", &sid(0))],
+            );
+            let users = [1u64, 2, 3].map(|k| {
+                fetch_price(
+                    world,
+                    domain,
+                    slug,
+                    addr,
+                    time,
+                    location,
+                    &[("sid", &sid(k)), ("login", &k.to_string())],
+                )
+            });
+            LoginRow {
+                product: i,
+                slug: slug.clone(),
+                without_login,
+                users,
+            }
+        })
+        .collect();
+    LoginExperiment {
+        domain: domain.to_owned(),
+        rows,
+    }
+}
+
+impl LoginExperiment {
+    /// Fraction of products where at least two identities saw different
+    /// prices (the paper: variation exists).
+    #[must_use]
+    pub fn variation_fraction(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        let varied = self
+            .rows
+            .iter()
+            .filter(|r| {
+                let mut prices: Vec<_> = r
+                    .users
+                    .iter()
+                    .copied()
+                    .chain([r.without_login])
+                    .flatten()
+                    .map(|p| p.amount)
+                    .collect();
+                prices.sort();
+                prices.dedup();
+                prices.len() > 1
+            })
+            .count();
+        varied as f64 / self.rows.len() as f64
+    }
+
+    /// Pearson correlation between "is logged in" (0/1) and price, over
+    /// all (product, identity) pairs. The paper's claim: ~no correlation.
+    #[must_use]
+    pub fn login_price_correlation(&self) -> Option<f64> {
+        let mut logged = Vec::new();
+        let mut price = Vec::new();
+        for r in &self.rows {
+            // Normalize by the product's mean so expensive products don't
+            // dominate the correlation.
+            let all: Vec<f64> = r
+                .users
+                .iter()
+                .copied()
+                .chain([r.without_login])
+                .flatten()
+                .map(|p| p.amount.to_f64())
+                .collect();
+            if all.len() < 4 {
+                continue;
+            }
+            let mean: f64 = all.iter().sum::<f64>() / all.len() as f64;
+            if let Some(p) = r.without_login {
+                logged.push(0.0);
+                price.push(p.amount.to_f64() / mean);
+            }
+            for u in r.users.iter().flatten() {
+                logged.push(1.0);
+                price.push(u.amount.to_f64() / mean);
+            }
+        }
+        pd_util::stats::pearson(&logged, &price)
+    }
+}
+
+/// Runs the persona experiment: for each domain, check `products`
+/// products with an affluent and a budget persona from the same location,
+/// same time, same session. Returns the differing-pair count (paper: 0).
+#[must_use]
+pub fn persona_experiment(
+    world: &WebWorld,
+    domains: &[&str],
+    location: &Location,
+    addr: Ipv4Addr,
+    time: SimTime,
+    products: usize,
+) -> PersonaExperiment {
+    let mut differing = 0;
+    let mut total = 0;
+    for domain in domains {
+        let Some(server) = world.server_by_domain(domain) else {
+            continue;
+        };
+        let slugs: Vec<String> = server
+            .catalog()
+            .iter()
+            .take(products)
+            .map(|p| p.slug.clone())
+            .collect();
+        for slug in &slugs {
+            let affluent = fetch_price(
+                world,
+                domain,
+                slug,
+                addr,
+                time,
+                location,
+                &[("sid", "777"), ("ph", "affluent")],
+            );
+            let budget = fetch_price(
+                world,
+                domain,
+                slug,
+                addr,
+                time,
+                location,
+                &[("sid", "777"), ("ph", "budget")],
+            );
+            if let (Some(a), Some(b)) = (affluent, budget) {
+                total += 1;
+                if a != b {
+                    differing += 1;
+                }
+            }
+        }
+    }
+    PersonaExperiment {
+        domains: domains.iter().map(|d| (*d).to_owned()).collect(),
+        products_per_retailer: products,
+        differing_pairs: differing,
+        total_pairs: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_net::geo::Country;
+    use pd_pricing::paper_retailers;
+    use pd_web::WebWorld;
+
+    fn world() -> (WebWorld, Ipv4Addr, Location) {
+        let seed = Seed::new(1307);
+        let mut world = WebWorld::build(seed, paper_retailers(seed), 160);
+        let loc = Location::new(Country::UnitedStates, "Boston");
+        let addr = world.allocate_client(&loc);
+        (world, addr, loc)
+    }
+
+    #[test]
+    fn login_experiment_shows_variation_without_correlation() {
+        let (world, addr, loc) = world();
+        let exp = login_experiment(
+            &world,
+            Seed::new(1307),
+            "www.amazon.com",
+            &loc,
+            addr,
+            SimTime::from_millis(40 * 24 * 3_600_000),
+            40,
+        );
+        assert_eq!(exp.rows.len(), 40);
+        // Fig. 10: prices DO vary across identities...
+        assert!(
+            exp.variation_fraction() > 0.5,
+            "variation {}",
+            exp.variation_fraction()
+        );
+        // ...but the variation is uncorrelated with login.
+        let corr = exp.login_price_correlation().unwrap_or(0.0);
+        assert!(corr.abs() < 0.25, "login correlation {corr}");
+    }
+
+    #[test]
+    fn login_prices_are_in_ebook_range() {
+        let (world, addr, loc) = world();
+        let exp = login_experiment(
+            &world,
+            Seed::new(1307),
+            "www.amazon.com",
+            &loc,
+            addr,
+            SimTime::from_millis(40 * 24 * 3_600_000),
+            40,
+        );
+        for row in &exp.rows {
+            for p in row.users.iter().copied().chain([row.without_login]).flatten() {
+                let usd = p.amount.to_f64();
+                // Fig. 10's y-axis: roughly $4–$30 ebooks.
+                assert!((2.0..40.0).contains(&usd), "{usd}");
+            }
+        }
+    }
+
+    #[test]
+    fn persona_experiment_reproduces_null_result() {
+        let (world, addr, loc) = world();
+        let exp = persona_experiment(
+            &world,
+            &["www.amazon.com", "www.digitalrev.com", "www.hotels.com"],
+            &loc,
+            addr,
+            SimTime::from_millis(40 * 24 * 3_600_000),
+            20,
+        );
+        assert!(exp.total_pairs >= 50);
+        assert_eq!(exp.differing_pairs, 0, "personas must not affect prices");
+    }
+
+    #[test]
+    fn experiment_is_deterministic() {
+        let (world, addr, loc) = world();
+        let t = SimTime::from_millis(10 * 24 * 3_600_000);
+        let a = login_experiment(&world, Seed::new(5), "www.amazon.com", &loc, addr, t, 10);
+        let b = login_experiment(&world, Seed::new(5), "www.amazon.com", &loc, addr, t, 10);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,106 @@
+//! Strongly-typed identifiers.
+//!
+//! The pipeline moves measurements between six crates; newtype ids make it
+//! impossible to index a product table with a user id. All ids are dense
+//! small integers assigned by the owning registry, which keeps datasets
+//! compact and makes them usable as `Vec` indices.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
+            Serialize, Deserialize, Default,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from its dense index.
+            #[must_use]
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// The dense index of this id (usable as a `Vec` index).
+            #[must_use]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a product within one retailer's catalog.
+    ProductId,
+    "prod-"
+);
+define_id!(
+    /// Identifies a retailer (one simulated e-commerce domain).
+    RetailerId,
+    "ret-"
+);
+define_id!(
+    /// Identifies a crowd user (a $heriff installee).
+    UserId,
+    "user-"
+);
+define_id!(
+    /// Identifies a measurement vantage point.
+    VantageId,
+    "vp-"
+);
+define_id!(
+    /// Identifies one crowd price-check request (a $heriff button click).
+    RequestId,
+    "req-"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(ProductId::new(3).to_string(), "prod-3");
+        assert_eq!(RetailerId::new(0).to_string(), "ret-0");
+        assert_eq!(UserId::new(12).to_string(), "user-12");
+        assert_eq!(VantageId::new(7).to_string(), "vp-7");
+        assert_eq!(RequestId::new(1499).to_string(), "req-1499");
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let id = ProductId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(ProductId::from(42u32), id);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ProductId::new(1) < ProductId::new(2));
+    }
+
+    #[test]
+    fn ids_work_as_map_keys() {
+        use std::collections::HashMap;
+        let mut m: HashMap<RetailerId, &str> = HashMap::new();
+        m.insert(RetailerId::new(1), "amazon-like");
+        assert_eq!(m[&RetailerId::new(1)], "amazon-like");
+    }
+}

@@ -1,0 +1,30 @@
+//! Foundation utilities shared by every crate in the price-discrimination
+//! reproduction workspace.
+//!
+//! The whole reproduction is a *deterministic* discrete simulation: given the
+//! same [`seed::Seed`] every crate must produce bit-identical output. This
+//! crate provides the plumbing that makes that practical:
+//!
+//! * [`seed`] — a hierarchical seed type. Components never share an RNG;
+//!   they derive independent child seeds from labelled paths, so adding a
+//!   random draw in one module cannot perturb another.
+//! * [`money`] — exact fixed-point money (`i64` minor units). Prices must
+//!   round-trip through HTML rendering and locale-aware parsing without
+//!   floating-point drift, otherwise the currency filter of the paper
+//!   (Sec. 2.2) would flag phantom variations.
+//! * [`stats`] — quantiles, box-plot statistics and histogram helpers used
+//!   by every figure in the evaluation.
+//! * [`ids`] — strongly-typed identifiers (product, retailer, user, vantage
+//!   point) so the cross-crate plumbing cannot mix them up.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ids;
+pub mod money;
+pub mod seed;
+pub mod stats;
+
+pub use ids::{ProductId, RequestId, RetailerId, UserId, VantageId};
+pub use money::Money;
+pub use seed::Seed;

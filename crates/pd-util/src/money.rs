@@ -1,0 +1,354 @@
+//! Exact fixed-point money.
+//!
+//! All prices in the simulation are stored as an integer count of *minor
+//! units* (cents, pence, …). Floating point is only used at the analysis
+//! boundary (ratios, statistics), never for the prices themselves: the
+//! paper's currency filter compares prices that have round-tripped through
+//! HTML rendering and locale-aware parsing, and any representation drift
+//! would show up as a phantom price variation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+/// An exact amount of money in minor units (e.g. cents).
+///
+/// `Money` is currency-agnostic on purpose: the currency is carried
+/// alongside it by [`pd-currency`](https://example.org)'s `Price` type.
+/// Arithmetic is checked in debug builds (Rust's native overflow checks)
+/// and the explicit [`Money::checked_add`]-style APIs are available where
+/// untrusted magnitudes are combined.
+///
+/// # Examples
+///
+/// ```
+/// use pd_util::Money;
+///
+/// let a = Money::from_major_minor(12, 99); // 12.99
+/// let b = Money::from_minor(1);            //  0.01
+/// assert_eq!((a + b).to_minor(), 1300);
+/// assert_eq!(a.to_string(), "12.99");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Money {
+    minor: i64,
+}
+
+impl Money {
+    /// Zero amount.
+    pub const ZERO: Money = Money { minor: 0 };
+
+    /// Creates an amount from minor units (cents).
+    #[must_use]
+    pub const fn from_minor(minor: i64) -> Self {
+        Money { minor }
+    }
+
+    /// Creates an amount from major units and a minor remainder.
+    ///
+    /// `from_major_minor(12, 99)` is 12.99. `minor` must be `0..=99`;
+    /// the sign is taken from `major`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `minor > 99`.
+    #[must_use]
+    pub fn from_major_minor(major: i64, minor: u8) -> Self {
+        assert!(minor <= 99, "minor unit out of range: {minor}");
+        let sign = if major < 0 { -1 } else { 1 };
+        Money {
+            minor: major * 100 + sign * i64::from(minor),
+        }
+    }
+
+    /// Creates an amount from a floating dollar value, rounding to the
+    /// nearest cent (half away from zero).
+    ///
+    /// Only used by *generators* (catalog construction), never by parsers.
+    #[must_use]
+    pub fn from_f64(value: f64) -> Self {
+        Money {
+            minor: (value * 100.0).round() as i64,
+        }
+    }
+
+    /// The amount in minor units.
+    #[must_use]
+    pub const fn to_minor(self) -> i64 {
+        self.minor
+    }
+
+    /// The amount as a floating dollar value (analysis boundary only).
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.minor as f64 / 100.0
+    }
+
+    /// Major part (truncated toward zero).
+    #[must_use]
+    pub const fn major(self) -> i64 {
+        self.minor / 100
+    }
+
+    /// Minor remainder (always `0..=99`).
+    #[must_use]
+    pub const fn minor_part(self) -> u8 {
+        (self.minor % 100).unsigned_abs() as u8
+    }
+
+    /// True if the amount is strictly positive.
+    #[must_use]
+    pub const fn is_positive(self) -> bool {
+        self.minor > 0
+    }
+
+    /// Checked addition.
+    #[must_use]
+    pub fn checked_add(self, rhs: Money) -> Option<Money> {
+        self.minor.checked_add(rhs.minor).map(Money::from_minor)
+    }
+
+    /// Checked subtraction.
+    #[must_use]
+    pub fn checked_sub(self, rhs: Money) -> Option<Money> {
+        self.minor.checked_sub(rhs.minor).map(Money::from_minor)
+    }
+
+    /// Multiplies by a factor, rounding to the nearest minor unit
+    /// (half away from zero). This is how pricing engines apply
+    /// multiplicative location factors.
+    #[must_use]
+    pub fn scale(self, factor: f64) -> Money {
+        Money {
+            minor: (self.minor as f64 * factor).round() as i64,
+        }
+    }
+
+    /// Ratio of `self` to `other` as `f64`.
+    ///
+    /// Returns `None` when `other` is zero. This is the quantity every
+    /// figure in the paper plots (max/min price ratios).
+    #[must_use]
+    pub fn ratio_to(self, other: Money) -> Option<f64> {
+        if other.minor == 0 {
+            None
+        } else {
+            Some(self.minor as f64 / other.minor as f64)
+        }
+    }
+
+    /// Rounds to "charm" retail pricing: the nearest `x.99` not above the
+    /// current value plus one cent (e.g. 12.34 → 11.99, 12.99 → 12.99).
+    ///
+    /// Retail catalogs overwhelmingly use charm prices; rendering them makes
+    /// the synthetic product pages look like the paper's targets and
+    /// exercises the parser on realistic values.
+    #[must_use]
+    pub fn charm(self) -> Money {
+        if self.minor <= 0 {
+            return self;
+        }
+        let major = (self.minor + 1) / 100; // round up to the next whole unit
+        let candidate = major * 100 - 1; // x.99 just below it
+        if candidate <= 0 {
+            Money::from_minor(99)
+        } else {
+            Money::from_minor(candidate)
+        }
+    }
+
+    /// Absolute difference between two amounts.
+    #[must_use]
+    pub fn abs_diff(self, other: Money) -> Money {
+        Money {
+            minor: (self.minor - other.minor).abs(),
+        }
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    fn add(self, rhs: Money) -> Money {
+        Money {
+            minor: self.minor + rhs.minor,
+        }
+    }
+}
+
+impl Sub for Money {
+    type Output = Money;
+    fn sub(self, rhs: Money) -> Money {
+        Money {
+            minor: self.minor - rhs.minor,
+        }
+    }
+}
+
+impl AddAssign for Money {
+    fn add_assign(&mut self, rhs: Money) {
+        self.minor += rhs.minor;
+    }
+}
+
+impl SubAssign for Money {
+    fn sub_assign(&mut self, rhs: Money) {
+        self.minor -= rhs.minor;
+    }
+}
+
+impl Neg for Money {
+    type Output = Money;
+    fn neg(self) -> Money {
+        Money { minor: -self.minor }
+    }
+}
+
+impl fmt::Display for Money {
+    /// Canonical (locale-free) rendering: `-?major.MM`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.minor < 0 { "-" } else { "" };
+        write!(f, "{sign}{}.{:02}", self.major().abs(), self.minor_part())
+    }
+}
+
+impl std::iter::Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        iter.fold(Money::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_parts() {
+        let m = Money::from_major_minor(12, 99);
+        assert_eq!(m.to_minor(), 1299);
+        assert_eq!(m.major(), 12);
+        assert_eq!(m.minor_part(), 99);
+    }
+
+    #[test]
+    fn negative_amounts() {
+        let m = Money::from_major_minor(-3, 50);
+        assert_eq!(m.to_minor(), -350);
+        assert_eq!(m.major(), -3);
+        assert_eq!(m.minor_part(), 50);
+        assert_eq!(m.to_string(), "-3.50");
+    }
+
+    #[test]
+    #[should_panic(expected = "minor unit out of range")]
+    fn rejects_out_of_range_minor() {
+        let _ = Money::from_major_minor(1, 100);
+    }
+
+    #[test]
+    fn display_is_canonical() {
+        assert_eq!(Money::from_minor(5).to_string(), "0.05");
+        assert_eq!(Money::from_minor(100).to_string(), "1.00");
+        assert_eq!(Money::from_minor(-5).to_string(), "-0.05");
+        assert_eq!(Money::from_minor(123456).to_string(), "1234.56");
+    }
+
+    #[test]
+    fn from_f64_rounds_to_cent() {
+        assert_eq!(Money::from_f64(12.994).to_minor(), 1299);
+        assert_eq!(Money::from_f64(12.995).to_minor(), 1300);
+        assert_eq!(Money::from_f64(0.004).to_minor(), 0);
+    }
+
+    #[test]
+    fn scale_applies_multiplicative_factor() {
+        let base = Money::from_minor(10_000); // 100.00
+        assert_eq!(base.scale(1.15).to_minor(), 11_500);
+        assert_eq!(base.scale(0.5).to_minor(), 5_000);
+        // rounding: 99.99 * 1.1 = 109.989 -> 109.99
+        assert_eq!(Money::from_minor(9_999).scale(1.1).to_minor(), 10_999);
+    }
+
+    #[test]
+    fn ratio_to_handles_zero() {
+        let a = Money::from_minor(200);
+        assert_eq!(a.ratio_to(Money::from_minor(100)), Some(2.0));
+        assert_eq!(a.ratio_to(Money::ZERO), None);
+    }
+
+    #[test]
+    fn charm_prices() {
+        assert_eq!(Money::from_minor(1234).charm().to_minor(), 1199);
+        assert_eq!(Money::from_minor(1299).charm().to_minor(), 1299);
+        assert_eq!(Money::from_minor(1300).charm().to_minor(), 1299);
+        assert_eq!(Money::from_minor(50).charm().to_minor(), 99);
+        assert_eq!(Money::from_minor(99).charm().to_minor(), 99);
+        assert_eq!(Money::ZERO.charm(), Money::ZERO);
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let total: Money = [1, 2, 3].into_iter().map(Money::from_minor).sum();
+        assert_eq!(total.to_minor(), 6);
+    }
+
+    #[test]
+    fn checked_arithmetic_detects_overflow() {
+        let max = Money::from_minor(i64::MAX);
+        assert!(max.checked_add(Money::from_minor(1)).is_none());
+        let min = Money::from_minor(i64::MIN);
+        assert!(min.checked_sub(Money::from_minor(1)).is_none());
+        assert_eq!(
+            Money::from_minor(1).checked_add(Money::from_minor(2)),
+            Some(Money::from_minor(3))
+        );
+    }
+
+    #[test]
+    fn abs_diff_symmetry() {
+        let a = Money::from_minor(120);
+        let b = Money::from_minor(200);
+        assert_eq!(a.abs_diff(b), b.abs_diff(a));
+        assert_eq!(a.abs_diff(b).to_minor(), 80);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_display_round_trips_via_parts(minor in -1_000_000_000i64..1_000_000_000) {
+            let m = Money::from_minor(minor);
+            let sign = if minor < 0 { -1 } else { 1 };
+            let rebuilt = sign * (m.major().abs() * 100 + i64::from(m.minor_part()));
+            prop_assert_eq!(rebuilt, minor);
+        }
+
+        #[test]
+        fn prop_add_sub_inverse(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+            let (ma, mb) = (Money::from_minor(a), Money::from_minor(b));
+            prop_assert_eq!(ma + mb - mb, ma);
+        }
+
+        #[test]
+        fn prop_charm_ends_in_99_and_is_close(minor in 1i64..10_000_000) {
+            let c = Money::from_minor(minor).charm();
+            prop_assert_eq!(c.to_minor() % 100, 99);
+            // charm price is within one major unit of the original
+            prop_assert!((c.to_minor() - minor).abs() <= 100);
+        }
+
+        #[test]
+        fn prop_scale_identity(minor in 0i64..10_000_000) {
+            prop_assert_eq!(Money::from_minor(minor).scale(1.0).to_minor(), minor);
+        }
+
+        #[test]
+        fn prop_ratio_of_scaled(minor in 100i64..10_000_000, factor in 1.0f64..3.0) {
+            let base = Money::from_minor(minor);
+            let scaled = base.scale(factor);
+            let ratio = scaled.ratio_to(base).unwrap();
+            // Ratio recovered from cents is within a cent's relative error.
+            prop_assert!((ratio - factor).abs() < 1.0 / minor as f64 + 1e-9);
+        }
+    }
+}

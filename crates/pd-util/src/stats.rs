@@ -1,0 +1,425 @@
+//! Statistics kernels for the figure analyses.
+//!
+//! Every evaluation figure in the paper is either a box-plot family
+//! (Figs. 2, 4, 7, 9), a ranking (Figs. 1, 3), or a scatter summarized by
+//! envelope statistics (Figs. 5, 6, 8, 10). This module provides the exact,
+//! deterministic statistics those analyses need. All quantiles use the
+//! *linear interpolation* definition (R-7, the R `quantile` default — the
+//! paper's plots were made in R).
+
+use serde::{Deserialize, Serialize};
+
+/// The five-number summary plus whisker bounds used to draw one box of a
+/// box-plot, following R's `boxplot.stats` (Tukey) convention that the
+/// paper's figures use: whiskers extend to the most extreme data point
+/// within 1.5×IQR of the box.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxStats {
+    /// Smallest observation.
+    pub min: f64,
+    /// Lower whisker (most extreme point ≥ q1 − 1.5·IQR).
+    pub whisker_lo: f64,
+    /// First quartile (25th percentile).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// Upper whisker (most extreme point ≤ q3 + 1.5·IQR).
+    pub whisker_hi: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Number of observations.
+    pub count: usize,
+    /// Observations outside the whiskers, ascending.
+    pub outliers: Vec<f64>,
+}
+
+impl BoxStats {
+    /// Computes box-plot statistics over a sample.
+    ///
+    /// Returns `None` for an empty sample. NaNs are rejected by debug
+    /// assertion — the pipeline never produces them.
+    #[must_use]
+    pub fn compute(values: &[f64]) -> Option<BoxStats> {
+        if values.is_empty() {
+            return None;
+        }
+        debug_assert!(values.iter().all(|v| !v.is_nan()), "NaN in sample");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let q1 = quantile_sorted(&sorted, 0.25);
+        let median = quantile_sorted(&sorted, 0.5);
+        let q3 = quantile_sorted(&sorted, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        // Whiskers: most extreme data point within the fence — clamped
+        // to the box, since a whisker extends *from* the box. (With
+        // interpolated quantiles and sparse data the nearest in-fence
+        // point can fall inside the box; the whisker then collapses onto
+        // the quartile, exactly as a drawn boxplot would show it.)
+        let whisker_lo = sorted
+            .iter()
+            .copied()
+            .find(|v| *v >= lo_fence)
+            .unwrap_or(sorted[0])
+            .min(q1);
+        let whisker_hi = sorted
+            .iter()
+            .rev()
+            .copied()
+            .find(|v| *v <= hi_fence)
+            .unwrap_or(sorted[sorted.len() - 1])
+            .max(q3);
+        let outliers = sorted
+            .iter()
+            .copied()
+            .filter(|v| *v < whisker_lo || *v > whisker_hi)
+            .collect();
+        Some(BoxStats {
+            min: sorted[0],
+            whisker_lo,
+            q1,
+            median,
+            q3,
+            whisker_hi,
+            max: sorted[sorted.len() - 1],
+            count: sorted.len(),
+            outliers,
+        })
+    }
+}
+
+/// Linear-interpolation quantile (R-7) of an *already sorted* sample.
+///
+/// # Panics
+///
+/// Panics if the slice is empty or `p` is outside `[0, 1]`.
+#[must_use]
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&p), "quantile p out of range: {p}");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let h = (sorted.len() - 1) as f64 * p;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Convenience: sorts a copy and computes the R-7 quantile.
+#[must_use]
+pub fn quantile(values: &[f64], p: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    quantile_sorted(&sorted, p)
+}
+
+/// Arithmetic mean. Returns `None` on an empty sample.
+#[must_use]
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Sample standard deviation (n−1 denominator). `None` for n < 2.
+#[must_use]
+pub fn stddev(values: &[f64]) -> Option<f64> {
+    if values.len() < 2 {
+        return None;
+    }
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// Pearson correlation coefficient between two equal-length samples.
+///
+/// Returns `None` if lengths differ, n < 2, or either sample is constant.
+/// Used by the Fig. 10 analysis to test whether login status correlates
+/// with price level (the paper finds it does not).
+#[must_use]
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let mx = mean(x)?;
+    let my = mean(y)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx).powi(2);
+        syy += (b - my).powi(2);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// One bucket of a logarithmic histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogBucket {
+    /// Inclusive lower edge.
+    pub lo: f64,
+    /// Exclusive upper edge.
+    pub hi: f64,
+    /// Values that fell in the bucket.
+    pub count: usize,
+    /// Maximum of the bucketed metric (e.g. max ratio in a price band);
+    /// `None` for empty buckets.
+    pub max_value: Option<f64>,
+    /// Mean of the bucketed metric; `None` for empty buckets.
+    pub mean_value: Option<f64>,
+}
+
+/// Buckets `(key, value)` pairs into logarithmically spaced bins over the
+/// key axis and summarizes the value within each bin.
+///
+/// This is the Fig. 5 reduction: keys are minimum product prices
+/// ($10–$10 000, log axis), values are max/min ratios, and the paper's
+/// claim is about the *envelope* (max ratio) per price band.
+///
+/// Empty input or non-positive bounds yield an empty vector.
+#[must_use]
+pub fn log_bucketize(
+    pairs: &[(f64, f64)],
+    lo: f64,
+    hi: f64,
+    buckets_per_decade: usize,
+) -> Vec<LogBucket> {
+    if pairs.is_empty() || lo <= 0.0 || hi <= lo || buckets_per_decade == 0 {
+        return Vec::new();
+    }
+    let decades = (hi / lo).log10();
+    let n = (decades * buckets_per_decade as f64).ceil().max(1.0) as usize;
+    let step = decades / n as f64;
+    let mut out: Vec<LogBucket> = (0..n)
+        .map(|i| {
+            let blo = lo * 10f64.powf(step * i as f64);
+            let bhi = lo * 10f64.powf(step * (i + 1) as f64);
+            LogBucket {
+                lo: blo,
+                hi: bhi,
+                count: 0,
+                max_value: None,
+                mean_value: None,
+            }
+        })
+        .collect();
+    let mut sums = vec![0.0f64; n];
+    for &(key, value) in pairs {
+        if key < lo || key >= hi {
+            continue;
+        }
+        let idx = (((key / lo).log10() / step) as usize).min(n - 1);
+        let b = &mut out[idx];
+        b.count += 1;
+        b.max_value = Some(b.max_value.map_or(value, |m| m.max(value)));
+        sums[idx] += value;
+    }
+    for (b, sum) in out.iter_mut().zip(sums) {
+        if b.count > 0 {
+            b.mean_value = Some(sum / b.count as f64);
+        }
+    }
+    out
+}
+
+/// Fraction of `values` strictly greater than `threshold`.
+///
+/// Fig. 3 ("extent of price differences") is this statistic with
+/// `threshold = 1.0` over per-request max/min ratios.
+#[must_use]
+pub fn fraction_above(values: &[f64], threshold: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|v| **v > threshold).count() as f64 / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quantile_matches_r7_reference() {
+        // R: quantile(c(1,2,3,4), c(.25,.5,.75)) -> 1.75 2.50 3.25
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&v, 0.25) - 1.75).abs() < 1e-12);
+        assert!((quantile(&v, 0.50) - 2.50).abs() < 1e-12);
+        assert!((quantile(&v, 0.75) - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_extremes() {
+        let v = [3.0, 1.0, 2.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 3.0);
+    }
+
+    #[test]
+    fn quantile_single_element() {
+        assert_eq!(quantile(&[5.0], 0.73), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_empty_panics() {
+        let _ = quantile_sorted(&[], 0.5);
+    }
+
+    #[test]
+    fn boxstats_basic() {
+        let v: Vec<f64> = (1..=11).map(f64::from).collect();
+        let b = BoxStats::compute(&v).unwrap();
+        assert_eq!(b.median, 6.0);
+        assert_eq!(b.q1, 3.5);
+        assert_eq!(b.q3, 8.5);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.max, 11.0);
+        assert!(b.outliers.is_empty());
+        assert_eq!(b.count, 11);
+    }
+
+    #[test]
+    fn boxstats_detects_outliers() {
+        let mut v: Vec<f64> = (1..=20).map(f64::from).collect();
+        v.push(100.0);
+        let b = BoxStats::compute(&v).unwrap();
+        assert_eq!(b.outliers, vec![100.0]);
+        assert!(b.whisker_hi <= 20.0);
+        assert_eq!(b.max, 100.0);
+    }
+
+    #[test]
+    fn boxstats_empty_is_none() {
+        assert!(BoxStats::compute(&[]).is_none());
+    }
+
+    #[test]
+    fn boxstats_constant_sample() {
+        let b = BoxStats::compute(&[2.0; 9]).unwrap();
+        assert_eq!(b.median, 2.0);
+        assert_eq!(b.whisker_lo, 2.0);
+        assert_eq!(b.whisker_hi, 2.0);
+        assert!(b.outliers.is_empty());
+    }
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(stddev(&[1.0]), None);
+        let sd = stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((sd - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &z).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[3.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), None); // constant x
+    }
+
+    #[test]
+    fn log_bucketize_assigns_by_decade() {
+        let pairs = [(15.0, 1.5), (150.0, 2.0), (1500.0, 1.2), (15.0, 3.0)];
+        let buckets = log_bucketize(&pairs, 10.0, 10_000.0, 1);
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0].count, 2);
+        assert_eq!(buckets[0].max_value, Some(3.0));
+        assert!((buckets[0].mean_value.unwrap() - 2.25).abs() < 1e-12);
+        assert_eq!(buckets[1].count, 1);
+        assert_eq!(buckets[2].count, 1);
+    }
+
+    #[test]
+    fn log_bucketize_ignores_out_of_range() {
+        let pairs = [(5.0, 9.0), (20_000.0, 9.0), (100.0, 1.0)];
+        let buckets = log_bucketize(&pairs, 10.0, 10_000.0, 1);
+        let total: usize = buckets.iter().map(|b| b.count).sum();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn log_bucketize_degenerate_inputs() {
+        assert!(log_bucketize(&[], 10.0, 100.0, 1).is_empty());
+        assert!(log_bucketize(&[(1.0, 1.0)], 0.0, 100.0, 1).is_empty());
+        assert!(log_bucketize(&[(1.0, 1.0)], 10.0, 10.0, 1).is_empty());
+        assert!(log_bucketize(&[(1.0, 1.0)], 10.0, 100.0, 0).is_empty());
+    }
+
+    #[test]
+    fn fraction_above_threshold() {
+        assert_eq!(fraction_above(&[], 1.0), 0.0);
+        assert_eq!(fraction_above(&[1.0, 1.0], 1.0), 0.0);
+        assert_eq!(fraction_above(&[1.0, 1.1, 1.2, 1.0], 1.0), 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_quantile_monotone(mut v in proptest::collection::vec(-1e6f64..1e6, 1..100),
+                                  p1 in 0.0f64..1.0, p2 in 0.0f64..1.0) {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            prop_assert!(quantile_sorted(&v, lo) <= quantile_sorted(&v, hi) + 1e-9);
+        }
+
+        #[test]
+        fn prop_quantile_within_range(v in proptest::collection::vec(-1e6f64..1e6, 1..100),
+                                      p in 0.0f64..1.0) {
+            let q = quantile(&v, p);
+            let mn = v.iter().cloned().fold(f64::INFINITY, f64::min);
+            let mx = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(q >= mn - 1e-9 && q <= mx + 1e-9);
+        }
+
+        #[test]
+        fn prop_boxstats_ordering(v in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let b = BoxStats::compute(&v).unwrap();
+            prop_assert!(b.min <= b.whisker_lo + 1e-9);
+            prop_assert!(b.whisker_lo <= b.q1 + 1e-9);
+            prop_assert!(b.q1 <= b.median + 1e-9);
+            prop_assert!(b.median <= b.q3 + 1e-9);
+            prop_assert!(b.q3 <= b.whisker_hi + 1e-9);
+            prop_assert!(b.whisker_hi <= b.max + 1e-9);
+            prop_assert_eq!(b.count, v.len());
+        }
+
+        #[test]
+        fn prop_pearson_bounded(
+            x in proptest::collection::vec(-1e3f64..1e3, 3..50),
+        ) {
+            let y: Vec<f64> = x.iter().map(|v| v * 2.0 + 1.0).collect();
+            if let Some(r) = pearson(&x, &y) {
+                prop_assert!((r - 1.0).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn prop_fraction_above_bounded(v in proptest::collection::vec(0.0f64..10.0, 0..100),
+                                       t in 0.0f64..10.0) {
+            let f = fraction_above(&v, t);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+    }
+}

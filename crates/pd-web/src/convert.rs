@@ -1,0 +1,127 @@
+//! USD → local-currency conversion as retailers perform it.
+//!
+//! A geo-locating retailer prices internally in USD (the engine's output)
+//! and displays the local currency at the day's market mid rate, rounded
+//! to the currency's minor unit. The rounding error is at most half a
+//! minor unit — far inside the exchange-rate band the analysis filter
+//! allows — so a *uniform* retailer never trips the detector merely by
+//! localizing currency (a property the integration tests pin down).
+
+use pd_currency::{Currency, FxSeries, Price};
+use pd_util::Money;
+
+/// Converts a USD amount to `currency` at `day`'s mid rate.
+///
+/// JPY (zero minor digits) rounds to the whole yen, stored in the
+/// [`Money`] major part as everywhere else in the workspace.
+#[must_use]
+pub fn usd_to_local(fx: &FxSeries, usd: Money, currency: Currency, day: usize) -> Price {
+    if currency == Currency::Usd {
+        return Price::usd(usd);
+    }
+    let rate = fx.rate(currency, day).mid(); // USD per unit of `currency`
+    let local_major = usd.to_f64() / rate;
+    let amount = if currency.decimals() == 0 {
+        Money::from_minor(local_major.round() as i64 * 100)
+    } else {
+        Money::from_f64(local_major)
+    };
+    Price::new(amount, currency)
+}
+
+/// Converts a local price back to USD at the mid rate (reporting).
+#[must_use]
+pub fn local_to_usd_mid(fx: &FxSeries, price: Price, day: usize) -> f64 {
+    fx.to_usd_mid(price, day)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_util::Seed;
+    use proptest::prelude::*;
+
+    fn fx() -> FxSeries {
+        FxSeries::generate(Seed::new(1307), 160)
+    }
+
+    #[test]
+    fn usd_identity() {
+        let p = usd_to_local(&fx(), Money::from_minor(1299), Currency::Usd, 5);
+        assert_eq!(p.amount, Money::from_minor(1299));
+        assert_eq!(p.currency, Currency::Usd);
+    }
+
+    #[test]
+    fn eur_conversion_near_parity() {
+        let f = fx();
+        let p = usd_to_local(&f, Money::from_minor(13_200), Currency::Eur, 0);
+        // $132 at ~1.32 → ~€100.
+        let eur = p.amount.to_f64();
+        assert!((95.0..105.0).contains(&eur), "{eur}");
+    }
+
+    #[test]
+    fn jpy_conversion_whole_yen() {
+        let f = fx();
+        let p = usd_to_local(&f, Money::from_minor(10_000), Currency::Jpy, 0);
+        // $100 at ~0.0105 → ~¥9524, whole yen.
+        assert_eq!(p.amount.to_minor() % 100, 0);
+        let yen = p.amount.major();
+        assert!((9_000..10_500).contains(&yen), "{yen}");
+    }
+
+    #[test]
+    fn round_trip_error_within_band() {
+        // Convert USD → EUR → USD at extreme rates: the residual must be
+        // inside the filter band (no self-inflicted false positives).
+        let f = fx();
+        for day in [0usize, 50, 149] {
+            for usd_minor in [999i64, 10_000, 123_456, 999_999] {
+                let usd = Money::from_minor(usd_minor);
+                let local = usd_to_local(&f, usd, Currency::Eur, day);
+                let back_lo = f.to_usd_low(local, day);
+                let back_hi = f.to_usd_high(local, day);
+                let orig = usd.to_f64();
+                assert!(
+                    back_lo <= orig + 0.01 && back_hi >= orig - 0.01,
+                    "day {day} {usd_minor}: [{back_lo}, {back_hi}] vs {orig}"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_conversion_monotone(
+            a in 100i64..10_000_000,
+            b in 100i64..10_000_000,
+            day in 0usize..150,
+        ) {
+            let f = fx();
+            let pa = usd_to_local(&f, Money::from_minor(a), Currency::Eur, day);
+            let pb = usd_to_local(&f, Money::from_minor(b), Currency::Eur, day);
+            if a <= b {
+                prop_assert!(pa.amount <= pb.amount);
+            } else {
+                prop_assert!(pa.amount >= pb.amount);
+            }
+        }
+
+        #[test]
+        fn prop_round_trip_relative_error_small(
+            usd_minor in 1_000i64..100_000_000,
+            day in 0usize..150,
+            cidx in 0usize..9,
+        ) {
+            let f = fx();
+            let c = Currency::ALL[cidx];
+            let usd = Money::from_minor(usd_minor);
+            let local = usd_to_local(&f, usd, c, day);
+            let back = local_to_usd_mid(&f, local, day);
+            let rel = (back - usd.to_f64()).abs() / usd.to_f64();
+            // Worst case: JPY rounding of half a yen on a small price.
+            prop_assert!(rel < 0.006, "rel {rel} for {c:?}");
+        }
+    }
+}

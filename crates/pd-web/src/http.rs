@@ -1,0 +1,247 @@
+//! Minimal HTTP request/response model.
+//!
+//! The simulation does not need wire formats — requests never leave the
+//! process — but it models exactly the header surface the paper's
+//! methodology interacts with: `Host`, `User-Agent` (the three Spain
+//! probes differ only here), `Cookie`/`Set-Cookie` (sessions, login), and
+//! the client address (geo-location input).
+
+use pd_net::clock::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// HTTP-ish response status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Status {
+    /// 200.
+    Ok,
+    /// 404.
+    NotFound,
+    /// 400.
+    BadRequest,
+    /// 503 — transient upstream failure (failure injection).
+    ServiceUnavailable,
+}
+
+impl Status {
+    /// Numeric code.
+    #[must_use]
+    pub fn code(self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::NotFound => 404,
+            Status::BadRequest => 400,
+            Status::ServiceUnavailable => 503,
+        }
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// A GET request to a simulated retailer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Target host, e.g. `www.digitalrev.com`.
+    pub host: String,
+    /// Path + query, e.g. `/product/camera-nova-0042`.
+    pub path: String,
+    /// Client IPv4 address (the geo-location input).
+    pub client_addr: Ipv4Addr,
+    /// Simulated send time.
+    pub time: SimTime,
+    /// Request headers (lowercased names).
+    pub headers: BTreeMap<String, String>,
+}
+
+impl Request {
+    /// Builds a GET request with no extra headers.
+    #[must_use]
+    pub fn get(host: &str, path: &str, client_addr: Ipv4Addr, time: SimTime) -> Self {
+        Request {
+            host: host.to_owned(),
+            path: path.to_owned(),
+            client_addr,
+            time,
+            headers: BTreeMap::new(),
+        }
+    }
+
+    /// Adds/replaces a header (name lowercased).
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers
+            .insert(name.to_ascii_lowercase(), value.to_owned());
+        self
+    }
+
+    /// Reads a header.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(String::as_str)
+    }
+
+    /// Parses one cookie value out of the `Cookie` header.
+    #[must_use]
+    pub fn cookie(&self, name: &str) -> Option<&str> {
+        let header = self.header("cookie")?;
+        header.split(';').find_map(|pair| {
+            let (k, v) = pair.trim().split_once('=')?;
+            (k == name).then_some(v)
+        })
+    }
+
+    /// Sets a cookie (merging with any existing `Cookie` header).
+    #[must_use]
+    pub fn with_cookie(self, name: &str, value: &str) -> Self {
+        let merged = match self.header("cookie") {
+            Some(existing) => format!("{existing}; {name}={value}"),
+            None => format!("{name}={value}"),
+        };
+        self.with_header("cookie", &merged)
+    }
+
+    /// Full URI for logging and $heriff fan-out.
+    #[must_use]
+    pub fn uri(&self) -> String {
+        format!("http://{}{}", self.host, self.path)
+    }
+}
+
+/// A response from a simulated retailer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Status code.
+    pub status: Status,
+    /// Response headers (lowercased names).
+    pub headers: BTreeMap<String, String>,
+    /// HTML body.
+    pub body: String,
+}
+
+impl Response {
+    /// 200 with an HTML body.
+    #[must_use]
+    pub fn ok(body: String) -> Self {
+        let mut headers = BTreeMap::new();
+        headers.insert(
+            "content-type".to_owned(),
+            "text/html; charset=utf-8".to_owned(),
+        );
+        Response {
+            status: Status::Ok,
+            headers,
+            body,
+        }
+    }
+
+    /// 404 with a terse body.
+    #[must_use]
+    pub fn not_found() -> Self {
+        Response {
+            status: Status::NotFound,
+            headers: BTreeMap::new(),
+            body: "<html><body><h1>404 Not Found</h1></body></html>".to_owned(),
+        }
+    }
+
+    /// 400 with a reason.
+    #[must_use]
+    pub fn bad_request(reason: &str) -> Self {
+        Response {
+            status: Status::BadRequest,
+            headers: BTreeMap::new(),
+            body: format!("<html><body><h1>400</h1><p>{reason}</p></body></html>"),
+        }
+    }
+
+    /// 503 with a reason (transient; retrying later succeeds).
+    #[must_use]
+    pub fn service_unavailable(reason: &str) -> Self {
+        Response {
+            status: Status::ServiceUnavailable,
+            headers: BTreeMap::new(),
+            body: format!("<html><body><h1>503</h1><p>{reason}</p></body></html>"),
+        }
+    }
+
+    /// Reads a header.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(String::as_str)
+    }
+
+    /// Adds a `Set-Cookie` header (single-cookie model: one per response).
+    #[must_use]
+    pub fn with_set_cookie(mut self, name: &str, value: &str) -> Self {
+        self.headers
+            .insert("set-cookie".to_owned(), format!("{name}={value}"));
+        self
+    }
+
+    /// Parses the `Set-Cookie` header, if present.
+    #[must_use]
+    pub fn set_cookie(&self) -> Option<(&str, &str)> {
+        self.header("set-cookie")?.split_once('=')
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr() -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, 1)
+    }
+
+    #[test]
+    fn request_headers_case_insensitive() {
+        let r = Request::get("shop.example", "/", addr(), SimTime::EPOCH)
+            .with_header("User-Agent", "test");
+        assert_eq!(r.header("user-agent"), Some("test"));
+        assert_eq!(r.header("USER-AGENT"), Some("test"));
+        assert_eq!(r.header("missing"), None);
+    }
+
+    #[test]
+    fn cookies_parse_and_merge() {
+        let r = Request::get("shop.example", "/", addr(), SimTime::EPOCH)
+            .with_cookie("sid", "123")
+            .with_cookie("login", "alice");
+        assert_eq!(r.cookie("sid"), Some("123"));
+        assert_eq!(r.cookie("login"), Some("alice"));
+        assert_eq!(r.cookie("other"), None);
+    }
+
+    #[test]
+    fn uri_format() {
+        let r = Request::get("www.shop.example", "/product/x", addr(), SimTime::EPOCH);
+        assert_eq!(r.uri(), "http://www.shop.example/product/x");
+    }
+
+    #[test]
+    fn response_constructors() {
+        let ok = Response::ok("<p>hi</p>".into());
+        assert_eq!(ok.status, Status::Ok);
+        assert_eq!(ok.status.code(), 200);
+        assert!(ok.header("content-type").unwrap().contains("text/html"));
+        assert_eq!(Response::not_found().status.code(), 404);
+        assert_eq!(Response::bad_request("x").status.code(), 400);
+    }
+
+    #[test]
+    fn set_cookie_round_trip() {
+        let r = Response::ok(String::new()).with_set_cookie("sid", "99");
+        assert_eq!(r.set_cookie(), Some(("sid", "99")));
+        assert_eq!(Response::ok(String::new()).set_cookie(), None);
+    }
+}

@@ -1,0 +1,31 @@
+//! Simulated retailer web servers.
+//!
+//! The measurement system only ever sees HTTP responses carrying HTML.
+//! This crate produces them: each retailer from `pd-pricing` becomes a
+//! server that geo-locates the client address, selects the local currency
+//! and number format, quotes the price through the retailer's ground-truth
+//! pricing engine, and renders one of five HTML template families —
+//! complete with recommended-product prices, promo banners with dollar
+//! amounts, and third-party tracker tags, i.e. all the noise that defeats
+//! naive price extraction (Sec. 2.2, challenge (i)).
+//!
+//! * [`http`] — request/response/URI types,
+//! * [`convert`] — USD→local conversion at the day's mid rate,
+//! * [`template`] — the five product-page template families,
+//! * [`server`] — one retailer's request handling (product pages,
+//!   checkout with tax/shipping, sessions),
+//! * [`world`] — the full simulated web: every server behind a host
+//!   registry plus a fetch entry point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convert;
+pub mod http;
+pub mod server;
+pub mod template;
+pub mod world;
+
+pub use http::{Request, Response, Status};
+pub use server::RetailerServer;
+pub use world::WebWorld;

@@ -1,0 +1,65 @@
+//! The systematic crawl in isolation: daily synchronized sweeps of a few
+//! retailers, and what their prices look like per location.
+//!
+//! ```sh
+//! cargo run --release --example crawl_retailers
+//! ```
+
+use pd_core::{Experiment, ExperimentConfig};
+use pd_crawler::{CrawlConfig, Crawler};
+use pd_util::Seed;
+
+fn main() {
+    let exp = Experiment::new(ExperimentConfig::small(1307));
+    let world = exp.world();
+
+    // Crawl three structurally different retailers: a pure
+    // multiplicative one, an additive one, and a per-product mixed one.
+    let targets = vec![
+        "www.digitalrev.com".to_owned(),
+        "www.energie.it".to_owned(),
+        "store.killah.com".to_owned(),
+    ];
+    let crawler = Crawler::new(
+        Seed::new(1307),
+        CrawlConfig {
+            products_per_retailer: 40,
+            days: 5,
+            start_day: 45,
+            ..CrawlConfig::default()
+        },
+    );
+
+    println!("== crawling {} retailers ==", targets.len());
+    let (store, stats) = crawler.crawl(&world.web, &world.sheriff, &targets);
+    for s in &stats {
+        println!(
+            "  {:<24} products {:>3}  checks {:>4}  complete {:>4}  retries {}",
+            s.domain, s.products, s.checks, s.complete_checks, s.retries
+        );
+    }
+    println!("  total extracted prices: {}\n", store.total_extracted_prices());
+
+    let frame = pd_analysis::CheckFrame::build(&store, world.web.fx());
+    println!(
+        "{}",
+        pd_analysis::ascii::render_fig3(&pd_analysis::crawl::fig3_extent(&frame))
+    );
+    println!(
+        "{}",
+        pd_analysis::ascii::render_ratio_boxes(
+            "Per-domain ratio magnitude (Fig.4 shape)",
+            &pd_analysis::crawl::fig4_magnitude(&frame),
+        )
+    );
+
+    // Where is each retailer expensive? Finland vs the minimum.
+    let finland = world
+        .vantage_by_label("Finland - Tampere")
+        .expect("Finland probe")
+        .id;
+    println!(
+        "{}",
+        pd_analysis::ascii::render_fig9(&pd_analysis::location::fig9_finland(&frame, finland))
+    );
+}

@@ -1,0 +1,42 @@
+//! Quickstart: run the whole study end to end at a small scale.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a simulated e-commerce world (the paper's 30 named retailers
+//! plus a long tail), runs the crowdsourced $heriff campaign, cleans the
+//! data, crawls the flagged retailers from 14 vantage points, and prints
+//! the dataset summary plus the two headline figures.
+
+use pd_core::{Experiment, ExperimentConfig};
+
+fn main() {
+    // `ExperimentConfig::paper(1307)` reproduces the full study; `small`
+    // keeps the quickstart under a second.
+    let config = ExperimentConfig::small(1307);
+    println!(
+        "Running a scaled-down reproduction: {} crowd checks, {} retailers crawled for {} days…\n",
+        config.crowd.checks,
+        21,
+        config.crawl.days
+    );
+
+    let report = Experiment::run(config);
+
+    println!("{}", report.render_summary());
+    println!("{}", report.render_fig1());
+    println!("{}", report.render_fig4());
+    println!(
+        "Login study: variation on {:.0}% of ebooks, correlation with login {}",
+        report.fig10.variation_fraction * 100.0,
+        report
+            .fig10
+            .login_correlation
+            .map_or("n/a".to_owned(), |c| format!("{c:+.3}"))
+    );
+    println!(
+        "Persona study: {} of {} product pairs differed (paper: none)",
+        report.persona.differing_pairs, report.persona.total_pairs
+    );
+}

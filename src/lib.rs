@@ -1,0 +1,11 @@
+//! Workspace root package.
+//!
+//! This crate only hosts the workspace-level `examples/` and `tests/`;
+//! the library code lives in `crates/`:
+//!
+//! * [`pd_core`] — the public pipeline API (start here),
+//! * `pd-util`, `pd-net`, `pd-html`, `pd-currency`, `pd-pricing`,
+//!   `pd-web`, `pd-extract`, `pd-sheriff`, `pd-crawler`, `pd-analysis` —
+//!   the substrates and stages, re-exported through `pd_core`.
+
+pub use pd_core;

@@ -1,0 +1,198 @@
+//! Cross-crate substrate tests: the full render → serialize → parse →
+//! highlight → extract → convert loop that every measurement rides on,
+//! exercised across all template families, locales and retailers.
+
+use pd_currency::Locale;
+use pd_extract::HighlightExtractor;
+use pd_net::clock::SimTime;
+use pd_net::geo::{Country, Location};
+use pd_util::Seed;
+use pd_web::template::price_selector;
+use pd_web::{Request, WebWorld};
+
+fn world() -> WebWorld {
+    let seed = Seed::new(1307);
+    WebWorld::build(seed, pd_pricing::paper_retailers(seed), 160)
+}
+
+#[test]
+fn every_retailer_page_extracts_for_every_vantage_country() {
+    let mut w = world();
+    let countries = [
+        Country::UnitedStates,
+        Country::Finland,
+        Country::Brazil,
+        Country::UnitedKingdom,
+        Country::Germany,
+        Country::Belgium,
+        Country::Spain,
+    ];
+    let addrs: Vec<_> = countries
+        .iter()
+        .map(|&c| w.allocate_client(&Location::new(c, "Test")))
+        .collect();
+    let domains: Vec<String> = w
+        .servers()
+        .iter()
+        .map(|s| s.spec().domain.clone())
+        .collect();
+
+    for domain in &domains {
+        let server = w.server_by_domain(domain).unwrap();
+        let style = server.spec().template_style;
+        let slug = server.catalog().iter().next().unwrap().slug.clone();
+        for (&country, &addr) in countries.iter().zip(&addrs) {
+            let req = Request::get(
+                domain,
+                &format!("/product/{slug}"),
+                addr,
+                SimTime::from_millis(20 * 24 * 3_600_000),
+            );
+            let resp = w.fetch(&req);
+            assert_eq!(resp.status.code(), 200, "{domain} for {country:?}");
+            let doc = pd_html::parse(&resp.body);
+            let ex = HighlightExtractor::from_highlight(&doc, &price_selector(style))
+                .unwrap_or_else(|| panic!("{domain}: highlight failed"));
+            let extracted = ex
+                .extract(&doc, Some(Locale::of_country(country)))
+                .unwrap_or_else(|e| panic!("{domain} for {country:?}: {e}"));
+            assert!(
+                extracted.price.amount.is_positive(),
+                "{domain} for {country:?}"
+            );
+            // The currency matches the visitor's geo-located locale.
+            assert_eq!(
+                extracted.price.currency,
+                pd_currency::Currency::of_country(country),
+                "{domain} for {country:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn highlight_from_one_locale_resolves_on_all_others() {
+    // The core $heriff trick: capture on the user's page, replay on the
+    // 13 foreign copies.
+    let mut w = world();
+    let us = w.allocate_client(&Location::new(Country::UnitedStates, "Boston"));
+    let fi = w.allocate_client(&Location::new(Country::Finland, "Tampere"));
+    let br = w.allocate_client(&Location::new(Country::Brazil, "Sao Paulo"));
+
+    for domain in ["www.digitalrev.com", "www.energie.it", "www.kobobooks.com"] {
+        let server = w.server_by_domain(domain).unwrap();
+        let style = server.spec().template_style;
+        let slug = server.catalog().iter().next().unwrap().slug.clone();
+        let t = SimTime::from_millis(20 * 24 * 3_600_000);
+        let fetch = |addr| {
+            let req = Request::get(domain, &format!("/product/{slug}"), addr, t);
+            pd_html::parse(&w.fetch(&req).body)
+        };
+        let us_doc = fetch(us);
+        let ex = HighlightExtractor::from_highlight(&us_doc, &price_selector(style)).unwrap();
+        for (doc, country) in [(fetch(fi), Country::Finland), (fetch(br), Country::Brazil)] {
+            let e = ex
+                .extract(&doc, Some(Locale::of_country(country)))
+                .unwrap_or_else(|err| panic!("{domain} on {country:?}: {err}"));
+            assert_eq!(
+                e.price.currency,
+                pd_currency::Currency::of_country(country)
+            );
+        }
+    }
+}
+
+#[test]
+fn localization_alone_never_trips_the_band_filter() {
+    // A uniform retailer serving 7 currencies: the filter must call every
+    // cross-currency comparison "not genuine" on every day of the window.
+    let seed = Seed::new(1307);
+    let mut specs = pd_pricing::paper_retailers(seed);
+    specs.extend(pd_pricing::filler_retailers(seed, 30));
+    let mut w = WebWorld::build(seed, specs, 160);
+    let uniform_domain = {
+        let server = w
+            .servers()
+            .iter()
+            .find(|s| !s.spec().is_discriminating() && !s.spec().inlines_tax)
+            .expect("a uniform filler exists");
+        server.spec().domain.clone()
+    };
+    let countries = [
+        Country::UnitedStates,
+        Country::Finland,
+        Country::Brazil,
+        Country::UnitedKingdom,
+        Country::Poland,
+        Country::Sweden,
+        Country::Japan,
+    ];
+    let addrs: Vec<_> = countries
+        .iter()
+        .map(|&c| w.allocate_client(&Location::new(c, "T")))
+        .collect();
+    let server = w.server_by_domain(&uniform_domain).unwrap();
+    let style = server.spec().template_style;
+    let slugs: Vec<String> = server
+        .catalog()
+        .iter()
+        .take(5)
+        .map(|p| p.slug.clone())
+        .collect();
+
+    for day in [0u64, 50, 120] {
+        for slug in &slugs {
+            let t = SimTime::from_millis(day * 24 * 3_600_000 + 9 * 3_600_000);
+            let mut prices = Vec::new();
+            for (&country, &addr) in countries.iter().zip(&addrs) {
+                let req = Request::get(&uniform_domain, &format!("/product/{slug}"), addr, t);
+                let doc = pd_html::parse(&w.fetch(&req).body);
+                let ex =
+                    HighlightExtractor::from_highlight(&doc, &price_selector(style)).unwrap();
+                prices.push(
+                    ex.extract(&doc, Some(Locale::of_country(country)))
+                        .unwrap()
+                        .price,
+                );
+            }
+            let verdict = pd_currency::band_filter(w.fx(), &prices, day as usize).unwrap();
+            assert!(
+                !verdict.genuine,
+                "day {day} {slug}: localization misflagged as discrimination ({verdict:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn checkout_totals_are_consistent_across_locales() {
+    let mut w = world();
+    for country in [Country::UnitedStates, Country::Finland, Country::Japan] {
+        let addr = w.allocate_client(&Location::new(country, "T"));
+        let server = w.server_by_domain("www.hotels.com").unwrap();
+        let slug = server.catalog().iter().next().unwrap().slug.clone();
+        let req = Request::get(
+            "www.hotels.com",
+            &format!("/checkout/{slug}"),
+            addr,
+            SimTime::from_millis(10 * 24 * 3_600_000),
+        );
+        let resp = w.fetch(&req);
+        assert_eq!(resp.status.code(), 200);
+        let doc = pd_html::parse(&resp.body);
+        let cells = pd_html::Selector::parse("td.line-amount")
+            .unwrap()
+            .query_all(&doc);
+        assert_eq!(cells.len(), 4, "{country:?}");
+        let loc = Locale::of_country(country);
+        let amounts: Vec<i64> = cells
+            .iter()
+            .map(|&c| loc.parse(doc.text_content(c).trim()).unwrap().amount.to_minor())
+            .collect();
+        // total = item + tax + shipping, exactly, in every locale
+        // (JPY included — whole-yen rounding happens per line).
+        let drift = (amounts[0] + amounts[1] + amounts[2] - amounts[3]).abs();
+        assert!(drift <= 200, "{country:?}: drift {drift} minor units");
+        assert!(amounts[1] > 0, "{country:?}: no tax at checkout");
+    }
+}

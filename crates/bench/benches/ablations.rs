@@ -138,8 +138,7 @@ fn ablation_synchronization(c: &mut Criterion) {
                 time,
             );
             let doc = pd_html::parse(&world.web.fetch(&req).body);
-            let Some(ex) = HighlightExtractor::from_highlight(&doc, &price_selector(style))
-            else {
+            let Some(ex) = HighlightExtractor::from_highlight(&doc, &price_selector(style)) else {
                 continue;
             };
             let obs = sheriff.check(&world.web, "www.booking.com", &path, &ex, time, &[]);
@@ -201,7 +200,10 @@ fn ablation_extraction(c: &mut Criterion) {
                 domain: "shop.example",
                 product_name: "Widget",
                 price_text: loc.format(truth),
-                recommended: vec![("Other".to_owned(), loc.format(pd_util::Money::from_minor(999)))],
+                recommended: vec![(
+                    "Other".to_owned(),
+                    loc.format(pd_util::Money::from_minor(999)),
+                )],
                 third_parties: &[],
                 promo_text: "Save $10 today!".to_owned(),
             };
@@ -224,7 +226,10 @@ fn ablation_extraction(c: &mut Criterion) {
     println!(
         "[ablation:extraction] template corpus ({total} pages): highlight {highlight_correct}/{total} correct, naive first-symbol {naive_correct}/{total}"
     );
-    assert_eq!(highlight_correct, total, "highlight extraction must be exact");
+    assert_eq!(
+        highlight_correct, total,
+        "highlight extraction must be exact"
+    );
     assert!(
         naive_correct < total,
         "the naive strawman must fail somewhere, else the ablation is vacuous"
@@ -235,8 +240,7 @@ fn ablation_extraction(c: &mut Criterion) {
         b.iter(|| {
             let mut ok = 0;
             for (doc, style, country) in &pages {
-                let ex =
-                    HighlightExtractor::from_highlight(doc, &price_selector(*style)).unwrap();
+                let ex = HighlightExtractor::from_highlight(doc, &price_selector(*style)).unwrap();
                 if ex.extract(doc, Some(Locale::of_country(*country))).is_ok() {
                     ok += 1;
                 }
@@ -285,9 +289,8 @@ fn ablation_repeats(c: &mut Criterion) {
                 let path = format!("/product/{slug}");
                 let mut dearest: Option<usize> = None;
                 for rep in 0..k {
-                    let time = SimTime::from_millis(
-                        (30 + rep as u64) * 24 * 3_600_000 + 12 * 3_600_000,
-                    );
+                    let time =
+                        SimTime::from_millis((30 + rep as u64) * 24 * 3_600_000 + 12 * 3_600_000);
                     let req = pd_web::Request::get(
                         domain,
                         &path,
@@ -295,12 +298,13 @@ fn ablation_repeats(c: &mut Criterion) {
                         time,
                     );
                     let doc = pd_html::parse(&world.web.fetch(&req).body);
-                    let Some(ex) =
-                        HighlightExtractor::from_highlight(&doc, &price_selector(style))
+                    let Some(ex) = HighlightExtractor::from_highlight(&doc, &price_selector(style))
                     else {
                         return false;
                     };
-                    let obs = world.sheriff.check(&world.web, domain, &path, &ex, time, &[]);
+                    let obs = world
+                        .sheriff
+                        .check(&world.web, domain, &path, &ex, time, &[]);
                     let prices: Vec<_> = obs.iter().filter_map(|o| o.price).collect();
                     let genuine = band_filter(fx, &prices, time.day_index() as usize)
                         .map(|v| v.genuine)

@@ -81,7 +81,12 @@ fn bench_figures(c: &mut Criterion) {
     });
     group.bench_function("fig2_crowd_ratios", |b| {
         let domains: Vec<String> = pre.crowd_frame.domains();
-        b.iter(|| black_box(pd_analysis::crowd::fig2_ratio_boxes(&pre.crowd_frame, &domains)));
+        b.iter(|| {
+            black_box(pd_analysis::crowd::fig2_ratio_boxes(
+                &pre.crowd_frame,
+                &domains,
+            ))
+        });
     });
     group.bench_function("fig3_extent", |b| {
         b.iter(|| black_box(pd_analysis::crawl::fig3_extent(&pre.crawl_frame)));
@@ -121,7 +126,12 @@ fn bench_figures(c: &mut Criterion) {
         });
     });
     group.bench_function("fig9_finland", |b| {
-        b.iter(|| black_box(pd_analysis::location::fig9_finland(&pre.crawl_frame, finland)));
+        b.iter(|| {
+            black_box(pd_analysis::location::fig9_finland(
+                &pre.crawl_frame,
+                finland,
+            ))
+        });
     });
     group.finish();
 
@@ -159,8 +169,7 @@ fn bench_figures(c: &mut Criterion) {
     heavy.bench_function("cleaning", |b| {
         let fx = pre.exp.world().web.fx();
         b.iter(|| {
-            let (kept, report) =
-                pd_sheriff::cleaning::clean(&pre.crowd_raw, fx, |m| m.user_price);
+            let (kept, report) = pd_sheriff::cleaning::clean(&pre.crowd_raw, fx, |m| m.user_price);
             black_box((kept.len(), report))
         });
     });

@@ -166,10 +166,5 @@ fn bench_pricing_and_web(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_html,
-    bench_currency,
-    bench_pricing_and_web
-);
+criterion_group!(benches, bench_html, bench_currency, bench_pricing_and_web);
 criterion_main!(benches);

@@ -55,7 +55,10 @@ impl Experiment {
     /// report).
     #[must_use]
     pub fn run_crowd_phase(&mut self) -> (MeasurementStore, MeasurementStore, CleaningReport) {
-        let raw = self.world.crowd.run_campaign(&self.world.web, &self.world.sheriff);
+        let raw = self
+            .world
+            .crowd
+            .run_campaign(&self.world.web, &self.world.sheriff);
         let web = &self.world.web;
         let crowd = &self.world.crowd;
         let fx = web.fx();
@@ -148,9 +151,8 @@ impl Experiment {
         let (Some(a), Some(b)) = (probe_a, probe_b) else {
             return false;
         };
-        let time = SimTime::from_millis(
-            self.config.crowd.window_days * 24 * 3_600_000 + 9 * 3_600_000,
-        );
+        let time =
+            SimTime::from_millis(self.config.crowd.window_days * 24 * 3_600_000 + 9 * 3_600_000);
         let day = (time.day_index() as usize).min(fx.days().saturating_sub(1));
 
         let page_price = |addr, country| {
@@ -162,7 +164,9 @@ impl Experiment {
             }
             let doc = pd_html::parse(&resp.body);
             let ex = HighlightExtractor::from_highlight(&doc, &price_selector(style))?;
-            ex.extract(&doc, Some(Locale::of_country(country))).ok().map(|e| e.price)
+            ex.extract(&doc, Some(Locale::of_country(country)))
+                .ok()
+                .map(|e| e.price)
         };
         let item_price = |addr, country| {
             let req = Request::get(domain, &format!("/checkout/{}", product.slug), addr, time)
@@ -206,10 +210,7 @@ impl Experiment {
     #[must_use]
     pub fn run_crawl_phase(
         &self,
-    ) -> (
-        MeasurementStore,
-        Vec<pd_crawler::crawl::RetailerCrawlStats>,
-    ) {
+    ) -> (MeasurementStore, Vec<pd_crawler::crawl::RetailerCrawlStats>) {
         let crawler = Crawler::new(self.config.seed, self.config.crawl.clone());
         let targets = self.world.paper_crawl_targets();
         crawler.crawl(&self.world.web, &self.world.sheriff, &targets)
@@ -259,11 +260,7 @@ impl Experiment {
         // the paper's three locations: New York, UK, Finland.
         let fig6_locs: Vec<_> = ["USA - New York", "UK - London", "Finland - Tampere"]
             .iter()
-            .filter_map(|l| {
-                self.world
-                    .vantage_by_label(l)
-                    .map(|vp| (vp.id, vp.label()))
-            })
+            .filter_map(|l| self.world.vantage_by_label(l).map(|vp| (vp.id, vp.label())))
             .collect();
         let fig6a = strategy::fig6_curves(&crawl_frame, "www.digitalrev.com", &fig6_locs);
         let fig6b = strategy::fig6_curves(&crawl_frame, "www.energie.it", &fig6_locs);
@@ -275,11 +272,7 @@ impl Experiment {
         let grid = |domain: &str, labels: &[&str]| {
             let vps: Vec<_> = labels
                 .iter()
-                .filter_map(|l| {
-                    self.world
-                        .vantage_by_label(l)
-                        .map(|vp| (vp.id, vp.label()))
-                })
+                .filter_map(|l| self.world.vantage_by_label(l).map(|vp| (vp.id, vp.label())))
                 .collect();
             Fig8Grid {
                 domain: domain.to_owned(),
@@ -365,12 +358,8 @@ impl Experiment {
 
         // Third-party presence over the crawled set.
         let targets = self.world.paper_crawl_targets();
-        let third_party = thirdparty::scan_third_parties(
-            &self.world.web,
-            &targets,
-            boston_vp.addr,
-            exp_time,
-        );
+        let third_party =
+            thirdparty::scan_third_parties(&self.world.web, &targets, boston_vp.addr, exp_time);
 
         let summary = summary::dataset_summary(&self.world.crowd, crowd_raw, crawl_store);
 

@@ -157,9 +157,7 @@ impl Report {
     #[must_use]
     pub fn render_attribution(&self) -> String {
         use pd_analysis::Factor;
-        let mut out = String::from(
-            "Factor attribution (extension; paper Sec. 6 future work)\n",
-        );
+        let mut out = String::from("Factor attribution (extension; paper Sec. 6 future work)\n");
         out.push_str(&format!(
             "{:<30} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
             "retailer", "country", "city", "session", "day", "login"
@@ -189,7 +187,8 @@ impl Report {
     /// Third-party table + persona line.
     #[must_use]
     pub fn render_tables(&self) -> String {
-        let mut out = String::from("Third-party presence on crawled retailers (paper: 95/65/80/45/40%)\n");
+        let mut out =
+            String::from("Third-party presence on crawled retailers (paper: 95/65/80/45/40%)\n");
         for (host, frac) in &self.third_party.rows {
             out.push_str(&format!("  {host:>28}: {:>5.1}%\n", frac * 100.0));
         }

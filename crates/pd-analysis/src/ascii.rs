@@ -173,7 +173,10 @@ pub fn render_fig10(fig: &Fig10) -> String {
         fig.login_correlation
             .map_or("n/a".to_owned(), |c| format!("{c:+.3}"))
     );
-    let _ = writeln!(out, "  product |  w/o login |    user A |    user B |    user C");
+    let _ = writeln!(
+        out,
+        "  product |  w/o login |    user A |    user B |    user C"
+    );
     for (i, wo, a, b, c) in &fig.series {
         let f = |v: &Option<f64>| v.map_or("      -".to_owned(), |x| format!("{x:>7.2}"));
         let _ = writeln!(
@@ -218,9 +221,7 @@ mod tests {
         // Longest bar belongs to the top domain.
         let amazon_line = s.lines().find(|l| l.contains("amazon")).unwrap();
         let zavvi_line = s.lines().find(|l| l.contains("zavvi")).unwrap();
-        assert!(
-            amazon_line.matches('#').count() > zavvi_line.matches('#').count()
-        );
+        assert!(amazon_line.matches('#').count() > zavvi_line.matches('#').count());
     }
 
     #[test]

@@ -145,7 +145,12 @@ pub fn attribute(
     let t0 = SimTime::from_millis(base_day * 24 * 3_600_000 + 10 * 3_600_000);
     let t1 = SimTime::from_millis((base_day + 1) * 24 * 3_600_000 + 10 * 3_600_000);
 
-    let fetch = |slug: &str, addr: Ipv4Addr, country: Country, time: SimTime, cookies: &[(&str, &str)]| -> Option<Price> {
+    let fetch = |slug: &str,
+                 addr: Ipv4Addr,
+                 country: Country,
+                 time: SimTime,
+                 cookies: &[(&str, &str)]|
+     -> Option<Price> {
         let mut req = Request::get(domain, &format!("/product/{slug}"), addr, time);
         for (n, v) in cookies {
             req = req.with_cookie(n, v);
@@ -156,7 +161,9 @@ pub fn attribute(
         }
         let doc = pd_html::parse(&resp.body);
         let ex = HighlightExtractor::from_highlight(&doc, &price_selector(style))?;
-        ex.extract(&doc, Some(Locale::of_country(country))).ok().map(|e| e.price)
+        ex.extract(&doc, Some(Locale::of_country(country)))
+            .ok()
+            .map(|e| e.price)
     };
 
     // Cross-currency pair: genuine iff the band filter confirms.

@@ -86,7 +86,10 @@ mod tests {
             domain: domain.into(),
             slug: "p".into(),
             day: 0,
-            usd: vec![(VantageId::new(0), 100.0), (VantageId::new(1), 100.0 * ratio)],
+            usd: vec![
+                (VantageId::new(0), 100.0),
+                (VantageId::new(1), 100.0 * ratio),
+            ],
             genuine: ratio > 1.0,
             ratio,
             min_usd: 100.0,

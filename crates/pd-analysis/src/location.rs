@@ -22,10 +22,7 @@ pub struct Fig7Box {
 /// locations in Europe. Within Europe, Finland stands out as the most
 /// expensive location."
 #[must_use]
-pub fn fig7_location_boxes(
-    frame: &CheckFrame,
-    vantages: &[(VantageId, String)],
-) -> Vec<Fig7Box> {
+pub fn fig7_location_boxes(frame: &CheckFrame, vantages: &[(VantageId, String)]) -> Vec<Fig7Box> {
     // Per product × location: median daily ratio to the product minimum.
     let mut per_loc: std::collections::HashMap<VantageId, Vec<f64>> =
         std::collections::HashMap::new();
@@ -226,7 +223,9 @@ mod tests {
 
     #[test]
     fn classify_pair_similar() {
-        let pts: Vec<(f64, f64)> = (0..10).map(|i| (1.0 + i as f64 * 0.01, 1.0 + i as f64 * 0.01)).collect();
+        let pts: Vec<(f64, f64)> = (0..10)
+            .map(|i| (1.0 + i as f64 * 0.01, 1.0 + i as f64 * 0.01))
+            .collect();
         assert_eq!(classify_pair(&pts), PairRelation::Similar);
     }
 

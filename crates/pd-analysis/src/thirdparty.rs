@@ -126,12 +126,7 @@ mod tests {
         let seed = Seed::new(1307);
         let mut world = WebWorld::build(seed, paper_retailers(seed), 160);
         let addr = world.allocate_client(&Location::new(Country::Spain, "Barcelona"));
-        let table = scan_third_parties(
-            &world,
-            &["gone.example".to_owned()],
-            addr,
-            SimTime::EPOCH,
-        );
+        let table = scan_third_parties(&world, &["gone.example".to_owned()], addr, SimTime::EPOCH);
         assert_eq!(table.scanned, 0);
         assert!(table.rows.iter().all(|(_, f)| *f == 0.0));
     }

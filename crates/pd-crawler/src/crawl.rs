@@ -125,10 +125,7 @@ impl Crawler {
             return stats;
         };
         let catalog = server.catalog();
-        let sample = catalog.sample(
-            self.seed.derive(domain),
-            self.config.products_per_retailer,
-        );
+        let sample = catalog.sample(self.seed.derive(domain), self.config.products_per_retailer);
         stats.products = sample.len();
 
         // Reference highlight: captured once per retailer (stands in for
@@ -153,8 +150,7 @@ impl Crawler {
                 if observations.iter().any(|o| o.price.is_none()) {
                     stats.retries += 1;
                     let retry_t = t + SimDuration::from_secs(30);
-                    let retried =
-                        sheriff.check(world, domain, &path, &extractor, retry_t, &[]);
+                    let retried = sheriff.check(world, domain, &path, &extractor, retry_t, &[]);
                     for (slot, new) in observations.iter_mut().zip(retried) {
                         if slot.price.is_none() && new.price.is_some() {
                             *slot = new;
@@ -310,8 +306,7 @@ mod tests {
         let (mut world, sheriff) = rig();
         world.set_failure_rate(0.05);
         let crawler = Crawler::new(Seed::new(1), small_config());
-        let (store, stats) =
-            crawler.crawl(&world, &sheriff, &["www.digitalrev.com".to_owned()]);
+        let (store, stats) = crawler.crawl(&world, &sheriff, &["www.digitalrev.com".to_owned()]);
         assert!(stats[0].retries > 0, "5% failure rate must trigger retries");
         // After one retry round the overwhelming majority of checks are
         // complete again (P(fail twice) ≈ 0.25%/observation).

@@ -82,7 +82,11 @@ pub fn band_filter(fx: &FxSeries, prices: &[Price], day: usize) -> Option<BandVe
     Some(BandVerdict {
         genuine,
         conservative_ratio: if genuine { max_lo / min_hi } else { 1.0 },
-        nominal_ratio: if min_mid > 0.0 { max_mid / min_mid } else { 1.0 },
+        nominal_ratio: if min_mid > 0.0 {
+            max_mid / min_mid
+        } else {
+            1.0
+        },
     })
 }
 
@@ -174,7 +178,9 @@ mod tests {
         let base_eur = (80.0 / mid * 100.0).round() as i64;
         let mut prices = vec![usd(8_000); 10];
         prices.push(eur(base_eur)); // same value in EUR
-        prices.push(eur((f64::from(u32::try_from(base_eur).unwrap()) * 1.2) as i64));
+        prices.push(eur(
+            (f64::from(u32::try_from(base_eur).unwrap()) * 1.2) as i64
+        ));
         let v = band_filter(&f, &prices, day).unwrap();
         assert!(v.genuine);
         assert!((v.conservative_ratio - 1.2).abs() < 0.02);

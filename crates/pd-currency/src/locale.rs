@@ -269,7 +269,10 @@ mod tests {
 
     #[test]
     fn format_poland_space_groups() {
-        assert_eq!(pl().format(Money::from_minor(123_456)), "1\u{a0}234,56\u{a0}zł");
+        assert_eq!(
+            pl().format(Money::from_minor(123_456)),
+            "1\u{a0}234,56\u{a0}zł"
+        );
     }
 
     #[test]
@@ -304,7 +307,9 @@ mod tests {
 
     #[test]
     fn parse_tolerates_plain_space_before_symbol() {
-        let p = de().parse("1.234,56 €".replace(' ', "\u{a0}").as_str()).unwrap();
+        let p = de()
+            .parse("1.234,56 €".replace(' ', "\u{a0}").as_str())
+            .unwrap();
         assert_eq!(p.amount, Money::from_minor(123_456));
     }
 
@@ -330,7 +335,10 @@ mod tests {
 
     #[test]
     fn parse_no_group_separator_accepted() {
-        assert_eq!(us().parse("$1234.56").unwrap().amount, Money::from_minor(123_456));
+        assert_eq!(
+            us().parse("$1234.56").unwrap().amount,
+            Money::from_minor(123_456)
+        );
     }
 
     #[test]
@@ -341,7 +349,10 @@ mod tests {
 
     #[test]
     fn parse_negative() {
-        assert_eq!(us().parse("$-10.99").unwrap().amount, Money::from_minor(-1099));
+        assert_eq!(
+            us().parse("$-10.99").unwrap().amount,
+            Money::from_minor(-1099)
+        );
     }
 
     #[test]

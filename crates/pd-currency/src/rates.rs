@@ -120,7 +120,11 @@ impl FxSeries {
     /// generate a long-enough series up front.
     #[must_use]
     pub fn rate(&self, currency: Currency, day: usize) -> DailyRate {
-        assert!(day < self.days, "day {day} outside FX series ({})", self.days);
+        assert!(
+            day < self.days,
+            "day {day} outside FX series ({})",
+            self.days
+        );
         self.rates[currency.index()][day]
     }
 

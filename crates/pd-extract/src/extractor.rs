@@ -123,11 +123,7 @@ pub fn extract_naive(doc: &Document) -> Option<Price> {
         if let pd_html::NodeData::Text(t) = &doc.node(node).data {
             // Skip script/style text: currency strings inside tracking
             // code are not prices.
-            let parent_tag = doc
-                .node(node)
-                .parent
-                .and_then(|p| doc.tag(p))
-                .unwrap_or("");
+            let parent_tag = doc.node(node).parent.and_then(|p| doc.tag(p)).unwrap_or("");
             if parent_tag == "script" || parent_tag == "style" {
                 continue;
             }
@@ -236,10 +232,7 @@ mod tests {
         let page = US_PAGE.replace("$1,299.00", "call us!");
         let doc = parse(&page);
         let err = highlighter().extract(&doc, None).unwrap_err();
-        assert_eq!(
-            err,
-            ExtractError::UnparsablePrice("call us!".to_owned())
-        );
+        assert_eq!(err, ExtractError::UnparsablePrice("call us!".to_owned()));
     }
 
     #[test]
@@ -296,7 +289,11 @@ mod tests {
                 .unwrap()
                 .extract(&doc, Some(Locale::of_country(Country::Germany)))
                 .unwrap();
-            assert_eq!(ex.price.amount, Money::from_minor(129_900), "family {style}");
+            assert_eq!(
+                ex.price.amount,
+                Money::from_minor(129_900),
+                "family {style}"
+            );
             assert_eq!(ex.price.currency, Currency::Eur);
         }
     }

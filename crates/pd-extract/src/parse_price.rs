@@ -122,9 +122,11 @@ fn number_span_from_end(s: &str) -> Option<usize> {
         }
     }
     let trimmed_start = start
-        + s[start..]
-            .len()
-            .saturating_sub(s[start..].trim_start_matches(['.', ',', ' ', '\u{a0}']).len());
+        + s[start..].len().saturating_sub(
+            s[start..]
+                .trim_start_matches(['.', ',', ' ', '\u{a0}'])
+                .len(),
+        );
     (trimmed_start < s.len() && s[trimmed_start..].bytes().any(|b| b.is_ascii_digit()))
         .then_some(trimmed_start)
 }
@@ -136,7 +138,10 @@ fn parse_number(raw: &str, currency: Currency) -> Option<Money> {
         None => (raw, false),
     };
     // Normalize space-grouping away first.
-    let cleaned: String = raw.chars().filter(|c| *c != ' ' && *c != '\u{a0}').collect();
+    let cleaned: String = raw
+        .chars()
+        .filter(|c| *c != ' ' && *c != '\u{a0}')
+        .collect();
     if cleaned.is_empty() || !cleaned.bytes().any(|b| b.is_ascii_digit()) {
         return None;
     }
@@ -145,7 +150,10 @@ fn parse_number(raw: &str, currency: Currency) -> Option<Money> {
     let (int_part, frac_part): (String, String) = match (last_dot, last_comma) {
         (Some(d), Some(c)) => {
             let (dec_idx, group) = if d > c { (d, ',') } else { (c, '.') };
-            let int: String = cleaned[..dec_idx].chars().filter(|ch| *ch != group).collect();
+            let int: String = cleaned[..dec_idx]
+                .chars()
+                .filter(|ch| *ch != group)
+                .collect();
             (int, cleaned[dec_idx + 1..].to_owned())
         }
         (Some(idx), None) | (None, Some(idx)) => {
@@ -154,7 +162,10 @@ fn parse_number(raw: &str, currency: Currency) -> Option<Money> {
             if tail_len == 3 && head_len >= 1 {
                 // Rule 2: thousands grouping.
                 let sep = cleaned.as_bytes()[idx] as char;
-                (cleaned.chars().filter(|c| *c != sep).collect(), String::new())
+                (
+                    cleaned.chars().filter(|c| *c != sep).collect(),
+                    String::new(),
+                )
             } else {
                 // Rule 3: decimal separator.
                 (cleaned[..idx].to_owned(), cleaned[idx + 1..].to_owned())
@@ -227,7 +238,10 @@ mod tests {
     fn yen_integer_amounts() {
         assert_parses("¥1,235", 123_500, Currency::Jpy);
         assert_parses("¥980", 98_000, Currency::Jpy);
-        assert!(parse_price_text("¥12.34").is_none(), "fractional yen rejected");
+        assert!(
+            parse_price_text("¥12.34").is_none(),
+            "fractional yen rejected"
+        );
     }
 
     #[test]

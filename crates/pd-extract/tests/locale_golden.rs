@@ -1,0 +1,109 @@
+//! Locale-format golden tests for the symbol-driven generic price parser.
+//!
+//! `parse_price_text` is the fallback when the vantage's exact locale
+//! parse fails, so it has to handle every formatting convention the
+//! simulated retailers emit — and refuse garbage rather than hallucinate
+//! a price. Each case here is a concrete string with its expected minor
+//! units and currency.
+
+use pd_currency::Currency;
+use pd_extract::parse_price_text;
+
+fn assert_golden(text: &str, minor: i64, currency: Currency) {
+    let price = parse_price_text(text).unwrap_or_else(|| panic!("expected {text:?} to parse"));
+    assert_eq!(price.amount.to_minor(), minor, "amount of {text:?}");
+    assert_eq!(price.currency, currency, "currency of {text:?}");
+}
+
+#[test]
+fn us_dollar_with_thousands_grouping() {
+    assert_golden("$1,299.00", 129_900, Currency::Usd);
+    assert_golden("$ 1,299.00", 129_900, Currency::Usd);
+    assert_golden("Price: $1,299.00 today only", 129_900, Currency::Usd);
+}
+
+#[test]
+fn continental_euro_suffix_form() {
+    assert_golden("1.299,00 €", 129_900, Currency::Eur);
+    assert_golden("1.299,00\u{a0}€", 129_900, Currency::Eur);
+    // Prefix euro also appears in sloppy templates.
+    assert_golden("€1.299,00", 129_900, Currency::Eur);
+}
+
+#[test]
+fn british_pound_simple_decimal() {
+    assert_golden("£9.99", 999, Currency::Gbp);
+    assert_golden("only £9.99!", 999, Currency::Gbp);
+}
+
+#[test]
+fn zero_decimal_yen() {
+    assert_golden("¥1,299", 129_900, Currency::Jpy);
+}
+
+#[test]
+fn multi_character_symbols_win_over_their_prefix() {
+    // `R$` must resolve to BRL, not a stray `$` to USD.
+    assert_golden("R$1.234,56", 123_456, Currency::Brl);
+    assert_golden("C$42.00", 4_200, Currency::Cad);
+}
+
+#[test]
+fn space_grouped_nordic_form() {
+    // Polish/Swedish grouping uses (non-breaking) spaces.
+    assert_golden("1\u{a0}234,56\u{a0}zł", 123_456, Currency::Pln);
+}
+
+#[test]
+fn thousands_separator_ambiguity_resolves_by_digit_count() {
+    // Exactly three digits after a single separator → thousands.
+    assert_golden("$1,234", 123_400, Currency::Usd);
+    assert_golden("$1.234", 123_400, Currency::Usd);
+    // One or two digits after the separator → decimal.
+    assert_golden("$12,5", 1_250, Currency::Usd);
+    assert_golden("$12.34", 1_234, Currency::Usd);
+}
+
+#[test]
+fn both_separators_present_the_later_one_is_decimal() {
+    assert_golden("$1,234.56", 123_456, Currency::Usd);
+    assert_golden("€1.234,56", 123_456, Currency::Eur);
+    assert_golden("$1.234,56", 123_456, Currency::Usd);
+}
+
+#[test]
+fn garbage_input_returns_none() {
+    for text in [
+        "",
+        "no price here",
+        "$",
+        "€ and some words",
+        "$,",
+        "$ .",
+        "USD 1299",          // code without symbol is out of scope
+        "call us: 555-1299", // digits but no currency symbol
+        "100% cotton",
+    ] {
+        assert!(
+            parse_price_text(text).is_none(),
+            "{text:?} must not parse, got {:?}",
+            parse_price_text(text)
+        );
+    }
+}
+
+#[test]
+fn symbol_with_detached_number_is_rejected() {
+    // The digits are not adjacent to the symbol, so there is no price.
+    assert!(parse_price_text("$ see price list, item 42 on page 7").is_none());
+}
+
+#[test]
+fn first_price_wins_in_promo_noise() {
+    // A recommended-product strip after the main price must not win.
+    assert_golden(
+        "€24,99 — also consider our bag for €89,00",
+        2_499,
+        Currency::Eur,
+    );
+}

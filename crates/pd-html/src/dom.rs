@@ -11,9 +11,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a node within its [`Document`] arena.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -128,12 +126,7 @@ impl Document {
     }
 
     /// Appends an element child, decoding attribute entities.
-    pub fn append_element(
-        &mut self,
-        parent: NodeId,
-        tag: &str,
-        attrs: Vec<Attribute>,
-    ) -> NodeId {
+    pub fn append_element(&mut self, parent: NodeId, tag: &str, attrs: Vec<Attribute>) -> NodeId {
         let attrs = attrs
             .into_iter()
             .map(|a| Attribute {
@@ -377,11 +370,7 @@ mod tests {
     #[test]
     fn attribute_entities_decoded() {
         let mut doc = Document::new();
-        let a = doc.append_element(
-            NodeId::ROOT,
-            "a",
-            vec![attr("title", "Tom &amp; Jerry")],
-        );
+        let a = doc.append_element(NodeId::ROOT, "a", vec![attr("title", "Tom &amp; Jerry")]);
         assert_eq!(doc.attr(a, "title"), Some("Tom & Jerry"));
     }
 
@@ -400,7 +389,10 @@ mod tests {
         let b = doc.append_element(a, "b", vec![]);
         let c = doc.append_element(a, "c", vec![]);
         let d = doc.append_element(b, "d", vec![]);
-        assert_eq!(doc.descendants(NodeId::ROOT), vec![NodeId::ROOT, a, b, d, c]);
+        assert_eq!(
+            doc.descendants(NodeId::ROOT),
+            vec![NodeId::ROOT, a, b, d, c]
+        );
     }
 
     #[test]

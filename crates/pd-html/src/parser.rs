@@ -87,7 +87,10 @@ pub fn parse(input: &str) -> Document {
 
 /// Elements whose start tag implicitly closes a same-tag ancestor.
 fn implicitly_self_nesting(tag: &str) -> bool {
-    matches!(tag, "li" | "p" | "option" | "tr" | "td" | "th" | "dt" | "dd")
+    matches!(
+        tag,
+        "li" | "p" | "option" | "tr" | "td" | "th" | "dt" | "dd"
+    )
 }
 
 /// Elements that bound the implicit-close search (a nested `<ul>` starts a
@@ -98,7 +101,10 @@ fn is_scope_boundary(tag: &str) -> bool {
 
 /// Containers where whitespace-only text is meaningful enough to keep.
 fn is_phrasing_container(tag: &str) -> bool {
-    matches!(tag, "span" | "b" | "i" | "em" | "strong" | "a" | "small" | "sup" | "sub")
+    matches!(
+        tag,
+        "span" | "b" | "i" | "em" | "strong" | "a" | "small" | "sup" | "sub"
+    )
 }
 
 #[cfg(test)]
@@ -183,7 +189,10 @@ mod tests {
     #[test]
     fn script_text_preserved_raw() {
         let doc = parse("<script>var a = \"<div>\" ;</script>");
-        let script = Selector::parse("script").unwrap().query_first(&doc).unwrap();
+        let script = Selector::parse("script")
+            .unwrap()
+            .query_first(&doc)
+            .unwrap();
         assert!(doc.text_content(script).contains("<div>"));
         // No spurious div element was created.
         assert!(Selector::parse("div").unwrap().query_first(&doc).is_none());
@@ -200,7 +209,10 @@ mod tests {
     #[test]
     fn entity_in_text_decoded() {
         let doc = parse("<span class=price>&euro;12,99</span>");
-        let s = Selector::parse("span.price").unwrap().query_first(&doc).unwrap();
+        let s = Selector::parse("span.price")
+            .unwrap()
+            .query_first(&doc)
+            .unwrap();
         assert_eq!(doc.text_content(s), "€12,99");
     }
 

@@ -262,7 +262,10 @@ mod tests {
         assert_eq!(steps.len(), 1);
         assert_eq!(steps[0].tag, "span");
         assert_eq!(path.tag, "span");
-        assert_eq!(path.classes, vec!["main-price".to_string(), "value".to_string()]);
+        assert_eq!(
+            path.classes,
+            vec!["main-price".to_string(), "value".to_string()]
+        );
     }
 
     #[test]
@@ -363,7 +366,10 @@ mod tests {
     fn capture_of_anchor_element_itself() {
         // Highlighting the anchor element: steps below the anchor are empty.
         let doc = parse(r#"<div id="price-box">$7</div>"#);
-        let el = Selector::parse("#price-box").unwrap().query_first(&doc).unwrap();
+        let el = Selector::parse("#price-box")
+            .unwrap()
+            .query_first(&doc)
+            .unwrap();
         let path = NodePath::capture(&doc, el);
         let (id, steps) = path.anchor.as_ref().unwrap();
         assert_eq!(id, "price-box");

@@ -72,7 +72,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "selector parse error at byte {}: {}", self.at, self.message)
+        write!(
+            f,
+            "selector parse error at byte {}: {}",
+            self.at, self.message
+        )
     }
 }
 
@@ -136,14 +140,12 @@ impl Selector {
                 let Some(parent) = doc.node(el).parent else {
                     return false;
                 };
-                compound_matches(doc, parent, target)
-                    && self.match_ancestors(doc, parent, idx - 1)
+                compound_matches(doc, parent, target) && self.match_ancestors(doc, parent, idx - 1)
             }
             Combinator::Descendant => {
                 let mut cur = doc.node(el).parent;
                 while let Some(p) = cur {
-                    if compound_matches(doc, p, target) && self.match_ancestors(doc, p, idx - 1)
-                    {
+                    if compound_matches(doc, p, target) && self.match_ancestors(doc, p, idx - 1) {
                         return true;
                     }
                     cur = doc.node(p).parent;
@@ -337,7 +339,11 @@ impl<'a> Parser<'a> {
 
     fn skip_ws(&mut self) -> bool {
         let start = self.pos;
-        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_whitespace) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(u8::is_ascii_whitespace)
+        {
             self.pos += 1;
         }
         self.pos > start
@@ -400,11 +406,17 @@ mod tests {
     fn descendant_vs_child() {
         let doc = parse(PAGE);
         assert_eq!(
-            Selector::parse("body span.price").unwrap().query_all(&doc).len(),
+            Selector::parse("body span.price")
+                .unwrap()
+                .query_all(&doc)
+                .len(),
             3
         );
         assert_eq!(
-            Selector::parse("body > span.price").unwrap().query_all(&doc).len(),
+            Selector::parse("body > span.price")
+                .unwrap()
+                .query_all(&doc)
+                .len(),
             0
         );
     }
@@ -413,7 +425,10 @@ mod tests {
     fn attribute_selectors() {
         let doc = parse(PAGE);
         assert_eq!(
-            Selector::parse("[data-currency]").unwrap().query_all(&doc).len(),
+            Selector::parse("[data-currency]")
+                .unwrap()
+                .query_all(&doc)
+                .len(),
             1
         );
         assert_eq!(
@@ -451,7 +466,10 @@ mod tests {
     fn compound_multiple_classes() {
         let doc = parse(PAGE);
         assert_eq!(
-            Selector::parse("div.card.main").unwrap().query_all(&doc).len(),
+            Selector::parse("div.card.main")
+                .unwrap()
+                .query_all(&doc)
+                .len(),
             1
         );
     }

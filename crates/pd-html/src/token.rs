@@ -259,7 +259,10 @@ impl<'a> Tokenizer<'a> {
     fn attribute(&mut self) -> Option<Attribute> {
         let start = self.pos;
         while self.pos < self.bytes.len()
-            && !matches!(self.bytes[self.pos], b'=' | b'>' | b'/' | b' ' | b'\t' | b'\n' | b'\r')
+            && !matches!(
+                self.bytes[self.pos],
+                b'=' | b'>' | b'/' | b' ' | b'\t' | b'\n' | b'\r'
+            )
         {
             self.pos += 1;
         }
@@ -419,12 +422,7 @@ mod tests {
     fn tag_names_lowercased() {
         let toks = tokenize("<DIV CLASS=Price></DIV>");
         assert_eq!(toks[0], start("div", &[("class", "Price")]));
-        assert_eq!(
-            toks[1],
-            Token::EndTag {
-                name: "div".into()
-            }
-        );
+        assert_eq!(toks[1], Token::EndTag { name: "div".into() });
     }
 
     #[test]
@@ -438,9 +436,9 @@ mod tests {
         let html = r#"<script>if (a < b) { track("<div>"); }</script><p>after</p>"#;
         let toks = tokenize(html);
         // raw text is emitted before the script start tag marker
-        assert!(toks.iter().any(
-            |t| matches!(t, Token::Text(s) if s.contains("a < b") && s.contains("<div>"))
-        ));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, Token::Text(s) if s.contains("a < b") && s.contains("<div>"))));
         assert!(toks
             .iter()
             .any(|t| matches!(t, Token::StartTag { name, .. } if name == "p")));

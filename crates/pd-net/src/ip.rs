@@ -64,7 +64,11 @@ impl Cidr {
     #[must_use]
     pub fn addr(self, i: u32) -> Ipv4Addr {
         let size = self.size();
-        assert!(u64::from(i) < size, "address index {i} outside /{}", self.prefix_len);
+        assert!(
+            u64::from(i) < size,
+            "address index {i} outside /{}",
+            self.prefix_len
+        );
         Ipv4Addr::from(self.base + i)
     }
 
@@ -118,7 +122,10 @@ impl IpAllocator {
         let host = self.next_host[idx];
         self.next_host[idx] += 1;
         let block = country_block(country);
-        assert!(u64::from(host) < block.size() - 1, "address block exhausted");
+        assert!(
+            u64::from(host) < block.size() - 1,
+            "address block exhausted"
+        );
         block.addr(host)
     }
 

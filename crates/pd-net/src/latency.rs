@@ -91,10 +91,7 @@ impl LatencyModel {
     /// argument bounds.
     #[must_use]
     pub fn fanout_spread_ms(&self, sources: &[Country], dst: Country) -> u64 {
-        let times: Vec<u64> = sources
-            .iter()
-            .map(|&s| self.one_way_ms(s, dst))
-            .collect();
+        let times: Vec<u64> = sources.iter().map(|&s| self.one_way_ms(s, dst)).collect();
         match (times.iter().min(), times.iter().max()) {
             (Some(lo), Some(hi)) => hi - lo,
             _ => 0,

@@ -142,7 +142,11 @@ pub fn paper_vantage_points(alloc: &mut IpAllocator) -> Vec<VantagePoint> {
         (Country::UnitedStates, "Boston", Platform::LINUX_FIREFOX),
         (Country::UnitedStates, "Chicago", Platform::LINUX_FIREFOX),
         (Country::UnitedStates, "Lincoln", Platform::LINUX_FIREFOX),
-        (Country::UnitedStates, "Los Angeles", Platform::LINUX_FIREFOX),
+        (
+            Country::UnitedStates,
+            "Los Angeles",
+            Platform::LINUX_FIREFOX,
+        ),
         (Country::UnitedStates, "New York", Platform::LINUX_FIREFOX),
         (Country::UnitedStates, "Albany", Platform::LINUX_FIREFOX),
     ];
@@ -177,8 +181,7 @@ mod tests {
             .filter(|v| v.location.country == Country::Spain)
             .collect();
         assert_eq!(spain.len(), 3);
-        let platforms: std::collections::HashSet<_> =
-            spain.iter().map(|v| v.platform).collect();
+        let platforms: std::collections::HashSet<_> = spain.iter().map(|v| v.platform).collect();
         assert_eq!(platforms.len(), 3);
         assert!(spain.windows(2).all(|w| w[0].location == w[1].location));
     }

@@ -46,7 +46,10 @@ impl Catalog {
     /// range, charm-rounded, and never below $0.99.
     #[must_use]
     pub fn generate(seed: Seed, categories: &[Category], size: usize) -> Self {
-        assert!(!categories.is_empty(), "catalog needs at least one category");
+        assert!(
+            !categories.is_empty(),
+            "catalog needs at least one category"
+        );
         let mut rng = seed.derive("catalog").rng();
         let mut products = Vec::with_capacity(size);
         for i in 0..size {
@@ -55,12 +58,7 @@ impl Catalog {
             let log_price = rng.random_range(lo.ln()..hi.ln());
             let base = Money::from_f64(log_price.exp()).charm();
             let adj = ADJECTIVES[rng.random_range(0..ADJECTIVES.len())];
-            let name = format!(
-                "{} {} {:04}",
-                capitalize(category.slug()),
-                adj,
-                i
-            );
+            let name = format!("{} {} {:04}", capitalize(category.slug()), adj, i);
             let slug = format!("{}-{}-{:04}", category.slug(), adj.to_lowercase(), i);
             products.push(Product {
                 id: ProductId::new(i as u32),

@@ -712,7 +712,8 @@ pub fn filler_retailers(seed: Seed, n: usize) -> Vec<RetailerSpec> {
         .map(|i| {
             let rseed = seed.derive_idx(i as u64);
             let u = (rseed.value() >> 11) as f64 / (1u64 << 53) as f64;
-            let category = Category::ALL[rseed.derive("cat").value() as usize % Category::ALL.len()];
+            let category =
+                Category::ALL[rseed.derive("cat").value() as usize % Category::ALL.len()];
             let components = if u < 0.05 {
                 vec![StrategyComponent::AbTest {
                     fraction: 0.2,
@@ -816,15 +817,14 @@ mod tests {
         for r in world() {
             let finland_cheap = r.components.iter().any(|c| {
                 if let StrategyComponent::MultiplicativeByLocation { factors } = c {
-                    factors.iter().any(|(k, f)| {
-                        matches!(k, LocKey::Country(Country::Finland)) && *f < 1.0
-                    })
+                    factors
+                        .iter()
+                        .any(|(k, f)| matches!(k, LocKey::Country(Country::Finland)) && *f < 1.0)
                 } else {
                     false
                 }
             });
-            let expected =
-                r.domain == "www.mauijim.com" || r.domain == "www.tuscanyleather.it";
+            let expected = r.domain == "www.mauijim.com" || r.domain == "www.tuscanyleather.it";
             assert_eq!(finland_cheap, expected, "{}", r.domain);
         }
     }
@@ -871,8 +871,7 @@ mod tests {
         assert!(frac < 0.12, "too many discriminating fillers: {frac}");
         assert!(discriminating > 0, "some fillers must discriminate");
         // Unique domains.
-        let set: std::collections::HashSet<_> =
-            fillers.iter().map(|r| r.domain.clone()).collect();
+        let set: std::collections::HashSet<_> = fillers.iter().map(|r| r.domain.clone()).collect();
         assert_eq!(set.len(), 570);
     }
 

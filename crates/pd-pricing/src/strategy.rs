@@ -193,11 +193,7 @@ impl PricingEngine {
                         // concrete location: a country-keyed range gives
                         // one factor for the whole country (amazon's
                         // "constant across US" behaviour).
-                        let u = self.unit(
-                            "mixed",
-                            product.id.index() as u64,
-                            key_hash(key),
-                        );
+                        let u = self.unit("mixed", product.id.index() as u64, key_hash(key));
                         value *= lo + (hi - lo) * u;
                     }
                 }
@@ -210,8 +206,8 @@ impl PricingEngine {
                 } => {
                     if keys.iter().any(|k| k.matches(&ctx.location)) {
                         let p = product.base_price.to_f64().max(0.01);
-                        let w = ((hi_usd.ln() - p.ln()) / (hi_usd.ln() - lo_usd.ln()))
-                            .clamp(0.0, 1.0);
+                        let w =
+                            ((hi_usd.ln() - p.ln()) / (hi_usd.ln() - lo_usd.ln())).clamp(0.0, 1.0);
                         value *= factor_at_high + (factor_at_low - factor_at_high) * w;
                     }
                 }
@@ -220,11 +216,7 @@ impl PricingEngine {
                     value *= 1.0 + amplitude * (2.0 * u - 1.0);
                 }
                 StrategyComponent::AbTest { fraction, factor } => {
-                    let u = self.unit(
-                        "ab",
-                        product.id.index() as u64,
-                        ctx.session_token,
-                    );
+                    let u = self.unit("ab", product.id.index() as u64, ctx.session_token);
                     if u < *fraction {
                         value *= factor;
                     }
@@ -373,10 +365,7 @@ mod tests {
             vec![StrategyComponent::MultiplicativeByLocation {
                 factors: vec![
                     (LocKey::Country(Country::UnitedStates), 1.0),
-                    (
-                        LocKey::City(Country::UnitedStates, "New York".into()),
-                        1.15,
-                    ),
+                    (LocKey::City(Country::UnitedStates, "New York".into()), 1.15),
                 ],
             }],
         );
@@ -469,7 +458,9 @@ mod tests {
         let fi_ctx = ctx_at(Country::Finland, "Tampere");
         let ratio = |usd: f64| {
             let p = mk(usd);
-            e.quote(&p, &fi_ctx).ratio_to(e.quote(&p, &base_ctx)).unwrap()
+            e.quote(&p, &fi_ctx)
+                .ratio_to(e.quote(&p, &base_ctx))
+                .unwrap()
         };
         assert!((ratio(10.0) - 3.0).abs() < 0.05);
         assert!(ratio(100.0) < ratio(10.0));
@@ -604,7 +595,9 @@ mod tests {
         );
         let cat = catalog();
         for p in cat.iter() {
-            assert!(e.quote(p, &ctx_at(Country::Germany, "Berlin")).is_positive());
+            assert!(e
+                .quote(p, &ctx_at(Country::Germany, "Berlin"))
+                .is_positive());
         }
     }
 

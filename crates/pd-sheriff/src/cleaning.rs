@@ -116,7 +116,11 @@ mod tests {
         Price::new(Money::from_minor(minor), Currency::Usd)
     }
 
-    fn meas(user_price: Option<Price>, obs_prices: &[Option<i64>], noise: NoiseTruth) -> Measurement {
+    fn meas(
+        user_price: Option<Price>,
+        obs_prices: &[Option<i64>],
+        noise: NoiseTruth,
+    ) -> Measurement {
         Measurement {
             request: RequestId::new(0),
             user: UserId::new(0),

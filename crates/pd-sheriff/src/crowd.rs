@@ -217,8 +217,7 @@ impl Crowd {
             let noise_draw: f64 = rng.random();
             let noise = if noise_draw < self.config.customization_noise {
                 NoiseTruth::Customization
-            } else if noise_draw
-                < self.config.customization_noise + self.config.mis_highlight_noise
+            } else if noise_draw < self.config.customization_noise + self.config.mis_highlight_noise
             {
                 NoiseTruth::MisHighlight
             } else {

@@ -121,7 +121,7 @@ mod tests {
         assert!(lines[1].contains("$12.99"));
         assert!(lines[2].contains("http 503"));
         assert!(lines[2].contains(",,")); // empty currency/amount
-        // Same column count in every row.
+                                          // Same column count in every row.
         let cols = lines[0].split(',').count();
         assert_eq!(lines[1].split(',').count(), cols);
     }

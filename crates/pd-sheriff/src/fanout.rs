@@ -81,10 +81,7 @@ impl Sheriff {
                 }
                 let resp = world.fetch(&req);
                 if resp.status.code() != 200 {
-                    return PriceObservation::failed(
-                        vp.id,
-                        format!("http {}", resp.status.code()),
-                    );
+                    return PriceObservation::failed(vp.id, format!("http {}", resp.status.code()));
                 }
                 let doc = pd_html::parse(&resp.body);
                 let hint = Locale::of_country(vp.location.country);
@@ -231,14 +228,17 @@ mod tests {
     fn unknown_host_fails_observations() {
         let r = rig();
         let doc = parse("<html><body><span class=price>$5</span></body></html>");
-        let ex = HighlightExtractor::from_highlight(
-            &doc,
-            &pd_html::Selector::parse(".price").unwrap(),
-        )
-        .unwrap();
-        let obs = r
-            .sheriff
-            .check(&r.world, "gone.example", "/product/x", &ex, SimTime::EPOCH, &[]);
+        let ex =
+            HighlightExtractor::from_highlight(&doc, &pd_html::Selector::parse(".price").unwrap())
+                .unwrap();
+        let obs = r.sheriff.check(
+            &r.world,
+            "gone.example",
+            "/product/x",
+            &ex,
+            SimTime::EPOCH,
+            &[],
+        );
         assert_eq!(obs.len(), 14);
         assert!(obs.iter().all(|o| o.price.is_none()));
         assert!(obs[0].error.as_deref().unwrap().contains("404"));

@@ -20,8 +20,8 @@
 #![warn(missing_docs)]
 
 pub mod cleaning;
-pub mod export;
 pub mod crowd;
+pub mod export;
 pub mod fanout;
 pub mod measurement;
 pub mod personas;

@@ -100,7 +100,10 @@ impl Measurement {
     /// Number of failed observations.
     #[must_use]
     pub fn failures(&self) -> usize {
-        self.observations.iter().filter(|o| o.error.is_some()).count()
+        self.observations
+            .iter()
+            .filter(|o| o.error.is_some())
+            .count()
     }
 }
 

@@ -325,7 +325,13 @@ mod tests {
             40,
         );
         for row in &exp.rows {
-            for p in row.users.iter().copied().chain([row.without_login]).flatten() {
+            for p in row
+                .users
+                .iter()
+                .copied()
+                .chain([row.without_login])
+                .flatten()
+            {
                 let usd = p.amount.to_f64();
                 // Fig. 10's y-axis: roughly $4–$30 ebooks.
                 assert!((2.0..40.0).contains(&usd), "{usd}");

@@ -39,9 +39,7 @@ use serde::{Deserialize, Serialize};
 /// // Same path, same seed — reproducible.
 /// assert_eq!(root.derive("catalog"), Seed::new(1307).derive("catalog"));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Seed(u64);
 
 /// The experiment seed used throughout the reproduction.
@@ -97,7 +95,9 @@ impl Seed {
     /// pairwise uncorrelated.
     #[must_use]
     pub fn derive_idx(self, index: u64) -> Self {
-        Seed(splitmix_mix(self.0 ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+        Seed(splitmix_mix(
+            self.0 ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        ))
     }
 
     /// Builds a standard RNG from this seed.

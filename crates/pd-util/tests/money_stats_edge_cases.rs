@@ -1,0 +1,224 @@
+//! Edge-case coverage for the two substrate modules every figure depends
+//! on: exact fixed-point money and box-plot statistics.
+//!
+//! The in-module unit tests cover the happy paths; this suite pins the
+//! boundaries — rounding at the half-cent, zero and negative amounts,
+//! cross-currency formatting conventions, and the degenerate sample sizes
+//! the analyses meet at small experiment scales.
+
+use pd_currency::Locale;
+use pd_net::geo::Country;
+use pd_util::stats::{self, BoxStats};
+use pd_util::Money;
+
+// --- money: rounding ---
+
+#[test]
+fn from_f64_rounds_half_away_from_zero() {
+    assert_eq!(Money::from_f64(0.005).to_minor(), 1);
+    assert_eq!(Money::from_f64(-0.005).to_minor(), -1);
+    assert_eq!(Money::from_f64(2.675).to_minor(), 268);
+    assert_eq!(Money::from_f64(-2.675).to_minor(), -268);
+}
+
+#[test]
+fn from_f64_survives_float_noise_near_cent_boundaries() {
+    // 1.10 is not representable exactly; the conversion must still land
+    // on 110 minor units, not 109.
+    for cents in 0..1_000i64 {
+        let as_float = cents as f64 / 100.0;
+        assert_eq!(Money::from_f64(as_float).to_minor(), cents, "{as_float}");
+    }
+}
+
+#[test]
+fn to_f64_round_trips_through_from_f64() {
+    for minor in [0i64, 1, -1, 99, -350, 1_299, 123_456_789] {
+        let m = Money::from_minor(minor);
+        assert_eq!(Money::from_f64(m.to_f64()).to_minor(), minor);
+    }
+}
+
+#[test]
+fn scale_rounds_to_nearest_cent() {
+    // 10.00 × 1.005 = 10.05 exactly; 10.01 × 1.1 = 11.011 → 11.01.
+    assert_eq!(Money::from_minor(1_000).scale(1.005).to_minor(), 1_005);
+    assert_eq!(Money::from_minor(1_001).scale(1.1).to_minor(), 1_101);
+    // Scaling by 1.0 is the identity even for negative amounts.
+    assert_eq!(Money::from_minor(-777).scale(1.0).to_minor(), -777);
+}
+
+// --- money: zero and negative amounts ---
+
+#[test]
+fn zero_is_neither_positive_nor_distorts_arithmetic() {
+    assert!(!Money::ZERO.is_positive());
+    assert_eq!(Money::ZERO.to_minor(), 0);
+    assert_eq!(Money::ZERO.to_string(), "0.00");
+    let m = Money::from_minor(4_200);
+    assert_eq!((m + Money::ZERO).to_minor(), 4_200);
+    assert_eq!((m - m).to_minor(), 0);
+    assert_eq!((-Money::ZERO).to_minor(), 0);
+}
+
+#[test]
+fn negation_and_abs_diff_are_consistent() {
+    let a = Money::from_minor(1_299);
+    let b = Money::from_minor(-350);
+    assert_eq!((-a).to_minor(), -1_299);
+    assert_eq!(a.abs_diff(b).to_minor(), 1_649);
+    assert_eq!(b.abs_diff(a).to_minor(), 1_649);
+    assert_eq!(a.abs_diff(a).to_minor(), 0);
+}
+
+#[test]
+fn negative_amounts_format_with_single_sign() {
+    assert_eq!(Money::from_minor(-5).to_string(), "-0.05");
+    assert_eq!(Money::from_minor(-123_456).to_string(), "-1234.56");
+}
+
+#[test]
+fn ratio_to_handles_signs_and_zero() {
+    let a = Money::from_minor(200);
+    assert_eq!(a.ratio_to(Money::from_minor(100)), Some(2.0));
+    assert_eq!(a.ratio_to(Money::ZERO), None);
+    let r = Money::from_minor(-200).ratio_to(Money::from_minor(100));
+    assert_eq!(r, Some(-2.0));
+}
+
+#[test]
+fn sum_of_empty_iterator_is_zero() {
+    let total: Money = std::iter::empty::<Money>().sum();
+    assert_eq!(total, Money::ZERO);
+}
+
+// --- money: cross-currency formatting ---
+
+#[test]
+fn us_and_uk_locales_use_prefix_symbol_and_dot_decimal() {
+    let amount = Money::from_minor(129_900);
+    assert_eq!(
+        Locale::of_country(Country::UnitedStates).format(amount),
+        "$1,299.00"
+    );
+    assert_eq!(
+        Locale::of_country(Country::UnitedKingdom).format(amount),
+        "£1,299.00"
+    );
+}
+
+#[test]
+fn continental_locales_swap_separators_and_suffix_the_symbol() {
+    let amount = Money::from_minor(129_900);
+    assert_eq!(
+        Locale::of_country(Country::Germany).format(amount),
+        "1.299,00\u{a0}€"
+    );
+    assert_eq!(
+        Locale::of_country(Country::Brazil).format(amount),
+        "R$1.299,00"
+    );
+}
+
+#[test]
+fn zero_decimal_currency_formats_without_fraction() {
+    // JPY carries whole yen in the major part.
+    let amount = Money::from_major_minor(1_299, 0);
+    assert_eq!(Locale::of_country(Country::Japan).format(amount), "¥1,299");
+}
+
+#[test]
+fn every_locale_format_parse_round_trips_negative_amounts() {
+    let amount = Money::from_minor(-4_250);
+    for country in [
+        Country::UnitedStates,
+        Country::Germany,
+        Country::Poland,
+        Country::Brazil,
+    ] {
+        let locale = Locale::of_country(country);
+        let text = locale.format(amount);
+        let back = locale
+            .parse(&text)
+            .unwrap_or_else(|e| panic!("{country:?} failed to re-parse {text:?}: {e}"));
+        assert_eq!(back.amount, amount, "{country:?}: {text:?}");
+    }
+}
+
+// --- stats: degenerate inputs ---
+
+#[test]
+fn boxstats_empty_input_is_none() {
+    assert!(BoxStats::compute(&[]).is_none());
+    assert!(stats::mean(&[]).is_none());
+    assert!(stats::stddev(&[]).is_none());
+}
+
+#[test]
+fn boxstats_single_sample_collapses_to_the_point() {
+    let s = BoxStats::compute(&[7.25]).expect("single sample is valid");
+    assert_eq!(s.count, 1);
+    for v in [
+        s.min,
+        s.whisker_lo,
+        s.q1,
+        s.median,
+        s.q3,
+        s.whisker_hi,
+        s.max,
+    ] {
+        assert_eq!(v, 7.25);
+    }
+    assert!(s.outliers.is_empty());
+}
+
+#[test]
+fn boxstats_two_samples_put_median_between() {
+    let s = BoxStats::compute(&[1.0, 3.0]).expect("two samples");
+    assert_eq!(s.min, 1.0);
+    assert_eq!(s.max, 3.0);
+    assert_eq!(s.median, 2.0);
+    assert!(s.q1 <= s.median && s.median <= s.q3);
+}
+
+// --- stats: median/max invariants ---
+
+#[test]
+fn boxstats_median_and_max_invariants_hold_on_varied_samples() {
+    let samples: [&[f64]; 4] = [
+        &[1.0, 1.0, 1.0, 1.0],
+        &[5.0, -3.0, 2.5, 0.0, 9.75],
+        &[1e-9, 1e9],
+        &[2.0, 2.0, 2.0, 50.0], // one far outlier
+    ];
+    for values in samples {
+        let s = BoxStats::compute(values).expect("non-empty");
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        assert_eq!(s.max, max);
+        assert_eq!(s.min, min);
+        assert!(s.min <= s.median && s.median <= s.max);
+        // The median is the 0.5 quantile of the same sample.
+        assert_eq!(s.median, stats::quantile(values, 0.5));
+        // Whiskers bracket the box; box brackets the median.
+        assert!(s.whisker_lo <= s.q1 && s.q1 <= s.median);
+        assert!(s.median <= s.q3 && s.q3 <= s.whisker_hi);
+        // Every outlier lies strictly outside the whiskers.
+        for o in &s.outliers {
+            assert!(*o < s.whisker_lo || *o > s.whisker_hi);
+        }
+    }
+}
+
+#[test]
+fn quantile_is_exact_on_an_odd_sorted_sample() {
+    let v = [10.0, 20.0, 30.0, 40.0, 50.0];
+    assert_eq!(stats::quantile(&v, 0.0), 10.0);
+    assert_eq!(stats::quantile(&v, 0.5), 30.0);
+    assert_eq!(stats::quantile(&v, 1.0), 50.0);
+}
+
+#[test]
+fn fraction_above_empty_input_is_zero() {
+    assert_eq!(stats::fraction_above(&[], 1.05), 0.0);
+}

@@ -308,7 +308,9 @@ mod tests {
         let us_price = Locale::of_country(Country::UnitedStates)
             .parse(&us_text)
             .unwrap();
-        let fi_price = Locale::of_country(Country::Finland).parse(&fi_text).unwrap();
+        let fi_price = Locale::of_country(Country::Finland)
+            .parse(&fi_text)
+            .unwrap();
         let f = fx();
         let ratio = f.to_usd_mid(fi_price, 0) / f.to_usd_mid(us_price, 0);
         assert!((1.2..1.32).contains(&ratio), "ratio {ratio}");

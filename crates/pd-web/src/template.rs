@@ -74,12 +74,22 @@ pub fn price_selector(style: u8) -> Selector {
 }
 
 fn head(b: &mut DocBuilder, input: &RenderInput<'_>) {
-    b.text_element("title", &[], &format!("{} — {}", input.product_name, input.domain));
+    b.text_element(
+        "title",
+        &[],
+        &format!("{} — {}", input.product_name, input.domain),
+    );
     b.leaf("meta", &[("charset", "utf-8")]);
     for tp in input.third_parties {
         match tp {
             ThirdParty::GoogleAnalytics | ThirdParty::DoubleClick | ThirdParty::Twitter => {
-                b.open("script", &[("src", &format!("http://{}/t.js", tp.host())), ("async", "")]);
+                b.open(
+                    "script",
+                    &[
+                        ("src", &format!("http://{}/t.js", tp.host())),
+                        ("async", ""),
+                    ],
+                );
                 b.close();
             }
             ThirdParty::Facebook | ThirdParty::Pinterest => {
@@ -163,7 +173,10 @@ fn render_buybox(input: &RenderInput<'_>) -> Document {
         |b| {
             b.open("div", &[("class", "pdp")]);
             b.open("div", &[("class", "gallery")]);
-            b.leaf("img", &[("src", "/img/product.jpg"), ("alt", input.product_name)]);
+            b.leaf(
+                "img",
+                &[("src", "/img/product.jpg"), ("alt", input.product_name)],
+            );
             b.close();
             b.open("div", &[("id", "buybox"), ("class", "buy-box")]);
             b.text_element("h2", &[], input.product_name);
@@ -302,10 +315,7 @@ mod tests {
         let a = render(0, &input()).to_html(NodeId::ROOT);
         let b = render(5, &input()).to_html(NodeId::ROOT);
         assert_eq!(a, b);
-        assert_eq!(
-            price_selector(0).source(),
-            price_selector(5).source()
-        );
+        assert_eq!(price_selector(0).source(), price_selector(5).source());
     }
 
     #[test]

@@ -38,7 +38,10 @@ fn main() {
             s.domain, s.products, s.checks, s.complete_checks, s.retries
         );
     }
-    println!("  total extracted prices: {}\n", store.total_extracted_prices());
+    println!(
+        "  total extracted prices: {}\n",
+        store.total_extracted_prices()
+    );
 
     let frame = pd_analysis::CheckFrame::build(&store, world.web.fx());
     println!(

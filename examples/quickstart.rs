@@ -17,9 +17,7 @@ fn main() {
     let config = ExperimentConfig::small(1307);
     println!(
         "Running a scaled-down reproduction: {} crowd checks, {} retailers crawled for {} days…\n",
-        config.crowd.checks,
-        21,
-        config.crawl.days
+        config.crowd.checks, 21, config.crawl.days
     );
 
     let report = Experiment::run(config);

@@ -33,9 +33,7 @@ fn attribution_table_matches_ground_truth_for_all_crawled_retailers() {
         // exactly (these probes are same-currency and same-product, so
         // there is no statistical slack).
         assert_eq!(
-            attribution
-                .effect(pd_analysis::Factor::Session)
-                .varies,
+            attribution.effect(pd_analysis::Factor::Session).varies,
             truth_session,
             "{domain}: session attribution"
         );

@@ -31,10 +31,41 @@ fn different_seed_different_data() {
         // flicker in at tiny sample sizes, which is fine.)
         assert!(cheap.contains(&"www.mauijim.com"), "{cheap:?}");
         assert!(cheap.contains(&"www.tuscanyleather.it"), "{cheap:?}");
-        for dear in ["www.digitalrev.com", "store.refrigiwear.it", "www.scitec-nutrition.es"] {
+        for dear in [
+            "www.digitalrev.com",
+            "store.refrigiwear.it",
+            "www.scitec-nutrition.es",
+        ] {
             assert!(!cheap.contains(&dear), "{dear} misclassified: {cheap:?}");
         }
     }
+}
+
+#[test]
+fn same_seed_same_rendered_reports_across_runs() {
+    // `to_json` equality (above) covers the data; this covers the whole
+    // human-facing rendering path — every figure renderer and the table
+    // renderer must be a pure function of the seed, with no iteration-order
+    // or formatting nondeterminism.
+    let a = Experiment::run(ExperimentConfig::small(1307));
+    let b = Experiment::run(ExperimentConfig::small(1307));
+    assert_eq!(a.render_all(), b.render_all());
+    // Spot-check individual renderers too, so a failure names the figure.
+    assert_eq!(a.render_summary(), b.render_summary());
+    assert_eq!(a.render_fig1(), b.render_fig1());
+    assert_eq!(a.render_fig7(), b.render_fig7());
+    assert_eq!(a.render_tables(), b.render_tables());
+}
+
+#[test]
+fn different_seeds_render_different_reports() {
+    let a = Experiment::run(ExperimentConfig::small(1307));
+    let b = Experiment::run(ExperimentConfig::small(2024));
+    assert_ne!(
+        a.render_all(),
+        b.render_all(),
+        "two seeds producing identical full renderings means the seed is ignored"
+    );
 }
 
 #[test]

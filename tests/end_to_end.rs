@@ -74,7 +74,10 @@ fn fig3_multiplicative_retailers_have_full_extent() {
 fn fig4_bulk_sits_between_10_and_30_percent() {
     let r = report();
     let medians: Vec<f64> = r.fig4.iter().map(|b| b.stats.median).collect();
-    let in_band = medians.iter().filter(|m| (1.05..=1.45).contains(*m)).count();
+    let in_band = medians
+        .iter()
+        .filter(|m| (1.05..=1.45).contains(*m))
+        .count();
     assert!(
         in_band * 3 >= medians.len() * 2,
         "only {in_band}/{} medians in the 10-30% band: {medians:?}",
@@ -85,11 +88,7 @@ fn fig4_bulk_sits_between_10_and_30_percent() {
 #[test]
 fn fig5_envelope_declines_with_price() {
     let r = report();
-    let occupied: Vec<f64> = r
-        .fig5_envelope
-        .iter()
-        .filter_map(|b| b.max_value)
-        .collect();
+    let occupied: Vec<f64> = r.fig5_envelope.iter().filter_map(|b| b.max_value).collect();
     assert!(occupied.len() >= 4, "need several occupied buckets");
     // Cheap products reach higher ratios than the most expensive ones.
     let first = occupied.first().unwrap();
@@ -114,7 +113,11 @@ fn fig6_classifies_the_two_flagship_retailers() {
     assert_eq!(uk.strategy, StrategyClass::Multiplicative);
     assert!((uk.mult_factor - 1.10).abs() < 0.03, "{}", uk.mult_factor);
     assert!(uk.additive_usd.abs() < 1.0);
-    let fi = r.fig6a.iter().find(|c| c.label.contains("Finland")).unwrap();
+    let fi = r
+        .fig6a
+        .iter()
+        .find(|c| c.label.contains("Finland"))
+        .unwrap();
     assert_eq!(fi.strategy, StrategyClass::Multiplicative);
     assert!((fi.mult_factor - 1.26).abs() < 0.03);
     // energie: the UK location carries the additive term.
@@ -143,7 +146,11 @@ fn fig7_finland_dearest_usa_brazil_cheap() {
         "USA - New York",
         "USA - Albany",
     ] {
-        assert!(finland > median(us), "Finland {finland} vs {us} {}", median(us));
+        assert!(
+            finland > median(us),
+            "Finland {finland} vs {us} {}",
+            median(us)
+        );
     }
     assert!(finland > median("Brazil - Sao Paulo"));
 }

@@ -94,10 +94,7 @@ fn highlight_from_one_locale_resolves_on_all_others() {
             let e = ex
                 .extract(&doc, Some(Locale::of_country(country)))
                 .unwrap_or_else(|err| panic!("{domain} on {country:?}: {err}"));
-            assert_eq!(
-                e.price.currency,
-                pd_currency::Currency::of_country(country)
-            );
+            assert_eq!(e.price.currency, pd_currency::Currency::of_country(country));
         }
     }
 }
@@ -147,8 +144,7 @@ fn localization_alone_never_trips_the_band_filter() {
             for (&country, &addr) in countries.iter().zip(&addrs) {
                 let req = Request::get(&uniform_domain, &format!("/product/{slug}"), addr, t);
                 let doc = pd_html::parse(&w.fetch(&req).body);
-                let ex =
-                    HighlightExtractor::from_highlight(&doc, &price_selector(style)).unwrap();
+                let ex = HighlightExtractor::from_highlight(&doc, &price_selector(style)).unwrap();
                 prices.push(
                     ex.extract(&doc, Some(Locale::of_country(country)))
                         .unwrap()
@@ -187,7 +183,12 @@ fn checkout_totals_are_consistent_across_locales() {
         let loc = Locale::of_country(country);
         let amounts: Vec<i64> = cells
             .iter()
-            .map(|&c| loc.parse(doc.text_content(c).trim()).unwrap().amount.to_minor())
+            .map(|&c| {
+                loc.parse(doc.text_content(c).trim())
+                    .unwrap()
+                    .amount
+                    .to_minor()
+            })
             .collect();
         // total = item + tax + shipping, exactly, in every locale
         // (JPY included — whole-yen rounding happens per line).

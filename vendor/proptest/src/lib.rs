@@ -1,0 +1,462 @@
+//! Vendored minimal `proptest` stub.
+//!
+//! The build environment has no crates.io access, so this crate replaces real
+//! proptest with a deterministic random-sampling harness covering the API the
+//! workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (`fn name(pat in strategy, ...) { body }`),
+//! * range strategies (`-1e6f64..1e6`, `0usize..18`, ...),
+//! * pattern string strategies (`"\\PC{0,64}"`, `"[a-z0-9 .,]{1,64}"` —
+//!   a small regex subset: char classes, `\PC`, `{m,n}`/`{n}`/`*`/`+`
+//!   quantifiers, concatenation),
+//! * [`collection::vec`],
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with the
+//! generated inputs in the message (every strategy value is `Debug`). Each
+//! test runs [`CASES`] cases from a seed derived from the test's name, so
+//! failures reproduce exactly across runs and machines.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Number of cases each property test runs.
+pub const CASES: usize = 64;
+
+/// Deterministic generator backing the harness (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test's name, so every test gets an
+    /// independent but reproducible stream.
+    #[must_use]
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "empty strategy range");
+                let span = (e as i128 - s as i128) as u64;
+                let off = if span == u64::MAX { rng.next_u64() } else { rng.below(span + 1) };
+                (s as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                Strategy::sample(&(self.start..=<$t>::MAX), rng)
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_strategy!(f32, f64);
+
+/// Always returns a clone of one value (real proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        pattern::sample(self, rng)
+    }
+}
+
+/// The regex-subset pattern interpreter behind string strategies.
+mod pattern {
+    use super::TestRng;
+
+    enum CharSet {
+        /// `\PC`: any printable character (not a control char).
+        Printable,
+        /// An explicit `[...]` class.
+        Class(Vec<char>),
+        /// A literal character.
+        Literal(char),
+    }
+
+    struct Atom {
+        set: CharSet,
+        min: usize,
+        max: usize,
+    }
+
+    /// Non-ASCII printable characters mixed into `\PC` samples: accented
+    /// latin, currency symbols, no-break space, CJK, an emoji.
+    const UNICODE_EXTRA: &[char] = &[
+        'é', 'ü', 'ñ', 'ß', '€', '£', '¥', '\u{a0}', '中', '文', 'Ω', '😀',
+    ];
+
+    pub fn sample(pat: &str, rng: &mut TestRng) -> String {
+        let atoms = parse(pat);
+        let mut out = String::new();
+        for atom in &atoms {
+            let span = atom.max - atom.min;
+            let count = atom.min + rng.below(span as u64 + 1) as usize;
+            for _ in 0..count {
+                out.push(sample_char(&atom.set, rng));
+            }
+        }
+        out
+    }
+
+    fn sample_char(set: &CharSet, rng: &mut TestRng) -> char {
+        match set {
+            CharSet::Literal(c) => *c,
+            CharSet::Class(chars) => chars[rng.below(chars.len() as u64) as usize],
+            CharSet::Printable => {
+                if rng.below(5) == 0 {
+                    UNICODE_EXTRA[rng.below(UNICODE_EXTRA.len() as u64) as usize]
+                } else {
+                    char::from_u32(0x20 + rng.below(0x7F - 0x20) as u32).expect("ASCII printable")
+                }
+            }
+        }
+    }
+
+    fn parse(pat: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set = match chars[i] {
+                '\\' => {
+                    // Only `\PC` and escaped literals appear in the
+                    // workspace's patterns.
+                    if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                        i += 3;
+                        CharSet::Printable
+                    } else {
+                        let c = *chars
+                            .get(i + 1)
+                            .unwrap_or_else(|| panic!("dangling escape in pattern `{pat}`"));
+                        i += 2;
+                        CharSet::Literal(c)
+                    }
+                }
+                '[' => {
+                    let (class, next) = parse_class(&chars, i + 1, pat);
+                    i = next;
+                    CharSet::Class(class)
+                }
+                c => {
+                    i += 1;
+                    CharSet::Literal(c)
+                }
+            };
+            let (min, max, next) = parse_quantifier(&chars, i, pat);
+            i = next;
+            atoms.push(Atom { set, min, max });
+        }
+        atoms
+    }
+
+    fn parse_class(chars: &[char], mut i: usize, pat: &str) -> (Vec<char>, usize) {
+        let mut out = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let c = if chars[i] == '\\' {
+                i += 1;
+                *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in class of `{pat}`"))
+            } else {
+                chars[i]
+            };
+            // Range `a-z` (a `-` that is not first, escaped, or last).
+            if chars.get(i + 1) == Some(&'-') && i + 2 < chars.len() && chars[i + 2] != ']' {
+                let end = chars[i + 2];
+                for code in (c as u32)..=(end as u32) {
+                    if let Some(rc) = char::from_u32(code) {
+                        out.push(rc);
+                    }
+                }
+                i += 3;
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        }
+        assert!(
+            i < chars.len(),
+            "unterminated character class in pattern `{pat}`"
+        );
+        assert!(!out.is_empty(), "empty character class in pattern `{pat}`");
+        (out, i + 1)
+    }
+
+    fn parse_quantifier(chars: &[char], i: usize, pat: &str) -> (usize, usize, usize) {
+        match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated quantifier in `{pat}`"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (min, max) = match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("quantifier lower bound"),
+                        hi.parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = body.parse().expect("quantifier count");
+                        (n, n)
+                    }
+                };
+                (min, max, close + 1)
+            }
+            Some('*') => (0, 32, i + 1),
+            Some('+') => (1, 32, i + 1),
+            Some('?') => (0, 1, i + 1),
+            _ => (1, 1, i),
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: an exact length or a half-open
+    /// range of lengths.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Builds a [`VecStrategy`].
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs [`CASES`] sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut __rng = $crate::TestRng::deterministic(concat!(
+                ::std::module_path!(), "::", ::std::stringify!($name)
+            ));
+            for __case in 0..$crate::CASES {
+                $(let $pat = $crate::Strategy::sample(&($strategy), &mut __rng);)+
+                $body
+            }
+        }
+    )+};
+}
+
+/// `assert!` under a name the property-test bodies expect.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` under a name the property-test bodies expect.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` under a name the property-test bodies expect.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Convenient glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn pattern_class_and_quantifier() {
+        let mut rng = TestRng::deterministic("pattern_class");
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-c0-1]{2,5}", &mut rng);
+            assert!((2..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| "abc01".contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn pattern_escapes_and_literals() {
+        let mut rng = TestRng::deterministic("pattern_escape");
+        for _ in 0..100 {
+            let s = Strategy::sample(&"[$€\\-x]{1,3}", &mut rng);
+            assert!(s.chars().all(|c| "$€-x".contains(c)), "{s:?}");
+            let t = Strategy::sample(&"ab{2}", &mut rng);
+            assert_eq!(t, "abb");
+        }
+    }
+
+    #[test]
+    fn printable_has_no_controls() {
+        let mut rng = TestRng::deterministic("printable");
+        for _ in 0..200 {
+            let s = Strategy::sample(&"\\PC{0,64}", &mut rng);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            assert!(s.chars().count() <= 64);
+        }
+    }
+
+    #[test]
+    fn ranges_and_vec_strategy() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..200 {
+            let x = Strategy::sample(&(-1e3f64..1e3), &mut rng);
+            assert!((-1e3..1e3).contains(&x));
+            let n = Strategy::sample(&(3usize..7), &mut rng);
+            assert!((3..7).contains(&n));
+            let v = Strategy::sample(&crate::collection::vec(0u32..5, 1..4), &mut rng);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|&e| e < 5));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(mut v in crate::collection::vec(0i64..100, 1..20),
+                                  k in 0usize..5) {
+            v.sort_unstable();
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert_eq!(v.len(), v.len());
+            prop_assume!(k < 100);
+        }
+    }
+}

@@ -1,0 +1,637 @@
+//! Vendored minimal `serde` stub.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! this tiny replacement instead of the real serde. It keeps the surface the
+//! codebase actually uses:
+//!
+//! * `#[derive(Serialize, Deserialize)]` (via the sibling `serde_derive`
+//!   stub),
+//! * `use serde::{Serialize, Deserialize}` importing both the traits and the
+//!   derive macros under the same names, exactly like real serde's `derive`
+//!   feature,
+//! * enough std impls (numbers, strings, tuples, `Option`, `Vec`, string-keyed
+//!   maps) for every derived type in the workspace.
+//!
+//! Unlike real serde's visitor-based data model, this stub serializes through
+//! a concrete JSON-shaped [`Value`] tree: `Serialize` produces a `Value`,
+//! `Deserialize` consumes one. The `serde_json` stub then renders/parses that
+//! tree. The representation matches real serde's defaults where it matters:
+//! structs become objects, newtypes are transparent, enums are externally
+//! tagged, and object keys are sorted (deterministic output for the
+//! reproducibility tests).
+
+#![forbid(unsafe_code)]
+
+// The derive macros emit paths through `::serde`, which also has to resolve
+// inside this crate's own tests.
+extern crate self as serde;
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Map type used for JSON objects. A `BTreeMap` keeps key order
+/// deterministic, which the workspace's same-seed-same-report test relies on.
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON-shaped value tree: the serialization data model of this stub.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (JSON number without fraction/exponent).
+    Int(i64),
+    /// Unsigned integer above `i64::MAX`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object (sorted keys).
+    Object(Map),
+}
+
+impl Value {
+    /// The contained string, if this is a `String`.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The contained array, if this is an `Array`.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The contained object, if this is an `Object`.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, accepting both integer representations.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            Value::UInt(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, accepting both integer representations.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(n) => u64::try_from(*n).ok(),
+            Value::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`. Integers coerce; `null` maps to NaN (the
+    /// round-trip representation of non-finite floats, as in real
+    /// serde_json).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(n) => Some(*n as f64),
+            Value::UInt(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The contained bool, if this is a `Bool`.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// For externally tagged enums: the `(key, value)` of a single-entry
+    /// object.
+    #[must_use]
+    pub fn as_single_entry(&self) -> Option<(&str, &Value)> {
+        match self {
+            Value::Object(m) if m.len() == 1 => m.iter().next().map(|(k, v)| (k.as_str(), v)),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// A free-form error.
+    #[must_use]
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    /// "expected X while deserializing Y".
+    #[must_use]
+    pub fn expected(what: &str, ty: &str) -> Self {
+        Error(format!("expected {what} while deserializing {ty}"))
+    }
+
+    /// Unknown enum variant.
+    #[must_use]
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        Error(format!("unknown variant `{variant}` for {ty}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into the [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn serialize(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    ///
+    /// # Errors
+    /// Returns an [`Error`] when the value's shape does not match.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+
+    /// The value to use when a struct field is absent entirely, or `None`
+    /// if absence is an error for this type. Only `Option` opts in — a
+    /// missing non-optional field must fail loudly, never fall back to a
+    /// sentinel (e.g. `f64` would otherwise silently become NaN through
+    /// its null handling).
+    fn deserialize_missing() -> Option<Self> {
+        None
+    }
+}
+
+/// Support function for derived code: look up and deserialize one struct
+/// field. A missing key is an error unless the field type accepts absence
+/// (`Option` defaults to `None`).
+///
+/// # Errors
+/// Propagates the field's deserialization error.
+pub fn __field<T: Deserialize>(m: &Map, key: &str) -> Result<T, Error> {
+    match m.get(key) {
+        Some(v) => T::deserialize(v),
+        None => T::deserialize_missing().ok_or_else(|| Error(format!("missing field `{key}`"))),
+    }
+}
+
+/// Support function for derived code: build the externally tagged enum
+/// representation `{"Variant": payload}`.
+#[must_use]
+pub fn __variant(name: &str, payload: Value) -> Value {
+    let mut m = Map::new();
+    m.insert(name.to_owned(), payload);
+    Value::Object(m)
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| Error::expected("integer", stringify!($t)))?;
+                <$t>::try_from(n).map_err(|_| Error::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let wide = *self as u64;
+                match i64::try_from(wide) {
+                    Ok(n) => Value::Int(n),
+                    Err(_) => Value::UInt(wide),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| Error::expected("unsigned integer", stringify!($t)))?;
+                <$t>::try_from(n).map_err(|_| Error::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let x = f64::from(*self);
+                if x.is_finite() {
+                    Value::Float(x)
+                } else {
+                    // Real serde_json also degrades non-finite floats to null.
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                if v.is_null() {
+                    return Ok(<$t>::NAN);
+                }
+                v.as_f64()
+                    .map(|x| x as $t)
+                    .ok_or_else(|| Error::expected("number", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::expected("bool", "bool"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| Error::expected("string", "char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::expected("single-char string", "char")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize(v).map(Some)
+        }
+    }
+
+    fn deserialize_missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::expected("array", "Vec"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Deserialize::deserialize(v)?;
+        <[T; N]>::try_from(items).map_err(|_| Error::expected("array of exact length", "[T; N]"))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::expected("object", "BTreeMap"))?
+            .iter()
+            .map(|(k, v)| V::deserialize(v).map(|v| (k.clone(), v)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize(&self) -> Value {
+        // Sort keys so output stays deterministic.
+        let sorted: BTreeMap<&String, &V> = self.iter().collect();
+        Value::Object(
+            sorted
+                .into_iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::expected("object", "HashMap"))?
+            .iter()
+            .map(|(k, v)| V::deserialize(v).map(|v| (k.clone(), v)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:literal => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let a = v.as_array().ok_or_else(|| Error::expected("array", "tuple"))?;
+                if a.len() != $len {
+                    return Err(Error::expected(concat!("array of ", $len), "tuple"));
+                }
+                Ok(($($t::deserialize(&a[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(1 => A.0);
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+impl_tuple!(5 => A.0, B.1, C.2, D.3, E.4);
+impl_tuple!(6 => A.0, B.1, C.2, D.3, E.4, F.5);
+
+impl Serialize for std::net::Ipv4Addr {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for std::net::Ipv4Addr {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .ok_or_else(|| Error::expected("string", "Ipv4Addr"))?
+            .parse()
+            .map_err(|_| Error::expected("dotted-quad address", "Ipv4Addr"))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(())
+        } else {
+            Err(Error::expected("null", "()"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Point {
+        x: i64,
+        y: f64,
+        label: String,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Wrapper(u32);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Shape {
+        Dot,
+        Line(f64),
+        Pair(i32, i32),
+        Poly { sides: u8, closed: bool },
+    }
+
+    #[test]
+    fn derived_struct_round_trips() {
+        let p = Point {
+            x: -3,
+            y: 2.5,
+            label: "origin-ish".to_owned(),
+        };
+        let v = p.serialize();
+        assert_eq!(Point::deserialize(&v).unwrap(), p);
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        let v = Wrapper(7).serialize();
+        assert_eq!(v, Value::Int(7));
+        assert_eq!(Wrapper::deserialize(&v).unwrap(), Wrapper(7));
+    }
+
+    #[test]
+    fn enums_are_externally_tagged() {
+        assert_eq!(Shape::Dot.serialize(), Value::String("Dot".to_owned()));
+        for s in [
+            Shape::Dot,
+            Shape::Line(1.5),
+            Shape::Pair(2, 3),
+            Shape::Poly {
+                sides: 6,
+                closed: true,
+            },
+        ] {
+            let v = s.serialize();
+            assert_eq!(Shape::deserialize(&v).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn option_and_containers_round_trip() {
+        let data: Vec<(Option<u32>, String)> = vec![(Some(1), "a".into()), (None, "b".into())];
+        let v = data.serialize();
+        let back: Vec<(Option<u32>, String)> = Deserialize::deserialize(&v).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn missing_field_reports_name() {
+        let v = Value::Object(Map::new());
+        let err = Point::deserialize(&v).unwrap_err();
+        assert!(err.to_string().contains("missing field"), "{err}");
+    }
+
+    #[test]
+    fn missing_float_field_errors_instead_of_nan() {
+        // A float field must not silently materialize as NaN when the key
+        // is absent (its null handling only applies to an *explicit* null,
+        // the wire form of non-finite floats).
+        let mut m = Map::new();
+        m.insert("x".to_owned(), Value::Int(1));
+        m.insert("label".to_owned(), Value::String("p".to_owned()));
+        let err = Point::deserialize(&Value::Object(m)).unwrap_err();
+        assert!(err.to_string().contains("missing field `y`"), "{err}");
+    }
+
+    #[test]
+    fn missing_option_field_defaults_to_none() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct WithOpt {
+            required: i64,
+            maybe: Option<f64>,
+        }
+        let mut m = Map::new();
+        m.insert("required".to_owned(), Value::Int(3));
+        let back = WithOpt::deserialize(&Value::Object(m)).unwrap();
+        assert_eq!(
+            back,
+            WithOpt {
+                required: 3,
+                maybe: None
+            }
+        );
+    }
+}

@@ -1,0 +1,465 @@
+//! Minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! in-workspace `serde` stub.
+//!
+//! The container image has no access to crates.io, so the workspace vendors a
+//! tiny serde replacement (see `vendor/serde`). This crate provides the two
+//! derive macros. It supports exactly the shapes the workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes serialize transparently, wider tuples as arrays),
+//! * unit structs,
+//! * enums with unit, tuple and struct variants (externally tagged, like real
+//!   serde's default representation).
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported; the
+//! macro panics with a clear message if it meets them, so a future user gets a
+//! build-time signal instead of silent misbehaviour.
+//!
+//! The implementation deliberately avoids `syn`/`quote` (also unavailable
+//! offline): it walks the raw [`TokenStream`] to learn field/variant names and
+//! then emits the impls as source text, which `TokenStream::from_str` parses.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+use std::iter::Peekable;
+
+/// Derives the stub `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives the stub `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips `#[...]` attributes (including doc comments, which surface as
+/// `#[doc = "..."]` token trees).
+fn skip_attrs(it: &mut Tokens) {
+    while let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        it.next();
+        // `#!` inner attributes cannot appear here; the next tree is the
+        // bracketed attribute body.
+        it.next();
+    }
+}
+
+/// Skips `pub` / `pub(crate)` / `pub(in ...)` visibility markers.
+fn skip_vis(it: &mut Tokens) {
+    if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        it.next();
+        if matches!(
+            it.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            it.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    let mut is_enum = false;
+    loop {
+        skip_attrs(&mut it);
+        skip_vis(&mut it);
+        match it.next() {
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" {
+                    break;
+                }
+                if s == "enum" {
+                    is_enum = true;
+                    break;
+                }
+                // `union` or stray tokens: unsupported.
+                if s == "union" {
+                    panic!("serde stub derive does not support unions");
+                }
+            }
+            Some(other) => panic!("serde stub derive: unexpected token {other}"),
+            None => panic!("serde stub derive: ran out of tokens before struct/enum"),
+        }
+    }
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected type name, found {other:?}"),
+    };
+    match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Item {
+                    name,
+                    kind: Kind::Enum(parse_variants(g.stream())),
+                }
+            } else {
+                Item {
+                    name,
+                    kind: Kind::NamedStruct(parse_named_fields(g.stream())),
+                }
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+            name,
+            kind: Kind::TupleStruct(count_tuple_fields(g.stream())),
+        },
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+            name,
+            kind: Kind::UnitStruct,
+        },
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde stub derive does not support generic types (on `{name}`)")
+        }
+        other => panic!("serde stub derive: unsupported item shape after `{name}`: {other:?}"),
+    }
+}
+
+/// Consumes one type, tracking `<`/`>` depth so commas inside generics (e.g.
+/// `BTreeMap<String, String>`) do not end the field early. Stops *before* a
+/// top-level comma. The `>` of an `->` return arrow (e.g. in an `fn(..) ->
+/// ..` field type) is not a generic close and must not drive the depth
+/// negative, or every following field would silently be swallowed into the
+/// type.
+fn skip_type(it: &mut Tokens) {
+    let mut depth: i32 = 0;
+    let mut prev_punct: Option<char> = None;
+    while let Some(tt) = it.peek() {
+        let cur_punct = match tt {
+            TokenTree::Punct(p) => Some(p.as_char()),
+            _ => None,
+        };
+        match cur_punct {
+            Some('<') => depth += 1,
+            Some('>') if prev_punct != Some('-') => depth -= 1,
+            Some(',') if depth == 0 => return,
+            _ => {}
+        }
+        prev_punct = cur_punct;
+        it.next();
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let mut it = ts.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs(&mut it);
+        skip_vis(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde stub derive: expected field name, found {other:?}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stub derive: expected `:` after `{name}`, found {other:?}"),
+        }
+        skip_type(&mut it);
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            it.next();
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut it = ts.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attrs(&mut it);
+        skip_vis(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        skip_type(&mut it);
+        count += 1;
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            it.next();
+        }
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut it = ts.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde stub derive: expected variant name, found {other:?}"),
+        };
+        let kind = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde stub derive does not support explicit enum discriminants");
+        }
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            it.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "impl ::serde::Serialize for {name} {{ \
+         fn serialize(&self) -> ::serde::Value {{ "
+    );
+    match &item.kind {
+        Kind::UnitStruct => {
+            out.push_str("::serde::Value::Null ");
+        }
+        Kind::TupleStruct(1) => {
+            out.push_str("::serde::Serialize::serialize(&self.0) ");
+        }
+        Kind::TupleStruct(n) => {
+            out.push_str("::serde::Value::Array(::std::vec![");
+            for i in 0..*n {
+                let _ = write!(out, "::serde::Serialize::serialize(&self.{i}), ");
+            }
+            out.push_str("]) ");
+        }
+        Kind::NamedStruct(fields) => {
+            out.push_str("let mut __m = ::serde::Map::new(); ");
+            for f in fields {
+                let _ = write!(
+                    out,
+                    "__m.insert(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::serialize(&self.{f})); "
+                );
+            }
+            out.push_str("::serde::Value::Object(__m) ");
+        }
+        Kind::Enum(variants) => {
+            out.push_str("match self { ");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            out,
+                            "{name}::{vn} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{vn}\")), "
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            out,
+                            "{name}::{vn}(__f0) => ::serde::__variant(\"{vn}\", \
+                             ::serde::Serialize::serialize(__f0)), "
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let _ = write!(out, "{name}::{vn}(");
+                        for i in 0..*n {
+                            let _ = write!(out, "__f{i}, ");
+                        }
+                        let _ = write!(
+                            out,
+                            ") => ::serde::__variant(\"{vn}\", ::serde::Value::Array(::std::vec!["
+                        );
+                        for i in 0..*n {
+                            let _ = write!(out, "::serde::Serialize::serialize(__f{i}), ");
+                        }
+                        out.push_str("])), ");
+                    }
+                    VariantKind::Named(fields) => {
+                        let _ = write!(out, "{name}::{vn} {{ ");
+                        for f in fields {
+                            let _ = write!(out, "{f}, ");
+                        }
+                        out.push_str("} => { let mut __m = ::serde::Map::new(); ");
+                        for f in fields {
+                            let _ = write!(
+                                out,
+                                "__m.insert(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::serialize({f})); "
+                            );
+                        }
+                        let _ = write!(
+                            out,
+                            "::serde::__variant(\"{vn}\", ::serde::Value::Object(__m)) }}, "
+                        );
+                    }
+                }
+            }
+            out.push_str("} ");
+        }
+    }
+    out.push_str("} }");
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "impl ::serde::Deserialize for {name} {{ \
+         fn deserialize(__v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{ "
+    );
+    match &item.kind {
+        Kind::UnitStruct => {
+            let _ = write!(out, "::std::result::Result::Ok({name}) ");
+        }
+        Kind::TupleStruct(1) => {
+            let _ = write!(
+                out,
+                "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?)) "
+            );
+        }
+        Kind::TupleStruct(n) => {
+            let _ = write!(
+                out,
+                "let __a = __v.as_array().ok_or_else(|| \
+                 ::serde::Error::expected(\"array\", \"{name}\"))?; \
+                 if __a.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::expected(\"array of {n}\", \"{name}\")); }} \
+                 ::std::result::Result::Ok({name}("
+            );
+            for i in 0..*n {
+                let _ = write!(out, "::serde::Deserialize::deserialize(&__a[{i}])?, ");
+            }
+            out.push_str(")) ");
+        }
+        Kind::NamedStruct(fields) => {
+            let _ = write!(
+                out,
+                "let __o = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::expected(\"object\", \"{name}\"))?; \
+                 ::std::result::Result::Ok({name} {{ "
+            );
+            for f in fields {
+                let _ = write!(out, "{f}: ::serde::__field(__o, \"{f}\")?, ");
+            }
+            out.push_str("}) ");
+        }
+        Kind::Enum(variants) => {
+            // Unit variants arrive as strings, payload variants as
+            // single-entry objects (externally tagged).
+            let _ = write!(
+                out,
+                "if let ::std::option::Option::Some(__s) = __v.as_str() {{ \
+                 return match __s {{ "
+            );
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let vn = &v.name;
+                    let _ = write!(out, "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}), ");
+                }
+            }
+            let _ = write!(
+                out,
+                "_ => ::std::result::Result::Err(\
+                 ::serde::Error::unknown_variant(__s, \"{name}\")), }}; }} \
+                 if let ::std::option::Option::Some((__k, __inner)) = __v.as_single_entry() {{ \
+                 return match __k {{ "
+            );
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            out,
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::deserialize(__inner)?)), "
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let _ = write!(
+                            out,
+                            "\"{vn}\" => {{ let __a = __inner.as_array().ok_or_else(|| \
+                             ::serde::Error::expected(\"array\", \"{name}::{vn}\"))?; \
+                             if __a.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::Error::expected(\"array of {n}\", \"{name}::{vn}\")); }} \
+                             ::std::result::Result::Ok({name}::{vn}("
+                        );
+                        for i in 0..*n {
+                            let _ = write!(out, "::serde::Deserialize::deserialize(&__a[{i}])?, ");
+                        }
+                        out.push_str(")) }, ");
+                    }
+                    VariantKind::Named(fields) => {
+                        let _ = write!(
+                            out,
+                            "\"{vn}\" => {{ let __o = __inner.as_object().ok_or_else(|| \
+                             ::serde::Error::expected(\"object\", \"{name}::{vn}\"))?; \
+                             ::std::result::Result::Ok({name}::{vn} {{ "
+                        );
+                        for f in fields {
+                            let _ = write!(out, "{f}: ::serde::__field(__o, \"{f}\")?, ");
+                        }
+                        out.push_str("}) }, ");
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "_ => ::std::result::Result::Err(\
+                 ::serde::Error::unknown_variant(__k, \"{name}\")), }}; }} \
+                 ::std::result::Result::Err(::serde::Error::expected(\"enum\", \"{name}\")) "
+            );
+        }
+    }
+    out.push_str("} }");
+    out
+}

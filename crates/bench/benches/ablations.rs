@@ -16,10 +16,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pd_bench::Scale;
-use pd_core::{Experiment, ExperimentConfig};
+use pd_core::scenario::ScenarioRun;
+use pd_core::{Experiment, ExperimentConfig, Profile, ScenarioRegistry, World};
 use pd_currency::{band_filter, Locale};
 use pd_extract::{extract_naive, HighlightExtractor};
-use pd_net::clock::{SimDuration, SimTime};
+use pd_net::clock::SimTime;
 use pd_net::geo::Country;
 use pd_sheriff::CrowdConfig;
 use pd_web::template::{price_selector, render, RenderInput};
@@ -103,30 +104,48 @@ fn ablation_currency_filter(c: &mut Criterion) {
     g.finish();
 }
 
-/// Ablation 2: synchronization. A drifting retailer (booking-like) is
-/// checked with synchronized and desynchronized fan-out; the spread in
-/// observed variation is the noise synchronization removes.
+/// Ablation 2: synchronization, driven by the named `desync-ablation`
+/// scenario. The scenario's two arms deliver worlds whose fan-out
+/// engines are configured sync/desync at construction — nothing mutates
+/// pipeline internals. A drifting retailer (booking-like) is then
+/// checked under both; the spread in observed variation is the noise
+/// synchronization removes.
 fn ablation_synchronization(c: &mut Criterion) {
-    let config = Scale::Small.config(1307);
-    let exp = Experiment::new(config);
-    let world = exp.world();
-    let fx = world.web.fx();
-    let server = world.web.server_by_domain("www.booking.com").unwrap();
-    let slugs: Vec<String> = server
-        .catalog()
-        .iter()
-        .take(20)
-        .map(|p| p.slug.clone())
-        .collect();
-    let style = server.spec().template_style;
+    let registry = ScenarioRegistry::builtin();
+    let scenario = registry.get("desync-ablation").expect("registered");
+    assert!(matches!(
+        scenario.plan(&pd_core::ScenarioParams {
+            seed: 1307,
+            profile: Profile::Small,
+        }),
+        ScenarioRun::Sweep(_)
+    ));
+    // Build each arm's engine; the plan carries the skew into the
+    // sheriff (25-minute per-probe skew lands probes 8..=13 — the US
+    // fleet — at 23:20 ... 01:25 around the check's midnight: some
+    // before the daily reprice, some after, exactly the failure mode
+    // the paper's synchronization prevents).
+    let engines: Vec<(String, pd_core::Engine)> = Experiment::builder()
+        .scenario("desync-ablation")
+        .profile(Profile::Small)
+        .seed(1307)
+        .build_variants()
+        .expect("registered sweep scenario");
 
     // Isolate the temporal effect: compare only the six US probes
     // (booking.com prices the whole US identically, so any intra-US
     // variation is a pure artifact of the fetch-time spread).
     let us_range = 8usize..=13;
-    let run = |desync: SimDuration| -> usize {
-        let mut sheriff = world.sheriff.clone();
-        sheriff.desync = desync;
+    let run = |world: &World| -> usize {
+        let fx = world.web.fx();
+        let server = world.web.server_by_domain("www.booking.com").unwrap();
+        let slugs: Vec<String> = server
+            .catalog()
+            .iter()
+            .take(20)
+            .map(|p| p.slug.clone())
+            .collect();
+        let style = server.spec().template_style;
         let time = SimTime::from_millis(30 * 24 * 3_600_000 + 20 * 3_600_000); // 20:00
         let mut spurious = 0;
         for slug in &slugs {
@@ -134,14 +153,16 @@ fn ablation_synchronization(c: &mut Criterion) {
             let req = pd_web::Request::get(
                 "www.booking.com",
                 &path,
-                sheriff.vantage_points()[0].addr,
+                world.sheriff.vantage_points()[0].addr,
                 time,
             );
             let doc = pd_html::parse(&world.web.fetch(&req).body);
             let Some(ex) = HighlightExtractor::from_highlight(&doc, &price_selector(style)) else {
                 continue;
             };
-            let obs = sheriff.check(&world.web, "www.booking.com", &path, &ex, time, &[]);
+            let obs = world
+                .sheriff
+                .check(&world.web, "www.booking.com", &path, &ex, time, &[]);
             let prices: Vec<_> = obs
                 .iter()
                 .enumerate()
@@ -157,16 +178,13 @@ fn ablation_synchronization(c: &mut Criterion) {
         spurious
     };
 
-    let sync_flags = run(SimDuration::ZERO);
-    // 25-minute per-probe skew: probes 8..=13 (the US fleet) then land at
-    // 23:20 ... 01:25 around the check's midnight — some before the daily
-    // reprice, some after, which is exactly the failure mode the paper's
-    // synchronization prevents.
-    let desync_flags = run(SimDuration::from_mins(25));
+    let sync_flags = run(engines[0].1.world());
+    let desync_flags = run(engines[1].1.world());
     println!(
-        "[ablation:synchronization] 20 products, six same-price US probes on a drifting retailer: \
-         sync flags {sync_flags} (must be 0), desync flags {desync_flags} (spread straddles the \
-         daily reprice boundary)"
+        "[ablation:synchronization] scenario desync-ablation ({} vs {}): 20 products, six \
+         same-price US probes on a drifting retailer: sync flags {sync_flags} (must be 0), \
+         desync flags {desync_flags} (spread straddles the daily reprice boundary)",
+        engines[0].0, engines[1].0
     );
     assert_eq!(sync_flags, 0, "synchronized intra-US checks must be clean");
     assert!(
@@ -177,10 +195,10 @@ fn ablation_synchronization(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_synchronization");
     g.sample_size(10);
     g.bench_function("synchronized_sweep", |b| {
-        b.iter(|| black_box(run(SimDuration::ZERO)));
+        b.iter(|| black_box(run(engines[0].1.world())));
     });
     g.bench_function("desynchronized_sweep", |b| {
-        b.iter(|| black_box(run(SimDuration::from_mins(25))));
+        b.iter(|| black_box(run(engines[1].1.world())));
     });
     g.finish();
 }
@@ -357,7 +375,8 @@ fn ablation_repeats(c: &mut Criterion) {
 }
 
 /// Ablation 5: the value of the crowd — discriminating domains
-/// discovered as the check budget grows.
+/// discovered as the check budget grows. Uses the builder + the cached
+/// crowd artifact (the crawl/analysis stages never run).
 fn ablation_crowd_size(c: &mut Criterion) {
     let discovered = |checks: usize| -> usize {
         let mut config = ExperimentConfig::small(1307);
@@ -367,9 +386,12 @@ fn ablation_crowd_size(c: &mut Criterion) {
             window_days: 40,
             ..CrowdConfig::default()
         };
-        let mut exp = Experiment::new(config);
-        let (_, cleaned, _) = exp.run_crowd_phase();
-        exp.targets_from_crowd(&cleaned, 1).len()
+        let mut engine = Experiment::builder()
+            .config(config)
+            .build()
+            .expect("paper scenario with explicit config");
+        let cleaned = engine.crowd().cleaned.clone();
+        pd_core::stage::targets_from_crowd(engine.world(), &cleaned, 1).len()
     };
     let d50 = discovered(50);
     let d150 = discovered(150);

@@ -8,9 +8,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pd_core::ExperimentConfig;
+use pd_core::{ExperimentConfig, Profile};
 
-/// The workload scale to run at.
+/// The workload scale to run at. A thin alias over [`pd_core::Profile`]
+/// kept for the benches' historical flag spellings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// CI-friendly: minutes of work shrunk to seconds.
@@ -22,22 +23,20 @@ pub enum Scale {
 }
 
 impl Scale {
+    /// The equivalent core profile.
+    #[must_use]
+    pub fn profile(self) -> Profile {
+        match self {
+            Scale::Small => Profile::Small,
+            Scale::Medium => Profile::Medium,
+            Scale::Paper => Profile::Paper,
+        }
+    }
+
     /// Builds the experiment config for this scale.
     #[must_use]
     pub fn config(self, seed: u64) -> ExperimentConfig {
-        match self {
-            Scale::Small => ExperimentConfig::small(seed),
-            Scale::Medium => {
-                let mut c = ExperimentConfig::paper(seed);
-                c.crowd.checks = 400;
-                c.crowd.users = 120;
-                c.crawl.products_per_retailer = 30;
-                c.crawl.days = 3;
-                c.filler_domains = 150;
-                c
-            }
-            Scale::Paper => ExperimentConfig::paper(seed),
-        }
+        self.profile().config(seed)
     }
 
     /// Parses a CLI flag value.

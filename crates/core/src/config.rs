@@ -6,7 +6,7 @@ use pd_util::Seed;
 use serde::{Deserialize, Serialize};
 
 /// Full configuration of one reproduction run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
     /// Root seed; every stochastic component derives from it.
     pub seed: Seed,
@@ -43,6 +43,26 @@ impl ExperimentConfig {
         }
     }
 
+    /// A mid-size configuration: large enough for stable figure shapes,
+    /// ~5× cheaper than the paper scale (the bench crate's `medium`).
+    #[must_use]
+    pub fn medium(seed: u64) -> Self {
+        ExperimentConfig {
+            crowd: CrowdConfig {
+                users: 120,
+                checks: 400,
+                ..CrowdConfig::default()
+            },
+            crawl: CrawlConfig {
+                products_per_retailer: 30,
+                days: 3,
+                ..CrawlConfig::default()
+            },
+            filler_domains: 150,
+            ..Self::paper(seed)
+        }
+    }
+
     /// A scaled-down configuration for tests and examples: same
     /// structure, ~30× less work.
     #[must_use]
@@ -65,6 +85,33 @@ impl ExperimentConfig {
             fx_days: 60,
             login_products: 15,
             persona_products: 8,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// The smallest structurally complete configuration: CI smoke runs
+    /// in well under a second while still exercising every stage.
+    #[must_use]
+    pub fn smoke(seed: u64) -> Self {
+        ExperimentConfig {
+            seed: Seed::new(seed),
+            crowd: CrowdConfig {
+                users: 30,
+                checks: 60,
+                window_days: 30,
+                ..CrowdConfig::default()
+            },
+            crawl: CrawlConfig {
+                products_per_retailer: 6,
+                days: 2,
+                start_day: 35,
+                ..CrawlConfig::default()
+            },
+            filler_domains: 30,
+            fx_days: 60,
+            login_products: 8,
+            persona_products: 4,
         }
     }
 }
@@ -99,6 +146,22 @@ mod tests {
         assert!(c.crowd.checks > 0);
         assert!(c.crawl.products_per_retailer > 0);
         assert!(c.fx_days as u64 > c.crawl.start_day + c.crawl.days);
+    }
+
+    #[test]
+    fn smoke_and_medium_are_structurally_complete_and_ordered() {
+        for c in [ExperimentConfig::smoke(1), ExperimentConfig::medium(1)] {
+            assert!(c.crowd.checks > 0);
+            assert!(c.fx_days as u64 > c.crawl.start_day + c.crawl.days);
+        }
+        let smoke = ExperimentConfig::smoke(1);
+        let small = ExperimentConfig::small(1);
+        let medium = ExperimentConfig::medium(1);
+        let paper = ExperimentConfig::paper(1);
+        assert!(smoke.crowd.checks < small.crowd.checks);
+        assert!(small.crowd.checks < medium.crowd.checks);
+        assert!(medium.crowd.checks < paper.crowd.checks);
+        assert!(medium.crawl.products_per_retailer < paper.crawl.products_per_retailer);
     }
 
     #[test]

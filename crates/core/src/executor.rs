@@ -1,0 +1,156 @@
+//! The deterministic parallel scheduler.
+//!
+//! Every parallel section of the engine is an *indexed map*: `n`
+//! independent tasks, each a pure function of its index and of shared
+//! immutable state (the [`crate::World`] has no interior mutability, so
+//! `&World` is freely shareable across threads). Worker threads pull
+//! indices from an atomic counter, compute results tagged with their
+//! index, and the coordinator merges them **in index order** — so the
+//! output is byte-identical to a sequential run regardless of thread
+//! count or OS scheduling.
+//!
+//! Coarse task granularity (one crowd check, one retailer crawl, one
+//! attribution probe) keeps coordination overhead negligible without any
+//! work-stealing machinery.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A deterministic fork-join executor over indexed tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Default for Executor {
+    /// Defaults to a serial executor (one thread).
+    fn default() -> Self {
+        Executor::serial()
+    }
+}
+
+impl Executor {
+    /// An executor with `threads` worker threads. `0` means "use the
+    /// machine's available parallelism".
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            threads
+        };
+        Executor { threads }
+    }
+
+    /// The serial executor: runs every task inline on the caller thread.
+    #[must_use]
+    pub const fn serial() -> Self {
+        Executor { threads: 1 }
+    }
+
+    /// Number of worker threads this executor fans across.
+    #[must_use]
+    pub const fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `0..n` and returns the results in index order.
+    ///
+    /// `f` must be pure with respect to the index (it may read shared
+    /// state freely); under that contract the result is identical for
+    /// every thread count, including the serial executor.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any worker task.
+    pub fn map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.threads <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(n);
+        let mut tagged: Vec<(usize, T)> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(local) => tagged.extend(local),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        // Index-ordered merge: scheduling decided who computed what, the
+        // index decides where it lands.
+        tagged.sort_unstable_by_key(|(i, _)| *i);
+        tagged.into_iter().map(|(_, t)| t).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_threads_resolves_to_hardware() {
+        assert!(Executor::new(0).threads() >= 1);
+        assert_eq!(Executor::new(3).threads(), 3);
+        assert_eq!(Executor::serial().threads(), 1);
+    }
+
+    #[test]
+    fn map_preserves_index_order_at_any_thread_count() {
+        let expect: Vec<usize> = (0..257).map(|i| i * i).collect();
+        for threads in [1, 2, 4, 8, 32] {
+            let got = Executor::new(threads).map_indexed(257, |i| i * i);
+            assert_eq!(got, expect, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let exec = Executor::new(4);
+        assert_eq!(exec.map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(exec.map_indexed(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn uneven_task_costs_still_merge_in_order() {
+        // Make early indices slow so late indices finish first.
+        let exec = Executor::new(4);
+        let got = exec.map_indexed(16, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i
+        });
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            Executor::new(2).map_indexed(8, |i| {
+                assert!(i != 5, "boom");
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -9,36 +9,62 @@
 //!    strategies, a 14-probe vantage fleet, and a crowd of $heriff users
 //!    ([`World::build`]).
 //! 2. **Crowd phase** — the crowd checks prices on ~600 domains; the
-//!    noisy dataset is cleaned ([`Experiment::run_crowd_phase`]).
+//!    noisy dataset is cleaned ([`stage::crowd_stage`] →
+//!    [`stage::CrowdArtifact`]).
 //! 3. **Crawl phase** — the flagged retailers are crawled daily for a
 //!    week, ≤100 products each, from every vantage point
-//!    ([`Experiment::run_crawl_phase`]).
+//!    ([`stage::crawl_stage`] → [`stage::CrawlArtifact`]).
 //! 4. **Analysis** — every figure and table of the paper's evaluation is
-//!    recomputed ([`Experiment::analyze`], producing a [`report::Report`]).
+//!    recomputed ([`stage::analysis_stage`] → [`report::Report`]).
+//!
+//! The engine is **scenario-driven**: workloads are named [`Scenario`]s
+//! in a [`ScenarioRegistry`] (`paper`, `smoke`, `desync-ablation`,
+//! `no-cleaning`, `vantage-subset`, `seed-sweep`, `locale-sweep`), built
+//! through [`ExperimentBuilder`] into an artifact-caching [`Engine`].
+//! Parallel sections run on the deterministic [`Executor`]: the report
+//! is **byte-identical at any thread count**. Progress and perf
+//! telemetry flow through the [`RunObserver`] hooks.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use pd_core::{Experiment, ExperimentConfig};
+//! use pd_core::{Experiment, Profile};
 //!
-//! // A scaled-down experiment (the default config reproduces the paper's
-//! // full scale: 1500 crowd checks, 21 retailers × ~100 products × 7 days).
-//! let report = Experiment::run(ExperimentConfig::small(42));
+//! // Scenario-driven: pick a registered workload, scale and thread count.
+//! let mut engine = Experiment::builder()
+//!     .scenario("paper")
+//!     .profile(Profile::Smoke) // Small/Medium/Paper for real runs
+//!     .threads(2)
+//!     .build()
+//!     .expect("registered scenario");
+//! let report = engine.run();
 //! assert!(report.summary.crowd_requests > 0);
 //! println!("{}", report.render_fig1());
 //! ```
+//!
+//! The monolithic one-call API still works and produces the identical
+//! report (guarded by `pipeline::tests::legacy_run_equals_builder_paper_scenario`):
+//! `Experiment::run(ExperimentConfig::smoke(1307))`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod executor;
+pub mod observer;
 pub mod pipeline;
 pub mod report;
+pub mod scenario;
+pub mod stage;
 pub mod world;
 
 pub use config::ExperimentConfig;
-pub use pipeline::Experiment;
+pub use executor::Executor;
+pub use observer::{NullObserver, RunObserver, StageKind, StageTiming, TimingObserver};
+pub use pipeline::{BuildError, Engine, Experiment, ExperimentBuilder};
 pub use report::Report;
+pub use scenario::{Profile, RunPlan, Scenario, ScenarioParams, ScenarioRegistry, ScenarioRun};
+pub use stage::{AnalysisArtifact, CrawlArtifact, CrowdArtifact, PersonaArtifact};
 pub use world::World;
 
 // Re-export the component crates so downstream users need one dependency.

@@ -1,0 +1,196 @@
+//! Run observation hooks: stage lifecycle events, counters, wall-times.
+//!
+//! The engine reports progress through a [`RunObserver`] — stage
+//! started/finished events (with wall-clock duration) and named counters
+//! (checks executed, measurements kept, retries, …). Observers are for
+//! telemetry only: nothing an observer does can influence a run, so the
+//! report stays a pure function of the seed no matter who is watching.
+//!
+//! Two implementations ship with the crate: [`NullObserver`] (the
+//! default, ignores everything) and [`TimingObserver`] (collects
+//! per-stage wall-times and counters, e.g. for the `pipeline_times`
+//! bench bin or the `pd` CLI's `--timings` flag).
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The engine's pipeline stages, in run order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StageKind {
+    /// World assembly (retailers, vantage fleet, crowd population).
+    Build,
+    /// The crowd campaign plus cleaning.
+    Crowd,
+    /// The systematic multi-day retailer crawl.
+    Crawl,
+    /// The persona and login probes (Sec. 4.4).
+    Personas,
+    /// Figures, tables and attribution.
+    Analysis,
+}
+
+impl StageKind {
+    /// Stable lowercase name (used in JSON and log output).
+    #[must_use]
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            StageKind::Build => "build",
+            StageKind::Crowd => "crowd",
+            StageKind::Crawl => "crawl",
+            StageKind::Personas => "personas",
+            StageKind::Analysis => "analysis",
+        }
+    }
+}
+
+impl std::fmt::Display for StageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Observation hooks for one engine run. All methods have no-op
+/// defaults; implement only what you need. Implementations must be
+/// `Send + Sync` (the engine is shareable across threads) but events are
+/// only ever emitted from the coordinating thread, in deterministic
+/// order.
+pub trait RunObserver: Send + Sync {
+    /// A stage is about to run.
+    fn stage_started(&self, _stage: StageKind) {}
+    /// A stage finished after `wall` of wall-clock time.
+    fn stage_finished(&self, _stage: StageKind, _wall: Duration) {}
+    /// A named quantity observed while `stage` ran.
+    fn counter(&self, _stage: StageKind, _name: &str, _value: u64) {}
+}
+
+/// The do-nothing observer (the engine default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl RunObserver for NullObserver {}
+
+/// One completed stage as recorded by [`TimingObserver`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Which stage.
+    pub stage: StageKind,
+    /// Wall-clock duration.
+    pub wall: Duration,
+    /// Counters emitted while the stage ran, in emission order.
+    pub counters: Vec<(String, u64)>,
+}
+
+#[derive(Debug, Default)]
+struct TimingState {
+    started: Vec<StageKind>,
+    finished: Vec<StageTiming>,
+    pending: Vec<(StageKind, String, u64)>,
+}
+
+/// Collects per-stage wall-times and counters.
+#[derive(Debug, Default)]
+pub struct TimingObserver {
+    state: Mutex<TimingState>,
+}
+
+impl TimingObserver {
+    /// A fresh, empty observer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every finished stage, in completion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned (a stage panicked).
+    #[must_use]
+    pub fn timings(&self) -> Vec<StageTiming> {
+        self.state.lock().expect("observer lock").finished.clone()
+    }
+
+    /// How many times `stage` was started (cache-hit audits: a reused
+    /// artifact must not re-start its stage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned (a stage panicked).
+    #[must_use]
+    pub fn starts(&self, stage: StageKind) -> usize {
+        self.state
+            .lock()
+            .expect("observer lock")
+            .started
+            .iter()
+            .filter(|s| **s == stage)
+            .count()
+    }
+}
+
+impl RunObserver for TimingObserver {
+    fn stage_started(&self, stage: StageKind) {
+        self.state
+            .lock()
+            .expect("observer lock")
+            .started
+            .push(stage);
+    }
+
+    fn stage_finished(&self, stage: StageKind, wall: Duration) {
+        let mut state = self.state.lock().expect("observer lock");
+        let counters = {
+            let (mine, rest): (Vec<_>, Vec<_>) =
+                state.pending.drain(..).partition(|(s, _, _)| *s == stage);
+            state.pending = rest;
+            mine.into_iter().map(|(_, n, v)| (n, v)).collect()
+        };
+        state.finished.push(StageTiming {
+            stage,
+            wall,
+            counters,
+        });
+    }
+
+    fn counter(&self, stage: StageKind, name: &str, value: u64) {
+        self.state
+            .lock()
+            .expect("observer lock")
+            .pending
+            .push((stage, name.to_owned(), value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_observer_attributes_counters_to_stages() {
+        let obs = TimingObserver::new();
+        obs.stage_started(StageKind::Crowd);
+        obs.counter(StageKind::Crowd, "checks", 150);
+        obs.counter(StageKind::Crowd, "kept", 120);
+        obs.stage_finished(StageKind::Crowd, Duration::from_millis(7));
+        obs.stage_started(StageKind::Crawl);
+        obs.counter(StageKind::Crawl, "retailers", 21);
+        obs.stage_finished(StageKind::Crawl, Duration::from_millis(3));
+
+        let timings = obs.timings();
+        assert_eq!(timings.len(), 2);
+        assert_eq!(timings[0].stage, StageKind::Crowd);
+        assert_eq!(
+            timings[0].counters,
+            vec![("checks".to_owned(), 150), ("kept".to_owned(), 120)]
+        );
+        assert_eq!(timings[1].counters, vec![("retailers".to_owned(), 21)]);
+        assert_eq!(obs.starts(StageKind::Crowd), 1);
+        assert_eq!(obs.starts(StageKind::Analysis), 0);
+    }
+
+    #[test]
+    fn stage_kind_names_are_stable() {
+        assert_eq!(StageKind::Crowd.as_str(), "crowd");
+        assert_eq!(StageKind::Personas.to_string(), "personas");
+    }
+}

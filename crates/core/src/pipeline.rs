@@ -1,109 +1,459 @@
-//! The four-stage experiment pipeline.
+//! The experiment engine: scenario-driven, staged, deterministic.
+//!
+//! Three layers:
+//!
+//! * [`ExperimentBuilder`] — the entry point: pick a named scenario (or
+//!   a raw config), a seed, a profile, a thread count and an observer,
+//!   and get an [`Engine`].
+//! * [`Engine`] — runs the typed stages ([`crate::stage`]) with artifact
+//!   caching: `crowd()` runs the campaign once and every later call
+//!   (including `analyze()`) reuses the artifact. All parallel sections
+//!   go through the deterministic [`Executor`], so the report is
+//!   byte-identical at any thread count.
+//! * [`Experiment`] — the original monolithic API, kept as a thin
+//!   compatibility shim over the stage functions.
 
 use crate::config::ExperimentConfig;
-use crate::report::{Fig8Grid, Report};
+use crate::executor::Executor;
+use crate::observer::{NullObserver, RunObserver, StageKind};
+use crate::report::Report;
+use crate::scenario::{Profile, RunPlan, Scenario, ScenarioParams, ScenarioRegistry};
+use crate::stage::{self, AnalysisArtifact, CrawlArtifact, CrowdArtifact, PersonaArtifact};
 use crate::world::World;
-use pd_analysis::{crawl, crowd as crowd_figs, location, login, strategy, summary, thirdparty};
-use pd_crawler::{select_targets, Crawler};
-use pd_currency::Locale;
-use pd_extract::HighlightExtractor;
-use pd_net::clock::SimTime;
-use pd_net::geo::{Country, Location};
-use pd_sheriff::cleaning::{clean, CleaningReport};
-use pd_sheriff::personas::{login_experiment, persona_experiment};
+use pd_sheriff::cleaning::CleaningReport;
 use pd_sheriff::MeasurementStore;
-use pd_web::template::price_selector;
-use pd_web::Request;
+use std::sync::Arc;
 
-/// The experiment driver.
-#[derive(Debug)]
-pub struct Experiment {
-    config: ExperimentConfig,
+/// The staged, artifact-caching experiment engine.
+pub struct Engine {
+    plan: RunPlan,
     world: World,
+    executor: Executor,
+    observer: Arc<dyn RunObserver>,
+    crowd: Option<CrowdArtifact>,
+    crawl: Option<CrawlArtifact>,
+    personas: Option<PersonaArtifact>,
 }
 
-impl Experiment {
-    /// Builds the world for `config`.
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("plan", &self.plan)
+            .field("executor", &self.executor)
+            .field("crowd_cached", &self.crowd.is_some())
+            .field("crawl_cached", &self.crawl.is_some())
+            .field("personas_cached", &self.personas.is_some())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Builds an engine for a run plan: assembles the world, then
+    /// applies the plan's vantage subset and desynchronization skew to
+    /// the fan-out engine (the only moment they can be set).
     #[must_use]
-    pub fn new(config: ExperimentConfig) -> Self {
-        let world = World::build(&config);
-        Experiment { config, world }
+    pub fn from_plan(plan: RunPlan, executor: Executor, observer: Arc<dyn RunObserver>) -> Self {
+        let world = stage::observed(observer.as_ref(), StageKind::Build, || {
+            let mut world = World::build(&plan.config);
+            if let Some(labels) = &plan.vantage_labels {
+                world.sheriff = world.sheriff.clone().with_vantage_subset(labels);
+            }
+            if plan.desync != pd_net::clock::SimDuration::ZERO {
+                world.sheriff = world.sheriff.clone().with_desync(plan.desync);
+            }
+            // Emitted inside the stage window so observers attribute it
+            // to this run's build stage.
+            observer.counter(
+                StageKind::Build,
+                "vantage_points",
+                world.sheriff.vantage_points().len() as u64,
+            );
+            world
+        });
+        Engine {
+            plan,
+            world,
+            executor,
+            observer,
+            crowd: None,
+            crawl: None,
+            personas: None,
+        }
     }
 
-    /// The world (read access for examples and diagnostics).
+    /// The assembled world (read access for examples and diagnostics).
     #[must_use]
     pub fn world(&self) -> &World {
         &self.world
     }
 
+    /// The plan in force.
+    #[must_use]
+    pub fn plan(&self) -> &RunPlan {
+        &self.plan
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.plan.config
+    }
+
+    /// The scheduler in force.
+    #[must_use]
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// The crowd campaign artifact, running the stage on first call and
+    /// reusing the cached artifact afterwards.
+    pub fn crowd(&mut self) -> &CrowdArtifact {
+        if self.crowd.is_none() {
+            self.crowd = Some(stage::crowd_stage(
+                &self.world,
+                &self.plan,
+                &self.executor,
+                self.observer.as_ref(),
+            ));
+        }
+        self.crowd.as_ref().expect("just computed")
+    }
+
+    /// The crawl artifact, cached after the first call.
+    pub fn crawl(&mut self) -> &CrawlArtifact {
+        if self.crawl.is_none() {
+            self.crawl = Some(stage::crawl_stage(
+                &self.world,
+                &self.plan.config,
+                &self.executor,
+                self.observer.as_ref(),
+            ));
+        }
+        self.crawl.as_ref().expect("just computed")
+    }
+
+    /// The persona/login artifact, cached after the first call.
+    pub fn personas(&mut self) -> &PersonaArtifact {
+        if self.personas.is_none() {
+            self.personas = Some(stage::persona_stage(
+                &self.world,
+                &self.plan.config,
+                &self.executor,
+                self.observer.as_ref(),
+            ));
+        }
+        self.personas.as_ref().expect("just computed")
+    }
+
+    /// Runs the analysis over the (cached) upstream artifacts and
+    /// returns the analysis artifact. Upstream stages run at most once;
+    /// calling this twice re-analyzes but does not re-measure.
+    pub fn analyze(&mut self) -> AnalysisArtifact {
+        self.crowd();
+        self.crawl();
+        self.personas();
+        stage::analysis_stage(
+            &self.world,
+            &self.plan.config,
+            self.crowd.as_ref().expect("cached above"),
+            self.crawl.as_ref().expect("cached above"),
+            self.personas.as_ref().expect("cached above"),
+            &self.executor,
+            self.observer.as_ref(),
+        )
+    }
+
+    /// Runs the full pipeline and returns the report.
+    pub fn run(&mut self) -> Report {
+        self.analyze().report
+    }
+}
+
+/// Why a builder could not produce an engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The requested scenario name is not registered.
+    UnknownScenario(String),
+    /// `build()` was called on a sweep scenario; use
+    /// [`ExperimentBuilder::build_variants`].
+    SweepScenario(String),
+    /// A config override was combined with a scenario whose sweep arms
+    /// differ *through* their configs (e.g. `seed-sweep`,
+    /// `locale-sweep`); overriding would erase the arm differences.
+    ConfigOverridesSweep(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::UnknownScenario(name) => write!(f, "unknown scenario {name:?}"),
+            BuildError::SweepScenario(name) => write!(
+                f,
+                "scenario {name:?} is a sweep; use build_variants() to get every arm"
+            ),
+            BuildError::ConfigOverridesSweep(name) => write!(
+                f,
+                "scenario {name:?} sweeps over its config; a config override would \
+                 make every arm identical"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builder for [`Engine`]s: scenario + seed + profile + threads +
+/// observer.
+///
+/// ```
+/// use pd_core::{Experiment, Profile};
+///
+/// let mut engine = Experiment::builder()
+///     .scenario("paper")
+///     .profile(Profile::Smoke)
+///     .seed(42)
+///     .threads(2)
+///     .build()
+///     .expect("paper is a registered single-run scenario");
+/// let report = engine.run();
+/// assert!(report.summary.crowd_requests > 0);
+/// ```
+pub struct ExperimentBuilder {
+    registry: ScenarioRegistry,
+    scenario: Option<String>,
+    config: Option<ExperimentConfig>,
+    seed: Option<u64>,
+    profile: Profile,
+    threads: usize,
+    observer: Arc<dyn RunObserver>,
+}
+
+impl std::fmt::Debug for ExperimentBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExperimentBuilder")
+            .field("scenario", &self.scenario)
+            .field("seed", &self.seed)
+            .field("profile", &self.profile)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl Default for ExperimentBuilder {
+    fn default() -> Self {
+        ExperimentBuilder {
+            registry: ScenarioRegistry::builtin(),
+            scenario: None,
+            config: None,
+            seed: None,
+            profile: Profile::Paper,
+            threads: 1,
+            observer: Arc::new(NullObserver),
+        }
+    }
+}
+
+impl ExperimentBuilder {
+    /// A builder with the built-in scenario registry, the `paper`
+    /// scenario, the paper seed and profile, one thread, no observer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects a scenario by registry name (default: `paper`).
+    #[must_use]
+    pub fn scenario(mut self, name: &str) -> Self {
+        self.scenario = Some(name.to_owned());
+        self
+    }
+
+    /// Replaces the scenario registry (to add custom scenarios before
+    /// selecting one by name).
+    #[must_use]
+    pub fn registry(mut self, registry: ScenarioRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Overrides the experiment configuration. The selected scenario
+    /// still applies its engine knobs (desync, cleaning, vantage subset)
+    /// on top of this config, and an explicit [`ExperimentBuilder::seed`]
+    /// still wins over the override's seed. Scenarios whose sweep arms
+    /// differ through their configs (`seed-sweep`, `locale-sweep`)
+    /// reject an override at build time.
+    #[must_use]
+    pub fn config(mut self, config: ExperimentConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Sets the root seed (default: the paper seed, 1307).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the workload profile (default: [`Profile::Paper`]).
+    #[must_use]
+    pub fn profile(mut self, profile: Profile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Sets the worker-thread count (default 1 = sequential; 0 = the
+    /// machine's available parallelism). The report is byte-identical at
+    /// any value.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Attaches a run observer (keep a clone of the `Arc` to read
+    /// timings afterwards).
+    #[must_use]
+    pub fn observer(mut self, observer: Arc<dyn RunObserver>) -> Self {
+        self.observer = observer;
+        self
+    }
+
+    /// Resolves the scenario into its labeled run plans.
+    fn resolve(&self) -> Result<(String, Vec<(String, RunPlan)>), BuildError> {
+        let name = self.scenario.as_deref().unwrap_or("paper");
+        let scenario: &dyn Scenario = self
+            .registry
+            .get(name)
+            .ok_or_else(|| BuildError::UnknownScenario(name.to_owned()))?;
+        let params = ScenarioParams {
+            seed: self
+                .seed
+                .unwrap_or_else(|| pd_util::seed::EXPERIMENT_SEED.value()),
+            profile: self.profile,
+        };
+        let mut variants = scenario.plan(&params).into_variants();
+        if let Some(config) = &self.config {
+            // A config override is only meaningful when the arms do not
+            // differ through their configs — otherwise it would silently
+            // flatten the sweep.
+            if variants
+                .iter()
+                .any(|(_, plan)| plan.config != variants[0].1.config)
+            {
+                return Err(BuildError::ConfigOverridesSweep(name.to_owned()));
+            }
+            // An explicit .seed() composes with the override instead of
+            // being silently discarded by it.
+            let mut config = config.clone();
+            if let Some(seed) = self.seed {
+                config.seed = pd_util::Seed::new(seed);
+            }
+            for (_, plan) in &mut variants {
+                plan.config = config.clone();
+            }
+        }
+        Ok((name.to_owned(), variants))
+    }
+
+    /// Builds the engine for a single-run scenario.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::UnknownScenario`] if the name is not registered;
+    /// [`BuildError::SweepScenario`] if the scenario expands to more
+    /// than one run (use [`ExperimentBuilder::build_variants`]).
+    pub fn build(self) -> Result<Engine, BuildError> {
+        let (name, mut variants) = self.resolve()?;
+        if variants.len() != 1 {
+            return Err(BuildError::SweepScenario(name));
+        }
+        let (_, plan) = variants.remove(0);
+        Ok(Engine::from_plan(
+            plan,
+            Executor::new(self.threads),
+            self.observer,
+        ))
+    }
+
+    /// Builds one engine per scenario variant (a single-run scenario
+    /// yields one engine labeled `""`).
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::UnknownScenario`] if the name is not registered.
+    pub fn build_variants(self) -> Result<Vec<(String, Engine)>, BuildError> {
+        let (_, variants) = self.resolve()?;
+        let executor = Executor::new(self.threads);
+        Ok(variants
+            .into_iter()
+            .map(|(label, plan)| {
+                (
+                    label,
+                    Engine::from_plan(plan, executor, Arc::clone(&self.observer)),
+                )
+            })
+            .collect())
+    }
+}
+
+/// The original experiment driver, kept as a compatibility shim over the
+/// staged engine. New code should prefer [`Experiment::builder`].
+#[derive(Debug)]
+pub struct Experiment {
+    engine: Engine,
+}
+
+impl Experiment {
+    /// Builds the world for `config` (sequential engine, no observer).
+    #[must_use]
+    pub fn new(config: ExperimentConfig) -> Self {
+        Experiment {
+            engine: Engine::from_plan(
+                RunPlan::new(config),
+                Executor::serial(),
+                Arc::new(NullObserver),
+            ),
+        }
+    }
+
+    /// The scenario/engine builder (the redesigned entry point).
+    #[must_use]
+    pub fn builder() -> ExperimentBuilder {
+        ExperimentBuilder::new()
+    }
+
+    /// The world (read access for examples and diagnostics).
+    #[must_use]
+    pub fn world(&self) -> &World {
+        self.engine.world()
+    }
+
     /// The configuration.
     #[must_use]
     pub fn config(&self) -> &ExperimentConfig {
-        &self.config
+        self.engine.config()
     }
 
     /// Runs the full pipeline and produces the report.
     #[must_use]
     pub fn run(config: ExperimentConfig) -> Report {
         let mut exp = Experiment::new(config);
-        let (crowd_raw, crowd_clean, cleaning) = exp.run_crowd_phase();
-        let (crawl_store, _stats) = exp.run_crawl_phase();
-        exp.analyze(&crowd_raw, &crowd_clean, cleaning, &crawl_store)
+        exp.engine.run()
     }
 
     /// Stage 2: the crowd campaign plus cleaning. Returns (raw, cleaned,
-    /// report).
+    /// report). Recomputes on every call; use
+    /// [`Engine::crowd`] for the cached artifact.
     #[must_use]
     pub fn run_crowd_phase(&mut self) -> (MeasurementStore, MeasurementStore, CleaningReport) {
-        let raw = self
-            .world
-            .crowd
-            .run_campaign(&self.world.web, &self.world.sheriff);
-        let web = &self.world.web;
-        let crowd = &self.world.crowd;
-        let fx = web.fx();
-        let (cleaned, mut report) = clean(&raw, fx, |m| {
-            // Refetch the URI as the user's own browser would and
-            // re-extract with the retailer's template highlight.
-            let user = crowd.users().get(m.user.index())?;
-            let server = web.server_by_domain(&m.domain)?;
-            let req = Request::get(
-                &m.domain,
-                &format!("/product/{}", m.product_slug),
-                user_addr(user),
-                m.time,
-            );
-            let resp = web.fetch(&req);
-            if resp.status.code() != 200 {
-                return None;
-            }
-            let doc = pd_html::parse(&resp.body);
-            let ex = HighlightExtractor::from_highlight(
-                &doc,
-                &price_selector(server.spec().template_style),
-            )?;
-            ex.extract(&doc, Some(Locale::of_country(user.location.country)))
-                .ok()
-                .map(|e| e.price)
-        });
-        // The paper's manual tax check, automated: drop domains whose
-        // variation is explained by inlined taxes (pre-tax checkout
-        // items agree across locations while displayed prices differ).
-        let tax_explained: std::collections::HashSet<String> = cleaned
-            .domains()
-            .into_iter()
-            .filter(|d| self.is_tax_explained(d))
-            .collect();
-        let mut final_store = MeasurementStore::new();
-        for m in cleaned.records() {
-            if tax_explained.contains(&m.domain) {
-                report.dropped_tax_explained += 1;
-                report.kept -= 1;
-            } else {
-                final_store.push(m.clone());
-            }
-        }
-        (raw, final_store, report)
+        let artifact = stage::crowd_stage(
+            self.engine.world(),
+            self.engine.plan(),
+            self.engine.executor(),
+            &NullObserver,
+        );
+        (artifact.raw, artifact.cleaned, artifact.cleaning)
     }
 
     /// The paper's stated future work, implemented: attribute a
@@ -116,104 +466,30 @@ impl Experiment {
         domain: &str,
         products: usize,
     ) -> Option<pd_analysis::Attribution> {
-        let vp = |label: &str| {
-            let v = self.world.vantage_by_label(label)?;
-            Some((v.addr, v.location.clone()))
-        };
-        let probes = pd_analysis::ProbeSet {
-            us_a: vp("USA - Boston")?,
-            us_b: vp("USA - Chicago")?,
-            us_c: vp("USA - New York")?,
-            foreign: vp("Finland - Tampere")?,
-        };
-        let base_day = self.config.crawl.start_day + self.config.crawl.days + 2;
-        pd_analysis::attribute(&self.world.web, &probes, domain, products, base_day)
+        stage::attribute_factors(self.engine.world(), self.engine.config(), domain, products)
     }
 
-    /// The automated version of the paper's manual tax/shipping check:
-    /// fetch the same product's *checkout* from two countries with the
-    /// same session; if the pre-tax item lines agree (within the exchange
-    /// band) while the displayed product prices genuinely differ, the
-    /// variation is tax inlining, not discrimination.
+    /// The automated version of the paper's manual tax/shipping check
+    /// (see [`stage::is_tax_explained`]).
     #[must_use]
     pub fn is_tax_explained(&self, domain: &str) -> bool {
-        let web = &self.world.web;
-        let fx = web.fx();
-        let Some(server) = web.server_by_domain(domain) else {
-            return false;
-        };
-        let Some(product) = server.catalog().iter().next() else {
-            return false;
-        };
-        let style = server.spec().template_style;
-        let probe_a = self.world.vantage_by_label("USA - Boston");
-        let probe_b = self.world.vantage_by_label("Germany - Berlin");
-        let (Some(a), Some(b)) = (probe_a, probe_b) else {
-            return false;
-        };
-        let time =
-            SimTime::from_millis(self.config.crowd.window_days * 24 * 3_600_000 + 9 * 3_600_000);
-        let day = (time.day_index() as usize).min(fx.days().saturating_sub(1));
-
-        let page_price = |addr, country| {
-            let req = Request::get(domain, &format!("/product/{}", product.slug), addr, time)
-                .with_cookie("sid", "424242");
-            let resp = web.fetch(&req);
-            if resp.status.code() != 200 {
-                return None;
-            }
-            let doc = pd_html::parse(&resp.body);
-            let ex = HighlightExtractor::from_highlight(&doc, &price_selector(style))?;
-            ex.extract(&doc, Some(Locale::of_country(country)))
-                .ok()
-                .map(|e| e.price)
-        };
-        let item_price = |addr, country| {
-            let req = Request::get(domain, &format!("/checkout/{}", product.slug), addr, time)
-                .with_cookie("sid", "424242");
-            let resp = web.fetch(&req);
-            if resp.status.code() != 200 {
-                return None;
-            }
-            let doc = pd_html::parse(&resp.body);
-            let cells = pd_html::Selector::parse("td.line-amount")
-                .expect("static selector")
-                .query_all(&doc);
-            let first = cells.first()?;
-            Locale::of_country(country)
-                .parse(doc.text_content(*first).trim())
-                .ok()
-        };
-
-        let (Some(pa), Some(pb)) = (
-            page_price(a.addr, a.location.country),
-            page_price(b.addr, b.location.country),
-        ) else {
-            return false;
-        };
-        let (Some(ia), Some(ib)) = (
-            item_price(a.addr, a.location.country),
-            item_price(b.addr, b.location.country),
-        ) else {
-            return false;
-        };
-        let page_differs = pd_currency::band_filter(fx, &[pa, pb], day)
-            .map(|v| v.genuine)
-            .unwrap_or(false);
-        let item_differs = pd_currency::band_filter(fx, &[ia, ib], day)
-            .map(|v| v.genuine)
-            .unwrap_or(false);
-        page_differs && !item_differs
+        stage::is_tax_explained(self.engine.world(), self.engine.config(), domain)
     }
 
     /// Stage 3: the systematic crawl of the paper's 21 retailers.
+    /// Recomputes on every call; use [`Engine::crawl`] for the cached
+    /// artifact.
     #[must_use]
     pub fn run_crawl_phase(
         &self,
     ) -> (MeasurementStore, Vec<pd_crawler::crawl::RetailerCrawlStats>) {
-        let crawler = Crawler::new(self.config.seed, self.config.crawl.clone());
-        let targets = self.world.paper_crawl_targets();
-        crawler.crawl(&self.world.web, &self.world.sheriff, &targets)
+        let artifact = stage::crawl_stage(
+            self.engine.world(),
+            self.engine.config(),
+            self.engine.executor(),
+            &NullObserver,
+        );
+        (artifact.store, artifact.stats)
     }
 
     /// Data-driven variant of target selection (used by the
@@ -226,10 +502,7 @@ impl Experiment {
         cleaned: &MeasurementStore,
         min_confirmed: usize,
     ) -> Vec<String> {
-        select_targets(cleaned, self.world.web.fx(), min_confirmed)
-            .into_iter()
-            .map(|t| t.domain)
-            .collect()
+        stage::targets_from_crowd(self.engine.world(), cleaned, min_confirmed)
     }
 
     /// Stage 4: every figure and table.
@@ -241,162 +514,23 @@ impl Experiment {
         cleaning: CleaningReport,
         crawl_store: &MeasurementStore,
     ) -> Report {
-        let fx = self.world.web.fx();
-        let crowd_frame = pd_analysis::CheckFrame::build(crowd_clean, fx);
-        let crawl_frame = pd_analysis::CheckFrame::build(crawl_store, fx);
-        let labels = self.world.vantage_labels();
-
-        // Fig. 1 + Fig. 2 (crowd view).
-        let fig1 = crowd_figs::fig1_ranking(&crowd_frame, 27);
-        let fig1_domains: Vec<String> = fig1.iter().map(|b| b.domain.clone()).collect();
-        let fig2 = crowd_figs::fig2_ratio_boxes(&crowd_frame, &fig1_domains);
-
-        // Figs. 3–5 (crawl view).
-        let fig3 = crawl::fig3_extent(&crawl_frame);
-        let fig4 = crawl::fig4_magnitude(&crawl_frame);
-        let (fig5_points, fig5_envelope) = crawl::fig5_scatter(&crawl_frame);
-
-        // Fig. 6: digitalrev (multiplicative) and energie (additive), at
-        // the paper's three locations: New York, UK, Finland.
-        let fig6_locs: Vec<_> = ["USA - New York", "UK - London", "Finland - Tampere"]
-            .iter()
-            .filter_map(|l| self.world.vantage_by_label(l).map(|vp| (vp.id, vp.label())))
-            .collect();
-        let fig6a = strategy::fig6_curves(&crawl_frame, "www.digitalrev.com", &fig6_locs);
-        let fig6b = strategy::fig6_curves(&crawl_frame, "www.energie.it", &fig6_locs);
-
-        // Fig. 7 over the full fleet.
-        let fig7 = location::fig7_location_boxes(&crawl_frame, &labels);
-
-        // Fig. 8 grids.
-        let grid = |domain: &str, labels: &[&str]| {
-            let vps: Vec<_> = labels
-                .iter()
-                .filter_map(|l| self.world.vantage_by_label(l).map(|vp| (vp.id, vp.label())))
-                .collect();
-            Fig8Grid {
-                domain: domain.to_owned(),
-                cells: location::fig8_pairwise(&crawl_frame, domain, &vps),
-            }
-        };
-        let fig8a = grid(
-            "www.homedepot.com",
-            &[
-                "USA - Albany",
-                "USA - Boston",
-                "USA - Los Angeles",
-                "USA - Chicago",
-                "USA - Lincoln",
-                "USA - New York",
-            ],
-        );
-        let fig8b = grid(
-            "www.amazon.com",
-            &[
-                "Belgium - Liege",
-                "Brazil - Sao Paulo",
-                "Finland - Tampere",
-                "Germany - Berlin",
-                "Spain (Linux,FF)",
-                "USA - New York",
-            ],
-        );
-        let fig8c = grid(
-            "store.killah.com",
-            &[
-                "Brazil - Sao Paulo",
-                "Finland - Tampere",
-                "Germany - Berlin",
-                "Spain (Linux,FF)",
-                "UK - London",
-                "USA - New York",
-            ],
-        );
-
-        // Fig. 9: Finland vs min.
-        let finland = self
-            .world
-            .vantage_by_label("Finland - Tampere")
-            .expect("Finland probe exists")
-            .id;
-        let fig9 = location::fig9_finland(&crawl_frame, finland);
-
-        // Fig. 10 + persona experiment: fixed US location and instant.
-        let boston = Location::new(Country::UnitedStates, "Boston");
-        let boston_vp = self
-            .world
-            .vantage_by_label("USA - Boston")
-            .expect("Boston probe exists");
-        let exp_time = SimTime::from_millis(
-            (self.config.crawl.start_day + self.config.crawl.days + 1) * 24 * 3_600_000
-                + 12 * 3_600_000,
-        );
-        let login_exp = login_experiment(
-            &self.world.web,
-            self.config.seed,
-            "www.amazon.com",
-            &boston,
-            boston_vp.addr,
-            exp_time,
-            self.config.login_products,
-        );
-        let fig10 = login::fig10(&login_exp);
-        let persona_exp = persona_experiment(
-            &self.world.web,
-            &[
-                "www.amazon.com",
-                "www.digitalrev.com",
-                "www.hotels.com",
-                "www.energie.it",
-            ],
-            &boston,
-            boston_vp.addr,
-            exp_time,
-            self.config.persona_products,
-        );
-        let persona = login::persona_summary(&persona_exp);
-
-        // Third-party presence over the crawled set.
-        let targets = self.world.paper_crawl_targets();
-        let third_party =
-            thirdparty::scan_third_parties(&self.world.web, &targets, boston_vp.addr, exp_time);
-
-        let summary = summary::dataset_summary(&self.world.crowd, crowd_raw, crawl_store);
-
-        // Extension: per-retailer factor attribution over the crawled set.
-        let attribution: Vec<pd_analysis::Attribution> = targets
-            .iter()
-            .filter_map(|d| self.attribute_factors(d, 8))
-            .collect();
-
-        Report {
-            summary,
+        let world = self.engine.world();
+        let config = self.engine.config();
+        let exec = self.engine.executor();
+        let personas = stage::persona_stage(world, config, exec, &NullObserver);
+        stage::analysis_over(
+            world,
+            config,
+            crowd_raw,
+            crowd_clean,
             cleaning,
-            fig1,
-            fig2,
-            fig3,
-            fig4,
-            fig5_points,
-            fig5_envelope,
-            fig6a,
-            fig6b,
-            fig7,
-            fig8a,
-            fig8b,
-            fig8c,
-            fig9,
-            fig10,
-            persona,
-            third_party,
-            attribution,
-        }
+            crawl_store,
+            &personas,
+            exec,
+            &NullObserver,
+        )
+        .report
     }
-}
-
-/// The crowd user's client address. (Accessor lives here to keep the
-/// `CrowdUser` field private in `pd-sheriff`.)
-fn user_addr(user: &pd_sheriff::crowd::CrowdUser) -> std::net::Ipv4Addr {
-    user.addr()
 }
 
 #[cfg(test)]
@@ -458,5 +592,79 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn legacy_run_equals_builder_paper_scenario() {
+        let legacy = Experiment::run(ExperimentConfig::smoke(1307));
+        let mut engine = Experiment::builder()
+            .scenario("paper")
+            .profile(Profile::Smoke)
+            .seed(1307)
+            .build()
+            .expect("paper scenario builds");
+        assert_eq!(legacy.to_json(), engine.run().to_json());
+    }
+
+    #[test]
+    fn builder_rejects_unknown_and_sweep_scenarios() {
+        assert!(matches!(
+            Experiment::builder().scenario("nope").build(),
+            Err(BuildError::UnknownScenario(_))
+        ));
+        assert!(matches!(
+            Experiment::builder().scenario("seed-sweep").build(),
+            Err(BuildError::SweepScenario(_))
+        ));
+        let variants = Experiment::builder()
+            .scenario("seed-sweep")
+            .profile(Profile::Smoke)
+            .build_variants()
+            .expect("sweep builds variants");
+        assert_eq!(variants.len(), 3);
+    }
+
+    #[test]
+    fn config_override_rejected_on_config_driven_sweeps() {
+        // seed-sweep arms differ through their configs: a wholesale
+        // override would silently run the same experiment three times.
+        assert!(matches!(
+            Experiment::builder()
+                .scenario("seed-sweep")
+                .config(ExperimentConfig::smoke(1))
+                .build_variants(),
+            Err(BuildError::ConfigOverridesSweep(_))
+        ));
+        // desync-ablation arms differ through an engine knob, not the
+        // config — the override composes fine.
+        let arms = Experiment::builder()
+            .scenario("desync-ablation")
+            .config(ExperimentConfig::smoke(1))
+            .build_variants()
+            .expect("engine-knob sweep accepts a config override");
+        assert_eq!(arms.len(), 2);
+        assert_eq!(arms[0].1.config().crowd.checks, 60);
+    }
+
+    #[test]
+    fn explicit_seed_wins_over_config_override() {
+        let engine = Experiment::builder()
+            .config(ExperimentConfig::smoke(1))
+            .seed(42)
+            .build()
+            .expect("paper scenario with explicit config");
+        assert_eq!(engine.config().seed.value(), 42);
+    }
+
+    #[test]
+    fn engine_caches_stage_artifacts() {
+        let mut engine = Experiment::builder()
+            .scenario("paper")
+            .profile(Profile::Smoke)
+            .build()
+            .unwrap();
+        let first_len = engine.crowd().raw.len();
+        // Second call must hand back the same artifact without rerunning.
+        assert_eq!(engine.crowd().raw.len(), first_len);
     }
 }

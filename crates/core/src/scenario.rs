@@ -1,0 +1,507 @@
+//! Named scenarios: the workloads the engine knows how to run.
+//!
+//! A [`Scenario`] turns `(seed, profile)` parameters into one or more
+//! [`RunPlan`]s — a full experiment configuration plus the engine knobs
+//! the paper's ablations need (fan-out desynchronization, skipped
+//! cleaning, a vantage subset). Scenarios are addressable by name
+//! through the [`ScenarioRegistry`], so examples, benches, tests and the
+//! `pd` CLI all pull the same workloads instead of hand-assembling
+//! configs (or worse, poking engine internals).
+//!
+//! Built-in registry:
+//!
+//! | name | kind | what it runs |
+//! |---|---|---|
+//! | `paper` | single | the paper's study at the requested profile |
+//! | `smoke` | single | the smallest structurally complete run (CI) |
+//! | `desync-ablation` | sweep | synchronized vs 25-min-skewed fan-out |
+//! | `no-cleaning` | single | the paper pipeline with Sec. 3.2 cleaning disabled |
+//! | `vantage-subset` | single | an 8-probe fleet (the scale-down ablation) |
+//! | `seed-sweep` | sweep | three consecutive seeds (conclusion stability) |
+//! | `locale-sweep` | sweep | crowd population biased US / DE / BR |
+
+use crate::config::ExperimentConfig;
+use pd_net::clock::SimDuration;
+use std::collections::BTreeMap;
+
+/// The workload size a scenario is instantiated at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Profile {
+    /// Sub-second CI smoke scale.
+    Smoke,
+    /// Test/example scale (~30× below paper).
+    Small,
+    /// Stable-figure scale (~5× below paper).
+    Medium,
+    /// The paper's full scale.
+    #[default]
+    Paper,
+}
+
+impl Profile {
+    /// The experiment configuration for this profile.
+    #[must_use]
+    pub fn config(self, seed: u64) -> ExperimentConfig {
+        match self {
+            Profile::Smoke => ExperimentConfig::smoke(seed),
+            Profile::Small => ExperimentConfig::small(seed),
+            Profile::Medium => ExperimentConfig::medium(seed),
+            Profile::Paper => ExperimentConfig::paper(seed),
+        }
+    }
+
+    /// Parses a CLI flag value.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Profile> {
+        match s {
+            "smoke" => Some(Profile::Smoke),
+            "small" => Some(Profile::Small),
+            "medium" => Some(Profile::Medium),
+            "paper" | "full" => Some(Profile::Paper),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this profile.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Profile::Smoke => "smoke",
+            Profile::Small => "small",
+            Profile::Medium => "medium",
+            Profile::Paper => "paper",
+        }
+    }
+}
+
+/// Everything the engine needs to execute one run: the experiment
+/// configuration plus the scenario-level knobs.
+#[derive(Debug, Clone)]
+pub struct RunPlan {
+    /// The experiment configuration.
+    pub config: ExperimentConfig,
+    /// Per-vantage fan-out skew (zero = the paper's synchronized checks).
+    pub desync: SimDuration,
+    /// Whether the Sec. 3.2 cleaning pass runs (the `no-cleaning`
+    /// ablation disables it).
+    pub cleaning: bool,
+    /// Restrict the vantage fleet to these Fig. 7 labels (`None` = the
+    /// full 14-probe fleet). Subsets must retain the probes the analysis
+    /// conditions on ("Finland - Tampere", "USA - Boston", "USA - New
+    /// York", "USA - Chicago").
+    pub vantage_labels: Option<Vec<String>>,
+}
+
+impl RunPlan {
+    /// The default plan for a configuration: synchronized, cleaned, full
+    /// fleet — exactly the paper's methodology.
+    #[must_use]
+    pub fn new(config: ExperimentConfig) -> Self {
+        RunPlan {
+            config,
+            desync: SimDuration::ZERO,
+            cleaning: true,
+            vantage_labels: None,
+        }
+    }
+}
+
+/// Parameters a scenario is instantiated with.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioParams {
+    /// Root seed.
+    pub seed: u64,
+    /// Workload size.
+    pub profile: Profile,
+}
+
+impl Default for ScenarioParams {
+    /// The paper seed (1307) at paper scale.
+    fn default() -> Self {
+        ScenarioParams {
+            seed: pd_util::seed::EXPERIMENT_SEED.value(),
+            profile: Profile::Paper,
+        }
+    }
+}
+
+/// What a scenario instantiates to: one run, or a labeled sweep of runs
+/// meant to be compared against each other.
+#[derive(Debug, Clone)]
+pub enum ScenarioRun {
+    /// One engine run.
+    Single(RunPlan),
+    /// Several labeled engine runs (ablation arms, seed sweeps, …).
+    Sweep(Vec<(String, RunPlan)>),
+}
+
+impl ScenarioRun {
+    /// The labeled plans, with a single run labeled by the empty string.
+    #[must_use]
+    pub fn into_variants(self) -> Vec<(String, RunPlan)> {
+        match self {
+            ScenarioRun::Single(plan) => vec![(String::new(), plan)],
+            ScenarioRun::Sweep(variants) => variants,
+        }
+    }
+}
+
+/// A named, registrable workload.
+pub trait Scenario: Send + Sync {
+    /// Registry key (kebab-case).
+    fn name(&self) -> &str;
+    /// One-line description for `pd --help` and the README table.
+    fn describe(&self) -> &str;
+    /// Instantiates the scenario at the given parameters.
+    fn plan(&self, params: &ScenarioParams) -> ScenarioRun;
+}
+
+/// Name-addressable scenario collection. Iteration order is the sorted
+/// name order (deterministic help output).
+pub struct ScenarioRegistry {
+    scenarios: BTreeMap<String, Box<dyn Scenario>>,
+}
+
+impl std::fmt::Debug for ScenarioRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+impl Default for ScenarioRegistry {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+impl ScenarioRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn empty() -> Self {
+        ScenarioRegistry {
+            scenarios: BTreeMap::new(),
+        }
+    }
+
+    /// The registry with every built-in scenario registered.
+    #[must_use]
+    pub fn builtin() -> Self {
+        let mut reg = Self::empty();
+        reg.register(Box::new(PaperScenario));
+        reg.register(Box::new(SmokeScenario));
+        reg.register(Box::new(DesyncAblation));
+        reg.register(Box::new(NoCleaningAblation));
+        reg.register(Box::new(VantageSubset));
+        reg.register(Box::new(SeedSweep));
+        reg.register(Box::new(LocaleSweep));
+        reg
+    }
+
+    /// Registers (or replaces) a scenario under its own name.
+    pub fn register(&mut self, scenario: Box<dyn Scenario>) {
+        self.scenarios.insert(scenario.name().to_owned(), scenario);
+    }
+
+    /// Looks a scenario up by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&dyn Scenario> {
+        self.scenarios.get(name).map(AsRef::as_ref)
+    }
+
+    /// All registered names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        self.scenarios.keys().map(String::as_str).collect()
+    }
+
+    /// Iterates scenarios in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Scenario> {
+        self.scenarios.values().map(AsRef::as_ref)
+    }
+}
+
+/// `paper`: the full study, paper methodology, at the requested profile.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperScenario;
+
+impl Scenario for PaperScenario {
+    fn name(&self) -> &str {
+        "paper"
+    }
+
+    fn describe(&self) -> &str {
+        "the paper's crowd + crawl + persona study at the requested profile"
+    }
+
+    fn plan(&self, params: &ScenarioParams) -> ScenarioRun {
+        ScenarioRun::Single(RunPlan::new(params.profile.config(params.seed)))
+    }
+}
+
+/// `smoke`: the smallest structurally complete run; ignores the profile.
+#[derive(Debug, Clone, Copy)]
+pub struct SmokeScenario;
+
+impl Scenario for SmokeScenario {
+    fn name(&self) -> &str {
+        "smoke"
+    }
+
+    fn describe(&self) -> &str {
+        "sub-second CI run exercising every stage (profile-independent)"
+    }
+
+    fn plan(&self, params: &ScenarioParams) -> ScenarioRun {
+        ScenarioRun::Single(RunPlan::new(ExperimentConfig::smoke(params.seed)))
+    }
+}
+
+/// The skew the desync ablation applies between consecutive vantage
+/// starts. 25 minutes spreads the 14-probe fan-out across the daily
+/// reprice boundary — exactly the failure mode the paper's synchronized
+/// checks (Sec. 2.2) are designed to prevent.
+pub const DESYNC_SKEW: SimDuration = SimDuration::from_mins(25);
+
+/// `desync-ablation`: synchronized vs desynchronized fan-out.
+#[derive(Debug, Clone, Copy)]
+pub struct DesyncAblation;
+
+impl Scenario for DesyncAblation {
+    fn name(&self) -> &str {
+        "desync-ablation"
+    }
+
+    fn describe(&self) -> &str {
+        "sweep: synchronized fan-out vs 25-min per-probe skew"
+    }
+
+    fn plan(&self, params: &ScenarioParams) -> ScenarioRun {
+        let base = RunPlan::new(params.profile.config(params.seed));
+        let mut skewed = base.clone();
+        skewed.desync = DESYNC_SKEW;
+        ScenarioRun::Sweep(vec![
+            ("synchronized".to_owned(), base),
+            ("desync-25m".to_owned(), skewed),
+        ])
+    }
+}
+
+/// `no-cleaning`: the paper pipeline with the Sec. 3.2 cleaning skipped.
+#[derive(Debug, Clone, Copy)]
+pub struct NoCleaningAblation;
+
+impl Scenario for NoCleaningAblation {
+    fn name(&self) -> &str {
+        "no-cleaning"
+    }
+
+    fn describe(&self) -> &str {
+        "paper run with the Sec. 3.2 noise-cleaning pass disabled"
+    }
+
+    fn plan(&self, params: &ScenarioParams) -> ScenarioRun {
+        let mut plan = RunPlan::new(params.profile.config(params.seed));
+        plan.cleaning = false;
+        ScenarioRun::Single(plan)
+    }
+}
+
+/// The 8-probe fleet of the `vantage-subset` scenario. Keeps every probe
+/// the analysis conditions on while halving the fan-out cost.
+pub const VANTAGE_SUBSET_LABELS: [&str; 8] = [
+    "USA - Boston",
+    "USA - New York",
+    "USA - Chicago",
+    "Finland - Tampere",
+    "Germany - Berlin",
+    "UK - London",
+    "Brazil - Sao Paulo",
+    "Spain (Linux,FF)",
+];
+
+/// `vantage-subset`: the study on an 8-probe fleet.
+#[derive(Debug, Clone, Copy)]
+pub struct VantageSubset;
+
+impl Scenario for VantageSubset {
+    fn name(&self) -> &str {
+        "vantage-subset"
+    }
+
+    fn describe(&self) -> &str {
+        "paper run on an 8-probe fleet (fan-out cost ablation)"
+    }
+
+    fn plan(&self, params: &ScenarioParams) -> ScenarioRun {
+        let mut plan = RunPlan::new(params.profile.config(params.seed));
+        plan.vantage_labels = Some(
+            VANTAGE_SUBSET_LABELS
+                .iter()
+                .map(|l| (*l).to_owned())
+                .collect(),
+        );
+        ScenarioRun::Single(plan)
+    }
+}
+
+/// `seed-sweep`: three consecutive seeds, for conclusion stability.
+#[derive(Debug, Clone, Copy)]
+pub struct SeedSweep;
+
+impl Scenario for SeedSweep {
+    fn name(&self) -> &str {
+        "seed-sweep"
+    }
+
+    fn describe(&self) -> &str {
+        "sweep: three consecutive seeds (are conclusions seed-stable?)"
+    }
+
+    fn plan(&self, params: &ScenarioParams) -> ScenarioRun {
+        ScenarioRun::Sweep(
+            (0..3)
+                .map(|offset| {
+                    let seed = params.seed + offset;
+                    (
+                        format!("seed-{seed}"),
+                        RunPlan::new(params.profile.config(seed)),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+/// `locale-sweep`: the crowd population biased toward three different
+/// home countries.
+#[derive(Debug, Clone, Copy)]
+pub struct LocaleSweep;
+
+impl Scenario for LocaleSweep {
+    fn name(&self) -> &str {
+        "locale-sweep"
+    }
+
+    fn describe(&self) -> &str {
+        "sweep: crowd population biased US / DE / BR (discovery robustness)"
+    }
+
+    fn plan(&self, params: &ScenarioParams) -> ScenarioRun {
+        use pd_net::geo::Country;
+        ScenarioRun::Sweep(
+            [
+                ("us-heavy", Country::UnitedStates),
+                ("de-heavy", Country::Germany),
+                ("br-heavy", Country::Brazil),
+            ]
+            .into_iter()
+            .map(|(label, country)| {
+                let mut plan = RunPlan::new(params.profile.config(params.seed));
+                plan.config.crowd.bias_country = Some(country);
+                (label.to_owned(), plan)
+            })
+            .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_has_the_documented_scenarios() {
+        let reg = ScenarioRegistry::builtin();
+        assert_eq!(
+            reg.names(),
+            vec![
+                "desync-ablation",
+                "locale-sweep",
+                "no-cleaning",
+                "paper",
+                "seed-sweep",
+                "smoke",
+                "vantage-subset",
+            ]
+        );
+        assert!(reg.get("paper").is_some());
+        assert!(reg.get("nope").is_none());
+        for s in reg.iter() {
+            assert!(!s.describe().is_empty(), "{} undocumented", s.name());
+        }
+    }
+
+    #[test]
+    fn registration_is_by_name_and_replaces() {
+        let mut reg = ScenarioRegistry::empty();
+        reg.register(Box::new(PaperScenario));
+        reg.register(Box::new(PaperScenario));
+        assert_eq!(reg.names(), vec!["paper"]);
+    }
+
+    #[test]
+    fn paper_scenario_tracks_profile_and_seed() {
+        let run = PaperScenario.plan(&ScenarioParams {
+            seed: 42,
+            profile: Profile::Small,
+        });
+        let ScenarioRun::Single(plan) = run else {
+            panic!("paper is a single run");
+        };
+        assert_eq!(plan.config.seed.value(), 42);
+        assert_eq!(
+            plan.config.crowd.checks,
+            ExperimentConfig::small(42).crowd.checks
+        );
+        assert!(plan.cleaning);
+        assert_eq!(plan.desync, SimDuration::ZERO);
+        assert!(plan.vantage_labels.is_none());
+    }
+
+    #[test]
+    fn ablation_scenarios_set_their_knobs() {
+        let params = ScenarioParams {
+            seed: 1,
+            profile: Profile::Smoke,
+        };
+        let ScenarioRun::Sweep(arms) = DesyncAblation.plan(&params) else {
+            panic!("desync ablation is a sweep");
+        };
+        assert_eq!(arms.len(), 2);
+        assert_eq!(arms[0].1.desync, SimDuration::ZERO);
+        assert_eq!(arms[1].1.desync, DESYNC_SKEW);
+
+        let ScenarioRun::Single(no_clean) = NoCleaningAblation.plan(&params) else {
+            panic!("no-cleaning is a single run");
+        };
+        assert!(!no_clean.cleaning);
+
+        let ScenarioRun::Single(subset) = VantageSubset.plan(&params) else {
+            panic!("vantage-subset is a single run");
+        };
+        assert_eq!(subset.vantage_labels.as_ref().map(Vec::len), Some(8));
+
+        assert_eq!(SeedSweep.plan(&params).into_variants().len(), 3);
+        let locales = LocaleSweep.plan(&params).into_variants();
+        assert_eq!(locales.len(), 3);
+        assert!(locales
+            .iter()
+            .all(|(_, p)| p.config.crowd.bias_country.is_some()));
+    }
+
+    #[test]
+    fn profile_parsing_round_trips() {
+        for p in [
+            Profile::Smoke,
+            Profile::Small,
+            Profile::Medium,
+            Profile::Paper,
+        ] {
+            assert_eq!(Profile::parse(p.name()), Some(p));
+        }
+        assert_eq!(Profile::parse("full"), Some(Profile::Paper));
+        assert_eq!(Profile::parse("huge"), None);
+    }
+}

@@ -91,6 +91,20 @@ impl CheckFrame {
         }
     }
 
+    /// Builds a frame restricted to a single retailer's checks. Useful
+    /// for per-retailer analysis fan-out: building one frame per crawled
+    /// domain (in any order, or concurrently) and analyzing each shard
+    /// yields the same per-domain results as filtering the full frame.
+    #[must_use]
+    pub fn build_domain(store: &MeasurementStore, fx: &FxSeries, domain: &str) -> Self {
+        CheckFrame {
+            rows: store
+                .by_domain(domain)
+                .filter_map(|m| CheckRow::from_measurement(m, fx))
+                .collect(),
+        }
+    }
+
     /// All rows.
     #[must_use]
     pub fn rows(&self) -> &[CheckRow] {
@@ -229,5 +243,21 @@ mod tests {
         assert_eq!(products.len(), 3);
         assert_eq!(products[0].0, ("a.example".into(), "p1".into()));
         assert_eq!(products[0].1.len(), 2);
+    }
+
+    #[test]
+    fn domain_frame_matches_filtered_full_frame() {
+        let mut store = MeasurementStore::new();
+        store.push(meas("a.example", "p1", &[Some(100), Some(130)]));
+        store.push(meas("b.example", "q", &[Some(200), Some(300)]));
+        store.push(meas("a.example", "p2", &[Some(100), Some(100)]));
+        let full = CheckFrame::build(&store, &fx());
+        let shard = CheckFrame::build_domain(&store, &fx(), "a.example");
+        let filtered: Vec<&CheckRow> = full.by_domain("a.example").collect();
+        assert_eq!(shard.len(), filtered.len());
+        for (a, b) in shard.rows().iter().zip(filtered) {
+            assert_eq!(a, b);
+        }
+        assert!(CheckFrame::build_domain(&store, &fx(), "gone.example").is_empty());
     }
 }

@@ -25,7 +25,7 @@ use serde::{Deserialize, Serialize};
 pub const CRAWLER_USER: UserId = UserId(u32::MAX);
 
 /// Crawl parameters. Paper defaults: ≤100 products, 7 days.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CrawlConfig {
     /// Maximum products sampled per retailer.
     pub products_per_retailer: usize,
@@ -91,7 +91,9 @@ impl Crawler {
     }
 
     /// Crawls the given target domains. Unknown domains are skipped (and
-    /// reported with zero products in the stats).
+    /// reported with zero products in the stats). Equivalent to crawling
+    /// every target with [`Crawler::crawl_one`] and merging the per-shard
+    /// stores in target order.
     #[must_use]
     pub fn crawl(
         &self,
@@ -102,8 +104,26 @@ impl Crawler {
         let mut store = MeasurementStore::new();
         let mut stats = Vec::with_capacity(targets.len());
         for domain in targets {
-            stats.push(self.crawl_retailer(world, sheriff, domain, &mut store));
+            let (shard, s) = self.crawl_one(world, sheriff, domain);
+            store.extend(shard);
+            stats.push(s);
         }
+        (store, stats)
+    }
+
+    /// Parallel-safe entry point: crawls a single retailer into its own
+    /// store shard. The per-retailer RNG is derived from the domain name
+    /// (not from crawl order), so shards are independent of scheduling
+    /// and can be produced concurrently, then merged in target order.
+    #[must_use]
+    pub fn crawl_one(
+        &self,
+        world: &WebWorld,
+        sheriff: &Sheriff,
+        domain: &str,
+    ) -> (MeasurementStore, RetailerCrawlStats) {
+        let mut store = MeasurementStore::new();
+        let stats = self.crawl_retailer(world, sheriff, domain, &mut store);
         (store, stats)
     }
 
@@ -332,6 +352,33 @@ mod tests {
         assert_eq!(a.0.len(), b.0.len());
         for (x, y) in a.0.records().iter().zip(b.0.records()) {
             assert_eq!(x.prices(), y.prices());
+        }
+    }
+
+    #[test]
+    fn shard_merge_matches_sequential_crawl() {
+        let (world, sheriff) = rig();
+        let crawler = Crawler::new(Seed::new(3), small_config());
+        let targets = ["www.killah.com", "www.digitalrev.com", "www.energie.it"];
+        let owned: Vec<String> = targets.iter().map(|t| (*t).to_owned()).collect();
+        let (seq_store, seq_stats) = crawler.crawl(&world, &sheriff, &owned);
+        // Crawl shards out of order, merge in target order.
+        let mut shards: Vec<(MeasurementStore, RetailerCrawlStats)> = targets
+            .iter()
+            .rev()
+            .map(|t| crawler.crawl_one(&world, &sheriff, t))
+            .collect();
+        shards.reverse();
+        let mut store = MeasurementStore::new();
+        let mut stats = Vec::new();
+        for (shard, s) in shards {
+            store.extend(shard);
+            stats.push(s);
+        }
+        assert_eq!(stats, seq_stats);
+        assert_eq!(store.len(), seq_store.len());
+        for (a, b) in store.records().iter().zip(seq_store.records()) {
+            assert_eq!(a, b);
         }
     }
 

@@ -29,7 +29,7 @@ use serde::{Deserialize, Serialize};
 
 /// Crowd-simulation parameters. Defaults reproduce the paper's
 /// aggregates; tests shrink them.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CrowdConfig {
     /// Number of $heriff users.
     pub users: usize,
@@ -41,6 +41,10 @@ pub struct CrowdConfig {
     pub customization_noise: f64,
     /// Probability that a check highlights the wrong element.
     pub mis_highlight_noise: f64,
+    /// Optional locale emphasis (the `locale-sweep` scenario): the given
+    /// country's population weight is boosted ×4 before normalization.
+    /// `None` reproduces the paper's measured skew exactly.
+    pub bias_country: Option<Country>,
 }
 
 impl Default for CrowdConfig {
@@ -51,6 +55,7 @@ impl Default for CrowdConfig {
             window_days: 151, // Jan 1 – May 31, 2013
             customization_noise: 0.04,
             mis_highlight_noise: 0.03,
+            bias_country: None,
         }
     }
 }
@@ -69,8 +74,9 @@ pub struct CrowdUser {
 }
 
 /// User-country skew: extension userbases concentrate in a few countries
-/// while still covering all 18.
-fn user_country(rng: &mut StdRng) -> Country {
+/// while still covering all 18. `bias` boosts one country's weight ×4
+/// (same draw count either way, so the unbiased stream is unchanged).
+fn user_country(rng: &mut StdRng, bias: Option<Country>) -> Country {
     let weights: [(Country, f64); 18] = [
         (Country::UnitedStates, 0.22),
         (Country::Spain, 0.14),
@@ -91,9 +97,11 @@ fn user_country(rng: &mut StdRng) -> Country {
         (Country::Australia, 0.015),
         (Country::Japan, 0.015),
     ];
-    let total: f64 = weights.iter().map(|(_, w)| w).sum();
+    let boosted = |c: Country, w: f64| if bias == Some(c) { w * 4.0 } else { w };
+    let total: f64 = weights.iter().map(|(c, w)| boosted(*c, *w)).sum();
     let mut draw = rng.random_range(0.0..total);
     for (c, w) in weights {
+        let w = boosted(c, w);
         if draw < w {
             return c;
         }
@@ -127,7 +135,7 @@ impl Crowd {
         let mut rng = seed.derive("population").rng();
         let users = (0..config.users)
             .map(|i| {
-                let country = user_country(&mut rng);
+                let country = user_country(&mut rng, config.bias_country);
                 let location = Location::new(country, "Home");
                 let addr = world.allocate_client(&location);
                 let n_interests = rng.random_range(1..=3);
@@ -165,81 +173,147 @@ impl Crowd {
             .len()
     }
 
+    /// Plans the whole campaign: draws every stochastic choice (user,
+    /// retailer, product, time, noise) for `config.checks` checks from
+    /// the campaign RNG, **without touching the network**. The returned
+    /// plans are in check order; executing them (in any order) and
+    /// merging by `check_idx` reproduces [`run_campaign`] exactly.
+    ///
+    /// [`run_campaign`]: Crowd::run_campaign
+    #[must_use]
+    pub fn plan_campaign(&self, world: &WebWorld) -> Vec<CheckPlan> {
+        let mut rng = self.seed.derive("campaign").rng();
+        let servers = world.servers();
+        (0..self.config.checks)
+            .map(|check_idx| {
+                let user_index = rng.random_range(0..self.users.len());
+                let user = &self.users[user_index];
+                // Candidate retailers: those selling an interest category;
+                // choice weights are popularity × interest match.
+                let weights: Vec<f64> = servers
+                    .iter()
+                    .map(|s| {
+                        let matches = s
+                            .spec()
+                            .categories
+                            .iter()
+                            .any(|c| user.interests.contains(&c.index()));
+                        if matches {
+                            s.spec().popularity
+                        } else {
+                            s.spec().popularity * 0.05 // occasional off-interest browse
+                        }
+                    })
+                    .collect();
+                let total: f64 = weights.iter().sum();
+                let mut draw = rng.random_range(0.0..total);
+                let mut chosen = 0;
+                for (i, w) in weights.iter().enumerate() {
+                    if draw < *w {
+                        chosen = i;
+                        break;
+                    }
+                    draw -= w;
+                }
+                let server = &servers[chosen];
+                let catalog = server.catalog();
+                let pidx = rng.random_range(0..catalog.len());
+                let product = catalog.product(pd_util::ProductId::new(pidx as u32));
+
+                // Check time: uniform day, business-ish hour.
+                let day = rng.random_range(0..self.config.window_days);
+                let ms = rng.random_range(8 * 3_600_000..22 * 3_600_000u64);
+                let time =
+                    SimTime::from_millis(day * 24 * 3_600_000) + SimDuration::from_millis(ms);
+
+                // Noise lottery.
+                let noise_draw: f64 = rng.random();
+                let noise = if noise_draw < self.config.customization_noise {
+                    NoiseTruth::Customization
+                } else if noise_draw
+                    < self.config.customization_noise + self.config.mis_highlight_noise
+                {
+                    NoiseTruth::MisHighlight
+                } else {
+                    NoiseTruth::Clean
+                };
+
+                CheckPlan {
+                    check_idx,
+                    user_index,
+                    domain: server.spec().domain.clone(),
+                    slug: product.slug.clone(),
+                    template_style: server.spec().template_style,
+                    time,
+                    noise,
+                }
+            })
+            .collect()
+    }
+
+    /// Parallel-safe entry point: executes one planned check end to end
+    /// (render the user's own page, capture the highlight, fan out).
+    /// Pure in all inputs — plans may be executed in any order, or
+    /// concurrently, and merged by plan order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's `user_index` is out of range for this crowd.
+    #[must_use]
+    pub fn execute_check(
+        &self,
+        world: &WebWorld,
+        sheriff: &Sheriff,
+        plan: &CheckPlan,
+    ) -> Option<Measurement> {
+        run_one_check(
+            world,
+            sheriff,
+            &self.users[plan.user_index],
+            &plan.domain,
+            &plan.slug,
+            plan.template_style,
+            plan.time,
+            plan.noise,
+            plan.check_idx,
+        )
+    }
+
     /// Runs the whole crowdsourced campaign: `config.checks` checks
-    /// through `sheriff`, recorded into a fresh store.
+    /// through `sheriff`, recorded into a fresh store. Equivalent to
+    /// planning with [`Crowd::plan_campaign`] and executing every plan in
+    /// order.
     #[must_use]
     pub fn run_campaign(&self, world: &WebWorld, sheriff: &Sheriff) -> MeasurementStore {
         let mut store = MeasurementStore::new();
-        let mut rng = self.seed.derive("campaign").rng();
-
-        // Retailer choice weights: popularity × interest match.
-        let servers = world.servers();
-        for check_idx in 0..self.config.checks {
-            let user = &self.users[rng.random_range(0..self.users.len())];
-            // Candidate retailers: those selling an interest category.
-            let weights: Vec<f64> = servers
-                .iter()
-                .map(|s| {
-                    let matches = s
-                        .spec()
-                        .categories
-                        .iter()
-                        .any(|c| user.interests.contains(&c.index()));
-                    if matches {
-                        s.spec().popularity
-                    } else {
-                        s.spec().popularity * 0.05 // occasional off-interest browse
-                    }
-                })
-                .collect();
-            let total: f64 = weights.iter().sum();
-            let mut draw = rng.random_range(0.0..total);
-            let mut chosen = 0;
-            for (i, w) in weights.iter().enumerate() {
-                if draw < *w {
-                    chosen = i;
-                    break;
-                }
-                draw -= w;
-            }
-            let server = &servers[chosen];
-            let catalog = server.catalog();
-            let pidx = rng.random_range(0..catalog.len());
-            let product = catalog.product(pd_util::ProductId::new(pidx as u32));
-            let domain = server.spec().domain.clone();
-
-            // Check time: uniform day, business-ish hour.
-            let day = rng.random_range(0..self.config.window_days);
-            let ms = rng.random_range(8 * 3_600_000..22 * 3_600_000u64);
-            let time = SimTime::from_millis(day * 24 * 3_600_000) + SimDuration::from_millis(ms);
-
-            // Noise lottery.
-            let noise_draw: f64 = rng.random();
-            let noise = if noise_draw < self.config.customization_noise {
-                NoiseTruth::Customization
-            } else if noise_draw < self.config.customization_noise + self.config.mis_highlight_noise
-            {
-                NoiseTruth::MisHighlight
-            } else {
-                NoiseTruth::Clean
-            };
-
-            if let Some(m) = run_one_check(
-                world,
-                sheriff,
-                user,
-                &domain,
-                &product.slug,
-                server.spec().template_style,
-                time,
-                noise,
-                check_idx,
-            ) {
+        for plan in self.plan_campaign(world) {
+            if let Some(m) = self.execute_check(world, sheriff, &plan) {
                 store.push(m);
             }
         }
         store
     }
+}
+
+/// One planned crowd check: every stochastic decision made up front, so
+/// execution is a pure function of (world, sheriff, plan) and can be
+/// fanned across worker threads deterministically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckPlan {
+    /// Position in the campaign (merge key for deterministic fan-out).
+    pub check_idx: usize,
+    /// Index of the issuing user in [`Crowd::users`].
+    pub user_index: usize,
+    /// Retailer domain to check.
+    pub domain: String,
+    /// Product slug (URI path is `/product/<slug>`).
+    pub slug: String,
+    /// The retailer's template style (selects the price highlight).
+    pub template_style: u8,
+    /// Synchronized check instant.
+    pub time: SimTime,
+    /// Ground-truth noise label drawn for this check.
+    pub noise: NoiseTruth,
 }
 
 /// Executes one check end to end: render the user's own page, capture the
@@ -379,6 +453,59 @@ mod tests {
             assert_eq!(a.product_slug, b.product_slug);
             assert_eq!(a.prices(), b.prices());
         }
+    }
+
+    #[test]
+    fn planned_execution_matches_run_campaign() {
+        let (mut world, sheriff) = small_world();
+        let crowd = Crowd::new(Seed::new(7), small_config(), &mut world);
+        let direct = crowd.run_campaign(&world, &sheriff);
+        // Execute the plans out of order, then merge by plan order — the
+        // store must come out identical (this is the scheduler contract).
+        let plans = crowd.plan_campaign(&world);
+        let mut results: Vec<(usize, Measurement)> = plans
+            .iter()
+            .rev()
+            .filter_map(|p| {
+                crowd
+                    .execute_check(&world, &sheriff, p)
+                    .map(|m| (p.check_idx, m))
+            })
+            .collect();
+        results.sort_by_key(|(idx, _)| *idx);
+        let mut merged = MeasurementStore::new();
+        for (_, m) in results {
+            merged.push(m);
+        }
+        assert_eq!(direct.len(), merged.len());
+        for (a, b) in direct.records().iter().zip(merged.records()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn bias_country_shifts_population_without_breaking_determinism() {
+        let (mut w1, _) = small_world();
+        let (mut w2, _) = small_world();
+        let mut biased_cfg = small_config();
+        biased_cfg.users = 200;
+        biased_cfg.bias_country = Some(Country::Germany);
+        let mut plain_cfg = biased_cfg.clone();
+        plain_cfg.bias_country = None;
+        let biased = Crowd::new(Seed::new(11), biased_cfg, &mut w1);
+        let plain = Crowd::new(Seed::new(11), plain_cfg, &mut w2);
+        let count = |c: &Crowd| {
+            c.users()
+                .iter()
+                .filter(|u| u.location.country == Country::Germany)
+                .count()
+        };
+        assert!(
+            count(&biased) > count(&plain),
+            "bias ×4 must enlarge the German cohort: {} vs {}",
+            count(&biased),
+            count(&plain)
+        );
     }
 
     #[test]

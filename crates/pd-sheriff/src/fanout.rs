@@ -17,17 +17,23 @@ use pd_web::{Request, WebWorld};
 
 /// The fan-out engine: the fixed vantage-point fleet plus the latency
 /// model used to timestamp each fetch.
+///
+/// The desynchronization skew is deliberately *not* a public field: a
+/// `Sheriff` is configured once (via [`Sheriff::with_desync`], normally
+/// through the `desync-ablation` scenario in `pd-core`) and is immutable
+/// afterwards, so no caller can silently desynchronize an engine mid-run.
 #[derive(Debug, Clone)]
 pub struct Sheriff {
     vantage_points: Vec<VantagePoint>,
     latency: LatencyModel,
     /// Extra per-vantage start skew (zero = synchronized; the ablation
-    /// sets it to minutes/hours to demonstrate the noise it causes).
-    pub desync: SimDuration,
+    /// scenario sets it to minutes to demonstrate the noise it causes).
+    desync: SimDuration,
 }
 
 impl Sheriff {
-    /// Builds the engine from a vantage fleet and latency model.
+    /// Builds the engine from a vantage fleet and latency model, with
+    /// synchronized fan-out (zero skew).
     #[must_use]
     pub fn new(vantage_points: Vec<VantagePoint>, latency: LatencyModel) -> Self {
         Sheriff {
@@ -35,6 +41,32 @@ impl Sheriff {
             latency,
             desync: SimDuration::ZERO,
         }
+    }
+
+    /// Consuming setter for the desynchronization skew: vantage point `i`
+    /// starts its fetch `i × desync` after the check instant. This is the
+    /// ablation knob for the paper's synchronization argument; it can only
+    /// be set at construction time.
+    #[must_use]
+    pub fn with_desync(mut self, desync: SimDuration) -> Self {
+        self.desync = desync;
+        self
+    }
+
+    /// The configured desynchronization skew (zero = synchronized).
+    #[must_use]
+    pub fn desync(&self) -> SimDuration {
+        self.desync
+    }
+
+    /// Consuming setter restricting the fleet to the vantage points whose
+    /// Fig. 7 labels appear in `labels` (fleet order is preserved; unknown
+    /// labels are ignored). Used by the `vantage-subset` scenario.
+    #[must_use]
+    pub fn with_vantage_subset(mut self, labels: &[String]) -> Self {
+        self.vantage_points
+            .retain(|vp| labels.iter().any(|l| *l == vp.label()));
+        self
     }
 
     /// The vantage fleet.
@@ -59,38 +91,59 @@ impl Sheriff {
         time: SimTime,
         extra_cookies: &[(String, String)],
     ) -> Vec<PriceObservation> {
+        let _ = world.server_by_domain(host); // host may be unknown; fetch handles it
+        (0..self.vantage_points.len())
+            .map(|i| self.check_one(world, host, path, extractor, time, extra_cookies, i))
+            .collect()
+    }
+
+    /// Parallel-safe single-vantage entry point: the fetch + extraction
+    /// for vantage index `i` of a check. Pure in all inputs — callers
+    /// (e.g. the `pd-core` executor) may evaluate vantage indices in any
+    /// order or concurrently and obtain results identical to [`check`].
+    ///
+    /// [`check`]: Sheriff::check
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range of the vantage fleet.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn check_one(
+        &self,
+        world: &WebWorld,
+        host: &str,
+        path: &str,
+        extractor: &HighlightExtractor,
+        time: SimTime,
+        extra_cookies: &[(String, String)],
+        i: usize,
+    ) -> PriceObservation {
         // All simulated retailers are modeled as US-hosted origin
         // servers; only the relative latency spread matters for the
         // synchronization argument.
         let dst_country = Country::UnitedStates;
-        let _ = world.server_by_domain(host); // host may be unknown; fetch handles it
-
-        self.vantage_points
-            .iter()
-            .enumerate()
-            .map(|(i, vp)| {
-                let skew_ms = self.desync.as_millis() * i as u64;
-                let arrive = time
-                    + SimDuration::from_millis(
-                        self.latency.one_way_ms(vp.location.country, dst_country) + skew_ms,
-                    );
-                let mut req = Request::get(host, path, vp.addr, arrive)
-                    .with_header("user-agent", &vp.platform.user_agent());
-                for (name, value) in extra_cookies {
-                    req = req.with_cookie(name, value);
-                }
-                let resp = world.fetch(&req);
-                if resp.status.code() != 200 {
-                    return PriceObservation::failed(vp.id, format!("http {}", resp.status.code()));
-                }
-                let doc = pd_html::parse(&resp.body);
-                let hint = Locale::of_country(vp.location.country);
-                match extractor.extract(&doc, Some(hint)) {
-                    Ok(ex) => PriceObservation::ok(vp.id, ex.price, ex.raw_text),
-                    Err(e) => PriceObservation::failed(vp.id, e.to_string()),
-                }
-            })
-            .collect()
+        let vp = &self.vantage_points[i];
+        let skew_ms = self.desync.as_millis() * i as u64;
+        let arrive = time
+            + SimDuration::from_millis(
+                self.latency.one_way_ms(vp.location.country, dst_country) + skew_ms,
+            );
+        let mut req = Request::get(host, path, vp.addr, arrive)
+            .with_header("user-agent", &vp.platform.user_agent());
+        for (name, value) in extra_cookies {
+            req = req.with_cookie(name, value);
+        }
+        let resp = world.fetch(&req);
+        if resp.status.code() != 200 {
+            return PriceObservation::failed(vp.id, format!("http {}", resp.status.code()));
+        }
+        let doc = pd_html::parse(&resp.body);
+        let hint = Locale::of_country(vp.location.country);
+        match extractor.extract(&doc, Some(hint)) {
+            Ok(ex) => PriceObservation::ok(vp.id, ex.price, ex.raw_text),
+            Err(e) => PriceObservation::failed(vp.id, e.to_string()),
+        }
     }
 }
 
@@ -283,7 +336,7 @@ mod tests {
 
     #[test]
     fn desync_changes_nothing_for_static_prices_within_day() {
-        let mut r = rig();
+        let r = rig();
         let slug = r
             .world
             .server_by_domain("www.digitalrev.com")
@@ -303,8 +356,9 @@ mod tests {
             SimTime::EPOCH,
             &[],
         );
-        r.sheriff.desync = SimDuration::from_mins(1);
-        let desync = r.sheriff.check(
+        let desynced = r.sheriff.clone().with_desync(SimDuration::from_mins(1));
+        assert_eq!(desynced.desync(), SimDuration::from_mins(1));
+        let desync = desynced.check(
             &r.world,
             "www.digitalrev.com",
             &format!("/product/{slug}"),
@@ -318,5 +372,70 @@ mod tests {
         let a: Vec<_> = sync.iter().map(|o| o.price).collect();
         let b: Vec<_> = desync.iter().map(|o| o.price).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn check_one_matches_full_check_at_every_index() {
+        let r = rig();
+        let slug = r
+            .world
+            .server_by_domain("www.energie.it")
+            .unwrap()
+            .catalog()
+            .iter()
+            .next()
+            .unwrap()
+            .slug
+            .clone();
+        let ex = highlight_for(&r, "www.energie.it", &slug);
+        let path = format!("/product/{slug}");
+        let full = r
+            .sheriff
+            .check(&r.world, "www.energie.it", &path, &ex, SimTime::EPOCH, &[]);
+        // Evaluate in reverse order: results must still line up per index.
+        for i in (0..full.len()).rev() {
+            let one = r.sheriff.check_one(
+                &r.world,
+                "www.energie.it",
+                &path,
+                &ex,
+                SimTime::EPOCH,
+                &[],
+                i,
+            );
+            assert_eq!(one, full[i], "vantage {i}");
+        }
+    }
+
+    #[test]
+    fn vantage_subset_preserves_fleet_order() {
+        let r = rig();
+        let keep = vec![
+            "Finland - Tampere".to_owned(),
+            "USA - Boston".to_owned(),
+            "UK - London".to_owned(),
+        ];
+        let subset = r.sheriff.clone().with_vantage_subset(&keep);
+        let labels: Vec<String> = subset
+            .vantage_points()
+            .iter()
+            .map(|vp| vp.label())
+            .collect();
+        assert_eq!(labels.len(), 3);
+        // Fleet order (not request order) is preserved.
+        let full: Vec<String> = r
+            .sheriff
+            .vantage_points()
+            .iter()
+            .map(|vp| vp.label())
+            .filter(|l| keep.contains(l))
+            .collect();
+        assert_eq!(labels, full);
+        // Unknown labels are ignored.
+        let none = r
+            .sheriff
+            .clone()
+            .with_vantage_subset(&["Mars - Olympus".to_owned()]);
+        assert!(none.vantage_points().is_empty());
     }
 }

@@ -128,6 +128,16 @@ impl MeasurementStore {
         id
     }
 
+    /// Appends every measurement of `other`, reassigning dense request
+    /// ids in this store's sequence. Merging per-shard stores in a fixed
+    /// shard order therefore yields the same store as pushing the same
+    /// measurements sequentially (the scheduler's merge contract).
+    pub fn extend(&mut self, other: MeasurementStore) {
+        for m in other.records {
+            self.push(m);
+        }
+    }
+
     /// All measurements in insertion order.
     #[must_use]
     pub fn records(&self) -> &[Measurement] {
@@ -225,6 +235,21 @@ mod tests {
             .push(PriceObservation::failed(VantageId::new(1), "404".into()));
         assert_eq!(m.failures(), 1);
         assert_eq!(m.prices().len(), 1);
+    }
+
+    #[test]
+    fn extend_reassigns_dense_ids() {
+        let mut a = MeasurementStore::new();
+        a.push(meas("a.example", "x", vec![]));
+        let mut b = MeasurementStore::new();
+        b.push(meas("b.example", "y", vec![]));
+        b.push(meas("b.example", "z", vec![]));
+        a.extend(b);
+        assert_eq!(a.len(), 3);
+        for (i, m) in a.records().iter().enumerate() {
+            assert_eq!(m.request.index(), i);
+        }
+        assert_eq!(a.records()[2].product_slug, "z");
     }
 
     #[test]

@@ -83,6 +83,69 @@ fn fetch_price(
         .map(|e| e.price)
 }
 
+/// The ebook slugs the login experiment measures for `domain` (up to
+/// `products` of them). Splitting this out of [`login_experiment`] lets a
+/// scheduler fan [`login_row`] per product.
+#[must_use]
+pub fn login_slugs(world: &WebWorld, domain: &str, products: usize) -> Vec<String> {
+    let server = world
+        .server_by_domain(domain)
+        .expect("login experiment targets a known domain");
+    server
+        .catalog()
+        .iter()
+        .filter(|p| p.category == pd_pricing::Category::Ebooks)
+        .take(products)
+        .map(|p| p.slug.clone())
+        .collect()
+}
+
+/// Parallel-safe entry point: one product's Fig. 10 row — the four
+/// identities' prices for `slug`. Pure in all inputs; rows may be
+/// computed in any order, or concurrently, and merged by `product` index.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn login_row(
+    world: &WebWorld,
+    seed: Seed,
+    domain: &str,
+    location: &Location,
+    addr: Ipv4Addr,
+    time: SimTime,
+    product: usize,
+    slug: &str,
+) -> LoginRow {
+    // Four distinct browser sessions, fixed across products.
+    let session_base = seed.derive("login-exp").value() | 1;
+    let sid = |k: u64| (session_base.wrapping_add(k * 7919)).to_string();
+    let without_login = fetch_price(
+        world,
+        domain,
+        slug,
+        addr,
+        time,
+        location,
+        &[("sid", &sid(0))],
+    );
+    let users = [1u64, 2, 3].map(|k| {
+        fetch_price(
+            world,
+            domain,
+            slug,
+            addr,
+            time,
+            location,
+            &[("sid", &sid(k)), ("login", &k.to_string())],
+        )
+    });
+    LoginRow {
+        product,
+        slug: slug.to_owned(),
+        without_login,
+        users,
+    }
+}
+
 /// Runs the login experiment against `domain` (the paper used
 /// amazon.com's Kindle store): `products` ebooks, one fixed location,
 /// one fixed instant, four browser identities.
@@ -100,51 +163,10 @@ pub fn login_experiment(
     time: SimTime,
     products: usize,
 ) -> LoginExperiment {
-    let server = world
-        .server_by_domain(domain)
-        .expect("login experiment targets a known domain");
-    let slugs: Vec<String> = server
-        .catalog()
-        .iter()
-        .filter(|p| p.category == pd_pricing::Category::Ebooks)
-        .take(products)
-        .map(|p| p.slug.clone())
-        .collect();
-
-    let session_base = seed.derive("login-exp").value() | 1;
-    let rows = slugs
+    let rows = login_slugs(world, domain, products)
         .iter()
         .enumerate()
-        .map(|(i, slug)| {
-            // Four distinct browser sessions, fixed across products.
-            let sid = |k: u64| (session_base.wrapping_add(k * 7919)).to_string();
-            let without_login = fetch_price(
-                world,
-                domain,
-                slug,
-                addr,
-                time,
-                location,
-                &[("sid", &sid(0))],
-            );
-            let users = [1u64, 2, 3].map(|k| {
-                fetch_price(
-                    world,
-                    domain,
-                    slug,
-                    addr,
-                    time,
-                    location,
-                    &[("sid", &sid(k)), ("login", &k.to_string())],
-                )
-            });
-            LoginRow {
-                product: i,
-                slug: slug.clone(),
-                without_login,
-                users,
-            }
-        })
+        .map(|(i, slug)| login_row(world, seed, domain, location, addr, time, i, slug))
         .collect();
     LoginExperiment {
         domain: domain.to_owned(),
@@ -214,6 +236,59 @@ impl LoginExperiment {
     }
 }
 
+/// Parallel-safe entry point: the persona A/B pairs for one domain.
+/// Returns `(differing_pairs, total_pairs)`; unknown domains yield
+/// `(0, 0)`. Pure in all inputs, so domains may be checked in any order,
+/// or concurrently, and the counts summed.
+#[must_use]
+pub fn persona_pairs(
+    world: &WebWorld,
+    domain: &str,
+    location: &Location,
+    addr: Ipv4Addr,
+    time: SimTime,
+    products: usize,
+) -> (usize, usize) {
+    let Some(server) = world.server_by_domain(domain) else {
+        return (0, 0);
+    };
+    let slugs: Vec<String> = server
+        .catalog()
+        .iter()
+        .take(products)
+        .map(|p| p.slug.clone())
+        .collect();
+    let mut differing = 0;
+    let mut total = 0;
+    for slug in &slugs {
+        let affluent = fetch_price(
+            world,
+            domain,
+            slug,
+            addr,
+            time,
+            location,
+            &[("sid", "777"), ("ph", "affluent")],
+        );
+        let budget = fetch_price(
+            world,
+            domain,
+            slug,
+            addr,
+            time,
+            location,
+            &[("sid", "777"), ("ph", "budget")],
+        );
+        if let (Some(a), Some(b)) = (affluent, budget) {
+            total += 1;
+            if a != b {
+                differing += 1;
+            }
+        }
+    }
+    (differing, total)
+}
+
 /// Runs the persona experiment: for each domain, check `products`
 /// products with an affluent and a budget persona from the same location,
 /// same time, same session. Returns the differing-pair count (paper: 0).
@@ -229,41 +304,9 @@ pub fn persona_experiment(
     let mut differing = 0;
     let mut total = 0;
     for domain in domains {
-        let Some(server) = world.server_by_domain(domain) else {
-            continue;
-        };
-        let slugs: Vec<String> = server
-            .catalog()
-            .iter()
-            .take(products)
-            .map(|p| p.slug.clone())
-            .collect();
-        for slug in &slugs {
-            let affluent = fetch_price(
-                world,
-                domain,
-                slug,
-                addr,
-                time,
-                location,
-                &[("sid", "777"), ("ph", "affluent")],
-            );
-            let budget = fetch_price(
-                world,
-                domain,
-                slug,
-                addr,
-                time,
-                location,
-                &[("sid", "777"), ("ph", "budget")],
-            );
-            if let (Some(a), Some(b)) = (affluent, budget) {
-                total += 1;
-                if a != b {
-                    differing += 1;
-                }
-            }
-        }
+        let (d, t) = persona_pairs(world, domain, location, addr, time, products);
+        differing += d;
+        total += t;
     }
     PersonaExperiment {
         domains: domains.iter().map(|d| (*d).to_owned()).collect(),

@@ -5,17 +5,20 @@
 //! cargo run --release --example crawl_retailers
 //! ```
 
-use pd_core::{Experiment, ExperimentConfig};
+use pd_core::{Executor, Experiment, ExperimentConfig};
 use pd_crawler::{CrawlConfig, Crawler};
 use pd_util::Seed;
 
 fn main() {
-    let exp = Experiment::new(ExperimentConfig::small(1307));
-    let world = exp.world();
+    let engine = Experiment::builder()
+        .config(ExperimentConfig::small(1307))
+        .build()
+        .expect("paper scenario with explicit config");
+    let world = engine.world();
 
     // Crawl three structurally different retailers: a pure
     // multiplicative one, an additive one, and a per-product mixed one.
-    let targets = vec![
+    let targets = [
         "www.digitalrev.com".to_owned(),
         "www.energie.it".to_owned(),
         "store.killah.com".to_owned(),
@@ -31,7 +34,18 @@ fn main() {
     );
 
     println!("== crawling {} retailers ==", targets.len());
-    let (store, stats) = crawler.crawl(&world.web, &world.sheriff, &targets);
+    // Per-retailer shards fanned across the deterministic scheduler and
+    // merged in target order — identical to a sequential crawl.
+    let exec = Executor::new(3);
+    let shards = exec.map_indexed(targets.len(), |i| {
+        crawler.crawl_one(&world.web, &world.sheriff, &targets[i])
+    });
+    let mut store = pd_sheriff::MeasurementStore::new();
+    let mut stats = Vec::new();
+    for (shard, s) in shards {
+        store.extend(shard);
+        stats.push(s);
+    }
     for s in &stats {
         println!(
             "  {:<24} products {:>3}  checks {:>4}  complete {:>4}  retries {}",

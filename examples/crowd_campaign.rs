@@ -5,42 +5,49 @@
 //! cargo run --release --example crowd_campaign
 //! ```
 //!
-//! Runs the $heriff campaign, shows the cleaning report (including the
-//! injected noise the cleaner has to catch), ranks domains by confirmed
-//! variation, and demonstrates the paper's funnel: the data-driven
-//! target list recovers the discriminating retailers without being told
-//! who they are.
+//! Runs the $heriff campaign through the staged engine — the crawl and
+//! analysis stages never execute — shows the cleaning report (including
+//! the injected noise the cleaner has to catch), ranks domains by
+//! confirmed variation, and demonstrates the paper's funnel: the
+//! data-driven target list recovers the discriminating retailers
+//! without being told who they are.
 
-use pd_core::{Experiment, ExperimentConfig};
+use pd_core::{stage, Experiment, ExperimentConfig};
 
 fn main() {
     let mut config = ExperimentConfig::small(1307);
     config.crowd.checks = 400; // a denser crowd for a clearer ranking
-    let mut exp = Experiment::new(config);
+    let mut engine = Experiment::builder()
+        .config(config)
+        .threads(2)
+        .build()
+        .expect("paper scenario with explicit config");
 
     println!("== crowd campaign ==");
-    let (raw, cleaned, report) = exp.run_crowd_phase();
+    // The typed stage artifact: raw store, cleaned store, accounting.
+    // It is computed once and cached on the engine.
+    let crowd = engine.crowd().clone();
     println!(
         "checks: {} raw → {} kept ({} customization/highlight drops, {} tax-explained, {} unhealthy)",
-        raw.len(),
-        cleaned.len(),
-        report.dropped_inconsistent,
-        report.dropped_tax_explained,
-        report.dropped_unhealthy
+        crowd.raw.len(),
+        crowd.cleaned.len(),
+        crowd.cleaning.dropped_inconsistent,
+        crowd.cleaning.dropped_tax_explained,
+        crowd.cleaning.dropped_unhealthy
     );
     println!(
         "cleaner evaluation vs ground truth: dropped-truly-noisy {} / kept-truly-noisy {}\n",
-        report.dropped_truly_noisy, report.kept_truly_noisy
+        crowd.cleaning.dropped_truly_noisy, crowd.cleaning.kept_truly_noisy
     );
 
-    let fx = exp.world().web.fx();
-    let frame = pd_analysis::CheckFrame::build(&cleaned, fx);
+    let fx = engine.world().web.fx();
+    let frame = pd_analysis::CheckFrame::build(&crowd.cleaned, fx);
     let fig1 = pd_analysis::crowd::fig1_ranking(&frame, 15);
     println!("{}", pd_analysis::ascii::render_fig1(&fig1));
 
     println!("== data-driven crawl-target selection ==");
-    let targets = exp.targets_from_crowd(&cleaned, 2);
-    let truth: std::collections::HashSet<String> = exp
+    let targets = stage::targets_from_crowd(engine.world(), &crowd.cleaned, 2);
+    let truth: std::collections::HashSet<String> = engine
         .world()
         .web
         .servers()

@@ -9,7 +9,8 @@
 //! runs that inference as code — fitting `ratio(p) = f + a/p` per
 //! location — across every crawled retailer, then checks the verdicts
 //! against the simulator's ground-truth strategy components, something
-//! the original study could never do.
+//! the original study could never do. Per-retailer frames come from
+//! `CheckFrame::build_domain`, the per-artifact analysis entry point.
 
 use pd_core::{Experiment, ExperimentConfig};
 use pd_crawler::{CrawlConfig, Crawler};
@@ -17,8 +18,11 @@ use pd_pricing::StrategyComponent;
 use pd_util::Seed;
 
 fn main() {
-    let exp = Experiment::new(ExperimentConfig::small(1307));
-    let world = exp.world();
+    let engine = Experiment::builder()
+        .config(ExperimentConfig::small(1307))
+        .build()
+        .expect("paper scenario with explicit config");
+    let world = engine.world();
     let targets = world.paper_crawl_targets();
     let crawler = Crawler::new(
         Seed::new(1307),
@@ -30,7 +34,6 @@ fn main() {
         },
     );
     let (store, _) = crawler.crawl(&world.web, &world.sheriff, &targets);
-    let frame = pd_analysis::CheckFrame::build(&store, world.web.fx());
 
     // Fit at the three Fig. 6 locations.
     let locs: Vec<_> = ["USA - New York", "UK - London", "Finland - Tampere"]
@@ -44,6 +47,8 @@ fn main() {
     println!("retailer                       | location            | fitted f + a/p        | ground truth components");
     println!("{}", "-".repeat(110));
     for domain in &targets {
+        // One frame per retailer: the per-artifact analysis path.
+        let frame = pd_analysis::CheckFrame::build_domain(&store, world.web.fx(), domain);
         let curves = pd_analysis::strategy::fig6_curves(&frame, domain, &locs);
         let truth = world
             .web

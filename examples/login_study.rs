@@ -6,46 +6,33 @@
 //!
 //! Holds location and time fixed, then measures Kindle-style ebook
 //! prices for a logged-out browser and three logged-in accounts, plus
-//! the affluent/budget persona pair. Expected outcome, as in the paper:
-//! prices *do* vary across browser identities, the variation is
-//! *uncorrelated* with login, and personas change nothing.
+//! the affluent/budget persona pair — all through the engine's persona
+//! stage, whose typed artifact carries both experiments. Expected
+//! outcome, as in the paper: prices *do* vary across browser
+//! identities, the variation is *uncorrelated* with login, and personas
+//! change nothing.
 
-use pd_core::{Experiment, ExperimentConfig};
-use pd_net::clock::SimTime;
-use pd_net::geo::{Country, Location};
-use pd_sheriff::personas::{login_experiment, persona_experiment};
-use pd_util::Seed;
+use pd_core::{Experiment, Profile};
 
 fn main() {
-    let exp = Experiment::new(ExperimentConfig::small(1307));
-    let world = exp.world();
-    let boston = Location::new(Country::UnitedStates, "Boston");
-    let addr = world.vantage_by_label("USA - Boston").expect("probe").addr;
-    let time = SimTime::from_millis(50 * 24 * 3_600_000 + 12 * 3_600_000);
+    let mut engine = Experiment::builder()
+        .scenario("paper")
+        .profile(Profile::Small)
+        .seed(1307)
+        .threads(2)
+        .build()
+        .expect("paper is a registered scenario");
+
+    // Only the persona stage runs: the crowd campaign and the crawl are
+    // never executed for this artifact.
+    let artifact = engine.personas().clone();
 
     println!("== login experiment (amazon-like ebooks) ==");
-    let login = login_experiment(
-        &world.web,
-        Seed::new(1307),
-        "www.amazon.com",
-        &boston,
-        addr,
-        time,
-        25,
-    );
-    let fig = pd_analysis::login::fig10(&login);
+    let fig = pd_analysis::login::fig10(&artifact.login);
     println!("{}", pd_analysis::ascii::render_fig10(&fig));
 
     println!("== persona experiment (affluent vs budget) ==");
-    let personas = persona_experiment(
-        &world.web,
-        &["www.amazon.com", "www.hotels.com", "www.digitalrev.com"],
-        &boston,
-        addr,
-        time,
-        15,
-    );
-    let summary = pd_analysis::login::persona_summary(&personas);
+    let summary = pd_analysis::login::persona_summary(&artifact.persona);
     println!(
         "checked {} (retailer, product) pairs across {:?}",
         summary.total_pairs, summary.domains

@@ -9,18 +9,27 @@
 //! data, crawls the flagged retailers from 14 vantage points, and prints
 //! the dataset summary plus the two headline figures.
 
-use pd_core::{Experiment, ExperimentConfig};
+use pd_core::{Experiment, Profile};
 
 fn main() {
-    // `ExperimentConfig::paper(1307)` reproduces the full study; `small`
-    // keeps the quickstart under a second.
-    let config = ExperimentConfig::small(1307);
+    // Scenario-driven: the `paper` scenario at the `small` profile keeps
+    // the quickstart under a second; `Profile::Paper` reproduces the
+    // full study. Two worker threads demonstrate the deterministic
+    // scheduler — the report is byte-identical at any thread count.
+    let mut engine = Experiment::builder()
+        .scenario("paper")
+        .profile(Profile::Small)
+        .seed(1307)
+        .threads(2)
+        .build()
+        .expect("paper is a registered scenario");
+    let config = engine.config();
     println!(
         "Running a scaled-down reproduction: {} crowd checks, {} retailers crawled for {} days…\n",
         config.crowd.checks, 21, config.crawl.days
     );
 
-    let report = Experiment::run(config);
+    let report = engine.run();
 
     println!("{}", report.render_summary());
     println!("{}", report.render_fig1());

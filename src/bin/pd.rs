@@ -1,0 +1,186 @@
+//! `pd` — the scenario-driven experiment runner.
+//!
+//! ```text
+//! pd run <scenario> [--seed N] [--threads N]
+//!                   [--profile smoke|small|medium|paper]
+//!                   [--json PATH] [--render] [--timings]
+//! pd list
+//! pd --help
+//! ```
+//!
+//! Scenarios come from the `pd_core` registry; `pd list` (and `--help`)
+//! print the registered names. Sweep scenarios (e.g. `seed-sweep`) run
+//! every arm and label the output; `--json` then writes one object keyed
+//! by arm label.
+
+use pd_core::{Experiment, Profile, ScenarioRegistry, TimingObserver};
+use std::sync::Arc;
+
+struct RunArgs {
+    scenario: String,
+    seed: u64,
+    threads: usize,
+    profile: Profile,
+    json: Option<String>,
+    render: bool,
+    timings: bool,
+}
+
+fn usage(registry: &ScenarioRegistry) -> String {
+    let mut out = String::from(
+        "pd — scenario-driven reproduction of Mikians et al. (CoNEXT 2013)\n\
+         \n\
+         USAGE:\n\
+         \x20 pd run <scenario> [--seed N] [--threads N]\n\
+         \x20                   [--profile smoke|small|medium|paper]\n\
+         \x20                   [--json PATH] [--render] [--timings]\n\
+         \x20 pd list\n\
+         \x20 pd --help\n\
+         \n\
+         OPTIONS:\n\
+         \x20 --seed N       root seed (default 1307, the paper seed)\n\
+         \x20 --threads N    worker threads; 0 = all cores (default 1).\n\
+         \x20                The report is byte-identical at any value.\n\
+         \x20 --profile P    workload scale (default small)\n\
+         \x20 --json PATH    write the full report(s) as JSON\n\
+         \x20 --render       print every figure, not just the summary\n\
+         \x20 --timings      print per-stage wall-times\n\
+         \n\
+         SCENARIOS:\n",
+    );
+    for s in registry.iter() {
+        out.push_str(&format!("  {:<16} {}\n", s.name(), s.describe()));
+    }
+    out
+}
+
+fn parse_run(mut args: std::env::Args, registry: &ScenarioRegistry) -> Result<RunArgs, String> {
+    let scenario = args.next().ok_or("`pd run` needs a scenario name")?;
+    if registry.get(&scenario).is_none() {
+        return Err(format!(
+            "unknown scenario {scenario:?}; `pd list` shows the registry"
+        ));
+    }
+    let mut run = RunArgs {
+        scenario,
+        seed: 1307,
+        threads: 1,
+        profile: Profile::Small,
+        json: None,
+        render: false,
+        timings: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                run.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                run.threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+            }
+            "--profile" => {
+                let v = args.next().ok_or("--profile needs a value")?;
+                run.profile = Profile::parse(&v).ok_or(format!("unknown profile {v:?}"))?;
+            }
+            "--json" => run.json = Some(args.next().ok_or("--json needs a path")?),
+            "--render" => run.render = true,
+            "--timings" => run.timings = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(run)
+}
+
+fn execute(run: &RunArgs) -> Result<(), String> {
+    let observer = Arc::new(TimingObserver::new());
+    let variants = Experiment::builder()
+        .scenario(&run.scenario)
+        .seed(run.seed)
+        .profile(run.profile)
+        .threads(run.threads)
+        .observer(observer.clone())
+        .build_variants()
+        .map_err(|e| e.to_string())?;
+
+    let mut reports = Vec::new();
+    for (label, mut engine) in variants {
+        let fleet = engine.world().sheriff.vantage_points().len();
+        let report = engine.run();
+        if label.is_empty() {
+            println!(
+                "== {} (profile {}, seed {}, {} threads, {fleet} probes) ==",
+                run.scenario,
+                run.profile.name(),
+                run.seed,
+                engine.executor().threads(),
+            );
+        } else {
+            println!("== {} / {label} ==", run.scenario);
+        }
+        print!("{}", report.render_summary());
+        if run.render {
+            println!("{}", report.render_all());
+        }
+        println!();
+        reports.push((label, report));
+    }
+
+    if run.timings {
+        println!("stage wall-times:");
+        for t in observer.timings() {
+            let counters: Vec<String> =
+                t.counters.iter().map(|(n, v)| format!("{n}={v}")).collect();
+            println!(
+                "  {:<9} {:>9.1} ms  {}",
+                t.stage.to_string(),
+                t.wall.as_secs_f64() * 1000.0,
+                counters.join(" ")
+            );
+        }
+    }
+
+    if let Some(path) = &run.json {
+        let json = if reports.len() == 1 && reports[0].0.is_empty() {
+            reports[0].1.to_json()
+        } else {
+            let body: Vec<String> = reports
+                .iter()
+                .map(|(label, r)| format!("{:?}: {}", label, r.to_json()))
+                .collect();
+            format!("{{\n{}\n}}", body.join(",\n"))
+        };
+        std::fs::write(path, json).map_err(|e| format!("writing {path:?}: {e}"))?;
+        println!("report JSON written to {path}");
+    }
+    Ok(())
+}
+
+fn main() {
+    let registry = ScenarioRegistry::builtin();
+    let mut args = std::env::args();
+    let _ = args.next(); // argv[0]
+    match args.next().as_deref() {
+        Some("run") => {
+            let run = parse_run(args, &registry).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            });
+            if let Err(e) = execute(&run) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        Some("list") => {
+            for s in registry.iter() {
+                println!("{:<16} {}", s.name(), s.describe());
+            }
+        }
+        Some("--help" | "-h" | "help") | None => print!("{}", usage(&registry)),
+        Some(other) => {
+            eprintln!("error: unknown command {other:?}\n\n{}", usage(&registry));
+            std::process::exit(2);
+        }
+    }
+}

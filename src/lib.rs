@@ -1,9 +1,11 @@
 //! Workspace root package.
 //!
-//! This crate only hosts the workspace-level `examples/` and `tests/`;
-//! the library code lives in `crates/`:
+//! This crate hosts the workspace-level `examples/`, `tests/` and the
+//! `pd` CLI (`src/bin/pd.rs` — the scenario runner: `pd run <scenario>
+//! [--threads N]`); the library code lives in `crates/`:
 //!
-//! * [`pd_core`] — the public pipeline API (start here),
+//! * [`pd_core`] — scenarios, typed stages, the deterministic engine
+//!   (start here),
 //! * `pd-util`, `pd-net`, `pd-html`, `pd-currency`, `pd-pricing`,
 //!   `pd-web`, `pd-extract`, `pd-sheriff`, `pd-crawler`, `pd-analysis` —
 //!   the substrates and stages, re-exported through `pd_core`.

@@ -1,0 +1,161 @@
+//! The scenario engine's contracts: registry lookup, builder behavior,
+//! artifact caching/reuse, and — the golden test — byte-identical
+//! reports from the deterministic parallel scheduler at 2, 4 and 8
+//! worker threads versus the sequential run, at the paper seed.
+
+use pd_core::{BuildError, Experiment, Profile, ScenarioRegistry, StageKind, TimingObserver};
+use std::sync::Arc;
+
+/// The acceptance criterion: sequential and multi-threaded runs of the
+/// `paper` scenario produce identical `Report` JSON *and* identical
+/// rendered output, at the paper seed (1307).
+#[test]
+fn golden_parallel_report_is_byte_identical_to_sequential() {
+    let run = |threads: usize| {
+        let mut engine = Experiment::builder()
+            .scenario("paper")
+            .profile(Profile::Smoke)
+            .seed(1307)
+            .threads(threads)
+            .build()
+            .expect("paper scenario builds");
+        let report = engine.run();
+        (report.to_json(), report.render_all())
+    };
+    let (seq_json, seq_render) = run(1);
+    for threads in [2, 4, 8] {
+        let (json, render) = run(threads);
+        assert_eq!(json, seq_json, "report JSON diverged at {threads} threads");
+        assert_eq!(
+            render, seq_render,
+            "rendered report diverged at {threads} threads"
+        );
+    }
+}
+
+/// Sweep scenarios are deterministic under threading too: every arm of
+/// the desync ablation matches its sequential twin.
+#[test]
+fn sweep_arms_are_thread_deterministic() {
+    let run = |threads: usize| -> Vec<(String, String)> {
+        Experiment::builder()
+            .scenario("desync-ablation")
+            .profile(Profile::Smoke)
+            .seed(1307)
+            .threads(threads)
+            .build_variants()
+            .expect("sweep builds")
+            .into_iter()
+            .map(|(label, mut engine)| (label, engine.run().to_json()))
+            .collect()
+    };
+    assert_eq!(run(1), run(4));
+}
+
+#[test]
+fn registry_lookup_and_help_metadata() {
+    let reg = ScenarioRegistry::builtin();
+    for name in [
+        "paper",
+        "smoke",
+        "desync-ablation",
+        "no-cleaning",
+        "vantage-subset",
+        "seed-sweep",
+        "locale-sweep",
+    ] {
+        let s = reg.get(name).unwrap_or_else(|| panic!("{name} missing"));
+        assert_eq!(s.name(), name);
+        assert!(!s.describe().is_empty());
+    }
+    assert!(reg.get("does-not-exist").is_none());
+    assert!(matches!(
+        Experiment::builder().scenario("does-not-exist").build(),
+        Err(BuildError::UnknownScenario(_))
+    ));
+}
+
+/// Artifact reuse: run the crowd stage once, analyze twice. The second
+/// analysis must reuse the cached crowd/crawl/persona artifacts (the
+/// observer sees each measurement stage start exactly once) and produce
+/// the identical report.
+#[test]
+fn artifact_reuse_runs_crowd_once_analyzes_twice() {
+    let observer = Arc::new(TimingObserver::new());
+    let mut engine = Experiment::builder()
+        .scenario("paper")
+        .profile(Profile::Smoke)
+        .seed(1307)
+        .observer(observer.clone())
+        .build()
+        .expect("paper scenario builds");
+
+    let crowd_len = engine.crowd().raw.len();
+    assert!(crowd_len > 0);
+    let first = engine.analyze().report;
+    let second = engine.analyze().report;
+    assert_eq!(first.to_json(), second.to_json());
+
+    assert_eq!(observer.starts(StageKind::Build), 1);
+    assert_eq!(observer.starts(StageKind::Crowd), 1, "crowd must be cached");
+    assert_eq!(observer.starts(StageKind::Crawl), 1, "crawl must be cached");
+    assert_eq!(observer.starts(StageKind::Personas), 1);
+    assert_eq!(observer.starts(StageKind::Analysis), 2, "analysis re-runs");
+}
+
+/// The `no-cleaning` ablation keeps every raw measurement, and that
+/// visibly changes the analysis (the cleaning matters).
+#[test]
+fn no_cleaning_scenario_keeps_everything() {
+    let mut ablated = Experiment::builder()
+        .scenario("no-cleaning")
+        .profile(Profile::Smoke)
+        .seed(1307)
+        .build()
+        .expect("no-cleaning builds");
+    let crowd = ablated.crowd().clone();
+    assert_eq!(crowd.cleaned.len(), crowd.raw.len());
+    assert_eq!(crowd.cleaning.dropped_inconsistent, 0);
+
+    let mut paper = Experiment::builder()
+        .scenario("paper")
+        .profile(Profile::Smoke)
+        .seed(1307)
+        .build()
+        .expect("paper builds");
+    assert!(paper.crowd().cleaned.len() < crowd.cleaned.len());
+}
+
+/// The `vantage-subset` scenario runs the full pipeline on 8 probes.
+#[test]
+fn vantage_subset_scenario_runs_end_to_end() {
+    let mut engine = Experiment::builder()
+        .scenario("vantage-subset")
+        .profile(Profile::Smoke)
+        .seed(1307)
+        .build()
+        .expect("vantage-subset builds");
+    assert_eq!(engine.world().sheriff.vantage_points().len(), 8);
+    let report = engine.run();
+    // 21 retailers × 6 products × 2 days × 8 probes.
+    assert_eq!(report.summary.crawled_prices, 21 * 6 * 2 * 8);
+    assert!(!report.fig9.is_empty(), "Finland probe retained");
+}
+
+/// The engine's desync knob is applied at construction from the plan —
+/// the arms of the ablation sweep really differ.
+#[test]
+fn desync_ablation_arms_carry_different_skews() {
+    let variants = Experiment::builder()
+        .scenario("desync-ablation")
+        .profile(Profile::Smoke)
+        .build_variants()
+        .expect("sweep builds");
+    assert_eq!(variants.len(), 2);
+    let skews: Vec<u64> = variants
+        .iter()
+        .map(|(_, e)| e.world().sheriff.desync().as_millis())
+        .collect();
+    assert_eq!(skews[0], 0);
+    assert_eq!(skews[1], 25 * 60_000);
+}

@@ -3,12 +3,18 @@
 //!
 //! ```text
 //! pipeline_times [--scenario NAME] [--profile smoke|small|medium|paper]
-//!                [--seed N] [--threads N] [--out PATH]
+//!                [--seed N] [--threads N] [--out PATH] [--artifacts DIR]
 //! ```
 //!
 //! Defaults: the `paper` scenario at the `small` profile, seed 1307,
 //! 4 threads, writing `BENCH_pipeline.json` in the working directory.
 //! Sweep scenarios time every arm (stages appear once per arm).
+//!
+//! `--artifacts DIR` attaches the artifact store as a read-through
+//! cache and persists computed stages afterwards, so back-to-back
+//! timing runs measure the analysis stage against a warm store (stages
+//! loaded from disk emit no wall-time row; the `loaded` list in the
+//! JSON names them).
 
 use pd_core::{Experiment, Profile, TimingObserver};
 use std::sync::Arc;
@@ -19,6 +25,7 @@ struct Args {
     seed: u64,
     threads: usize,
     out: String,
+    artifacts: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -28,6 +35,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 1307,
         threads: 4,
         out: "BENCH_pipeline.json".to_owned(),
+        artifacts: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -47,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
                 args.threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
             }
             "--out" => args.out = value("--out")?,
+            "--artifacts" => args.artifacts = Some(value("--artifacts")?),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -62,6 +71,12 @@ fn render_json(args: &Args, observer: &TimingObserver, total_ms: f64) -> String 
     out.push_str(&format!("  \"seed\": {},\n", args.seed));
     out.push_str(&format!("  \"threads\": {},\n", args.threads));
     out.push_str(&format!("  \"total_ms\": {total_ms:.3},\n"));
+    let loaded: Vec<String> = observer
+        .loaded()
+        .iter()
+        .map(|(s, _)| format!("\"{s}\""))
+        .collect();
+    out.push_str(&format!("  \"loaded\": [{}],\n", loaded.join(", ")));
     out.push_str("  \"stages\": [\n");
     let timings = observer.timings();
     let rows: Vec<String> = timings
@@ -94,20 +109,28 @@ fn main() {
     // Start the clock before the worlds are built so total_ms covers the
     // build stages the observer records.
     let start = std::time::Instant::now();
-    let variants = Experiment::builder()
+    let mut builder = Experiment::builder()
         .scenario(&args.scenario)
         .profile(args.profile)
         .seed(args.seed)
         .threads(args.threads)
-        .observer(observer.clone())
-        .build_variants()
-        .unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        });
+        .observer(observer.clone());
+    if let Some(dir) = &args.artifacts {
+        builder = builder.artifacts(dir.clone());
+    }
+    let variants = builder.build_variants().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
 
     for (label, mut engine) in variants {
         let report = engine.run();
+        if let Some(dir) = engine.artifacts_dir().map(std::path::Path::to_path_buf) {
+            engine.save_artifacts(&dir).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+        }
         let tag = if label.is_empty() {
             args.scenario.clone()
         } else {

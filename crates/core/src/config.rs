@@ -5,6 +5,32 @@ use pd_sheriff::CrowdConfig;
 use pd_util::Seed;
 use serde::{Deserialize, Serialize};
 
+/// Knobs that shape only the analysis stage — never the measured data.
+///
+/// Changing an analysis knob re-derives figures from the same crowd,
+/// crawl and persona artifacts, which is why the artifact store's
+/// measurement-stage fingerprints exclude this section (see
+/// [`crate::store`]): `pd rerun --fig1-top 10` reuses a stored crawl
+/// instead of re-measuring it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnalysisConfig {
+    /// How many top-variation domains Fig. 1 ranks (paper: 27).
+    pub fig1_domains: usize,
+    /// Products probed per retailer by the factor-attribution extension.
+    pub attribution_products: usize,
+}
+
+impl Default for AnalysisConfig {
+    /// The paper's figure parameters: 27 Fig. 1 domains, 8 attribution
+    /// products per retailer.
+    fn default() -> Self {
+        AnalysisConfig {
+            fig1_domains: 27,
+            attribution_products: 8,
+        }
+    }
+}
+
 /// Full configuration of one reproduction run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
@@ -24,6 +50,8 @@ pub struct ExperimentConfig {
     pub login_products: usize,
     /// Products per retailer in the persona experiment.
     pub persona_products: usize,
+    /// Analysis-stage knobs (figure parameters; never affect measurement).
+    pub analysis: AnalysisConfig,
 }
 
 impl ExperimentConfig {
@@ -40,6 +68,7 @@ impl ExperimentConfig {
             fx_days: 160,
             login_products: 40,
             persona_products: 20,
+            analysis: AnalysisConfig::default(),
         }
     }
 
@@ -85,6 +114,7 @@ impl ExperimentConfig {
             fx_days: 60,
             login_products: 15,
             persona_products: 8,
+            analysis: AnalysisConfig::default(),
         }
     }
 }
@@ -112,6 +142,7 @@ impl ExperimentConfig {
             fx_days: 60,
             login_products: 8,
             persona_products: 4,
+            analysis: AnalysisConfig::default(),
         }
     }
 }
@@ -162,6 +193,17 @@ mod tests {
         assert!(small.crowd.checks < medium.crowd.checks);
         assert!(medium.crowd.checks < paper.crowd.checks);
         assert!(medium.crawl.products_per_retailer < paper.crawl.products_per_retailer);
+    }
+
+    #[test]
+    fn analysis_knobs_default_to_the_paper_figures() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.analysis.fig1_domains, 27);
+        assert_eq!(c.analysis.attribution_products, 8);
+        // Every profile shares the same analysis defaults: the knobs are
+        // figure parameters, not workload scale.
+        assert_eq!(ExperimentConfig::smoke(1).analysis, c.analysis);
+        assert_eq!(ExperimentConfig::medium(1).analysis, c.analysis);
     }
 
     #[test]

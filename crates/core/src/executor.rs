@@ -12,6 +12,15 @@
 //! Coarse task granularity (one crowd check, one retailer crawl, one
 //! attribution probe) keeps coordination overhead negligible without any
 //! work-stealing machinery.
+//!
+//! ```
+//! use pd_core::Executor;
+//!
+//! // Four workers, but the output order is the index order — always.
+//! let squares = Executor::new(4).map_indexed(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! assert_eq!(squares, Executor::serial().map_indexed(8, |i| i * i));
+//! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

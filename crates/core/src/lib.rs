@@ -25,6 +25,13 @@
 //! is **byte-identical at any thread count**. Progress and perf
 //! telemetry flow through the [`RunObserver`] hooks.
 //!
+//! Artifacts also **persist across processes**: the [`store`] module
+//! writes each stage artifact as versioned, fingerprinted JSON under a
+//! directory ([`store::ArtifactStore`]), and an engine built with
+//! [`ExperimentBuilder::artifacts`] checks that store before computing —
+//! the paper's "measure once, analyze many ways" methodology, on disk.
+//! See `docs/ARCHITECTURE.md` for the full lifecycle.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -56,15 +63,17 @@ pub mod pipeline;
 pub mod report;
 pub mod scenario;
 pub mod stage;
+pub mod store;
 pub mod world;
 
-pub use config::ExperimentConfig;
+pub use config::{AnalysisConfig, ExperimentConfig};
 pub use executor::Executor;
 pub use observer::{NullObserver, RunObserver, StageKind, StageTiming, TimingObserver};
-pub use pipeline::{BuildError, Engine, Experiment, ExperimentBuilder};
+pub use pipeline::{BuildError, Engine, Experiment, ExperimentBuilder, LoadSummary, SaveSummary};
 pub use report::Report;
 pub use scenario::{Profile, RunPlan, Scenario, ScenarioParams, ScenarioRegistry, ScenarioRun};
 pub use stage::{AnalysisArtifact, CrawlArtifact, CrowdArtifact, PersonaArtifact};
+pub use store::{ArtifactStore, Fingerprint, Provenance, StoreError, SCHEMA_VERSION};
 pub use world::World;
 
 // Re-export the component crates so downstream users need one dependency.

@@ -8,8 +8,24 @@
 //!
 //! Two implementations ship with the crate: [`NullObserver`] (the
 //! default, ignores everything) and [`TimingObserver`] (collects
-//! per-stage wall-times and counters, e.g. for the `pipeline_times`
-//! bench bin or the `pd` CLI's `--timings` flag).
+//! per-stage wall-times, counters and artifact-store loads, e.g. for
+//! the `pipeline_times` bench bin or the `pd` CLI's `--timings` flag).
+//!
+//! ```
+//! use pd_core::{RunObserver, StageKind, TimingObserver};
+//! use std::time::Duration;
+//!
+//! let obs = TimingObserver::new();
+//! obs.stage_started(StageKind::Crowd);
+//! obs.counter(StageKind::Crowd, "checks", 60);
+//! obs.stage_finished(StageKind::Crowd, Duration::from_millis(5));
+//! obs.stage_loaded(StageKind::Crawl, "00000000deadbeef"); // store hit
+//!
+//! assert_eq!(obs.starts(StageKind::Crowd), 1);
+//! assert_eq!(obs.timings()[0].counters, vec![("checks".to_owned(), 60)]);
+//! assert_eq!(obs.loads(StageKind::Crawl), 1); // loaded, never started
+//! assert_eq!(obs.starts(StageKind::Crawl), 0);
+//! ```
 
 use std::sync::Mutex;
 use std::time::Duration;
@@ -61,6 +77,11 @@ pub trait RunObserver: Send + Sync {
     fn stage_finished(&self, _stage: StageKind, _wall: Duration) {}
     /// A named quantity observed while `stage` ran.
     fn counter(&self, _stage: StageKind, _name: &str, _value: u64) {}
+    /// A stage's artifact was satisfied from an artifact store
+    /// ([`crate::store`]) instead of being computed: the stage will emit
+    /// no `stage_started`/`stage_finished` pair. `fingerprint` is the
+    /// hex stage fingerprint the load was validated against.
+    fn stage_loaded(&self, _stage: StageKind, _fingerprint: &str) {}
 }
 
 /// The do-nothing observer (the engine default).
@@ -85,6 +106,7 @@ struct TimingState {
     started: Vec<StageKind>,
     finished: Vec<StageTiming>,
     pending: Vec<(StageKind, String, u64)>,
+    loaded: Vec<(StageKind, String)>,
 }
 
 /// Collects per-stage wall-times and counters.
@@ -126,6 +148,35 @@ impl TimingObserver {
             .filter(|s| **s == stage)
             .count()
     }
+
+    /// How many times `stage` was satisfied from an artifact store
+    /// (the persistence counterpart of [`TimingObserver::starts`]: a
+    /// store hit must show up here and *not* in `starts`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned (a stage panicked).
+    #[must_use]
+    pub fn loads(&self, stage: StageKind) -> usize {
+        self.state
+            .lock()
+            .expect("observer lock")
+            .loaded
+            .iter()
+            .filter(|(s, _)| *s == stage)
+            .count()
+    }
+
+    /// Every store-satisfied stage with its hex fingerprint, in load
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned (a stage panicked).
+    #[must_use]
+    pub fn loaded(&self) -> Vec<(StageKind, String)> {
+        self.state.lock().expect("observer lock").loaded.clone()
+    }
 }
 
 impl RunObserver for TimingObserver {
@@ -159,6 +210,14 @@ impl RunObserver for TimingObserver {
             .pending
             .push((stage, name.to_owned(), value));
     }
+
+    fn stage_loaded(&self, stage: StageKind, fingerprint: &str) {
+        self.state
+            .lock()
+            .expect("observer lock")
+            .loaded
+            .push((stage, fingerprint.to_owned()));
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +245,21 @@ mod tests {
         assert_eq!(timings[1].counters, vec![("retailers".to_owned(), 21)]);
         assert_eq!(obs.starts(StageKind::Crowd), 1);
         assert_eq!(obs.starts(StageKind::Analysis), 0);
+    }
+
+    #[test]
+    fn store_loads_are_recorded_separately_from_starts() {
+        let obs = TimingObserver::new();
+        obs.stage_loaded(StageKind::Crowd, "00000000deadbeef");
+        obs.stage_started(StageKind::Analysis);
+        obs.stage_finished(StageKind::Analysis, Duration::from_millis(1));
+        assert_eq!(obs.loads(StageKind::Crowd), 1);
+        assert_eq!(obs.starts(StageKind::Crowd), 0, "a load is not a start");
+        assert_eq!(obs.loads(StageKind::Analysis), 0);
+        assert_eq!(
+            obs.loaded(),
+            vec![(StageKind::Crowd, "00000000deadbeef".to_owned())]
+        );
     }
 
     #[test]

@@ -19,9 +19,11 @@ use crate::observer::{NullObserver, RunObserver, StageKind};
 use crate::report::Report;
 use crate::scenario::{Profile, RunPlan, Scenario, ScenarioParams, ScenarioRegistry};
 use crate::stage::{self, AnalysisArtifact, CrawlArtifact, CrowdArtifact, PersonaArtifact};
+use crate::store::{self, ArtifactStore, Provenance, StoreError};
 use crate::world::World;
 use pd_sheriff::cleaning::CleaningReport;
 use pd_sheriff::MeasurementStore;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// The staged, artifact-caching experiment engine.
@@ -30,6 +32,14 @@ pub struct Engine {
     world: World,
     executor: Executor,
     observer: Arc<dyn RunObserver>,
+    /// Read-through artifact store directory (see [`Engine::with_artifacts`]).
+    artifacts_dir: Option<PathBuf>,
+    /// Provenance stamped into manifests this engine writes.
+    provenance: Provenance,
+    /// Stages whose artifact came off disk rather than being computed
+    /// (such stages are skipped by [`Engine::save_artifacts`] — their
+    /// bytes are already in the store).
+    loaded_stages: Vec<StageKind>,
     crowd: Option<CrowdArtifact>,
     crawl: Option<CrawlArtifact>,
     personas: Option<PersonaArtifact>,
@@ -40,11 +50,45 @@ impl std::fmt::Debug for Engine {
         f.debug_struct("Engine")
             .field("plan", &self.plan)
             .field("executor", &self.executor)
+            .field("artifacts_dir", &self.artifacts_dir)
             .field("crowd_cached", &self.crowd.is_some())
             .field("crawl_cached", &self.crawl.is_some())
             .field("personas_cached", &self.personas.is_some())
             .finish()
     }
+}
+
+/// What [`Engine::load_artifacts`] found in a store, per measurement
+/// stage.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadSummary {
+    /// Stages loaded into the engine's cache.
+    pub loaded: Vec<StageKind>,
+    /// Stages the manifest does not list.
+    pub missing: Vec<StageKind>,
+    /// Stages stored under a different fingerprint (produced by another
+    /// plan).
+    pub stale: Vec<StageKind>,
+    /// Stages whose files are corrupt or unreadable.
+    pub corrupt: Vec<StageKind>,
+}
+
+impl LoadSummary {
+    /// True when every measurement stage (crowd, crawl, personas) loaded.
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.loaded.len() == 3
+    }
+}
+
+/// What [`Engine::save_artifacts`] wrote, per stage name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SaveSummary {
+    /// Stages serialized to the store in this call.
+    pub saved: Vec<&'static str>,
+    /// Cached stages that were already in the store under the same
+    /// fingerprint (e.g. because they were loaded from it).
+    pub fresh: Vec<&'static str>,
 }
 
 impl Engine {
@@ -70,15 +114,58 @@ impl Engine {
             );
             world
         });
+        let provenance = Provenance::new(
+            "custom",
+            "",
+            "custom",
+            plan.config.seed.value(),
+            executor.threads(),
+        );
         Engine {
             plan,
             world,
             executor,
             observer,
+            artifacts_dir: None,
+            provenance,
+            loaded_stages: Vec::new(),
             crowd: None,
             crawl: None,
             personas: None,
         }
+    }
+
+    /// Attaches an artifact-store directory as a transparent
+    /// read-through cache: every stage checks the store (by fingerprint,
+    /// see [`crate::store`]) before computing. Loads are reported
+    /// through [`RunObserver::stage_loaded`]; nothing is written until
+    /// [`Engine::save_artifacts`].
+    #[must_use]
+    pub fn with_artifacts(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.artifacts_dir = Some(dir.into());
+        self
+    }
+
+    /// Overrides the provenance stamped into manifests this engine
+    /// writes (the builder does this with the scenario name, sweep-arm
+    /// label and profile).
+    #[must_use]
+    pub fn with_provenance(mut self, provenance: Provenance) -> Self {
+        self.provenance = provenance;
+        self
+    }
+
+    /// The attached read-through store directory, if any.
+    #[must_use]
+    pub fn artifacts_dir(&self) -> Option<&Path> {
+        self.artifacts_dir.as_deref()
+    }
+
+    /// Stages whose artifacts were satisfied from a store instead of
+    /// computed, in load order.
+    #[must_use]
+    pub fn loaded_stages(&self) -> &[StageKind] {
+        &self.loaded_stages
     }
 
     /// The assembled world (read access for examples and diagnostics).
@@ -105,9 +192,32 @@ impl Engine {
         &self.executor
     }
 
-    /// The crowd campaign artifact, running the stage on first call and
-    /// reusing the cached artifact afterwards.
+    /// Probes the attached read-through store for one stage; a validated
+    /// hit is reported via [`RunObserver::stage_loaded`] and remembered
+    /// so [`Engine::save_artifacts`] does not rewrite it. Any failure
+    /// (no store, stale fingerprint, corrupt file) is a cache miss: the
+    /// caller computes. `pd artifacts ls` is the diagnostic surface for
+    /// unhealthy stores.
+    fn probe_store<T: serde::Deserialize>(&mut self, kind: StageKind) -> Option<T> {
+        let dir = self.artifacts_dir.as_deref()?;
+        if !ArtifactStore::is_store(dir) {
+            return None;
+        }
+        let store = ArtifactStore::open(dir).ok()?;
+        let fp = store::measurement_fingerprint(kind, &self.plan)?;
+        let artifact = store.load::<T>(kind.as_str(), fp).ok()?;
+        self.observer.stage_loaded(kind, &fp.to_string());
+        self.loaded_stages.push(kind);
+        Some(artifact)
+    }
+
+    /// The crowd campaign artifact: from the in-memory cache, else from
+    /// the attached artifact store (fingerprint permitting), else
+    /// computed by running the stage.
     pub fn crowd(&mut self) -> &CrowdArtifact {
+        if self.crowd.is_none() {
+            self.crowd = self.probe_store(StageKind::Crowd);
+        }
         if self.crowd.is_none() {
             self.crowd = Some(stage::crowd_stage(
                 &self.world,
@@ -119,8 +229,12 @@ impl Engine {
         self.crowd.as_ref().expect("just computed")
     }
 
-    /// The crawl artifact, cached after the first call.
+    /// The crawl artifact, cached after the first call (store-backed
+    /// like [`Engine::crowd`]).
     pub fn crawl(&mut self) -> &CrawlArtifact {
+        if self.crawl.is_none() {
+            self.crawl = self.probe_store(StageKind::Crawl);
+        }
         if self.crawl.is_none() {
             self.crawl = Some(stage::crawl_stage(
                 &self.world,
@@ -132,8 +246,12 @@ impl Engine {
         self.crawl.as_ref().expect("just computed")
     }
 
-    /// The persona/login artifact, cached after the first call.
+    /// The persona/login artifact, cached after the first call
+    /// (store-backed like [`Engine::crowd`]).
     pub fn personas(&mut self) -> &PersonaArtifact {
+        if self.personas.is_none() {
+            self.personas = self.probe_store(StageKind::Personas);
+        }
         if self.personas.is_none() {
             self.personas = Some(stage::persona_stage(
                 &self.world,
@@ -143,6 +261,150 @@ impl Engine {
             ));
         }
         self.personas.as_ref().expect("just computed")
+    }
+
+    /// Eagerly loads every measurement artifact the store holds for this
+    /// engine's plan, reporting per-stage outcomes. Unlike the passive
+    /// read-through of [`Engine::with_artifacts`], this distinguishes
+    /// *why* a stage did not load — `pd rerun` uses it to refuse
+    /// incomplete or stale stores instead of silently re-measuring.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoManifest`] (or another open failure) when `dir`
+    /// is not a readable artifact store.
+    pub fn load_artifacts(&mut self, dir: &Path) -> Result<LoadSummary, StoreError> {
+        let store = ArtifactStore::open(dir)?;
+        let mut summary = LoadSummary::default();
+        let outcome =
+            |kind: StageKind, summary: &mut LoadSummary, loaded: bool, err: Option<&StoreError>| {
+                if loaded {
+                    summary.loaded.push(kind);
+                } else {
+                    match err {
+                        Some(StoreError::MissingStage { .. }) => summary.missing.push(kind),
+                        Some(StoreError::StaleFingerprint { .. }) => summary.stale.push(kind),
+                        _ => summary.corrupt.push(kind),
+                    }
+                }
+            };
+        macro_rules! load_stage {
+            ($kind:expr, $slot:ident, $ty:ty) => {
+                if self.$slot.is_none() {
+                    let fp = store::measurement_fingerprint($kind, &self.plan)
+                        .expect("measurement stage has a fingerprint");
+                    match store.load::<$ty>($kind.as_str(), fp) {
+                        Ok(artifact) => {
+                            self.observer.stage_loaded($kind, &fp.to_string());
+                            self.loaded_stages.push($kind);
+                            self.$slot = Some(artifact);
+                            outcome($kind, &mut summary, true, None);
+                        }
+                        Err(e) => outcome($kind, &mut summary, false, Some(&e)),
+                    }
+                } else {
+                    // Already in memory: counts as loaded for completeness.
+                    outcome($kind, &mut summary, true, None);
+                }
+            };
+        }
+        load_stage!(StageKind::Crowd, crowd, CrowdArtifact);
+        load_stage!(StageKind::Crawl, crawl, CrawlArtifact);
+        load_stage!(StageKind::Personas, personas, PersonaArtifact);
+        Ok(summary)
+    }
+
+    /// Persists every cached measurement artifact to `dir`, creating the
+    /// store (with this engine's provenance and plan) if needed. Stages
+    /// already in the store under the current fingerprint are skipped.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::PlanMismatch`] when `dir` already holds artifacts
+    /// produced by a different plan (delete the directory first if you
+    /// really mean to replace them); [`StoreError::Io`] (or a manifest
+    /// parse error) when the store cannot be created or written.
+    pub fn save_artifacts(&self, dir: &Path) -> Result<SaveSummary, StoreError> {
+        let mut store = self.open_or_create_store(dir)?;
+        let mut summary = SaveSummary::default();
+        macro_rules! save_stage {
+            ($kind:expr, $slot:ident) => {
+                if let Some(artifact) = &self.$slot {
+                    let fp = store::measurement_fingerprint($kind, &self.plan)
+                        .expect("measurement stage has a fingerprint");
+                    let name = $kind.as_str();
+                    if store
+                        .entry(name)
+                        .is_some_and(|e| e.fingerprint == fp.to_string())
+                    {
+                        summary.fresh.push(name);
+                    } else {
+                        store.save(name, fp, &[], artifact)?;
+                        summary.saved.push(name);
+                    }
+                }
+            };
+        }
+        save_stage!(StageKind::Crowd, crowd);
+        save_stage!(StageKind::Crawl, crawl);
+        save_stage!(StageKind::Personas, personas);
+        Ok(summary)
+    }
+
+    /// Persists an analysis artifact to `dir`, recording the three
+    /// measurement fingerprints as its upstream lineage. Call after
+    /// [`Engine::save_artifacts`] so the manifest lists the full funnel.
+    /// Like `save_artifacts`, an entry already stored under the current
+    /// fingerprint is left untouched (returns its existing size).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::PlanMismatch`] when `dir` holds another plan's
+    /// artifacts; [`StoreError::Io`] (or a manifest parse error) when
+    /// the store cannot be created or written.
+    pub fn save_analysis(
+        &self,
+        dir: &Path,
+        artifact: &AnalysisArtifact,
+    ) -> Result<u64, StoreError> {
+        let mut store = self.open_or_create_store(dir)?;
+        let name = StageKind::Analysis.as_str();
+        let fp = store::analysis_fingerprint(&self.plan);
+        if let Some(entry) = store.entry(name) {
+            if entry.fingerprint == fp.to_string() {
+                return Ok(entry.bytes);
+            }
+        }
+        let upstream = [
+            store::crowd_fingerprint(&self.plan),
+            store::crawl_fingerprint(&self.plan),
+            store::personas_fingerprint(&self.plan),
+        ];
+        store.save(name, fp, &upstream, artifact)
+    }
+
+    /// Opens the store at `dir` if it was produced by this engine's
+    /// plan, or creates it fresh if the directory is not a store yet.
+    /// A store produced by a *different* plan (or one whose manifest is
+    /// unreadable) is never clobbered: a paper-scale dataset must not
+    /// die to a seed typo. The caller decides whether to delete the
+    /// directory and retry (the CLI's `--overwrite-artifacts`).
+    fn open_or_create_store(&self, dir: &Path) -> Result<ArtifactStore, StoreError> {
+        match ArtifactStore::open(dir) {
+            Ok(existing) => {
+                if existing.manifest().plan == store::PlanRecord::from_plan(&self.plan) {
+                    Ok(existing)
+                } else {
+                    Err(StoreError::PlanMismatch {
+                        dir: dir.display().to_string(),
+                    })
+                }
+            }
+            Err(StoreError::NoManifest { .. }) => {
+                ArtifactStore::create(dir, self.provenance.clone(), &self.plan)
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Runs the analysis over the (cached) upstream artifacts and
@@ -226,6 +488,7 @@ pub struct ExperimentBuilder {
     profile: Profile,
     threads: usize,
     observer: Arc<dyn RunObserver>,
+    artifacts: Option<PathBuf>,
 }
 
 impl std::fmt::Debug for ExperimentBuilder {
@@ -249,6 +512,7 @@ impl Default for ExperimentBuilder {
             profile: Profile::Paper,
             threads: 1,
             observer: Arc::new(NullObserver),
+            artifacts: None,
         }
     }
 }
@@ -319,6 +583,15 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Attaches an artifact-store directory as a read-through cache
+    /// (see [`Engine::with_artifacts`]). Sweep scenarios get one store
+    /// per arm, in a subdirectory named after the arm label.
+    #[must_use]
+    pub fn artifacts(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.artifacts = Some(dir.into());
+        self
+    }
+
     /// Resolves the scenario into its labeled run plans.
     fn resolve(&self) -> Result<(String, Vec<(String, RunPlan)>), BuildError> {
         let name = self.scenario.as_deref().unwrap_or("paper");
@@ -368,30 +641,54 @@ impl ExperimentBuilder {
         if variants.len() != 1 {
             return Err(BuildError::SweepScenario(name));
         }
-        let (_, plan) = variants.remove(0);
-        Ok(Engine::from_plan(
-            plan,
-            Executor::new(self.threads),
-            self.observer,
-        ))
+        let (label, plan) = variants.remove(0);
+        let executor = Executor::new(self.threads);
+        let provenance = Provenance::new(
+            &name,
+            &label,
+            self.profile.name(),
+            plan.config.seed.value(),
+            executor.threads(),
+        );
+        let mut engine =
+            Engine::from_plan(plan, executor, self.observer).with_provenance(provenance);
+        if let Some(dir) = self.artifacts {
+            engine = engine.with_artifacts(dir);
+        }
+        Ok(engine)
     }
 
     /// Builds one engine per scenario variant (a single-run scenario
-    /// yields one engine labeled `""`).
+    /// yields one engine labeled `""`). With [`ExperimentBuilder::artifacts`],
+    /// each labeled arm gets its own store subdirectory.
     ///
     /// # Errors
     ///
     /// [`BuildError::UnknownScenario`] if the name is not registered.
     pub fn build_variants(self) -> Result<Vec<(String, Engine)>, BuildError> {
-        let (_, variants) = self.resolve()?;
+        let (name, variants) = self.resolve()?;
         let executor = Executor::new(self.threads);
         Ok(variants
             .into_iter()
             .map(|(label, plan)| {
-                (
-                    label,
-                    Engine::from_plan(plan, executor, Arc::clone(&self.observer)),
-                )
+                let provenance = Provenance::new(
+                    &name,
+                    &label,
+                    self.profile.name(),
+                    plan.config.seed.value(),
+                    executor.threads(),
+                );
+                let mut engine = Engine::from_plan(plan, executor, Arc::clone(&self.observer))
+                    .with_provenance(provenance);
+                if let Some(dir) = &self.artifacts {
+                    let arm_dir = if label.is_empty() {
+                        dir.clone()
+                    } else {
+                        dir.join(&label)
+                    };
+                    engine = engine.with_artifacts(arm_dir);
+                }
+                (label, engine)
             })
             .collect())
     }
@@ -654,6 +951,181 @@ mod tests {
             .build()
             .expect("paper scenario with explicit config");
         assert_eq!(engine.config().seed.value(), 42);
+    }
+
+    fn tmp_store(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pd-engine-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn save_then_load_artifacts_skips_measurement_stages() {
+        use crate::observer::TimingObserver;
+        let dir = tmp_store("round-trip");
+        let mut producer = Experiment::builder()
+            .scenario("smoke")
+            .seed(7)
+            .build()
+            .expect("smoke builds");
+        let report = producer.run();
+        let saved = producer.save_artifacts(&dir).expect("save");
+        assert_eq!(saved.saved, vec!["crowd", "crawl", "personas"]);
+
+        let observer = Arc::new(TimingObserver::new());
+        let mut consumer = Experiment::builder()
+            .scenario("smoke")
+            .seed(7)
+            .observer(observer.clone())
+            .artifacts(dir.clone())
+            .build()
+            .expect("smoke builds");
+        let reloaded = consumer.run();
+        assert_eq!(report.to_json(), reloaded.to_json());
+        assert_eq!(report.render_all(), reloaded.render_all());
+        for kind in [StageKind::Crowd, StageKind::Crawl, StageKind::Personas] {
+            assert_eq!(observer.starts(kind), 0, "{kind} must come from disk");
+            assert_eq!(observer.loads(kind), 1, "{kind} load must be observed");
+        }
+        assert_eq!(
+            observer.starts(StageKind::Analysis),
+            1,
+            "analysis recomputes"
+        );
+
+        // Saving again is a no-op: every cached artifact is fresh.
+        let resaved = consumer.save_artifacts(&dir).expect("re-save");
+        assert!(resaved.saved.is_empty(), "{resaved:?}");
+        assert_eq!(resaved.fresh, vec!["crowd", "crawl", "personas"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_store_forces_recompute() {
+        use crate::observer::TimingObserver;
+        let dir = tmp_store("stale");
+        let mut producer = Experiment::builder()
+            .scenario("smoke")
+            .seed(7)
+            .build()
+            .expect("smoke builds");
+        producer.crowd();
+        producer.save_artifacts(&dir).expect("save");
+
+        let observer = Arc::new(TimingObserver::new());
+        let mut consumer = Experiment::builder()
+            .scenario("smoke")
+            .seed(8) // different seed → different fingerprint
+            .observer(observer.clone())
+            .artifacts(dir.clone())
+            .build()
+            .expect("smoke builds");
+        consumer.crowd();
+        assert_eq!(observer.loads(StageKind::Crowd), 0, "stale must not load");
+        assert_eq!(observer.starts(StageKind::Crowd), 1, "stale must recompute");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_refuses_to_clobber_another_plans_store() {
+        let dir = tmp_store("clobber");
+        let mut seed7 = Experiment::builder()
+            .scenario("smoke")
+            .seed(7)
+            .build()
+            .expect("smoke builds");
+        seed7.crowd();
+        seed7.save_artifacts(&dir).expect("save");
+
+        let mut seed8 = Experiment::builder()
+            .scenario("smoke")
+            .seed(8)
+            .build()
+            .expect("smoke builds");
+        seed8.crowd();
+        assert!(matches!(
+            seed8.save_artifacts(&dir),
+            Err(crate::store::StoreError::PlanMismatch { .. })
+        ));
+        // The seed-7 artifacts must have survived the refusal.
+        let mut check = Experiment::builder()
+            .scenario("smoke")
+            .seed(7)
+            .build()
+            .expect("smoke builds");
+        assert!(
+            check
+                .load_artifacts(&dir)
+                .expect("store intact")
+                .loaded
+                .len()
+                == 1
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_analysis_skips_when_already_fresh() {
+        let dir = tmp_store("analysis-fresh");
+        let mut engine = Experiment::builder()
+            .scenario("smoke")
+            .seed(7)
+            .build()
+            .expect("smoke builds");
+        let analysis = engine.analyze();
+        engine.save_artifacts(&dir).expect("save");
+        let first = engine
+            .save_analysis(&dir, &analysis)
+            .expect("save analysis");
+        let written = std::fs::read(dir.join("analysis.json")).expect("file exists");
+        // A second save under the same fingerprint must not rewrite.
+        std::fs::write(dir.join("analysis.json"), b"sentinel").expect("scribble");
+        let second = engine.save_analysis(&dir, &analysis).expect("fresh skip");
+        assert_eq!(first, second, "reported size must be the stored size");
+        assert_eq!(
+            std::fs::read(dir.join("analysis.json")).expect("file exists"),
+            b"sentinel",
+            "a fresh entry must be left untouched"
+        );
+        let _ = written;
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_artifacts_reports_per_stage_outcomes() {
+        let dir = tmp_store("outcomes");
+        let mut producer = Experiment::builder()
+            .scenario("smoke")
+            .seed(7)
+            .build()
+            .expect("smoke builds");
+        producer.crowd();
+        producer.save_artifacts(&dir).expect("save crowd only");
+
+        let mut same_plan = Experiment::builder()
+            .scenario("smoke")
+            .seed(7)
+            .build()
+            .expect("smoke builds");
+        let summary = same_plan.load_artifacts(&dir).expect("store opens");
+        assert_eq!(summary.loaded, vec![StageKind::Crowd]);
+        assert_eq!(summary.missing, vec![StageKind::Crawl, StageKind::Personas]);
+        assert!(!summary.complete());
+
+        let mut other_plan = Experiment::builder()
+            .scenario("smoke")
+            .seed(9)
+            .build()
+            .expect("smoke builds");
+        let summary = other_plan.load_artifacts(&dir).expect("store opens");
+        assert_eq!(summary.stale, vec![StageKind::Crowd]);
+        assert!(summary.loaded.is_empty());
+
+        assert!(matches!(
+            other_plan.load_artifacts(&tmp_store("not-a-store")),
+            Err(crate::store::StoreError::NoManifest { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

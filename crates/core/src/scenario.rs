@@ -19,6 +19,18 @@
 //! | `vantage-subset` | single | an 8-probe fleet (the scale-down ablation) |
 //! | `seed-sweep` | sweep | three consecutive seeds (conclusion stability) |
 //! | `locale-sweep` | sweep | crowd population biased US / DE / BR |
+//!
+//! ```
+//! use pd_core::{Profile, ScenarioParams, ScenarioRegistry};
+//!
+//! let registry = ScenarioRegistry::builtin();
+//! let smoke = registry.get("smoke").expect("built-in scenario");
+//! let params = ScenarioParams { seed: 7, profile: Profile::Smoke };
+//! let variants = smoke.plan(&params).into_variants();
+//! assert_eq!(variants.len(), 1, "smoke is a single run");
+//! assert_eq!(variants[0].1.config.seed.value(), 7);
+//! assert!(registry.get("warp-speed").is_none());
+//! ```
 
 use crate::config::ExperimentConfig;
 use pd_net::clock::SimDuration;

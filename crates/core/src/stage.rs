@@ -14,7 +14,18 @@
 //! &Executor, &dyn RunObserver)`; the caching engine
 //! ([`crate::Engine`]) and the legacy [`crate::Experiment`] shim both
 //! call them, so a stage behaves identically whether it is cached,
-//! re-run, sequential or fanned across worker threads.
+//! re-run, loaded from an on-disk store ([`crate::store`]), sequential
+//! or fanned across worker threads.
+//!
+//! ```
+//! use pd_core::{Executor, ExperimentConfig, NullObserver, RunPlan, World};
+//!
+//! // A stage is just a function of the world and its plan.
+//! let plan = RunPlan::new(ExperimentConfig::smoke(7));
+//! let world = World::build(&plan.config);
+//! let crowd = pd_core::stage::crowd_stage(&world, &plan, &Executor::serial(), &NullObserver);
+//! assert!(crowd.cleaned.len() <= crowd.raw.len(), "cleaning only drops");
+//! ```
 
 use crate::config::ExperimentConfig;
 use crate::executor::Executor;
@@ -486,7 +497,7 @@ pub(crate) fn analysis_over(
         let labels = world.vantage_labels();
 
         // Fig. 1 + Fig. 2 (crowd view).
-        let fig1 = crowd_figs::fig1_ranking(&crowd_frame, 27);
+        let fig1 = crowd_figs::fig1_ranking(&crowd_frame, config.analysis.fig1_domains);
         let fig1_domains: Vec<String> = fig1.iter().map(|b| b.domain.clone()).collect();
         let fig2 = crowd_figs::fig2_ratio_boxes(&crowd_frame, &fig1_domains);
 
@@ -578,7 +589,12 @@ pub(crate) fn analysis_over(
         // set, fanned per retailer.
         let attribution: Vec<pd_analysis::Attribution> = exec
             .map_indexed(targets.len(), |i| {
-                attribute_factors(world, config, &targets[i], 8)
+                attribute_factors(
+                    world,
+                    config,
+                    &targets[i],
+                    config.analysis.attribution_products,
+                )
             })
             .into_iter()
             .flatten()

@@ -1,0 +1,847 @@
+//! The on-disk artifact store: crawl once, re-analyze forever.
+//!
+//! The paper's methodology is "measure once, analyze many ways": one
+//! months-long crowd + crawl dataset feeds every figure of the
+//! evaluation. This module gives the engine the same property across
+//! process lifetimes. Each stage artifact ([`crate::CrowdArtifact`],
+//! [`crate::CrawlArtifact`], [`crate::PersonaArtifact`],
+//! [`crate::AnalysisArtifact`]) is written as versioned JSON under a
+//! directory, and a `manifest.json` records provenance: which scenario
+//! produced it, at which seed, profile and thread count, under which
+//! [`RunPlan`], and with which upstream fingerprints.
+//!
+//! ## Fingerprints, not file names
+//!
+//! An artifact is only ever trusted if its **fingerprint** matches the
+//! plan asking for it. A [`Fingerprint`] is a stable 64-bit FNV-1a hash
+//! over the canonical JSON of everything the producing stage depends on:
+//! the schema version, the stage name, the [`ExperimentConfig`] (minus
+//! the analysis-only section for measurement stages), and the plan's
+//! engine knobs (desync skew, cleaning, vantage subset). The analysis
+//! fingerprint additionally chains the three upstream measurement
+//! fingerprints. File names are just locators; a renamed, stale or
+//! hand-edited file fails its fingerprint check and the stage recomputes.
+//!
+//! Because measurement fingerprints exclude [`ExperimentConfig::analysis`],
+//! a stored crawl stays valid when only figure parameters change — which
+//! is exactly what `pd rerun` exploits to re-analyze without re-measuring.
+//!
+//! ## Example
+//!
+//! ```
+//! use pd_core::store::{self, ArtifactStore, Provenance};
+//! use pd_core::{CrawlArtifact, RunPlan, ExperimentConfig, StageKind};
+//!
+//! let dir = std::env::temp_dir().join(format!("pd-store-doc-{}", std::process::id()));
+//! let plan = RunPlan::new(ExperimentConfig::smoke(7));
+//! let mut s = ArtifactStore::create(&dir, Provenance::new("smoke", "", "smoke", 7, 1), &plan)
+//!     .expect("store creates");
+//!
+//! // Save an (empty) crawl artifact under its plan fingerprint...
+//! let fp = store::crawl_fingerprint(&plan);
+//! let art = CrawlArtifact { store: pd_sheriff::MeasurementStore::new(), stats: vec![] };
+//! s.save(StageKind::Crawl.as_str(), fp, &[], &art).expect("saves");
+//!
+//! // ...and it only loads back under the *same* plan.
+//! let reopened = ArtifactStore::open(&dir).expect("store opens");
+//! assert!(reopened.load::<CrawlArtifact>("crawl", fp).is_ok());
+//! let other = store::crawl_fingerprint(&RunPlan::new(ExperimentConfig::smoke(8)));
+//! assert!(reopened.load::<CrawlArtifact>("crawl", other).is_err());
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+use crate::config::ExperimentConfig;
+use crate::observer::StageKind;
+use crate::scenario::RunPlan;
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// On-disk schema version. Bump whenever an artifact's serialized shape
+/// changes; every envelope and manifest records it, and a mismatch is a
+/// hard rejection (never a silent misparse).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The manifest file name inside a store directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// A stable 64-bit digest of everything a stage's output depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    /// The raw 64-bit digest.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Parses the 16-hex-digit form produced by [`Display`](fmt::Display).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Fingerprint> {
+        (s.len() == 16)
+            .then(|| u64::from_str_radix(s, 16).ok())
+            .flatten()
+            .map(Fingerprint)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// FNV-1a over a byte string (the same construction the vendored
+/// proptest uses for test seeds; stable across platforms and runs).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// The canonical fingerprint basis of a plan: config (optionally with
+/// the analysis-only section removed), engine knobs, schema version.
+fn basis_value(plan: &RunPlan, include_analysis: bool) -> Value {
+    let mut config = serde_json::to_value(&plan.config);
+    if !include_analysis {
+        if let Value::Object(map) = &mut config {
+            map.remove("analysis");
+        }
+    }
+    let mut m = serde::Map::new();
+    m.insert("schema".to_owned(), serde_json::to_value(&SCHEMA_VERSION));
+    m.insert("config".to_owned(), config);
+    m.insert(
+        "desync_ms".to_owned(),
+        serde_json::to_value(&plan.desync.as_millis()),
+    );
+    m.insert("cleaning".to_owned(), serde_json::to_value(&plan.cleaning));
+    m.insert(
+        "vantage_labels".to_owned(),
+        serde_json::to_value(&plan.vantage_labels),
+    );
+    Value::Object(m)
+}
+
+fn fingerprint_of(stage: &str, basis: &Value, upstream: &[Fingerprint]) -> Fingerprint {
+    let mut m = serde::Map::new();
+    m.insert("stage".to_owned(), Value::String(stage.to_owned()));
+    m.insert("basis".to_owned(), basis.clone());
+    m.insert(
+        "upstream".to_owned(),
+        Value::Array(
+            upstream
+                .iter()
+                .map(|fp| Value::String(fp.to_string()))
+                .collect(),
+        ),
+    );
+    let text = serde_json::to_string(&Value::Object(m)).expect("value serializes");
+    Fingerprint(fnv1a64(text.as_bytes()))
+}
+
+/// The crowd-stage fingerprint of a plan.
+///
+/// Measurement fingerprints are deliberately conservative: they cover
+/// the full configuration except the analysis-only section, so any
+/// change that *could* reshape the measured world invalidates the
+/// artifact, while figure-parameter changes never do.
+#[must_use]
+pub fn crowd_fingerprint(plan: &RunPlan) -> Fingerprint {
+    fingerprint_of(StageKind::Crowd.as_str(), &basis_value(plan, false), &[])
+}
+
+/// The crawl-stage fingerprint of a plan (same conservative basis).
+#[must_use]
+pub fn crawl_fingerprint(plan: &RunPlan) -> Fingerprint {
+    fingerprint_of(StageKind::Crawl.as_str(), &basis_value(plan, false), &[])
+}
+
+/// The persona-stage fingerprint of a plan (same conservative basis).
+#[must_use]
+pub fn personas_fingerprint(plan: &RunPlan) -> Fingerprint {
+    fingerprint_of(StageKind::Personas.as_str(), &basis_value(plan, false), &[])
+}
+
+/// The analysis fingerprint: the full config (including the analysis
+/// knobs) chained with the three upstream measurement fingerprints.
+#[must_use]
+pub fn analysis_fingerprint(plan: &RunPlan) -> Fingerprint {
+    let upstream = [
+        crowd_fingerprint(plan),
+        crawl_fingerprint(plan),
+        personas_fingerprint(plan),
+    ];
+    fingerprint_of(
+        StageKind::Analysis.as_str(),
+        &basis_value(plan, true),
+        &upstream,
+    )
+}
+
+/// The fingerprint of a measurement stage, by kind. Returns `None` for
+/// stages the store does not persist standalone ([`StageKind::Build`])
+/// or whose fingerprint chains upstreams ([`StageKind::Analysis`] — use
+/// [`analysis_fingerprint`]).
+#[must_use]
+pub fn measurement_fingerprint(stage: StageKind, plan: &RunPlan) -> Option<Fingerprint> {
+    match stage {
+        StageKind::Crowd => Some(crowd_fingerprint(plan)),
+        StageKind::Crawl => Some(crawl_fingerprint(plan)),
+        StageKind::Personas => Some(personas_fingerprint(plan)),
+        StageKind::Build | StageKind::Analysis => None,
+    }
+}
+
+/// Why a store operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Filesystem failure (create, read, write, rename).
+    Io {
+        /// The path involved.
+        path: String,
+        /// The OS error text.
+        detail: String,
+    },
+    /// The directory has no `manifest.json` — it is not an artifact store.
+    NoManifest {
+        /// The directory probed.
+        dir: String,
+    },
+    /// A file exists but cannot be parsed, or contradicts the manifest.
+    Corrupt {
+        /// The offending file.
+        path: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The file was written by a different on-disk schema version.
+    SchemaMismatch {
+        /// The offending file.
+        path: String,
+        /// The version found on disk (ours is [`SCHEMA_VERSION`]).
+        found: u32,
+    },
+    /// The stored artifact's fingerprint does not match the requesting
+    /// plan — the artifact was produced under a different configuration.
+    StaleFingerprint {
+        /// The stage asked for.
+        stage: String,
+        /// The fingerprint the current plan requires.
+        expected: String,
+        /// The fingerprint found in the store.
+        found: String,
+    },
+    /// The manifest has no entry for the requested stage.
+    MissingStage {
+        /// The stage asked for.
+        stage: String,
+    },
+    /// The directory already holds artifacts produced by a different
+    /// run plan; writing would destroy them, so the save refuses.
+    PlanMismatch {
+        /// The store directory.
+        dir: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, detail } => write!(f, "artifact store I/O on {path}: {detail}"),
+            StoreError::NoManifest { dir } => {
+                write!(f, "{dir} is not an artifact store (no {MANIFEST_FILE})")
+            }
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "corrupt artifact file {path}: {detail}")
+            }
+            StoreError::SchemaMismatch { path, found } => write!(
+                f,
+                "{path} uses on-disk schema v{found}, this build reads v{SCHEMA_VERSION}"
+            ),
+            StoreError::StaleFingerprint {
+                stage,
+                expected,
+                found,
+            } => write!(
+                f,
+                "stale {stage} artifact: plan requires fingerprint {expected}, store has {found}"
+            ),
+            StoreError::MissingStage { stage } => {
+                write!(f, "artifact store has no {stage} artifact")
+            }
+            StoreError::PlanMismatch { dir } => write!(
+                f,
+                "{dir} holds artifacts from a different run plan; refusing to overwrite \
+                 (inspect with `pd artifacts ls {dir}`, or choose another directory)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+fn io_err(path: &Path, e: &std::io::Error) -> StoreError {
+    StoreError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    }
+}
+
+/// Who produced a store: the scenario, variant label, profile, seed and
+/// thread count of the run (descriptive only — the fingerprints, not the
+/// provenance, decide reuse).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Provenance {
+    /// Registry name of the scenario (`"custom"` for raw-config runs).
+    pub scenario: String,
+    /// Sweep-arm label (empty for single runs).
+    pub label: String,
+    /// Profile flag spelling (`smoke`/`small`/`medium`/`paper`).
+    pub profile: String,
+    /// Root seed of the run.
+    pub seed: u64,
+    /// Worker threads the producing run used (reports are identical at
+    /// any thread count; recorded for performance archaeology).
+    pub threads: u64,
+    /// Unix milliseconds when the store was created.
+    pub created_unix_ms: u64,
+}
+
+impl Provenance {
+    /// A provenance record stamped with the current wall-clock time.
+    #[must_use]
+    pub fn new(scenario: &str, label: &str, profile: &str, seed: u64, threads: usize) -> Self {
+        let created_unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX));
+        Provenance {
+            scenario: scenario.to_owned(),
+            label: label.to_owned(),
+            profile: profile.to_owned(),
+            seed,
+            threads: threads as u64,
+            created_unix_ms,
+        }
+    }
+}
+
+/// The serialized form of a [`RunPlan`] (the manifest must be able to
+/// reconstruct the exact producing plan for `pd rerun`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanRecord {
+    /// The experiment configuration.
+    pub config: ExperimentConfig,
+    /// Fan-out desynchronization skew, in simulated milliseconds.
+    pub desync_ms: u64,
+    /// Whether the Sec. 3.2 cleaning pass ran.
+    pub cleaning: bool,
+    /// The vantage subset, if the plan restricted the fleet.
+    pub vantage_labels: Option<Vec<String>>,
+}
+
+impl PlanRecord {
+    /// Records a plan.
+    #[must_use]
+    pub fn from_plan(plan: &RunPlan) -> Self {
+        PlanRecord {
+            config: plan.config.clone(),
+            desync_ms: plan.desync.as_millis(),
+            cleaning: plan.cleaning,
+            vantage_labels: plan.vantage_labels.clone(),
+        }
+    }
+
+    /// Reconstructs the plan.
+    #[must_use]
+    pub fn to_plan(&self) -> RunPlan {
+        RunPlan {
+            config: self.config.clone(),
+            desync: pd_net::clock::SimDuration::from_millis(self.desync_ms),
+            cleaning: self.cleaning,
+            vantage_labels: self.vantage_labels.clone(),
+        }
+    }
+}
+
+/// One stored artifact, as listed by the manifest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// Stage name ([`StageKind::as_str`]).
+    pub stage: String,
+    /// Hex fingerprint the artifact was stored under.
+    pub fingerprint: String,
+    /// File name inside the store directory (a locator only — the
+    /// envelope's own fingerprint is what gets trusted).
+    pub file: String,
+    /// Serialized size in bytes.
+    pub bytes: u64,
+    /// Hex fingerprints of the upstream artifacts this one was derived
+    /// from (empty for measurement stages).
+    pub upstream: Vec<String>,
+}
+
+/// The store's index: provenance, the producing plan, and every entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Manifest {
+    /// On-disk schema version ([`SCHEMA_VERSION`] at write time).
+    pub schema_version: u32,
+    /// Who produced the store.
+    pub provenance: Provenance,
+    /// The exact plan the artifacts were measured under.
+    pub plan: PlanRecord,
+    /// Stored artifacts, in save order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+/// The versioned wrapper around every artifact file. The payload is
+/// only handed to deserialization after the schema version, stage name
+/// and fingerprint all check out.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Envelope {
+    schema_version: u32,
+    stage: String,
+    fingerprint: String,
+    payload: Value,
+}
+
+/// Health of one manifest entry, as reported by [`ArtifactStore::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntryHealth {
+    /// File present, envelope consistent with the manifest.
+    Ok,
+    /// The manifest references a file that does not exist.
+    MissingFile,
+    /// The file exists but is unreadable, unparsable, or contradicts
+    /// the manifest (wrong stage, fingerprint or schema).
+    Corrupt(String),
+}
+
+impl fmt::Display for EntryHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EntryHealth::Ok => f.write_str("ok"),
+            EntryHealth::MissingFile => f.write_str("missing file"),
+            EntryHealth::Corrupt(detail) => write!(f, "corrupt: {detail}"),
+        }
+    }
+}
+
+/// A directory of fingerprinted, versioned stage artifacts plus the
+/// manifest indexing them. See the [module docs](self) for the model.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+    manifest: Manifest,
+}
+
+impl ArtifactStore {
+    /// Does `dir` look like a store (i.e. hold a manifest)?
+    #[must_use]
+    pub fn is_store(dir: &Path) -> bool {
+        dir.join(MANIFEST_FILE).is_file()
+    }
+
+    /// Creates (or wipes and re-creates) a store at `dir` for the given
+    /// producer. The directory is created if missing; an existing
+    /// manifest is replaced, and superseded stage files are overwritten
+    /// lazily as stages save.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the directory or manifest cannot be
+    /// written.
+    pub fn create(dir: &Path, provenance: Provenance, plan: &RunPlan) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
+        let store = ArtifactStore {
+            dir: dir.to_path_buf(),
+            manifest: Manifest {
+                schema_version: SCHEMA_VERSION,
+                provenance,
+                plan: PlanRecord::from_plan(plan),
+                entries: Vec::new(),
+            },
+        };
+        store.write_manifest()?;
+        Ok(store)
+    }
+
+    /// Opens an existing store.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoManifest`] when `dir` has no manifest;
+    /// [`StoreError::Corrupt`] when the manifest does not parse;
+    /// [`StoreError::SchemaMismatch`] when it was written by a
+    /// different schema version; [`StoreError::Io`] on read failure.
+    pub fn open(dir: &Path) -> Result<Self, StoreError> {
+        let path = dir.join(MANIFEST_FILE);
+        if !path.is_file() {
+            return Err(StoreError::NoManifest {
+                dir: dir.display().to_string(),
+            });
+        }
+        let text = std::fs::read_to_string(&path).map_err(|e| io_err(&path, &e))?;
+        let manifest: Manifest = serde_json::from_str(&text).map_err(|e| StoreError::Corrupt {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        if manifest.schema_version != SCHEMA_VERSION {
+            return Err(StoreError::SchemaMismatch {
+                path: path.display().to_string(),
+                found: manifest.schema_version,
+            });
+        }
+        Ok(ArtifactStore {
+            dir: dir.to_path_buf(),
+            manifest,
+        })
+    }
+
+    /// The store directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The manifest (provenance, plan, entries).
+    #[must_use]
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// The manifest entry for a stage, if one was saved.
+    #[must_use]
+    pub fn entry(&self, stage: &str) -> Option<&ManifestEntry> {
+        self.manifest.entries.iter().find(|e| e.stage == stage)
+    }
+
+    /// Saves an artifact under its fingerprint, replacing any previous
+    /// entry for the same stage. The file is written atomically (temp
+    /// file + rename) and the manifest is updated on disk before the
+    /// call returns. Returns the serialized size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the artifact or manifest cannot be
+    /// written.
+    pub fn save<T: Serialize>(
+        &mut self,
+        stage: &str,
+        fingerprint: Fingerprint,
+        upstream: &[Fingerprint],
+        artifact: &T,
+    ) -> Result<u64, StoreError> {
+        let envelope = Envelope {
+            schema_version: SCHEMA_VERSION,
+            stage: stage.to_owned(),
+            fingerprint: fingerprint.to_string(),
+            payload: serde_json::to_value(artifact),
+        };
+        let text = serde_json::to_string(&envelope).expect("envelope serializes");
+        let file = format!("{stage}.json");
+        let path = self.dir.join(&file);
+        write_atomic(&path, text.as_bytes())?;
+        let entry = ManifestEntry {
+            stage: stage.to_owned(),
+            fingerprint: fingerprint.to_string(),
+            file,
+            bytes: text.len() as u64,
+            upstream: upstream.iter().map(Fingerprint::to_string).collect(),
+        };
+        match self.manifest.entries.iter_mut().find(|e| e.stage == stage) {
+            Some(existing) => *existing = entry,
+            None => self.manifest.entries.push(entry),
+        }
+        self.write_manifest()?;
+        Ok(text.len() as u64)
+    }
+
+    /// Loads a stage artifact, trusting nothing: the manifest must list
+    /// the stage, the manifest's fingerprint and the envelope's own
+    /// fingerprint must both equal `expected`, the schema version must
+    /// match, and only then is the payload deserialized.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingStage`] when the manifest has no such stage;
+    /// [`StoreError::StaleFingerprint`] when the stored artifact was
+    /// produced under a different plan; [`StoreError::SchemaMismatch`],
+    /// [`StoreError::Corrupt`] or [`StoreError::Io`] when the file is
+    /// unusable.
+    pub fn load<T: Deserialize>(
+        &self,
+        stage: &str,
+        expected: Fingerprint,
+    ) -> Result<T, StoreError> {
+        let entry = self.entry(stage).ok_or_else(|| StoreError::MissingStage {
+            stage: stage.to_owned(),
+        })?;
+        if entry.fingerprint != expected.to_string() {
+            return Err(StoreError::StaleFingerprint {
+                stage: stage.to_owned(),
+                expected: expected.to_string(),
+                found: entry.fingerprint.clone(),
+            });
+        }
+        let envelope = self.read_envelope(entry)?;
+        if envelope.fingerprint != expected.to_string() {
+            return Err(StoreError::StaleFingerprint {
+                stage: stage.to_owned(),
+                expected: expected.to_string(),
+                found: envelope.fingerprint,
+            });
+        }
+        let path = self.dir.join(&entry.file);
+        serde_json::from_value(envelope.payload).map_err(|e| StoreError::Corrupt {
+            path: path.display().to_string(),
+            detail: format!("payload does not deserialize: {e}"),
+        })
+    }
+
+    /// Checks every manifest entry against its file: existence, parse,
+    /// schema version, stage and fingerprint consistency. Used by
+    /// `pd artifacts ls`.
+    #[must_use]
+    pub fn verify(&self) -> Vec<(ManifestEntry, EntryHealth)> {
+        self.manifest
+            .entries
+            .iter()
+            .map(|entry| {
+                let health = match self.read_envelope(entry) {
+                    Ok(_) => EntryHealth::Ok,
+                    Err(StoreError::Io { detail, .. }) if !self.dir.join(&entry.file).is_file() => {
+                        let _ = detail;
+                        EntryHealth::MissingFile
+                    }
+                    Err(e) => EntryHealth::Corrupt(e.to_string()),
+                };
+                (entry.clone(), health)
+            })
+            .collect()
+    }
+
+    /// Reads and validates an entry's envelope (schema, stage name and
+    /// fingerprint must agree with the manifest), without touching the
+    /// payload.
+    fn read_envelope(&self, entry: &ManifestEntry) -> Result<Envelope, StoreError> {
+        let path = self.dir.join(&entry.file);
+        let text = std::fs::read_to_string(&path).map_err(|e| io_err(&path, &e))?;
+        let envelope: Envelope = serde_json::from_str(&text).map_err(|e| StoreError::Corrupt {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        if envelope.schema_version != SCHEMA_VERSION {
+            return Err(StoreError::SchemaMismatch {
+                path: path.display().to_string(),
+                found: envelope.schema_version,
+            });
+        }
+        if envelope.stage != entry.stage || envelope.fingerprint != entry.fingerprint {
+            return Err(StoreError::Corrupt {
+                path: path.display().to_string(),
+                detail: format!(
+                    "envelope says stage {} fingerprint {}, manifest says stage {} \
+                     fingerprint {}",
+                    envelope.stage, envelope.fingerprint, entry.stage, entry.fingerprint
+                ),
+            });
+        }
+        Ok(envelope)
+    }
+
+    fn write_manifest(&self) -> Result<(), StoreError> {
+        let path = self.dir.join(MANIFEST_FILE);
+        let text = serde_json::to_string_pretty(&self.manifest).expect("manifest serializes");
+        write_atomic(&path, text.as_bytes())
+    }
+}
+
+/// Writes via a sibling temp file + rename so a crash mid-write never
+/// leaves a truncated artifact behind a valid-looking name.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, bytes).map_err(|e| io_err(&tmp, &e))?;
+    std::fs::rename(&tmp, path).map_err(|e| io_err(path, &e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::CrawlArtifact;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pd-store-unit-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn smoke_plan(seed: u64) -> RunPlan {
+        RunPlan::new(ExperimentConfig::smoke(seed))
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_seed_sensitive() {
+        let a = crowd_fingerprint(&smoke_plan(7));
+        let b = crowd_fingerprint(&smoke_plan(7));
+        let c = crowd_fingerprint(&smoke_plan(8));
+        assert_eq!(a, b, "same plan, same fingerprint");
+        assert_ne!(a, c, "seed change must invalidate");
+        assert_ne!(
+            crowd_fingerprint(&smoke_plan(7)),
+            crawl_fingerprint(&smoke_plan(7)),
+            "stage name is part of the fingerprint"
+        );
+    }
+
+    #[test]
+    fn plan_knobs_invalidate_measurement_fingerprints() {
+        let base = smoke_plan(7);
+        let mut no_clean = base.clone();
+        no_clean.cleaning = false;
+        assert_ne!(crowd_fingerprint(&base), crowd_fingerprint(&no_clean));
+        let mut skewed = base.clone();
+        skewed.desync = pd_net::clock::SimDuration::from_mins(25);
+        assert_ne!(crawl_fingerprint(&base), crawl_fingerprint(&skewed));
+        let mut subset = base.clone();
+        subset.vantage_labels = Some(vec!["USA - Boston".to_owned()]);
+        assert_ne!(personas_fingerprint(&base), personas_fingerprint(&subset));
+    }
+
+    #[test]
+    fn analysis_knobs_spare_measurement_but_change_analysis() {
+        let base = smoke_plan(7);
+        let mut refigured = base.clone();
+        refigured.config.analysis.fig1_domains = 10;
+        assert_eq!(
+            crowd_fingerprint(&base),
+            crowd_fingerprint(&refigured),
+            "figure parameters must not invalidate measurements"
+        );
+        assert_eq!(crawl_fingerprint(&base), crawl_fingerprint(&refigured));
+        assert_ne!(
+            analysis_fingerprint(&base),
+            analysis_fingerprint(&refigured),
+            "the analysis artifact does depend on its knobs"
+        );
+    }
+
+    #[test]
+    fn fingerprint_hex_round_trips() {
+        let fp = crowd_fingerprint(&smoke_plan(1));
+        assert_eq!(Fingerprint::parse(&fp.to_string()), Some(fp));
+        assert_eq!(Fingerprint::parse("nope"), None);
+        assert_eq!(Fingerprint::parse(""), None);
+    }
+
+    #[test]
+    fn save_load_round_trips_and_rejects_other_plans() {
+        let dir = tmp_dir("round-trip");
+        let plan = smoke_plan(7);
+        let mut store =
+            ArtifactStore::create(&dir, Provenance::new("smoke", "", "smoke", 7, 1), &plan)
+                .expect("create");
+        let art = CrawlArtifact {
+            store: pd_sheriff::MeasurementStore::new(),
+            stats: vec![],
+        };
+        let fp = crawl_fingerprint(&plan);
+        store.save("crawl", fp, &[], &art).expect("save");
+
+        let reopened = ArtifactStore::open(&dir).expect("open");
+        let back: CrawlArtifact = reopened.load("crawl", fp).expect("load");
+        assert_eq!(back.store.len(), 0);
+        assert!(matches!(
+            reopened.load::<CrawlArtifact>("crowd", fp),
+            Err(StoreError::MissingStage { .. })
+        ));
+        let other = crawl_fingerprint(&smoke_plan(8));
+        assert!(matches!(
+            reopened.load::<CrawlArtifact>("crawl", other),
+            Err(StoreError::StaleFingerprint { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_and_renamed_files_are_rejected() {
+        let dir = tmp_dir("corrupt");
+        let plan = smoke_plan(7);
+        let mut store =
+            ArtifactStore::create(&dir, Provenance::new("smoke", "", "smoke", 7, 1), &plan)
+                .expect("create");
+        let art = CrawlArtifact {
+            store: pd_sheriff::MeasurementStore::new(),
+            stats: vec![],
+        };
+        let fp = crawl_fingerprint(&plan);
+        store.save("crawl", fp, &[], &art).expect("save");
+
+        // Truncate the artifact file: load must fail, verify must flag it.
+        std::fs::write(dir.join("crawl.json"), b"{ not json").expect("scribble");
+        let reopened = ArtifactStore::open(&dir).expect("open");
+        assert!(matches!(
+            reopened.load::<CrawlArtifact>("crawl", fp),
+            Err(StoreError::Corrupt { .. })
+        ));
+        let verified = reopened.verify();
+        assert_eq!(verified.len(), 1);
+        assert!(matches!(verified[0].1, EntryHealth::Corrupt(_)));
+
+        // A file renamed over another stage's slot fails the envelope
+        // check even though the name looks right.
+        store.save("crawl", fp, &[], &art).expect("re-save");
+        let crowd_fp = crowd_fingerprint(&plan);
+        store
+            .save("crowd", crowd_fp, &[], &art)
+            .expect("save crowd");
+        std::fs::copy(dir.join("crawl.json"), dir.join("crowd.json")).expect("swap");
+        let reopened = ArtifactStore::open(&dir).expect("open");
+        assert!(matches!(
+            reopened.load::<CrawlArtifact>("crowd", crowd_fp),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_records_provenance_and_plan() {
+        let dir = tmp_dir("manifest");
+        let plan = smoke_plan(9);
+        let store = ArtifactStore::create(
+            &dir,
+            Provenance::new("paper", "arm-1", "medium", 9, 4),
+            &plan,
+        )
+        .expect("create");
+        let m = ArtifactStore::open(&dir).expect("open").manifest().clone();
+        assert_eq!(m.schema_version, SCHEMA_VERSION);
+        assert_eq!(m.provenance.scenario, "paper");
+        assert_eq!(m.provenance.label, "arm-1");
+        assert_eq!(m.provenance.threads, 4);
+        assert_eq!(m.plan.config.seed.value(), 9);
+        assert_eq!(m.plan.to_plan().config, plan.config);
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_rejects_non_stores_and_future_schemas() {
+        let dir = tmp_dir("no-manifest");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        assert!(matches!(
+            ArtifactStore::open(&dir),
+            Err(StoreError::NoManifest { .. })
+        ));
+        std::fs::write(dir.join(MANIFEST_FILE), b"]]").expect("write");
+        assert!(matches!(
+            ArtifactStore::open(&dir),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,71 @@
+//! Measure once, re-analyze forever — the artifact store from the API.
+//!
+//! Runs the smoke scenario, persists its stage artifacts, then builds a
+//! *second* engine that loads the stored measurements (proving, via the
+//! observer, that no measurement stage re-ran) and re-analyzes them
+//! under a different Fig. 1 ranking depth.
+//!
+//! ```sh
+//! cargo run --release --example reanalyze
+//! ```
+
+use pd_core::{Experiment, ExperimentConfig, StageKind, TimingObserver};
+use std::sync::Arc;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("pd-reanalyze-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // 1. Measure: run every stage and persist the artifacts + manifest.
+    let mut producer = Experiment::builder()
+        .scenario("smoke")
+        .seed(7)
+        .build()
+        .expect("smoke is registered");
+    let analysis = producer.analyze();
+    producer.save_artifacts(&dir).expect("artifacts persist");
+    producer
+        .save_analysis(&dir, &analysis)
+        .expect("analysis persists");
+    println!(
+        "measured: {} crowd checks, {} crawl probes → saved to {}",
+        analysis.report.summary.crowd_requests,
+        analysis.report.summary.crawled_prices,
+        dir.display()
+    );
+
+    // 2. Re-analyze: same measurements, different figure parameters.
+    //    Only the `analysis` section changes, so every measurement
+    //    fingerprint still matches and the stages load from disk.
+    let mut config = ExperimentConfig::smoke(7);
+    config.analysis.fig1_domains = 10;
+    let observer = Arc::new(TimingObserver::new());
+    let mut consumer = Experiment::builder()
+        .scenario("smoke")
+        .seed(7)
+        .config(config)
+        .observer(observer.clone())
+        .artifacts(dir.clone())
+        .build()
+        .expect("smoke is registered");
+    let refigured = consumer.run();
+
+    for stage in [StageKind::Crowd, StageKind::Crawl, StageKind::Personas] {
+        assert_eq!(observer.starts(stage), 0, "{stage} must come from disk");
+        assert_eq!(observer.loads(stage), 1, "{stage} must be loaded");
+    }
+    assert!(refigured.fig1.len() <= 10);
+    println!(
+        "re-analyzed without re-measuring: fig1 now ranks {} domains \
+         (stages loaded from store: {})",
+        refigured.fig1.len(),
+        observer
+            .loaded()
+            .iter()
+            .map(|(s, _)| s.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

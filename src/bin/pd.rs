@@ -4,6 +4,10 @@
 //! pd run <scenario> [--seed N] [--threads N]
 //!                   [--profile smoke|small|medium|paper]
 //!                   [--json PATH] [--render] [--timings]
+//!                   [--artifacts DIR [--overwrite-artifacts]]
+//! pd rerun <DIR> [--threads N] [--fig1-top N] [--attribution-products N]
+//!                [--json PATH] [--render] [--timings]
+//! pd artifacts ls <DIR>
 //! pd list
 //! pd --help
 //! ```
@@ -11,9 +15,24 @@
 //! Scenarios come from the `pd_core` registry; `pd list` (and `--help`)
 //! print the registered names. Sweep scenarios (e.g. `seed-sweep`) run
 //! every arm and label the output; `--json` then writes one object keyed
-//! by arm label.
+//! by arm label, and `--artifacts` gives each arm its own store
+//! subdirectory.
+//!
+//! `--artifacts DIR` is a transparent read-through cache: a stage whose
+//! fingerprint matches a stored artifact is loaded instead of computed,
+//! and freshly computed artifacts are persisted after the run. A store
+//! produced by a *different* run is never silently replaced — that
+//! takes `--overwrite-artifacts`. `pd rerun DIR` re-analyzes a stored
+//! crawl — optionally under different analysis knobs — without
+//! re-measuring anything.
+//!
+//! Exit codes: `0` success, `1` runtime failure (store/report/IO), `2`
+//! usage error (unknown command, flag, scenario or profile). All errors
+//! go to stderr.
 
-use pd_core::{Experiment, Profile, ScenarioRegistry, TimingObserver};
+use pd_core::store::{ArtifactStore, Provenance, StoreError};
+use pd_core::{Engine, Executor, Experiment, Profile, ScenarioRegistry, StageKind, TimingObserver};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 struct RunArgs {
@@ -24,41 +43,75 @@ struct RunArgs {
     json: Option<String>,
     render: bool,
     timings: bool,
+    artifacts: Option<PathBuf>,
+    overwrite_artifacts: bool,
 }
 
-fn usage(registry: &ScenarioRegistry) -> String {
-    let mut out = String::from(
-        "pd — scenario-driven reproduction of Mikians et al. (CoNEXT 2013)\n\
-         \n\
-         USAGE:\n\
-         \x20 pd run <scenario> [--seed N] [--threads N]\n\
-         \x20                   [--profile smoke|small|medium|paper]\n\
-         \x20                   [--json PATH] [--render] [--timings]\n\
-         \x20 pd list\n\
-         \x20 pd --help\n\
-         \n\
-         OPTIONS:\n\
-         \x20 --seed N       root seed (default 1307, the paper seed)\n\
-         \x20 --threads N    worker threads; 0 = all cores (default 1).\n\
-         \x20                The report is byte-identical at any value.\n\
-         \x20 --profile P    workload scale (default small)\n\
-         \x20 --json PATH    write the full report(s) as JSON\n\
-         \x20 --render       print every figure, not just the summary\n\
-         \x20 --timings      print per-stage wall-times\n\
-         \n\
-         SCENARIOS:\n",
-    );
+struct RerunArgs {
+    dir: PathBuf,
+    threads: usize,
+    fig1_top: Option<usize>,
+    attribution_products: Option<usize>,
+    json: Option<String>,
+    render: bool,
+    timings: bool,
+}
+
+/// The SCENARIOS block, shared by `--help`, `pd list` context and the
+/// unknown-scenario error so the fix is always one screen away.
+fn scenario_lines(registry: &ScenarioRegistry) -> String {
+    let mut out = String::new();
     for s in registry.iter() {
         out.push_str(&format!("  {:<16} {}\n", s.name(), s.describe()));
     }
     out
 }
 
+fn usage(registry: &ScenarioRegistry) -> String {
+    format!(
+        "pd — scenario-driven reproduction of Mikians et al. (CoNEXT 2013)\n\
+         \n\
+         USAGE:\n\
+         \x20 pd run <scenario> [--seed N] [--threads N]\n\
+         \x20                   [--profile smoke|small|medium|paper]\n\
+         \x20                   [--json PATH] [--render] [--timings]\n\
+         \x20                   [--artifacts DIR]\n\
+         \x20 pd rerun <DIR> [--threads N] [--fig1-top N] [--attribution-products N]\n\
+         \x20                [--json PATH] [--render] [--timings]\n\
+         \x20 pd artifacts ls <DIR>\n\
+         \x20 pd list\n\
+         \x20 pd --help\n\
+         \n\
+         OPTIONS:\n\
+         \x20 --seed N         root seed (default 1307, the paper seed)\n\
+         \x20 --threads N      worker threads; 0 = all cores (default 1).\n\
+         \x20                  The report is byte-identical at any value.\n\
+         \x20 --profile P      workload scale (default small)\n\
+         \x20 --json PATH      write the full report(s) as JSON\n\
+         \x20 --render         print every figure, not just the summary\n\
+         \x20 --timings        print per-stage wall-times and store loads\n\
+         \x20 --artifacts DIR  persist stage artifacts to DIR and reuse any\n\
+         \x20                  stored artifact whose fingerprint matches the\n\
+         \x20                  run (measure once, re-analyze forever)\n\
+         \x20 --overwrite-artifacts  allow --artifacts to replace a store\n\
+         \x20                  produced by a different run (refused otherwise)\n\
+         \n\
+         RERUN OPTIONS (re-analyze a stored crawl without re-measuring):\n\
+         \x20 --fig1-top N              rank N domains in Fig. 1 (default 27)\n\
+         \x20 --attribution-products N  products probed per retailer by the\n\
+         \x20                           attribution extension (default 8)\n\
+         \n\
+         SCENARIOS:\n{}",
+        scenario_lines(registry)
+    )
+}
+
 fn parse_run(mut args: std::env::Args, registry: &ScenarioRegistry) -> Result<RunArgs, String> {
     let scenario = args.next().ok_or("`pd run` needs a scenario name")?;
     if registry.get(&scenario).is_none() {
         return Err(format!(
-            "unknown scenario {scenario:?}; `pd list` shows the registry"
+            "unknown scenario {scenario:?}; registered scenarios are:\n\n{}",
+            scenario_lines(registry)
         ));
     }
     let mut run = RunArgs {
@@ -69,6 +122,8 @@ fn parse_run(mut args: std::env::Args, registry: &ScenarioRegistry) -> Result<Ru
         json: None,
         render: false,
         timings: false,
+        artifacts: None,
+        overwrite_artifacts: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -87,27 +142,110 @@ fn parse_run(mut args: std::env::Args, registry: &ScenarioRegistry) -> Result<Ru
             "--json" => run.json = Some(args.next().ok_or("--json needs a path")?),
             "--render" => run.render = true,
             "--timings" => run.timings = true,
+            "--artifacts" => {
+                run.artifacts = Some(PathBuf::from(
+                    args.next().ok_or("--artifacts needs a directory")?,
+                ));
+            }
+            "--overwrite-artifacts" => run.overwrite_artifacts = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     Ok(run)
 }
 
-fn execute(run: &RunArgs) -> Result<(), String> {
+fn parse_rerun(mut args: std::env::Args) -> Result<RerunArgs, String> {
+    let dir = args.next().ok_or("`pd rerun` needs a store directory")?;
+    let mut rerun = RerunArgs {
+        dir: PathBuf::from(dir),
+        threads: 1,
+        fig1_top: None,
+        attribution_products: None,
+        json: None,
+        render: false,
+        timings: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                rerun.threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+            }
+            "--fig1-top" => {
+                let v = args.next().ok_or("--fig1-top needs a value")?;
+                rerun.fig1_top = Some(v.parse().map_err(|_| format!("bad count {v:?}"))?);
+            }
+            "--attribution-products" => {
+                let v = args.next().ok_or("--attribution-products needs a value")?;
+                rerun.attribution_products =
+                    Some(v.parse().map_err(|_| format!("bad count {v:?}"))?);
+            }
+            "--json" => rerun.json = Some(args.next().ok_or("--json needs a path")?),
+            "--render" => rerun.render = true,
+            "--timings" => rerun.timings = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(rerun)
+}
+
+fn print_timings(observer: &TimingObserver) {
+    println!("stage wall-times:");
+    for (stage, fp) in observer.loaded() {
+        println!("  {stage:<9} loaded from store (fingerprint {fp})");
+    }
+    for t in observer.timings() {
+        let counters: Vec<String> = t.counters.iter().map(|(n, v)| format!("{n}={v}")).collect();
+        println!(
+            "  {:<9} {:>9.1} ms  {}",
+            t.stage.to_string(),
+            t.wall.as_secs_f64() * 1000.0,
+            counters.join(" ")
+        );
+    }
+}
+
+fn stage_names(stages: &[StageKind]) -> String {
+    stages
+        .iter()
+        .map(|s| s.as_str())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn write_json(path: &str, reports: &[(String, pd_core::Report)]) -> Result<(), String> {
+    let json = if reports.len() == 1 && reports[0].0.is_empty() {
+        reports[0].1.to_json()
+    } else {
+        let body: Vec<String> = reports
+            .iter()
+            .map(|(label, r)| format!("{:?}: {}", label, r.to_json()))
+            .collect();
+        format!("{{\n{}\n}}", body.join(",\n"))
+    };
+    std::fs::write(path, json).map_err(|e| format!("writing {path:?}: {e}"))?;
+    println!("report JSON written to {path}");
+    Ok(())
+}
+
+fn execute_run(run: &RunArgs) -> Result<(), String> {
     let observer = Arc::new(TimingObserver::new());
-    let variants = Experiment::builder()
+    let mut builder = Experiment::builder()
         .scenario(&run.scenario)
         .seed(run.seed)
         .profile(run.profile)
         .threads(run.threads)
-        .observer(observer.clone())
-        .build_variants()
-        .map_err(|e| e.to_string())?;
+        .observer(observer.clone());
+    if let Some(dir) = &run.artifacts {
+        builder = builder.artifacts(dir.clone());
+    }
+    let variants = builder.build_variants().map_err(|e| e.to_string())?;
 
     let mut reports = Vec::new();
     for (label, mut engine) in variants {
         let fleet = engine.world().sheriff.vantage_points().len();
-        let report = engine.run();
+        let analysis = engine.analyze();
+        let report = analysis.report.clone();
         if label.is_empty() {
             println!(
                 "== {} (profile {}, seed {}, {} threads, {fleet} probes) ==",
@@ -123,38 +261,172 @@ fn execute(run: &RunArgs) -> Result<(), String> {
         if run.render {
             println!("{}", report.render_all());
         }
+        if let Some(dir) = engine.artifacts_dir().map(Path::to_path_buf) {
+            if !engine.loaded_stages().is_empty() {
+                println!(
+                    "artifacts: reused {} from {}",
+                    stage_names(engine.loaded_stages()),
+                    dir.display()
+                );
+            }
+            let saved = match engine.save_artifacts(&dir) {
+                Ok(saved) => saved,
+                // A store from a different run is never silently
+                // clobbered; replacing it takes an explicit flag.
+                Err(StoreError::PlanMismatch { .. }) if run.overwrite_artifacts => {
+                    std::fs::remove_dir_all(&dir)
+                        .map_err(|e| format!("clearing {}: {e}", dir.display()))?;
+                    engine.save_artifacts(&dir).map_err(|e| e.to_string())?
+                }
+                Err(e @ StoreError::PlanMismatch { .. }) => {
+                    return Err(format!(
+                        "{e}; pass --overwrite-artifacts to replace the store"
+                    ));
+                }
+                Err(e) => return Err(e.to_string()),
+            };
+            engine
+                .save_analysis(&dir, &analysis)
+                .map_err(|e| e.to_string())?;
+            if saved.saved.is_empty() {
+                println!("artifacts: store up to date ({})", dir.display());
+            } else {
+                println!(
+                    "artifacts: saved {} + analysis to {}",
+                    saved.saved.join(", "),
+                    dir.display()
+                );
+            }
+        }
         println!();
         reports.push((label, report));
     }
 
     if run.timings {
-        println!("stage wall-times:");
-        for t in observer.timings() {
-            let counters: Vec<String> =
-                t.counters.iter().map(|(n, v)| format!("{n}={v}")).collect();
-            println!(
-                "  {:<9} {:>9.1} ms  {}",
-                t.stage.to_string(),
-                t.wall.as_secs_f64() * 1000.0,
-                counters.join(" ")
-            );
-        }
+        print_timings(&observer);
     }
-
     if let Some(path) = &run.json {
-        let json = if reports.len() == 1 && reports[0].0.is_empty() {
-            reports[0].1.to_json()
-        } else {
-            let body: Vec<String> = reports
-                .iter()
-                .map(|(label, r)| format!("{:?}: {}", label, r.to_json()))
-                .collect();
-            format!("{{\n{}\n}}", body.join(",\n"))
-        };
-        std::fs::write(path, json).map_err(|e| format!("writing {path:?}: {e}"))?;
-        println!("report JSON written to {path}");
+        write_json(path, &reports)?;
     }
     Ok(())
+}
+
+fn execute_rerun(rerun: &RerunArgs) -> Result<(), String> {
+    let store = ArtifactStore::open(&rerun.dir).map_err(|e| e.to_string())?;
+    let manifest = store.manifest().clone();
+    drop(store);
+
+    let mut plan = manifest.plan.to_plan();
+    if let Some(n) = rerun.fig1_top {
+        plan.config.analysis.fig1_domains = n;
+    }
+    if let Some(n) = rerun.attribution_products {
+        plan.config.analysis.attribution_products = n;
+    }
+
+    let observer = Arc::new(TimingObserver::new());
+    let p = &manifest.provenance;
+    let mut engine =
+        Engine::from_plan(plan, Executor::new(rerun.threads), observer.clone()).with_provenance(
+            Provenance::new(&p.scenario, &p.label, &p.profile, p.seed, rerun.threads),
+        );
+    let summary = engine
+        .load_artifacts(&rerun.dir)
+        .map_err(|e| e.to_string())?;
+    if !summary.complete() {
+        let mut problems = Vec::new();
+        if !summary.missing.is_empty() {
+            problems.push(format!("missing: {}", stage_names(&summary.missing)));
+        }
+        if !summary.stale.is_empty() {
+            problems.push(format!(
+                "stale fingerprints: {}",
+                stage_names(&summary.stale)
+            ));
+        }
+        if !summary.corrupt.is_empty() {
+            problems.push(format!("corrupt: {}", stage_names(&summary.corrupt)));
+        }
+        return Err(format!(
+            "cannot re-analyze {}: {} (run `pd artifacts ls {}` for details)",
+            rerun.dir.display(),
+            problems.join("; "),
+            rerun.dir.display(),
+        ));
+    }
+
+    let report = engine.analyze().report;
+    println!(
+        "== rerun {} (stored scenario {}{}, seed {}, {} threads) ==",
+        rerun.dir.display(),
+        p.scenario,
+        if p.label.is_empty() {
+            String::new()
+        } else {
+            format!(" / {}", p.label)
+        },
+        p.seed,
+        engine.executor().threads(),
+    );
+    println!(
+        "artifacts: reused {} from {}",
+        stage_names(engine.loaded_stages()),
+        rerun.dir.display()
+    );
+    print!("{}", report.render_summary());
+    if rerun.render {
+        println!("{}", report.render_all());
+    }
+    println!();
+    if rerun.timings {
+        print_timings(&observer);
+    }
+    if let Some(path) = &rerun.json {
+        write_json(path, &[(String::new(), report)])?;
+    }
+    Ok(())
+}
+
+fn execute_artifacts_ls(dir: &Path) -> Result<(), String> {
+    let store = ArtifactStore::open(dir).map_err(|e| e.to_string())?;
+    let m = store.manifest();
+    let p = &m.provenance;
+    println!("artifact store {}", dir.display());
+    println!(
+        "  scenario {}{}  profile {}  seed {}  threads {}",
+        p.scenario,
+        if p.label.is_empty() {
+            String::new()
+        } else {
+            format!(" / {}", p.label)
+        },
+        p.profile,
+        p.seed,
+        p.threads,
+    );
+    println!(
+        "  schema v{}  created {} (unix ms)",
+        m.schema_version, p.created_unix_ms
+    );
+    println!(
+        "  {:<10} {:<17} {:>10}  status",
+        "stage", "fingerprint", "bytes"
+    );
+    for (entry, health) in store.verify() {
+        println!(
+            "  {:<10} {:<17} {:>10}  {}",
+            entry.stage, entry.fingerprint, entry.bytes, health
+        );
+        for up in &entry.upstream {
+            println!("  {:<10} upstream {up}", "");
+        }
+    }
+    Ok(())
+}
+
+fn fail(code: i32, msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(code);
 }
 
 fn main() {
@@ -163,24 +435,34 @@ fn main() {
     let _ = args.next(); // argv[0]
     match args.next().as_deref() {
         Some("run") => {
-            let run = parse_run(args, &registry).unwrap_or_else(|e| {
-                eprintln!("error: {e}");
-                std::process::exit(2);
-            });
-            if let Err(e) = execute(&run) {
-                eprintln!("error: {e}");
-                std::process::exit(1);
+            let run = parse_run(args, &registry).unwrap_or_else(|e| fail(2, &e));
+            if let Err(e) = execute_run(&run) {
+                fail(1, &e);
             }
         }
-        Some("list") => {
-            for s in registry.iter() {
-                println!("{:<16} {}", s.name(), s.describe());
+        Some("rerun") => {
+            let rerun = parse_rerun(args).unwrap_or_else(|e| fail(2, &e));
+            if let Err(e) = execute_rerun(&rerun) {
+                fail(1, &e);
             }
+        }
+        Some("artifacts") => match (args.next().as_deref(), args.next()) {
+            (Some("ls"), Some(dir)) => {
+                if let Err(e) = execute_artifacts_ls(Path::new(&dir)) {
+                    fail(1, &e);
+                }
+            }
+            _ => fail(2, "usage: pd artifacts ls <DIR>"),
+        },
+        Some("list") => {
+            print!("{}", scenario_lines(&registry));
         }
         Some("--help" | "-h" | "help") | None => print!("{}", usage(&registry)),
         Some(other) => {
-            eprintln!("error: unknown command {other:?}\n\n{}", usage(&registry));
-            std::process::exit(2);
+            fail(
+                2,
+                &format!("unknown command {other:?}\n\n{}", usage(&registry)),
+            );
         }
     }
 }

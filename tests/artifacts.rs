@@ -1,0 +1,366 @@
+//! The artifact-persistence contracts (ISSUE 3 acceptance):
+//!
+//! * save → load round-trips are **byte-identical** — property-tested
+//!   over randomized measurement artifacts, and end-to-end over a full
+//!   smoke `Report`,
+//! * corrupted files and stale fingerprints are rejected (the engine
+//!   recomputes; it never trusts a file name),
+//! * a stored smoke crawl re-analyzes **across processes**: `pd run
+//!   --artifacts` then `pd rerun` in a fresh process reproduce the
+//!   direct run's JSON exactly, and the CLI's error paths exit nonzero
+//!   on stderr.
+
+use pd_core::store::{self, ArtifactStore, EntryHealth, Provenance, StoreError};
+use pd_core::{CrowdArtifact, Experiment, ExperimentConfig, RunPlan, StageKind, TimingObserver};
+use pd_currency::{Currency, Price};
+use pd_net::clock::SimTime;
+use pd_sheriff::measurement::{Measurement, NoiseTruth, PriceObservation};
+use pd_sheriff::MeasurementStore;
+use pd_util::{Money, RequestId, UserId, VantageId};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::Arc;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pd-artifacts-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Builds a measurement from flat random draws (the property tests
+/// randomize the payload, not the pipeline).
+#[allow(clippy::cast_possible_truncation)]
+fn measurement(i: u64, minor: i64, domain_tag: &str, fail: bool, time_ms: u64) -> Measurement {
+    let currency = Currency::ALL[(i as usize) % Currency::ALL.len()];
+    let price = Price::new(Money::from_minor(minor), currency);
+    let observations = (0..(i % 4))
+        .map(|v| {
+            if fail && v == 0 {
+                PriceObservation::failed(VantageId::new(v as u32), format!("boom {v}"))
+            } else {
+                PriceObservation::ok(
+                    VantageId::new(v as u32),
+                    price,
+                    format!("{} \"{domain_tag}\"\n€", price.amount),
+                )
+            }
+        })
+        .collect();
+    Measurement {
+        request: RequestId::new(0),
+        user: UserId::new((i % 97) as u32),
+        domain: format!("www.{domain_tag}.example"),
+        product_slug: format!("prod-{i}"),
+        time: SimTime::from_millis(time_ms),
+        user_price: (!fail).then_some(price),
+        observations,
+        noise_truth: match i % 3 {
+            0 => NoiseTruth::Clean,
+            1 => NoiseTruth::Customization,
+            _ => NoiseTruth::MisHighlight,
+        },
+    }
+}
+
+proptest! {
+    /// Save → load → save again: the second file must be byte-identical
+    /// to the first, over randomized artifact contents (prices of every
+    /// sign and currency, failure strings with escapes, arbitrary
+    /// check times).
+    #[test]
+    fn prop_store_round_trip_is_byte_identical(
+        n in 1usize..12,
+        minor in -1_000_000i64..10_000_000,
+        tag in "[a-z0-9]{1,12}",
+        time_ms in 0u64..10_000_000_000,
+        seed in 0u64..1_000_000,
+    ) {
+        let dir = tmp(&format!("prop-{seed}-{n}"));
+        let plan = RunPlan::new(ExperimentConfig::smoke(seed));
+        let mut raw = MeasurementStore::new();
+        for i in 0..n as u64 {
+            raw.push(measurement(i.wrapping_add(seed), minor + i as i64, &tag, i % 5 == 0, time_ms + i));
+        }
+        let artifact = CrowdArtifact {
+            cleaned: raw.clone(),
+            raw,
+            cleaning: pd_sheriff::cleaning::CleaningReport {
+                kept: n,
+                dropped_inconsistent: n / 2,
+                dropped_unhealthy: 0,
+                dropped_tax_explained: 1,
+                dropped_truly_noisy: 0,
+                kept_truly_noisy: n / 3,
+            },
+        };
+        let fp = store::crowd_fingerprint(&plan);
+        let mut s = ArtifactStore::create(&dir, Provenance::new("prop", "", "smoke", seed, 1), &plan)
+            .expect("store creates");
+        s.save("crowd", fp, &[], &artifact).expect("first save");
+        let first = std::fs::read(dir.join("crowd.json")).expect("artifact file exists");
+
+        let loaded: CrowdArtifact = ArtifactStore::open(&dir)
+            .expect("store reopens")
+            .load("crowd", fp)
+            .expect("round-trip load");
+        prop_assert_eq!(loaded.raw.len(), artifact.raw.len());
+        prop_assert_eq!(loaded.raw.records(), artifact.raw.records());
+        prop_assert_eq!(loaded.cleaning, artifact.cleaning);
+
+        s.save("crowd", fp, &[], &loaded).expect("re-save");
+        let second = std::fs::read(dir.join("crowd.json")).expect("artifact file exists");
+        prop_assert_eq!(first, second, "round-trip must be byte-identical");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The full acceptance loop in-process: a saved smoke run reloads into a
+/// byte-identical `Report`, with the observer proving the measurement
+/// stages never re-ran.
+#[test]
+fn stored_smoke_report_is_byte_identical() {
+    let dir = tmp("byte-identical");
+    let mut producer = Experiment::builder()
+        .scenario("smoke")
+        .seed(7)
+        .build()
+        .expect("smoke builds");
+    let direct = producer.run();
+    producer.save_artifacts(&dir).expect("save");
+
+    let observer = Arc::new(TimingObserver::new());
+    let mut consumer = Experiment::builder()
+        .scenario("smoke")
+        .seed(7)
+        .observer(observer.clone())
+        .artifacts(dir.clone())
+        .build()
+        .expect("smoke builds");
+    let reloaded = consumer.run();
+    assert_eq!(direct.to_json(), reloaded.to_json(), "JSON must match");
+    assert_eq!(
+        direct.render_all(),
+        reloaded.render_all(),
+        "rendered report must match byte for byte"
+    );
+    for kind in [StageKind::Crowd, StageKind::Crawl, StageKind::Personas] {
+        assert_eq!(observer.starts(kind), 0, "{kind} must not recompute");
+        assert_eq!(observer.loads(kind), 1, "{kind} must load from the store");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Corruption is rejected: a scribbled-over artifact file fails its
+/// envelope check, the engine recomputes, and `verify` flags the entry.
+#[test]
+fn corrupted_artifacts_are_rejected_and_recomputed() {
+    let dir = tmp("corrupt");
+    let mut producer = Experiment::builder()
+        .scenario("smoke")
+        .seed(7)
+        .build()
+        .expect("smoke builds");
+    producer.crowd();
+    producer.save_artifacts(&dir).expect("save");
+    std::fs::write(dir.join("crowd.json"), "{\"schema_version\":1,").expect("corrupt the file");
+
+    let s = ArtifactStore::open(&dir).expect("manifest still fine");
+    let fp = store::crowd_fingerprint(&RunPlan::new(ExperimentConfig::smoke(7)));
+    assert!(matches!(
+        s.load::<CrowdArtifact>("crowd", fp),
+        Err(StoreError::Corrupt { .. })
+    ));
+    assert!(matches!(s.verify()[0].1, EntryHealth::Corrupt(_)));
+
+    let observer = Arc::new(TimingObserver::new());
+    let mut consumer = Experiment::builder()
+        .scenario("smoke")
+        .seed(7)
+        .observer(observer.clone())
+        .artifacts(dir.clone())
+        .build()
+        .expect("smoke builds");
+    consumer.crowd();
+    assert_eq!(observer.loads(StageKind::Crowd), 0, "corrupt must not load");
+    assert_eq!(
+        observer.starts(StageKind::Crowd),
+        1,
+        "corrupt must recompute"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Stale fingerprints are rejected even when every file name looks
+/// right: artifacts produced under seed 7 must not satisfy a seed-8 run.
+#[test]
+fn stale_fingerprints_are_rejected() {
+    let dir = tmp("stale");
+    let mut producer = Experiment::builder()
+        .scenario("smoke")
+        .seed(7)
+        .build()
+        .expect("smoke builds");
+    producer.crowd();
+    producer.save_artifacts(&dir).expect("save");
+
+    let s = ArtifactStore::open(&dir).expect("store opens");
+    let fp8 = store::crowd_fingerprint(&RunPlan::new(ExperimentConfig::smoke(8)));
+    assert!(matches!(
+        s.load::<CrowdArtifact>("crowd", fp8),
+        Err(StoreError::StaleFingerprint { .. })
+    ));
+
+    let observer = Arc::new(TimingObserver::new());
+    let mut consumer = Experiment::builder()
+        .scenario("smoke")
+        .seed(8)
+        .observer(observer.clone())
+        .artifacts(dir.clone())
+        .build()
+        .expect("smoke builds");
+    consumer.crowd();
+    assert_eq!(observer.loads(StageKind::Crowd), 0);
+    assert_eq!(observer.starts(StageKind::Crowd), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn pd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pd"))
+}
+
+/// The cross-process acceptance: one process measures and persists, a
+/// second process re-analyzes the stored crawl, and the reports agree
+/// byte for byte. Also proves the second process skipped the
+/// measurement stages (its stdout names the reused artifacts).
+#[test]
+fn rerun_reanalyzes_a_stored_smoke_crawl_across_processes() {
+    let dir = tmp("cross-process");
+    let direct_json = dir.join("direct.json");
+    let rerun_json = dir.join("rerun.json");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+
+    let run = pd()
+        .args(["run", "smoke", "--seed", "7", "--artifacts"])
+        .arg(&dir)
+        .arg("--json")
+        .arg(&direct_json)
+        .output()
+        .expect("pd run executes");
+    assert!(run.status.success(), "pd run failed: {run:?}");
+
+    let rerun = pd()
+        .arg("rerun")
+        .arg(&dir)
+        .arg("--json")
+        .arg(&rerun_json)
+        .output()
+        .expect("pd rerun executes");
+    assert!(rerun.status.success(), "pd rerun failed: {rerun:?}");
+    let stdout = String::from_utf8_lossy(&rerun.stdout);
+    assert!(
+        stdout.contains("reused crowd, crawl, personas"),
+        "rerun must reuse every measurement stage:\n{stdout}"
+    );
+
+    let direct = std::fs::read(&direct_json).expect("direct report written");
+    let reran = std::fs::read(&rerun_json).expect("rerun report written");
+    assert_eq!(direct, reran, "rerun JSON must equal the direct run's");
+
+    // `pd artifacts ls` sees a healthy, fully-lineaged store.
+    let ls = pd()
+        .args(["artifacts", "ls"])
+        .arg(&dir)
+        .output()
+        .expect("ls");
+    assert!(ls.status.success());
+    let ls_out = String::from_utf8_lossy(&ls.stdout);
+    for needle in ["crowd", "crawl", "personas", "analysis", "upstream", "ok"] {
+        assert!(ls_out.contains(needle), "missing {needle:?} in:\n{ls_out}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// CLI error-path contract: unknown scenarios/commands/stores exit
+/// nonzero with the diagnostic on stderr (and the scenario list where
+/// it helps), never a quiet success.
+#[test]
+fn cli_errors_hit_stderr_with_nonzero_exit() {
+    let bad_scenario = pd().args(["run", "nope"]).output().expect("runs");
+    assert_eq!(bad_scenario.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&bad_scenario.stderr);
+    assert!(err.contains("unknown scenario"), "stderr: {err}");
+    assert!(
+        err.contains("desync-ablation") && err.contains("paper"),
+        "error must list the registered scenarios: {err}"
+    );
+    assert!(bad_scenario.stdout.is_empty(), "errors must not hit stdout");
+
+    let bad_cmd = pd().arg("frobnicate").output().expect("runs");
+    assert_eq!(bad_cmd.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad_cmd.stderr).contains("unknown command"));
+
+    let no_store = pd()
+        .arg("rerun")
+        .arg(std::env::temp_dir().join("pd-definitely-not-a-store"))
+        .output()
+        .expect("runs");
+    assert_eq!(no_store.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&no_store.stderr).contains("not an artifact store"));
+
+    let bad_flag = pd().args(["run", "smoke", "--wat"]).output().expect("runs");
+    assert_eq!(bad_flag.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad_flag.stderr).contains("unknown flag"));
+}
+
+/// A store produced by one run is never silently destroyed by another:
+/// saving under a different seed fails with guidance, succeeds with
+/// `--overwrite-artifacts`, and the original artifacts survive the
+/// refusal untouched.
+#[test]
+fn different_plan_never_clobbers_a_store_without_consent() {
+    let dir = tmp("no-clobber");
+    let run7 = pd()
+        .args(["run", "smoke", "--seed", "7", "--artifacts"])
+        .arg(&dir)
+        .output()
+        .expect("seed-7 run");
+    assert!(run7.status.success());
+    let crowd_before = std::fs::read(dir.join("crowd.json")).expect("stored");
+
+    let run8 = pd()
+        .args(["run", "smoke", "--seed", "8", "--artifacts"])
+        .arg(&dir)
+        .output()
+        .expect("seed-8 run");
+    assert_eq!(run8.status.code(), Some(1), "clobber must be refused");
+    let err = String::from_utf8_lossy(&run8.stderr);
+    assert!(err.contains("different run plan"), "stderr: {err}");
+    assert!(err.contains("--overwrite-artifacts"), "stderr: {err}");
+    assert_eq!(
+        std::fs::read(dir.join("crowd.json")).expect("still stored"),
+        crowd_before,
+        "the refused save must leave the original artifacts intact"
+    );
+
+    let run8_forced = pd()
+        .args([
+            "run",
+            "smoke",
+            "--seed",
+            "8",
+            "--overwrite-artifacts",
+            "--artifacts",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("forced seed-8 run");
+    assert!(run8_forced.status.success(), "{run8_forced:?}");
+    let ls = pd()
+        .args(["artifacts", "ls"])
+        .arg(&dir)
+        .output()
+        .expect("ls");
+    assert!(String::from_utf8_lossy(&ls.stdout).contains("seed 8"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -80,7 +80,12 @@ fn bench_figures(c: &mut Criterion) {
         b.iter(|| black_box(pd_analysis::crowd::fig1_ranking(&pre.crowd_frame, 27)));
     });
     group.bench_function("fig2_crowd_ratios", |b| {
-        let domains: Vec<String> = pre.crowd_frame.domains();
+        let domains: Vec<String> = pre
+            .crowd_frame
+            .domains()
+            .iter()
+            .map(|d| d.to_string())
+            .collect();
         b.iter(|| {
             black_box(pd_analysis::crowd::fig2_ratio_boxes(
                 &pre.crowd_frame,

@@ -8,7 +8,10 @@
 //!
 //! Defaults: the `paper` scenario at the `small` profile, seed 1307,
 //! 4 threads, writing `BENCH_pipeline.json` in the working directory.
-//! Sweep scenarios time every arm (stages appear once per arm).
+//! Sweep scenarios run their arms **concurrently** (the thread budget
+//! splits arm-level × intra-arm) and time every arm: each stage row
+//! carries an `"arm"` label, so the per-arm cost and the arm-concurrency
+//! speedup are both visible in the perf trajectory.
 //!
 //! `--artifacts DIR` attaches the artifact store as a read-through
 //! cache and persists computed stages afterwards, so back-to-back
@@ -16,7 +19,7 @@
 //! loaded from disk emit no wall-time row; the `loaded` list in the
 //! JSON names them).
 
-use pd_core::{Experiment, Profile, TimingObserver};
+use pd_core::{Experiment, Profile, SweepArmRun, TimingObserver};
 use std::sync::Arc;
 
 struct Args {
@@ -88,7 +91,8 @@ fn render_json(args: &Args, observer: &TimingObserver, total_ms: f64) -> String 
                 .map(|(n, v)| format!("\"{n}\": {v}"))
                 .collect();
             format!(
-                "    {{\"stage\": \"{}\", \"ms\": {:.3}, \"counters\": {{{}}}}}",
+                "    {{\"arm\": \"{}\", \"stage\": \"{}\", \"ms\": {:.3}, \"counters\": {{{}}}}}",
+                t.arm,
                 t.stage,
                 t.wall.as_secs_f64() * 1000.0,
                 counters.join(", ")
@@ -118,13 +122,20 @@ fn main() {
     if let Some(dir) = &args.artifacts {
         builder = builder.artifacts(dir.clone());
     }
-    let variants = builder.build_variants().unwrap_or_else(|e| {
+    // Arms run concurrently; timings land in the observer in label
+    // order once all arms join.
+    let arms = builder.run_sweep().unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
 
-    for (label, mut engine) in variants {
-        let report = engine.run();
+    for SweepArmRun {
+        label,
+        engine,
+        analysis,
+    } in arms
+    {
+        let report = &analysis.report;
         if let Some(dir) = engine.artifacts_dir().map(std::path::Path::to_path_buf) {
             engine.save_artifacts(&dir).unwrap_or_else(|e| {
                 eprintln!("error: {e}");

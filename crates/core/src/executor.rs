@@ -62,6 +62,40 @@ impl Executor {
         self.threads
     }
 
+    /// Splits this executor's thread budget across `arms` concurrent
+    /// sub-runs: returns `(arm-level executor, per-arm executor)` such
+    /// that `arm_workers × per-arm workers ≤ threads` (never
+    /// oversubscribing the budget) and no factor is zero. With more
+    /// budget than arms the remainder goes to intra-arm parallelism;
+    /// with fewer, arms queue on the arm-level executor.
+    ///
+    /// ```
+    /// use pd_core::Executor;
+    ///
+    /// let (arms, intra) = Executor::new(8).split(3);
+    /// assert_eq!((arms.threads(), intra.threads()), (3, 2)); // 3×2 ≤ 8
+    /// let (arms, intra) = Executor::new(1).split(3);
+    /// assert_eq!((arms.threads(), intra.threads()), (1, 1)); // serial
+    /// ```
+    #[must_use]
+    pub const fn split(&self, arms: usize) -> (Executor, Executor) {
+        let arms = if arms == 0 { 1 } else { arms };
+        let arm_workers = if self.threads < arms {
+            self.threads
+        } else {
+            arms
+        };
+        let arm_workers = if arm_workers == 0 { 1 } else { arm_workers };
+        let intra = self.threads / arm_workers;
+        let intra = if intra == 0 { 1 } else { intra };
+        (
+            Executor {
+                threads: arm_workers,
+            },
+            Executor { threads: intra },
+        )
+    }
+
     /// Maps `f` over `0..n` and returns the results in index order.
     ///
     /// `f` must be pure with respect to the index (it may read shared
@@ -150,6 +184,29 @@ mod tests {
             i
         });
         assert_eq!(got, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_never_oversubscribes_the_budget() {
+        for total in 1..=16 {
+            for arms in 0..=8 {
+                let (arm_exec, intra) = Executor::new(total).split(arms);
+                assert!(
+                    arm_exec.threads() * intra.threads() <= total.max(1),
+                    "split({total}, {arms}) = {} × {}",
+                    arm_exec.threads(),
+                    intra.threads()
+                );
+                assert!(arm_exec.threads() >= 1);
+                assert!(intra.threads() >= 1);
+                assert!(arm_exec.threads() <= arms.max(1), "no idle arm workers");
+            }
+        }
+        // The documented shape: budget beyond the arm count flows to
+        // intra-arm workers.
+        assert_eq!(Executor::new(8).split(2).1.threads(), 4);
+        assert_eq!(Executor::new(4).split(3).0.threads(), 3);
+        assert_eq!(Executor::new(4).split(3).1.threads(), 1);
     }
 
     #[test]

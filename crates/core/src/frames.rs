@@ -1,0 +1,312 @@
+//! The incremental per-domain analysis cache.
+//!
+//! Every `analyze()` call used to rebuild the full [`CheckFrame`] from
+//! the measurement stores — at paper scale that is hundreds of
+//! thousands of band-filter evaluations repeated for every re-analysis,
+//! every `pd rerun`, and every sweep arm. The [`FrameCache`] memoizes
+//! frames at two granularities, keyed by the **measurement fingerprint**
+//! of the store they were cut from ([`crate::store`]):
+//!
+//! * *domain shards* — `(fingerprint, domain) → Arc<CheckFrame>`, built
+//!   in parallel (one task per retailer) on the deterministic
+//!   [`Executor`]; held only while a store's assembly is in flight and
+//!   released once the assembled frame is memoized (the rows would
+//!   otherwise be retained twice);
+//! * *assembled frames* — `fingerprint → Arc<CheckFrame>`, the shards
+//!   spliced back into exact store order with
+//!   [`CheckFrame::merge_shards`].
+//!
+//! Because the key is the fingerprint — a digest of everything that can
+//! reshape the store — a cache hit is exactly as trustworthy as the
+//! artifact store's read-through: same plan, same bytes. The cache pays
+//! off on *repeated analysis of the same measurements*: a second
+//! `analyze()`, a `pd rerun` under different figure knobs. Engines
+//! built from one [`crate::ExperimentBuilder`] also share a cache, but
+//! note the built-in sweeps never collide on a key (their arms differ
+//! through seed, config or engine knobs, all part of the fingerprint) —
+//! cross-arm reuse only materializes for custom sweeps whose arms vary
+//! nothing but [`crate::AnalysisConfig`]. If two such arms do race on a
+//! key, both may build the same shards; results are unaffected (equal
+//! values, first insert wins) and only the per-arm `frames_built`
+//! counters over-report.
+//!
+//! ```
+//! use pd_core::{Executor, FrameCache};
+//! use pd_currency::FxSeries;
+//! use pd_sheriff::MeasurementStore;
+//! use pd_util::Seed;
+//!
+//! let cache = FrameCache::new();
+//! let fx = FxSeries::generate(Seed::new(1), 10);
+//! let store = MeasurementStore::new();
+//! let exec = Executor::serial();
+//! let (frame, stats) = cache.frame_for(7, &store, &fx, &exec);
+//! assert_eq!((stats.built, stats.reused), (0, 0), "empty store, no shards");
+//! let (again, stats) = cache.frame_for(7, &store, &fx, &exec);
+//! assert!(std::sync::Arc::ptr_eq(&frame, &again), "second call is a hit");
+//! assert_eq!(stats.built, 0);
+//! ```
+
+use crate::executor::Executor;
+use pd_analysis::CheckFrame;
+use pd_currency::FxSeries;
+use pd_sheriff::MeasurementStore;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// What one [`FrameCache::frame_for`] call did: how many per-domain
+/// frames it had to build versus how many it served from the cache.
+/// Surfaced as the `frames_built` / `frames_reused` analysis counters
+/// on [`crate::RunObserver`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameStats {
+    /// Domain frames built by this call.
+    pub built: usize,
+    /// Domain frames (or a whole assembled frame) served from cache.
+    pub reused: usize,
+}
+
+/// One store's per-domain frame shards, keyed by interned domain.
+type DomainShards = HashMap<Arc<str>, Arc<CheckFrame>>;
+
+/// Shared, thread-safe cache of per-domain [`CheckFrame`]s keyed by
+/// store fingerprint. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct FrameCache {
+    /// `store fingerprint → domain →` that domain's frame shard.
+    shards: Mutex<HashMap<u64, DomainShards>>,
+    /// `store fingerprint → (full frame, number of domain shards)`.
+    assembled: Mutex<HashMap<u64, (Arc<CheckFrame>, usize)>>,
+}
+
+impl FrameCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The analysis-ready frame for `store`, identified by `key` (the
+    /// producing stage's fingerprint). Missing domain shards are built
+    /// in parallel on `exec` — one task per retailer — and spliced into
+    /// store order; present shards (and whole assembled frames) are
+    /// reused. The returned frame is row-for-row identical to
+    /// `CheckFrame::build(store, fx)` at any thread count.
+    ///
+    /// Correctness rests on the fingerprint contract: `key` must change
+    /// whenever the store's content could ([`crate::store`] derives it
+    /// from the full measurement configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cache lock is poisoned (a frame build panicked).
+    #[must_use]
+    pub fn frame_for(
+        &self,
+        key: u64,
+        store: &MeasurementStore,
+        fx: &FxSeries,
+        exec: &Executor,
+    ) -> (Arc<CheckFrame>, FrameStats) {
+        if let Some((frame, shards)) = self.assembled.lock().expect("frame cache lock").get(&key) {
+            return (
+                Arc::clone(frame),
+                FrameStats {
+                    built: 0,
+                    reused: *shards,
+                },
+            );
+        }
+
+        let domains = store.domains();
+        let mut have: Vec<Option<Arc<CheckFrame>>> = Vec::with_capacity(domains.len());
+        let mut missing: Vec<usize> = Vec::new();
+        {
+            let shards = self.shards.lock().expect("frame cache lock");
+            let for_key = shards.get(&key);
+            for (i, domain) in domains.iter().enumerate() {
+                match for_key.and_then(|m| m.get(domain.as_str())) {
+                    Some(hit) => have.push(Some(Arc::clone(hit))),
+                    None => {
+                        have.push(None);
+                        missing.push(i);
+                    }
+                }
+            }
+        }
+        let reused = domains.len() - missing.len();
+
+        // One pass over the store partitions record indices for the
+        // missing domains (`build_domain` per domain would rescan the
+        // whole store once per domain — quadratic at paper scale).
+        let records = store.records();
+        let mut slot_of: HashMap<&str, usize> = HashMap::with_capacity(missing.len());
+        for (slot, &i) in missing.iter().enumerate() {
+            slot_of.insert(domains[i].as_str(), slot);
+        }
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); missing.len()];
+        if !missing.is_empty() {
+            for (idx, m) in records.iter().enumerate() {
+                if let Some(&slot) = slot_of.get(m.domain.as_str()) {
+                    members[slot].push(idx);
+                }
+            }
+        }
+
+        // Build the missing shards outside the lock, in parallel; the
+        // executor's index-ordered merge keeps this deterministic.
+        let built = exec.map_indexed(missing.len(), |j| {
+            Arc::new(CheckFrame::from_rows(
+                members[j]
+                    .iter()
+                    .filter_map(|&idx| pd_analysis::CheckRow::from_measurement(&records[idx], fx))
+                    .collect(),
+            ))
+        });
+        {
+            let mut shards = self.shards.lock().expect("frame cache lock");
+            let for_key = shards.entry(key).or_default();
+            for (j, frame) in built.iter().enumerate() {
+                let domain: Arc<str> = pd_util::intern(&domains[missing[j]]);
+                for_key.entry(domain).or_insert_with(|| Arc::clone(frame));
+            }
+        }
+        for (j, frame) in built.iter().enumerate() {
+            have[missing[j]] = Some(Arc::clone(frame));
+        }
+
+        let frame = Arc::new(CheckFrame::merge_shards(
+            have.iter()
+                .map(|f| f.as_deref().expect("all shards present")),
+        ));
+        self.assembled
+            .lock()
+            .expect("frame cache lock")
+            .entry(key)
+            .or_insert_with(|| (Arc::clone(&frame), domains.len()));
+        // The assembled frame supersedes the shards: every future call
+        // under this key returns it before consulting the shard map, so
+        // keeping the shards would hold every row in memory twice.
+        self.shards.lock().expect("frame cache lock").remove(&key);
+        (
+            frame,
+            FrameStats {
+                built: missing.len(),
+                reused,
+            },
+        )
+    }
+
+    /// Number of domain shards currently held for in-flight assemblies
+    /// (diagnostics only; drops back to zero once a store's assembled
+    /// frame is memoized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache lock is poisoned (a frame build panicked).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards
+            .lock()
+            .expect("frame cache lock")
+            .values()
+            .map(DomainShards::len)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_currency::{Currency, Price};
+    use pd_net::clock::SimTime;
+    use pd_sheriff::measurement::NoiseTruth;
+    use pd_sheriff::{Measurement, PriceObservation};
+    use pd_util::{Money, RequestId, Seed, UserId, VantageId};
+
+    fn fx() -> FxSeries {
+        FxSeries::generate(Seed::new(1307), 160)
+    }
+
+    fn meas(domain: &str, slug: &str, prices_minor: &[i64]) -> Measurement {
+        Measurement {
+            request: RequestId::new(0),
+            user: UserId::new(0),
+            domain: domain.into(),
+            product_slug: slug.into(),
+            time: SimTime::from_millis(2 * 24 * 3_600_000),
+            user_price: None,
+            observations: prices_minor
+                .iter()
+                .enumerate()
+                .map(|(i, minor)| {
+                    PriceObservation::ok(
+                        VantageId::new(u32::try_from(i).expect("small index")),
+                        Price::new(Money::from_minor(*minor), Currency::Usd),
+                        String::new(),
+                    )
+                })
+                .collect(),
+            noise_truth: NoiseTruth::Clean,
+        }
+    }
+
+    fn sample_store() -> MeasurementStore {
+        let mut store = MeasurementStore::new();
+        store.push(meas("a.example", "p1", &[10_000, 13_000]));
+        store.push(meas("b.example", "q", &[20_000, 30_000]));
+        store.push(meas("a.example", "p2", &[10_000, 10_000]));
+        store.push(meas("c.example", "r", &[5_000, 5_500]));
+        store
+    }
+
+    #[test]
+    fn cached_frame_equals_direct_build_and_counts_reuse() {
+        let cache = FrameCache::new();
+        let store = sample_store();
+        let fx = fx();
+        for threads in [1, 4] {
+            let exec = Executor::new(threads);
+            let (frame, stats) = cache.frame_for(42, &store, &fx, &exec);
+            let direct = CheckFrame::build(&store, &fx);
+            assert_eq!(frame.rows(), direct.rows(), "{threads} threads");
+            if threads == 1 {
+                assert_eq!(
+                    stats,
+                    FrameStats {
+                        built: 3,
+                        reused: 0
+                    }
+                );
+            } else {
+                assert_eq!(
+                    stats,
+                    FrameStats {
+                        built: 0,
+                        reused: 3
+                    }
+                );
+            }
+        }
+        assert_eq!(
+            cache.shard_count(),
+            0,
+            "shards are released once the assembled frame is memoized"
+        );
+    }
+
+    #[test]
+    fn distinct_keys_do_not_alias() {
+        let cache = FrameCache::new();
+        let store = sample_store();
+        let mut other = MeasurementStore::new();
+        other.push(meas("a.example", "p1", &[99_000, 99_000]));
+        let fx = fx();
+        let exec = Executor::serial();
+        let (full, _) = cache.frame_for(1, &store, &fx, &exec);
+        let (small, stats) = cache.frame_for(2, &other, &fx, &exec);
+        assert_eq!(stats.built, 1, "same domain under a new key rebuilds");
+        assert_eq!(full.len(), 4);
+        assert_eq!(small.len(), 1);
+    }
+}

@@ -58,6 +58,7 @@
 
 pub mod config;
 pub mod executor;
+pub mod frames;
 pub mod observer;
 pub mod pipeline;
 pub mod report;
@@ -68,8 +69,13 @@ pub mod world;
 
 pub use config::{AnalysisConfig, ExperimentConfig};
 pub use executor::Executor;
-pub use observer::{NullObserver, RunObserver, StageKind, StageTiming, TimingObserver};
-pub use pipeline::{BuildError, Engine, Experiment, ExperimentBuilder, LoadSummary, SaveSummary};
+pub use frames::{FrameCache, FrameStats};
+pub use observer::{
+    BufferedObserver, NullObserver, RunObserver, StageKind, StageTiming, TimingObserver,
+};
+pub use pipeline::{
+    BuildError, Engine, Experiment, ExperimentBuilder, LoadSummary, SaveSummary, SweepArmRun,
+};
 pub use report::Report;
 pub use scenario::{Profile, RunPlan, Scenario, ScenarioParams, ScenarioRegistry, ScenarioRun};
 pub use stage::{AnalysisArtifact, CrawlArtifact, CrowdArtifact, PersonaArtifact};

@@ -71,6 +71,13 @@ impl std::fmt::Display for StageKind {
 /// only ever emitted from the coordinating thread, in deterministic
 /// order.
 pub trait RunObserver: Send + Sync {
+    /// All following events belong to the named sweep arm (emitted once
+    /// per labeled arm, before its build stage; never emitted for
+    /// single-run scenarios). Arm events arrive merged in arm order —
+    /// concurrent arms record into per-arm buffers that are replayed
+    /// label-ordered, so observers need no locking discipline beyond
+    /// `Send + Sync`.
+    fn arm_started(&self, _label: &str) {}
     /// A stage is about to run.
     fn stage_started(&self, _stage: StageKind) {}
     /// A stage finished after `wall` of wall-clock time.
@@ -93,6 +100,8 @@ impl RunObserver for NullObserver {}
 /// One completed stage as recorded by [`TimingObserver`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StageTiming {
+    /// Sweep-arm label the stage ran under (empty for single runs).
+    pub arm: String,
     /// Which stage.
     pub stage: StageKind,
     /// Wall-clock duration.
@@ -103,6 +112,7 @@ pub struct StageTiming {
 
 #[derive(Debug, Default)]
 struct TimingState {
+    arm: String,
     started: Vec<StageKind>,
     finished: Vec<StageTiming>,
     pending: Vec<(StageKind, String, u64)>,
@@ -180,6 +190,10 @@ impl TimingObserver {
 }
 
 impl RunObserver for TimingObserver {
+    fn arm_started(&self, label: &str) {
+        self.state.lock().expect("observer lock").arm = label.to_owned();
+    }
+
     fn stage_started(&self, stage: StageKind) {
         self.state
             .lock()
@@ -196,7 +210,9 @@ impl RunObserver for TimingObserver {
             state.pending = rest;
             mine.into_iter().map(|(_, n, v)| (n, v)).collect()
         };
+        let arm = state.arm.clone();
         state.finished.push(StageTiming {
+            arm,
             stage,
             wall,
             counters,
@@ -217,6 +233,80 @@ impl RunObserver for TimingObserver {
             .expect("observer lock")
             .loaded
             .push((stage, fingerprint.to_owned()));
+    }
+}
+
+/// One recorded observer event (see [`BufferedObserver`]).
+#[derive(Debug, Clone)]
+enum ObsEvent {
+    ArmStarted(String),
+    Started(StageKind),
+    Finished(StageKind, Duration),
+    Counter(StageKind, String, u64),
+    Loaded(StageKind, String),
+}
+
+/// Records every observer event for later, in-order replay.
+///
+/// Concurrent sweep arms each run under their own `BufferedObserver`;
+/// after the arms join, the engine replays the buffers into the user's
+/// observer **in arm order**. The user-facing event stream is therefore
+/// deterministic and race-free no matter how the OS interleaved the
+/// arms — the same contract the [`crate::Executor`]'s index-ordered
+/// merge gives artifact data.
+#[derive(Debug, Default)]
+pub struct BufferedObserver {
+    events: Mutex<Vec<ObsEvent>>,
+}
+
+impl BufferedObserver {
+    /// A fresh, empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replays every recorded event into `target`, in recording order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned (a stage panicked).
+    pub fn replay(&self, target: &dyn RunObserver) {
+        for event in self.events.lock().expect("observer lock").iter() {
+            match event {
+                ObsEvent::ArmStarted(label) => target.arm_started(label),
+                ObsEvent::Started(stage) => target.stage_started(*stage),
+                ObsEvent::Finished(stage, wall) => target.stage_finished(*stage, *wall),
+                ObsEvent::Counter(stage, name, value) => target.counter(*stage, name, *value),
+                ObsEvent::Loaded(stage, fp) => target.stage_loaded(*stage, fp),
+            }
+        }
+    }
+
+    fn record(&self, event: ObsEvent) {
+        self.events.lock().expect("observer lock").push(event);
+    }
+}
+
+impl RunObserver for BufferedObserver {
+    fn arm_started(&self, label: &str) {
+        self.record(ObsEvent::ArmStarted(label.to_owned()));
+    }
+
+    fn stage_started(&self, stage: StageKind) {
+        self.record(ObsEvent::Started(stage));
+    }
+
+    fn stage_finished(&self, stage: StageKind, wall: Duration) {
+        self.record(ObsEvent::Finished(stage, wall));
+    }
+
+    fn counter(&self, stage: StageKind, name: &str, value: u64) {
+        self.record(ObsEvent::Counter(stage, name.to_owned(), value));
+    }
+
+    fn stage_loaded(&self, stage: StageKind, fingerprint: &str) {
+        self.record(ObsEvent::Loaded(stage, fingerprint.to_owned()));
     }
 }
 
@@ -260,6 +350,40 @@ mod tests {
             obs.loaded(),
             vec![(StageKind::Crowd, "00000000deadbeef".to_owned())]
         );
+    }
+
+    #[test]
+    fn buffered_observer_replays_in_recording_order() {
+        let buf = BufferedObserver::new();
+        buf.arm_started("seed-8");
+        buf.stage_started(StageKind::Crowd);
+        buf.counter(StageKind::Crowd, "checks", 9);
+        buf.stage_finished(StageKind::Crowd, Duration::from_millis(2));
+        buf.stage_loaded(StageKind::Crawl, "00000000deadbeef");
+
+        let target = TimingObserver::new();
+        buf.replay(&target);
+        let timings = target.timings();
+        assert_eq!(timings.len(), 1);
+        assert_eq!(timings[0].arm, "seed-8");
+        assert_eq!(timings[0].counters, vec![("checks".to_owned(), 9)]);
+        assert_eq!(target.loads(StageKind::Crawl), 1);
+        // Replay is repeatable (the buffer is not drained).
+        buf.replay(&target);
+        assert_eq!(target.timings().len(), 2);
+    }
+
+    #[test]
+    fn timing_observer_tags_stages_with_the_current_arm() {
+        let obs = TimingObserver::new();
+        obs.stage_started(StageKind::Build);
+        obs.stage_finished(StageKind::Build, Duration::ZERO);
+        obs.arm_started("us-heavy");
+        obs.stage_started(StageKind::Crowd);
+        obs.stage_finished(StageKind::Crowd, Duration::ZERO);
+        let timings = obs.timings();
+        assert_eq!(timings[0].arm, "", "pre-sweep stages are unlabeled");
+        assert_eq!(timings[1].arm, "us-heavy");
     }
 
     #[test]

@@ -15,7 +15,8 @@
 
 use crate::config::ExperimentConfig;
 use crate::executor::Executor;
-use crate::observer::{NullObserver, RunObserver, StageKind};
+use crate::frames::FrameCache;
+use crate::observer::{BufferedObserver, NullObserver, RunObserver, StageKind};
 use crate::report::Report;
 use crate::scenario::{Profile, RunPlan, Scenario, ScenarioParams, ScenarioRegistry};
 use crate::stage::{self, AnalysisArtifact, CrawlArtifact, CrowdArtifact, PersonaArtifact};
@@ -40,6 +41,9 @@ pub struct Engine {
     /// (such stages are skipped by [`Engine::save_artifacts`] — their
     /// bytes are already in the store).
     loaded_stages: Vec<StageKind>,
+    /// Per-domain frame cache the analysis stage reuses across repeated
+    /// `analyze()` calls; shared across sweep arms built by one builder.
+    frames: Arc<FrameCache>,
     crowd: Option<CrowdArtifact>,
     crawl: Option<CrawlArtifact>,
     personas: Option<PersonaArtifact>,
@@ -129,6 +133,7 @@ impl Engine {
             artifacts_dir: None,
             provenance,
             loaded_stages: Vec::new(),
+            frames: Arc::new(FrameCache::new()),
             crowd: None,
             crawl: None,
             personas: None,
@@ -153,6 +158,21 @@ impl Engine {
     pub fn with_provenance(mut self, provenance: Provenance) -> Self {
         self.provenance = provenance;
         self
+    }
+
+    /// Replaces the engine's frame cache with a shared one (the builder
+    /// does this so every sweep arm reuses per-domain frames keyed by
+    /// the same upstream fingerprints).
+    #[must_use]
+    pub fn with_frame_cache(mut self, frames: Arc<FrameCache>) -> Self {
+        self.frames = frames;
+        self
+    }
+
+    /// The per-domain frame cache in force.
+    #[must_use]
+    pub fn frame_cache(&self) -> &Arc<FrameCache> {
+        &self.frames
     }
 
     /// The attached read-through store directory, if any.
@@ -416,10 +436,11 @@ impl Engine {
         self.personas();
         stage::analysis_stage(
             &self.world,
-            &self.plan.config,
+            &self.plan,
             self.crowd.as_ref().expect("cached above"),
             self.crawl.as_ref().expect("cached above"),
             self.personas.as_ref().expect("cached above"),
+            &self.frames,
             &self.executor,
             self.observer.as_ref(),
         )
@@ -629,6 +650,44 @@ impl ExperimentBuilder {
         Ok((name.to_owned(), variants))
     }
 
+    /// Assembles one arm's engine: provenance from the scenario/label,
+    /// the shared frame cache, and (with
+    /// [`ExperimentBuilder::artifacts`]) the arm's store subdirectory.
+    /// The single place this wiring exists — `build`, `build_variants`
+    /// and `run_sweep` all go through it, so they cannot drift.
+    /// `executor` is the executor the engine will actually run on (the
+    /// full budget, or the intra-arm share under `run_sweep`); its
+    /// thread count is what the provenance records.
+    fn arm_engine(
+        &self,
+        name: &str,
+        label: &str,
+        plan: RunPlan,
+        executor: Executor,
+        observer: Arc<dyn RunObserver>,
+        frames: &Arc<FrameCache>,
+    ) -> Engine {
+        let provenance = Provenance::new(
+            name,
+            label,
+            self.profile.name(),
+            plan.config.seed.value(),
+            executor.threads(),
+        );
+        let mut engine = Engine::from_plan(plan, executor, observer)
+            .with_provenance(provenance)
+            .with_frame_cache(Arc::clone(frames));
+        if let Some(dir) = &self.artifacts {
+            let arm_dir = if label.is_empty() {
+                dir.clone()
+            } else {
+                dir.join(label)
+            };
+            engine = engine.with_artifacts(arm_dir);
+        }
+        engine
+    }
+
     /// Builds the engine for a single-run scenario.
     ///
     /// # Errors
@@ -642,20 +701,15 @@ impl ExperimentBuilder {
             return Err(BuildError::SweepScenario(name));
         }
         let (label, plan) = variants.remove(0);
-        let executor = Executor::new(self.threads);
-        let provenance = Provenance::new(
+        let frames = Arc::new(FrameCache::new());
+        Ok(self.arm_engine(
             &name,
             &label,
-            self.profile.name(),
-            plan.config.seed.value(),
-            executor.threads(),
-        );
-        let mut engine =
-            Engine::from_plan(plan, executor, self.observer).with_provenance(provenance);
-        if let Some(dir) = self.artifacts {
-            engine = engine.with_artifacts(dir);
-        }
-        Ok(engine)
+            plan,
+            Executor::new(self.threads),
+            Arc::clone(&self.observer),
+            &frames,
+        ))
     }
 
     /// Builds one engine per scenario variant (a single-run scenario
@@ -668,30 +722,103 @@ impl ExperimentBuilder {
     pub fn build_variants(self) -> Result<Vec<(String, Engine)>, BuildError> {
         let (name, variants) = self.resolve()?;
         let executor = Executor::new(self.threads);
+        // One frame cache for the whole sweep: arms whose upstream
+        // measurement fingerprints coincide reuse each other's frames.
+        let frames = Arc::new(FrameCache::new());
         Ok(variants
             .into_iter()
             .map(|(label, plan)| {
-                let provenance = Provenance::new(
+                let engine = self.arm_engine(
                     &name,
                     &label,
-                    self.profile.name(),
-                    plan.config.seed.value(),
-                    executor.threads(),
+                    plan,
+                    executor,
+                    Arc::clone(&self.observer),
+                    &frames,
                 );
-                let mut engine = Engine::from_plan(plan, executor, Arc::clone(&self.observer))
-                    .with_provenance(provenance);
-                if let Some(dir) = &self.artifacts {
-                    let arm_dir = if label.is_empty() {
-                        dir.clone()
-                    } else {
-                        dir.join(&label)
-                    };
-                    engine = engine.with_artifacts(arm_dir);
-                }
                 (label, engine)
             })
             .collect())
     }
+
+    /// Runs every scenario arm to completion, **fanning the arms across
+    /// the deterministic executor**. This is the engine's sweep hot
+    /// path: the thread budget is split arm-level × intra-arm
+    /// ([`Executor::split`], never oversubscribing `threads`), every arm
+    /// runs its full pipeline under an arm-scoped [`BufferedObserver`],
+    /// and when all arms have joined the buffers are replayed into the
+    /// builder's observer in label order — so observers see the exact
+    /// event stream a serial sweep would have produced, and reports stay
+    /// byte-identical at any thread count.
+    ///
+    /// Single-run scenarios work too (one arm labeled `""`, the whole
+    /// budget intra-arm), so callers like the `pd` CLI can treat every
+    /// scenario uniformly.
+    ///
+    /// Arms share the builder's [`FrameCache`]; with
+    /// [`ExperimentBuilder::artifacts`], each labeled arm reads (and its
+    /// returned engine later writes) its own store subdirectory.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::UnknownScenario`] if the name is not registered;
+    /// [`BuildError::ConfigOverridesSweep`] under the same conditions as
+    /// [`ExperimentBuilder::build_variants`].
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any arm.
+    pub fn run_sweep(self) -> Result<Vec<SweepArmRun>, BuildError> {
+        let (name, variants) = self.resolve()?;
+        let total = Executor::new(self.threads);
+        let (arm_exec, intra) = total.split(variants.len());
+        let frames = Arc::new(FrameCache::new());
+        let buffers: Vec<Arc<BufferedObserver>> = variants
+            .iter()
+            .map(|_| Arc::new(BufferedObserver::new()))
+            .collect();
+        let runs = arm_exec.map_indexed(variants.len(), |i| {
+            let (label, plan) = &variants[i];
+            let observer = Arc::clone(&buffers[i]);
+            if !label.is_empty() {
+                observer.arm_started(label);
+            }
+            let mut engine = self.arm_engine(&name, label, plan.clone(), intra, observer, &frames);
+            let analysis = engine.analyze();
+            SweepArmRun {
+                label: label.clone(),
+                engine,
+                analysis,
+            }
+        });
+        // Arms may have finished in any order; the observer stream is
+        // re-serialized in arm (label) order.
+        for buffer in &buffers {
+            buffer.replay(self.observer.as_ref());
+        }
+        // The arm buffers are done for: re-attach the builder's
+        // observer so post-sweep engine calls (a re-analyze under new
+        // knobs, a store probe) report live instead of into a buffer
+        // nobody will replay.
+        let mut runs = runs;
+        for run in &mut runs {
+            run.engine.observer = Arc::clone(&self.observer);
+        }
+        Ok(runs)
+    }
+}
+
+/// One completed arm of [`ExperimentBuilder::run_sweep`]: its label, the
+/// engine that ran it (still holding the cached stage artifacts, ready
+/// for [`Engine::save_artifacts`]) and the analysis it produced.
+#[derive(Debug)]
+pub struct SweepArmRun {
+    /// The scenario's arm label (`""` for single-run scenarios).
+    pub label: String,
+    /// The arm's engine, post-analysis.
+    pub engine: Engine,
+    /// The arm's analysis artifact (report included).
+    pub analysis: AnalysisArtifact,
 }
 
 /// The original experiment driver, kept as a compatibility shim over the
@@ -823,6 +950,7 @@ impl Experiment {
             cleaning,
             crawl_store,
             &personas,
+            None,
             exec,
             &NullObserver,
         )

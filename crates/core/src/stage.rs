@@ -29,6 +29,7 @@
 
 use crate::config::ExperimentConfig;
 use crate::executor::Executor;
+use crate::frames::FrameCache;
 use crate::observer::{RunObserver, StageKind};
 use crate::report::{Fig8Grid, Report};
 use crate::scenario::RunPlan;
@@ -143,7 +144,7 @@ fn clean_crowd_store(
     let web = &world.web;
     let crowd = &world.crowd;
     let fx = web.fx();
-    let (cleaned, mut report) = clean(raw, fx, |m| {
+    let (mut cleaned, mut report) = clean(raw, fx, |m| {
         // Refetch the URI as the user's own browser would and re-extract
         // with the retailer's template highlight.
         let user = crowd.users().get(m.user.index())?;
@@ -175,22 +176,16 @@ fn clean_crowd_store(
     let verdicts = exec.map_indexed(domains.len(), |i| {
         is_tax_explained(world, config, &domains[i])
     });
-    let tax_explained: std::collections::HashSet<&String> = domains
+    let tax_explained: std::collections::HashSet<&str> = domains
         .iter()
         .zip(&verdicts)
         .filter(|(_, v)| **v)
-        .map(|(d, _)| d)
+        .map(|(d, _)| d.as_str())
         .collect();
-    let mut final_store = MeasurementStore::new();
-    for m in cleaned.records() {
-        if tax_explained.contains(&m.domain) {
-            report.dropped_tax_explained += 1;
-            report.kept -= 1;
-        } else {
-            final_store.push(m.clone());
-        }
-    }
-    (final_store, report)
+    let dropped = cleaned.retain(|m| !tax_explained.contains(m.domain.as_str()));
+    report.dropped_tax_explained += dropped;
+    report.kept -= dropped;
+    (cleaned, report)
 }
 
 /// The `no-cleaning` ablation: keep everything, account honestly.
@@ -451,33 +446,57 @@ pub fn targets_from_crowd(
 }
 
 /// Stage 5: every figure and table, from the upstream artifacts. The
-/// per-retailer attribution probes fan across the executor.
+/// per-retailer attribution probes fan across the executor, and the
+/// check frames come from the [`FrameCache`]: per-domain shards built in
+/// parallel on the first call, reused (`frames_built = 0`) by every
+/// later `analyze()` on the same measurement fingerprints — including
+/// `pd rerun` and sweep arms sharing an upstream crawl.
 #[must_use]
+#[allow(clippy::too_many_arguments)]
 pub fn analysis_stage(
     world: &World,
-    config: &ExperimentConfig,
+    plan: &RunPlan,
     crowd: &CrowdArtifact,
     crawl_art: &CrawlArtifact,
     persona_art: &PersonaArtifact,
+    frames: &FrameCache,
     exec: &Executor,
     obs: &dyn RunObserver,
 ) -> AnalysisArtifact {
+    let keys = FrameKeys {
+        cache: frames,
+        crowd: crate::store::crowd_fingerprint(plan).as_u64(),
+        crawl: crate::store::crawl_fingerprint(plan).as_u64(),
+    };
     analysis_over(
         world,
-        config,
+        &plan.config,
         &crowd.raw,
         &crowd.cleaned,
         crowd.cleaning,
         &crawl_art.store,
         persona_art,
+        Some(keys),
         exec,
         obs,
     )
 }
 
+/// How [`analysis_over`] should obtain its frames: through a
+/// [`FrameCache`] under the plan's measurement fingerprints.
+pub(crate) struct FrameKeys<'a> {
+    /// The shared cache.
+    pub cache: &'a FrameCache,
+    /// The crowd-stage fingerprint (keys the cleaned-crowd frame).
+    pub crowd: u64,
+    /// The crawl-stage fingerprint (keys the crawl frame).
+    pub crawl: u64,
+}
+
 /// The analysis body over borrowed stores — shared by the artifact-based
 /// [`analysis_stage`] and the legacy `Experiment::analyze` shim (which
-/// receives bare store references and must not clone them).
+/// receives bare store references with no plan lineage, so it passes no
+/// frame keys and builds uncached).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn analysis_over(
     world: &World,
@@ -487,24 +506,48 @@ pub(crate) fn analysis_over(
     cleaning: CleaningReport,
     crawl_store: &MeasurementStore,
     persona_art: &PersonaArtifact,
+    frames: Option<FrameKeys<'_>>,
     exec: &Executor,
     obs: &dyn RunObserver,
 ) -> AnalysisArtifact {
     observed(obs, StageKind::Analysis, || {
         let fx = world.web.fx();
-        let crowd_frame = pd_analysis::CheckFrame::build(crowd_clean, fx);
-        let crawl_frame = pd_analysis::CheckFrame::build(crawl_store, fx);
+        let (crowd_frame, crawl_frame) = match frames {
+            Some(keys) => {
+                let (crowd_frame, crowd_stats) =
+                    keys.cache.frame_for(keys.crowd, crowd_clean, fx, exec);
+                let (crawl_frame, crawl_stats) =
+                    keys.cache.frame_for(keys.crawl, crawl_store, fx, exec);
+                obs.counter(
+                    StageKind::Analysis,
+                    "frames_built",
+                    (crowd_stats.built + crawl_stats.built) as u64,
+                );
+                obs.counter(
+                    StageKind::Analysis,
+                    "frames_reused",
+                    (crowd_stats.reused + crawl_stats.reused) as u64,
+                );
+                (crowd_frame, crawl_frame)
+            }
+            None => (
+                std::sync::Arc::new(pd_analysis::CheckFrame::build(crowd_clean, fx)),
+                std::sync::Arc::new(pd_analysis::CheckFrame::build(crawl_store, fx)),
+            ),
+        };
+        let crowd_frame = &*crowd_frame;
+        let crawl_frame = &*crawl_frame;
         let labels = world.vantage_labels();
 
         // Fig. 1 + Fig. 2 (crowd view).
-        let fig1 = crowd_figs::fig1_ranking(&crowd_frame, config.analysis.fig1_domains);
+        let fig1 = crowd_figs::fig1_ranking(crowd_frame, config.analysis.fig1_domains);
         let fig1_domains: Vec<String> = fig1.iter().map(|b| b.domain.clone()).collect();
-        let fig2 = crowd_figs::fig2_ratio_boxes(&crowd_frame, &fig1_domains);
+        let fig2 = crowd_figs::fig2_ratio_boxes(crowd_frame, &fig1_domains);
 
         // Figs. 3–5 (crawl view).
-        let fig3 = crawl::fig3_extent(&crawl_frame);
-        let fig4 = crawl::fig4_magnitude(&crawl_frame);
-        let (fig5_points, fig5_envelope) = crawl::fig5_scatter(&crawl_frame);
+        let fig3 = crawl::fig3_extent(crawl_frame);
+        let fig4 = crawl::fig4_magnitude(crawl_frame);
+        let (fig5_points, fig5_envelope) = crawl::fig5_scatter(crawl_frame);
 
         // Fig. 6: digitalrev (multiplicative) and energie (additive), at
         // the paper's three locations: New York, UK, Finland.
@@ -512,11 +555,11 @@ pub(crate) fn analysis_over(
             .iter()
             .filter_map(|l| world.vantage_by_label(l).map(|vp| (vp.id, vp.label())))
             .collect();
-        let fig6a = strategy::fig6_curves(&crawl_frame, "www.digitalrev.com", &fig6_locs);
-        let fig6b = strategy::fig6_curves(&crawl_frame, "www.energie.it", &fig6_locs);
+        let fig6a = strategy::fig6_curves(crawl_frame, "www.digitalrev.com", &fig6_locs);
+        let fig6b = strategy::fig6_curves(crawl_frame, "www.energie.it", &fig6_locs);
 
         // Fig. 7 over the full fleet.
-        let fig7 = location::fig7_location_boxes(&crawl_frame, &labels);
+        let fig7 = location::fig7_location_boxes(crawl_frame, &labels);
 
         // Fig. 8 grids.
         let grid = |domain: &str, labels: &[&str]| {
@@ -526,7 +569,7 @@ pub(crate) fn analysis_over(
                 .collect();
             Fig8Grid {
                 domain: domain.to_owned(),
-                cells: location::fig8_pairwise(&crawl_frame, domain, &vps),
+                cells: location::fig8_pairwise(crawl_frame, domain, &vps),
             }
         };
         let fig8a = grid(
@@ -568,7 +611,7 @@ pub(crate) fn analysis_over(
             .vantage_by_label("Finland - Tampere")
             .expect("Finland probe exists")
             .id;
-        let fig9 = location::fig9_finland(&crawl_frame, finland);
+        let fig9 = location::fig9_finland(crawl_frame, finland);
 
         // Fig. 10 + persona summary, from the persona artifact.
         let fig10 = login::fig10(&persona_art.login);

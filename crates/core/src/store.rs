@@ -380,6 +380,11 @@ pub struct ManifestEntry {
     pub file: String,
     /// Serialized size in bytes.
     pub bytes: u64,
+    /// Serialized size of the payload alone (the artifact body without
+    /// the envelope framing — the number a compact payload encoding,
+    /// the ROADMAP follow-up to the JSON store, would shrink). `None`
+    /// in manifests written before this field existed.
+    pub payload_bytes: Option<u64>,
     /// Hex fingerprints of the upstream artifacts this one was derived
     /// from (empty for measurement stages).
     pub upstream: Vec<String>,
@@ -543,6 +548,20 @@ impl ArtifactStore {
             payload: serde_json::to_value(artifact),
         };
         let text = serde_json::to_string(&envelope).expect("envelope serializes");
+        // Payload size without re-serializing the payload: render the
+        // same envelope around a `null` payload and subtract the
+        // framing (rendering is deterministic — sorted keys, no
+        // whitespace — so the framing length is exact).
+        let framing = {
+            let hollow = Envelope {
+                payload: Value::Null,
+                ..envelope
+            };
+            serde_json::to_string(&hollow)
+                .expect("envelope serializes")
+                .len()
+                - "null".len()
+        };
         let file = format!("{stage}.json");
         let path = self.dir.join(&file);
         write_atomic(&path, text.as_bytes())?;
@@ -551,6 +570,7 @@ impl ArtifactStore {
             fingerprint: fingerprint.to_string(),
             file,
             bytes: text.len() as u64,
+            payload_bytes: Some((text.len() - framing) as u64),
             upstream: upstream.iter().map(Fingerprint::to_string).collect(),
         };
         match self.manifest.entries.iter_mut().find(|e| e.stage == stage) {
@@ -605,7 +625,8 @@ impl ArtifactStore {
 
     /// Checks every manifest entry against its file: existence, parse,
     /// schema version, stage and fingerprint consistency. Used by
-    /// `pd artifacts ls`.
+    /// `pd artifacts ls` (payload sizes come straight off the manifest
+    /// — [`ManifestEntry::payload_bytes`] is recorded at save time).
     #[must_use]
     pub fn verify(&self) -> Vec<(ManifestEntry, EntryHealth)> {
         self.manifest

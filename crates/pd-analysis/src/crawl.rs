@@ -28,7 +28,7 @@ pub fn fig3_extent(frame: &CheckFrame) -> Vec<Fig3Bar> {
         .map(|domain| {
             let ratios: Vec<f64> = frame.by_domain(&domain).map(|r| r.ratio).collect();
             Fig3Bar {
-                domain,
+                domain: domain.to_string(),
                 extent: fraction_above(&ratios, 1.0),
                 checks: ratios.len(),
             }
@@ -50,7 +50,7 @@ pub fn fig3_extent(frame: &CheckFrame) -> Vec<Fig3Bar> {
 /// times" methodology).
 #[must_use]
 pub fn fig4_magnitude(frame: &CheckFrame) -> Vec<RatioBox> {
-    let mut per_domain: std::collections::BTreeMap<String, Vec<f64>> =
+    let mut per_domain: std::collections::BTreeMap<std::sync::Arc<str>, Vec<f64>> =
         std::collections::BTreeMap::new();
     for ((domain, _slug), rows) in frame.by_product() {
         let mut daily: Vec<f64> = rows.iter().map(|r| r.ratio).collect();
@@ -61,7 +61,10 @@ pub fn fig4_magnitude(frame: &CheckFrame) -> Vec<RatioBox> {
     per_domain
         .into_iter()
         .filter_map(|(domain, ratios)| {
-            BoxStats::compute(&ratios).map(|stats| RatioBox { domain, stats })
+            BoxStats::compute(&ratios).map(|stats| RatioBox {
+                domain: domain.to_string(),
+                stats,
+            })
         })
         .collect()
 }
@@ -91,8 +94,8 @@ pub fn fig5_scatter(frame: &CheckFrame) -> (Vec<Fig5Point>, Vec<LogBucket>) {
             let min_price = rows.iter().map(|r| r.min_usd).fold(f64::MAX, f64::min);
             let max_ratio = rows.iter().map(|r| r.ratio).fold(1.0f64, f64::max);
             Fig5Point {
-                domain,
-                slug,
+                domain: domain.to_string(),
+                slug: slug.to_string(),
                 min_price,
                 max_ratio,
             }
@@ -107,10 +110,11 @@ pub fn fig5_scatter(frame: &CheckFrame) -> (Vec<Fig5Point>, Vec<LogBucket>) {
 mod tests {
     use super::*;
     use crate::frame::CheckRow;
-    use pd_util::VantageId;
+    use pd_util::{RequestId, VantageId};
 
     fn row(domain: &str, slug: &str, day: usize, min_usd: f64, ratio: f64) -> CheckRow {
         CheckRow {
+            request: RequestId::new(0),
             domain: domain.into(),
             slug: slug.into(),
             day,

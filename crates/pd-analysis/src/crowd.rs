@@ -23,7 +23,7 @@ pub fn fig1_ranking(frame: &CheckFrame, top: usize) -> Vec<Fig1Bar> {
     let mut counts: std::collections::BTreeMap<&str, (usize, usize)> =
         std::collections::BTreeMap::new();
     for row in frame.rows() {
-        let e = counts.entry(&row.domain).or_insert((0, 0));
+        let e = counts.entry(&*row.domain).or_insert((0, 0));
         e.1 += 1;
         if row.genuine {
             e.0 += 1;
@@ -79,10 +79,11 @@ pub fn fig2_ratio_boxes(frame: &CheckFrame, domains: &[String]) -> Vec<RatioBox>
 mod tests {
     use super::*;
     use crate::frame::CheckRow;
-    use pd_util::VantageId;
+    use pd_util::{RequestId, VantageId};
 
     fn row(domain: &str, ratio: f64) -> CheckRow {
         CheckRow {
+            request: RequestId::new(0),
             domain: domain.into(),
             slug: "p".into(),
             day: 0,

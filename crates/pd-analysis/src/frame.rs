@@ -7,16 +7,23 @@
 
 use pd_currency::{band_filter, FxSeries};
 use pd_sheriff::{Measurement, MeasurementStore};
-use pd_util::VantageId;
+use pd_util::{intern, RequestId, VantageId};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One synchronized check, analysis-ready.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CheckRow {
-    /// Retailer domain.
-    pub domain: String,
-    /// Product slug.
-    pub slug: String,
+    /// The source measurement's dense request id — its position in the
+    /// producing [`MeasurementStore`]. Per-domain shards built with
+    /// [`CheckFrame::build_domain`] keep it, so
+    /// [`CheckFrame::merge_shards`] can splice shards back into exact
+    /// store order.
+    pub request: RequestId,
+    /// Retailer domain (interned: clones are refcount bumps).
+    pub domain: Arc<str>,
+    /// Product slug (interned: clones are refcount bumps).
+    pub slug: Arc<str>,
     /// Simulation day of the check.
     pub day: usize,
     /// Per-vantage USD values (mid-rate), only successful extractions.
@@ -46,8 +53,9 @@ impl CheckRow {
         let verdict = band_filter(fx, &prices, day)?;
         let min_usd = usd.iter().map(|(_, v)| *v).fold(f64::MAX, f64::min);
         Some(CheckRow {
-            domain: m.domain.clone(),
-            slug: m.product_slug.clone(),
+            request: m.request,
+            domain: intern(&m.domain),
+            slug: intern(&m.product_slug),
             day,
             usd,
             genuine: verdict.genuine,
@@ -69,6 +77,10 @@ impl CheckRow {
             .map(|(_, value)| *value)
     }
 }
+
+/// An interned `(domain, slug)` pair — the grouping key of
+/// [`CheckFrame::by_product`]. Clones are refcount bumps.
+pub type ProductKey = (Arc<str>, Arc<str>);
 
 /// A collection of check rows with domain/product indexing.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -95,6 +107,9 @@ impl CheckFrame {
     /// for per-retailer analysis fan-out: building one frame per crawled
     /// domain (in any order, or concurrently) and analyzing each shard
     /// yields the same per-domain results as filtering the full frame.
+    /// Rows keep their source [`CheckRow::request`] position, so
+    /// [`CheckFrame::merge_shards`] can reassemble the shards into the
+    /// exact frame [`CheckFrame::build`] would produce.
     #[must_use]
     pub fn build_domain(store: &MeasurementStore, fx: &FxSeries, domain: &str) -> Self {
         CheckFrame {
@@ -103,6 +118,32 @@ impl CheckFrame {
                 .filter_map(|m| CheckRow::from_measurement(m, fx))
                 .collect(),
         }
+    }
+
+    /// Builds a frame from pre-built rows, trusting the caller's
+    /// filtering (advanced: for callers that partition a store
+    /// themselves, like the engine's frame cache, where re-scanning the
+    /// store per domain would be quadratic).
+    #[must_use]
+    pub fn from_rows(rows: Vec<CheckRow>) -> Self {
+        CheckFrame { rows }
+    }
+
+    /// Splices per-domain shards (any order) back into store order: the
+    /// result is row-for-row equal to [`CheckFrame::build`] on the full
+    /// store the shards were cut from. This is what lets the engine
+    /// build (and cache) frames one retailer at a time — in parallel —
+    /// without perturbing a single figure.
+    #[must_use]
+    pub fn merge_shards<'a>(shards: impl IntoIterator<Item = &'a CheckFrame>) -> Self {
+        let mut rows: Vec<CheckRow> = shards
+            .into_iter()
+            .flat_map(|shard| shard.rows.iter().cloned())
+            .collect();
+        // Request ids are dense store positions, so this sort is exactly
+        // "original store order" (keys are unique; unstable is safe).
+        rows.sort_unstable_by_key(|r| r.request.index());
+        CheckFrame { rows }
     }
 
     /// All rows.
@@ -123,14 +164,14 @@ impl CheckFrame {
         self.rows.is_empty()
     }
 
-    /// Distinct domains in first-seen order.
+    /// Distinct domains in first-seen order (cheap `Arc` clones).
     #[must_use]
-    pub fn domains(&self) -> Vec<String> {
+    pub fn domains(&self) -> Vec<Arc<str>> {
         let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
         for r in &self.rows {
-            if seen.insert(r.domain.as_str()) {
-                out.push(r.domain.clone());
+            if seen.insert(&*r.domain) {
+                out.push(Arc::clone(&r.domain));
             }
         }
         out
@@ -138,18 +179,18 @@ impl CheckFrame {
 
     /// Rows of one domain.
     pub fn by_domain<'a>(&'a self, domain: &'a str) -> impl Iterator<Item = &'a CheckRow> {
-        self.rows.iter().filter(move |r| r.domain == domain)
+        self.rows.iter().filter(move |r| &*r.domain == domain)
     }
 
     /// Rows grouped per product `(domain, slug)`, preserving first-seen
     /// product order.
     #[must_use]
-    pub fn by_product(&self) -> Vec<((String, String), Vec<&CheckRow>)> {
-        let mut order: Vec<(String, String)> = Vec::new();
-        let mut map: std::collections::HashMap<(String, String), Vec<&CheckRow>> =
+    pub fn by_product(&self) -> Vec<(ProductKey, Vec<&CheckRow>)> {
+        let mut order: Vec<ProductKey> = Vec::new();
+        let mut map: std::collections::HashMap<ProductKey, Vec<&CheckRow>> =
             std::collections::HashMap::new();
         for r in &self.rows {
-            let key = (r.domain.clone(), r.slug.clone());
+            let key = (Arc::clone(&r.domain), Arc::clone(&r.slug));
             if !map.contains_key(&key) {
                 order.push(key.clone());
             }
@@ -237,7 +278,14 @@ mod tests {
         store.push(meas("b.example", "q", &[Some(200), Some(300)]));
         let frame = CheckFrame::build(&store, &fx());
         assert_eq!(frame.len(), 4);
-        assert_eq!(frame.domains(), vec!["a.example", "b.example"]);
+        assert_eq!(
+            frame
+                .domains()
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>(),
+            vec!["a.example", "b.example"]
+        );
         assert_eq!(frame.by_domain("a.example").count(), 3);
         let products = frame.by_product();
         assert_eq!(products.len(), 3);
@@ -259,5 +307,26 @@ mod tests {
             assert_eq!(a, b);
         }
         assert!(CheckFrame::build_domain(&store, &fx(), "gone.example").is_empty());
+    }
+
+    #[test]
+    fn merged_shards_equal_full_build() {
+        let mut store = MeasurementStore::new();
+        // Interleaved domains, so splicing genuinely has to reorder.
+        store.push(meas("a.example", "p1", &[Some(100), Some(130)]));
+        store.push(meas("b.example", "q", &[Some(200), Some(300)]));
+        store.push(meas("a.example", "p2", &[Some(100), None, None])); // skipped row
+        store.push(meas("c.example", "r", &[Some(50), Some(55)]));
+        store.push(meas("b.example", "q", &[Some(210), Some(290)]));
+        let full = CheckFrame::build(&store, &fx());
+        let shards: Vec<CheckFrame> = store
+            .domains()
+            .iter()
+            // Reversed build order: merge_shards must not care.
+            .rev()
+            .map(|d| CheckFrame::build_domain(&store, &fx(), d))
+            .collect();
+        let merged = CheckFrame::merge_shards(&shards);
+        assert_eq!(merged.rows(), full.rows());
     }
 }

@@ -93,7 +93,7 @@ pub fn fig8_pairwise(
     // Per product: median ratio per location (to the product min).
     let mut per_product: Vec<std::collections::HashMap<VantageId, f64>> = Vec::new();
     for ((d, _slug), rows) in frame.by_product() {
-        if d != domain {
+        if &*d != domain {
             continue;
         }
         let mut loc_ratios: std::collections::HashMap<VantageId, Vec<f64>> =
@@ -187,7 +187,7 @@ pub struct Fig9Box {
 /// tuscanyleather.it)".
 #[must_use]
 pub fn fig9_finland(frame: &CheckFrame, finland: VantageId) -> Vec<Fig9Box> {
-    let mut per_domain: std::collections::BTreeMap<String, Vec<f64>> =
+    let mut per_domain: std::collections::BTreeMap<std::sync::Arc<str>, Vec<f64>> =
         std::collections::BTreeMap::new();
     for ((domain, _slug), rows) in frame.by_product() {
         let mut ratios = Vec::new();
@@ -210,7 +210,7 @@ pub fn fig9_finland(frame: &CheckFrame, finland: VantageId) -> Vec<Fig9Box> {
         .filter_map(|(domain, ratios)| {
             BoxStats::compute(&ratios).map(|stats| Fig9Box {
                 finland_cheapest: stats.q3 <= 1.005,
-                domain,
+                domain: domain.to_string(),
                 stats,
             })
         })

@@ -67,13 +67,15 @@ pub fn fig6_curves(
         min_price: f64,
         per_loc: std::collections::HashMap<VantageId, Vec<f64>>,
     }
-    let mut products: std::collections::HashMap<String, ProductAgg> =
+    let mut products: std::collections::HashMap<std::sync::Arc<str>, ProductAgg> =
         std::collections::HashMap::new();
     for row in frame.by_domain(domain) {
-        let agg = products.entry(row.slug.clone()).or_insert(ProductAgg {
-            min_price: f64::MAX,
-            per_loc: std::collections::HashMap::new(),
-        });
+        let agg = products
+            .entry(std::sync::Arc::clone(&row.slug))
+            .or_insert(ProductAgg {
+                min_price: f64::MAX,
+                per_loc: std::collections::HashMap::new(),
+            });
         agg.min_price = agg.min_price.min(row.min_usd);
         for &(vid, usd) in &row.usd {
             if row.min_usd > 0.0 {

@@ -138,6 +138,21 @@ impl MeasurementStore {
         }
     }
 
+    /// Keeps only the measurements `keep` accepts, re-assigning dense
+    /// request ids (the store's invariant: a record's request id is its
+    /// position). Returns how many records were dropped. This is the
+    /// allocation-free way to filter a store in place — the cleaning
+    /// pass uses it instead of cloning every surviving measurement into
+    /// a fresh store.
+    pub fn retain(&mut self, mut keep: impl FnMut(&Measurement) -> bool) -> usize {
+        let before = self.records.len();
+        self.records.retain(|m| keep(m));
+        for (i, m) in self.records.iter_mut().enumerate() {
+            m.request = RequestId::new(u32::try_from(i).expect("store overflow"));
+        }
+        before - self.records.len()
+    }
+
     /// All measurements in insertion order.
     #[must_use]
     pub fn records(&self) -> &[Measurement] {
@@ -250,6 +265,21 @@ mod tests {
             assert_eq!(m.request.index(), i);
         }
         assert_eq!(a.records()[2].product_slug, "z");
+    }
+
+    #[test]
+    fn retain_reindexes_request_ids() {
+        let mut store = MeasurementStore::new();
+        store.push(meas("a.example", "x", vec![]));
+        store.push(meas("b.example", "y", vec![]));
+        store.push(meas("a.example", "z", vec![]));
+        let dropped = store.retain(|m| m.domain == "a.example");
+        assert_eq!(dropped, 1);
+        assert_eq!(store.len(), 2);
+        for (i, m) in store.records().iter().enumerate() {
+            assert_eq!(m.request.index(), i, "ids must stay dense positions");
+        }
+        assert_eq!(store.records()[1].product_slug, "z");
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! A global string interner for high-repetition identifiers.
+//!
+//! The analysis layer touches the same few hundred domain and product
+//! slugs millions of times at paper scale; storing each occurrence as an
+//! owned `String` made every `CheckRow` clone an allocation. Interning
+//! maps equal strings to one shared `Arc<str>`, so a "copy" is a
+//! reference-count bump and equality checks usually short-circuit on
+//! pointer identity.
+//!
+//! The pool is process-global and append-only: entries live for the
+//! process lifetime, which is the right trade for identifiers drawn from
+//! a small closed set (retailer domains, product slugs). Do not intern
+//! unbounded user input.
+//!
+//! ```
+//! use pd_util::intern::intern;
+//!
+//! let a = intern("www.shop.example");
+//! let b = intern("www.shop.example");
+//! assert!(std::sync::Arc::ptr_eq(&a, &b), "same string, same allocation");
+//! assert_eq!(&*a, "www.shop.example");
+//! ```
+
+use std::collections::HashSet;
+use std::sync::{Arc, OnceLock, RwLock};
+
+static POOL: OnceLock<RwLock<HashSet<Arc<str>>>> = OnceLock::new();
+
+fn pool() -> &'static RwLock<HashSet<Arc<str>>> {
+    POOL.get_or_init(|| RwLock::new(HashSet::new()))
+}
+
+/// Returns the shared `Arc<str>` for `s`, allocating it into the global
+/// pool on first sight. Two calls with equal strings return pointers to
+/// the same allocation.
+///
+/// Interning sits on the parallel frame-build hot path (twice per
+/// `CheckRow`), so the common case — the string is already pooled — is
+/// a shared read lock; the write lock is only taken on a miss, with a
+/// re-check for a racing inserter.
+///
+/// # Panics
+///
+/// Panics if the pool lock is poisoned (a thread panicked mid-intern).
+#[must_use]
+pub fn intern(s: &str) -> Arc<str> {
+    if let Some(hit) = pool().read().expect("intern pool lock").get(s) {
+        return Arc::clone(hit);
+    }
+    let mut pool = pool().write().expect("intern pool lock");
+    // Another thread may have interned `s` between our read and write.
+    if let Some(hit) = pool.get(s) {
+        return Arc::clone(hit);
+    }
+    let fresh: Arc<str> = Arc::from(s);
+    pool.insert(Arc::clone(&fresh));
+    fresh
+}
+
+/// Number of distinct strings currently interned (diagnostics only).
+///
+/// # Panics
+///
+/// Panics if the pool lock is poisoned (a thread panicked mid-intern).
+#[must_use]
+pub fn interned_count() -> usize {
+    pool().read().expect("intern pool lock").len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedupes_allocations() {
+        let a = intern("unit-test-domain.example");
+        let b = intern("unit-test-domain.example");
+        let c = intern("unit-test-other.example");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(&*c, "unit-test-other.example");
+    }
+
+    #[test]
+    fn pool_grows_monotonically() {
+        let before = interned_count();
+        let _ = intern("unit-test-growth-1.example");
+        let _ = intern("unit-test-growth-1.example");
+        let _ = intern("unit-test-growth-2.example");
+        let after = interned_count();
+        assert!(after >= before + 2, "{before} -> {after}");
+    }
+
+    #[test]
+    fn interned_values_survive_concurrent_use() {
+        let handles: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(|| intern("unit-test-concurrent.example")))
+            .collect();
+        let arcs: Vec<Arc<str>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for pair in arcs.windows(2) {
+            assert!(Arc::ptr_eq(&pair[0], &pair[1]));
+        }
+    }
+}

@@ -16,15 +16,20 @@
 //!   by every figure in the evaluation.
 //! * [`ids`] — strongly-typed identifiers (product, retailer, user, vantage
 //!   point) so the cross-crate plumbing cannot mix them up.
+//! * [`mod@intern`] — a global string interner; high-repetition identifiers
+//!   (retailer domains, product slugs) are shared as `Arc<str>` instead of
+//!   being cloned per row.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ids;
+pub mod intern;
 pub mod money;
 pub mod seed;
 pub mod stats;
 
 pub use ids::{ProductId, RequestId, RetailerId, UserId, VantageId};
+pub use intern::intern;
 pub use money::Money;
 pub use seed::Seed;

@@ -14,9 +14,10 @@
 //!
 //! Scenarios come from the `pd_core` registry; `pd list` (and `--help`)
 //! print the registered names. Sweep scenarios (e.g. `seed-sweep`) run
-//! every arm and label the output; `--json` then writes one object keyed
-//! by arm label, and `--artifacts` gives each arm its own store
-//! subdirectory.
+//! every arm **concurrently** on the deterministic executor (the
+//! `--threads` budget splits arm-level × intra-arm) and label the
+//! output in arm order; `--json` then writes one object keyed by arm
+//! label, and `--artifacts` gives each arm its own store subdirectory.
 //!
 //! `--artifacts DIR` is a transparent read-through cache: a stage whose
 //! fingerprint matches a stored artifact is loaded instead of computed,
@@ -84,8 +85,10 @@ fn usage(registry: &ScenarioRegistry) -> String {
          \n\
          OPTIONS:\n\
          \x20 --seed N         root seed (default 1307, the paper seed)\n\
-         \x20 --threads N      worker threads; 0 = all cores (default 1).\n\
-         \x20                  The report is byte-identical at any value.\n\
+         \x20 --threads N      worker threads; 0 = auto (all available cores;\n\
+         \x20                  default 1). Sweep arms run concurrently, splitting\n\
+         \x20                  the budget (arms × per-arm workers ≤ N). The\n\
+         \x20                  report is byte-identical at any value.\n\
          \x20 --profile P      workload scale (default small)\n\
          \x20 --json PATH      write the full report(s) as JSON\n\
          \x20 --render         print every figure, not just the summary\n\
@@ -196,9 +199,14 @@ fn print_timings(observer: &TimingObserver) {
     }
     for t in observer.timings() {
         let counters: Vec<String> = t.counters.iter().map(|(n, v)| format!("{n}={v}")).collect();
+        let stage = if t.arm.is_empty() {
+            t.stage.to_string()
+        } else {
+            format!("{}/{}", t.arm, t.stage)
+        };
         println!(
-            "  {:<9} {:>9.1} ms  {}",
-            t.stage.to_string(),
+            "  {:<22} {:>9.1} ms  {}",
+            stage,
             t.wall.as_secs_f64() * 1000.0,
             counters.join(" ")
         );
@@ -239,12 +247,19 @@ fn execute_run(run: &RunArgs) -> Result<(), String> {
     if let Some(dir) = &run.artifacts {
         builder = builder.artifacts(dir.clone());
     }
-    let variants = builder.build_variants().map_err(|e| e.to_string())?;
+    // Sweep arms run concurrently (the thread budget splits arm-level ×
+    // intra-arm); output, artifact saves and observer events stay in
+    // label order.
+    let arms = builder.run_sweep().map_err(|e| e.to_string())?;
 
     let mut reports = Vec::new();
-    for (label, mut engine) in variants {
+    for pd_core::SweepArmRun {
+        label,
+        engine,
+        analysis,
+    } in arms
+    {
         let fleet = engine.world().sheriff.vantage_points().len();
-        let analysis = engine.analyze();
         let report = analysis.report.clone();
         if label.is_empty() {
             println!(
@@ -409,13 +424,19 @@ fn execute_artifacts_ls(dir: &Path) -> Result<(), String> {
         m.schema_version, p.created_unix_ms
     );
     println!(
-        "  {:<10} {:<17} {:>10}  status",
-        "stage", "fingerprint", "bytes"
+        "  {:<10} {:<17} {:>10} {:>10}  status",
+        "stage", "fingerprint", "bytes", "payload"
     );
     for (entry, health) in store.verify() {
+        // Payload size (the artifact body inside the envelope, recorded
+        // at save time): the number a compact payload encoding would
+        // shrink. "-" for manifests written before the field existed.
+        let payload = entry
+            .payload_bytes
+            .map_or_else(|| "-".to_owned(), |b| b.to_string());
         println!(
-            "  {:<10} {:<17} {:>10}  {}",
-            entry.stage, entry.fingerprint, entry.bytes, health
+            "  {:<10} {:<17} {:>10} {:>10}  {}",
+            entry.stage, entry.fingerprint, entry.bytes, payload, health
         );
         for up in &entry.upstream {
             println!("  {:<10} upstream {up}", "");

@@ -52,6 +52,123 @@ fn sweep_arms_are_thread_deterministic() {
     assert_eq!(run(1), run(4));
 }
 
+/// The concurrent-arm golden test: `run_sweep` fans arms across the
+/// executor, and its reports — JSON **and** rendered — are
+/// byte-identical to the serial run at 1, 2, 4 and 8 threads.
+#[test]
+fn concurrent_sweep_reports_byte_identical_at_any_thread_count() {
+    let run = |threads: usize| -> Vec<(String, String, String)> {
+        Experiment::builder()
+            .scenario("seed-sweep")
+            .profile(Profile::Smoke)
+            .seed(1307)
+            .threads(threads)
+            .run_sweep()
+            .expect("sweep runs")
+            .into_iter()
+            .map(|arm| {
+                (
+                    arm.label,
+                    arm.analysis.report.to_json(),
+                    arm.analysis.report.render_all(),
+                )
+            })
+            .collect()
+    };
+    let serial = run(1);
+    assert_eq!(serial.len(), 3, "seed-sweep has three arms");
+    for threads in [2, 4, 8] {
+        assert_eq!(run(threads), serial, "diverged at {threads} threads");
+    }
+}
+
+/// The arm-level scheduler splits the thread budget instead of
+/// oversubscribing: with 8 threads over 3 arms each arm engine gets 2
+/// intra-arm workers (3 × 2 ≤ 8), and arm-scoped observer events are
+/// replayed complete and in label order.
+#[test]
+fn run_sweep_splits_the_thread_budget_and_orders_observer_events() {
+    let observer = Arc::new(TimingObserver::new());
+    let arms = Experiment::builder()
+        .scenario("seed-sweep")
+        .profile(Profile::Smoke)
+        .seed(1307)
+        .threads(8)
+        .observer(observer.clone())
+        .run_sweep()
+        .expect("sweep runs");
+    let mut arms = arms;
+    let labels: Vec<String> = arms.iter().map(|a| a.label.clone()).collect();
+    assert_eq!(labels, vec!["seed-1307", "seed-1308", "seed-1309"]);
+    for arm in &arms {
+        assert_eq!(arm.engine.executor().threads(), 2, "8 threads / 3 arms");
+    }
+    // Every arm's five stages ran exactly once, and the replayed stream
+    // is grouped per arm in label order.
+    assert_eq!(observer.starts(StageKind::Crowd), 3);
+    assert_eq!(observer.starts(StageKind::Analysis), 3);
+    let arm_order: Vec<String> = observer
+        .timings()
+        .into_iter()
+        .map(|t| t.arm)
+        .collect::<Vec<_>>()
+        .chunks(5)
+        .map(|chunk| {
+            assert!(
+                chunk.iter().all(|a| a == &chunk[0]),
+                "arm events interleaved: {chunk:?}"
+            );
+            chunk[0].clone()
+        })
+        .collect();
+    assert_eq!(arm_order, vec!["seed-1307", "seed-1308", "seed-1309"]);
+    // Post-sweep engine calls must report to the builder's observer
+    // again (not into the already-replayed arm buffer).
+    arms[0].engine.analyze();
+    assert_eq!(
+        observer.starts(StageKind::Analysis),
+        4,
+        "a re-analysis after the sweep must be observed live"
+    );
+}
+
+/// A single-run scenario through `run_sweep` is the one-arm degenerate
+/// case: label `""`, the whole budget intra-arm, same report as
+/// `build()` + `run()`.
+#[test]
+fn run_sweep_handles_single_run_scenarios() {
+    let mut arms = Experiment::builder()
+        .scenario("smoke")
+        .seed(7)
+        .threads(4)
+        .run_sweep()
+        .expect("single-run sweep");
+    assert_eq!(arms.len(), 1);
+    let arm = arms.remove(0);
+    assert_eq!(arm.label, "");
+    assert_eq!(arm.engine.executor().threads(), 4);
+    let mut direct = Experiment::builder()
+        .scenario("smoke")
+        .seed(7)
+        .build()
+        .expect("smoke builds");
+    assert_eq!(arm.analysis.report.to_json(), direct.run().to_json());
+}
+
+/// `--threads 0` means "auto": the builder resolves it to the machine's
+/// available parallelism (always ≥ 1) instead of rejecting it.
+#[test]
+fn zero_threads_resolves_to_available_cores() {
+    let engine = Experiment::builder()
+        .scenario("smoke")
+        .seed(7)
+        .threads(0)
+        .build()
+        .expect("threads 0 is auto, not an error");
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    assert_eq!(engine.executor().threads(), cores);
+}
+
 #[test]
 fn registry_lookup_and_help_metadata() {
     let reg = ScenarioRegistry::builtin();

@@ -118,6 +118,24 @@ macro_rules! impl_float_strategy {
 
 impl_float_strategy!(f32, f64);
 
+// Tuples of strategies sample element-wise, like real proptest.
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
 /// Always returns a clone of one value (real proptest's `Just`).
 #[derive(Debug, Clone)]
 pub struct Just<T: Clone + std::fmt::Debug>(pub T);

@@ -362,6 +362,29 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+// Shared-ownership strings serialize transparently as strings, like real
+// serde's `rc` feature. Only `Arc` is covered: the workspace interns
+// repeated domain/slug strings as `Arc<str>` (see `pd_util::intern`).
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl Deserialize for std::sync::Arc<str> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(std::sync::Arc::from)
+            .ok_or_else(|| Error::expected("string", "Arc<str>"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(std::sync::Arc::new)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn serialize(&self) -> Value {
         match self {

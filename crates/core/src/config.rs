@@ -31,11 +31,33 @@ impl Default for AnalysisConfig {
     }
 }
 
+/// Knobs of the simulated web itself (as opposed to the campaigns run
+/// against it). Spec-addressable and part of every measurement
+/// fingerprint: changing the world invalidates stored artifacts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Transient fetch-failure probability per request, in `[0, 1]`
+    /// (plumbs [`pd_web::WebWorld::set_failure_rate`]). Failures are
+    /// deterministic in (client, uri, second) — the same requests drop
+    /// at any thread count — and clear on retry, which is what the
+    /// crawler's retry logic and the `failure-sweep` scenario exercise.
+    pub failure_rate: f64,
+}
+
+impl Default for WorldConfig {
+    /// A reliable web: no injected failures.
+    fn default() -> Self {
+        WorldConfig { failure_rate: 0.0 }
+    }
+}
+
 /// Full configuration of one reproduction run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
     /// Root seed; every stochastic component derives from it.
     pub seed: Seed,
+    /// Simulated-web parameters (failure injection).
+    pub world: WorldConfig,
     /// Crowd-phase parameters.
     pub crowd: CrowdConfig,
     /// Crawl-phase parameters.
@@ -62,6 +84,7 @@ impl ExperimentConfig {
     pub fn paper(seed: u64) -> Self {
         ExperimentConfig {
             seed: Seed::new(seed),
+            world: WorldConfig::default(),
             crowd: CrowdConfig::default(),
             crawl: CrawlConfig::default(),
             filler_domains: 800,
@@ -98,6 +121,7 @@ impl ExperimentConfig {
     pub fn small(seed: u64) -> Self {
         ExperimentConfig {
             seed: Seed::new(seed),
+            world: WorldConfig::default(),
             crowd: CrowdConfig {
                 users: 60,
                 checks: 150,
@@ -126,6 +150,7 @@ impl ExperimentConfig {
     pub fn smoke(seed: u64) -> Self {
         ExperimentConfig {
             seed: Seed::new(seed),
+            world: WorldConfig::default(),
             crowd: CrowdConfig {
                 users: 30,
                 checks: 60,

@@ -17,10 +17,15 @@
 //! 4. **Analysis** — every figure and table of the paper's evaluation is
 //!    recomputed ([`stage::analysis_stage`] → [`report::Report`]).
 //!
-//! The engine is **scenario-driven**: workloads are named [`Scenario`]s
-//! in a [`ScenarioRegistry`] (`paper`, `smoke`, `desync-ablation`,
-//! `no-cleaning`, `vantage-subset`, `seed-sweep`, `locale-sweep`), built
-//! through [`ExperimentBuilder`] into an artifact-caching [`Engine`].
+//! The engine is **scenario-driven and data-driven**: workloads are
+//! declarative [`ScenarioSpec`] values (base profile + typed
+//! [`ConfigPatch`] overrides + cross-product [`SweepAxis`] sweeps) in a
+//! [`ScenarioRegistry`] (`paper`, `smoke`, `desync-ablation`,
+//! `no-cleaning`, `vantage-subset`, `seed-sweep`, `locale-sweep`,
+//! `crowd-sweep`, `failure-sweep`, `targeted-crawl`), lowered to run
+//! plans and built through [`ExperimentBuilder`] into an
+//! artifact-caching [`Engine`]. New campaigns are JSON files
+//! (`pd run --spec`), not new code.
 //! Parallel sections run on the deterministic [`Executor`]: the report
 //! is **byte-identical at any thread count**. Progress and perf
 //! telemetry flow through the [`RunObserver`] hooks.
@@ -63,11 +68,12 @@ pub mod observer;
 pub mod pipeline;
 pub mod report;
 pub mod scenario;
+pub mod spec;
 pub mod stage;
 pub mod store;
 pub mod world;
 
-pub use config::{AnalysisConfig, ExperimentConfig};
+pub use config::{AnalysisConfig, ExperimentConfig, WorldConfig};
 pub use executor::Executor;
 pub use frames::{FrameCache, FrameStats};
 pub use observer::{
@@ -77,7 +83,8 @@ pub use pipeline::{
     BuildError, Engine, Experiment, ExperimentBuilder, LoadSummary, SaveSummary, SweepArmRun,
 };
 pub use report::Report;
-pub use scenario::{Profile, RunPlan, Scenario, ScenarioParams, ScenarioRegistry, ScenarioRun};
+pub use scenario::{Profile, RunPlan, ScenarioParams, ScenarioRegistry, ScenarioRun};
+pub use spec::{ConfigPatch, ScenarioSpec, SpecError, SweepAxis};
 pub use stage::{AnalysisArtifact, CrawlArtifact, CrowdArtifact, PersonaArtifact};
 pub use store::{ArtifactStore, Fingerprint, Provenance, StoreError, SCHEMA_VERSION};
 pub use world::World;

@@ -18,7 +18,8 @@ use crate::executor::Executor;
 use crate::frames::FrameCache;
 use crate::observer::{BufferedObserver, NullObserver, RunObserver, StageKind};
 use crate::report::Report;
-use crate::scenario::{Profile, RunPlan, Scenario, ScenarioParams, ScenarioRegistry};
+use crate::scenario::{Profile, RunPlan, ScenarioParams, ScenarioRegistry};
+use crate::spec::ScenarioSpec;
 use crate::stage::{self, AnalysisArtifact, CrawlArtifact, CrowdArtifact, PersonaArtifact};
 use crate::store::{self, ArtifactStore, Provenance, StoreError};
 use crate::world::World;
@@ -37,6 +38,9 @@ pub struct Engine {
     artifacts_dir: Option<PathBuf>,
     /// Provenance stamped into manifests this engine writes.
     provenance: Provenance,
+    /// The declarative spec that produced this engine's plan, if any
+    /// (recorded verbatim in manifests this engine writes).
+    spec: Option<ScenarioSpec>,
     /// Stages whose artifact came off disk rather than being computed
     /// (such stages are skipped by [`Engine::save_artifacts`] — their
     /// bytes are already in the store).
@@ -132,6 +136,7 @@ impl Engine {
             observer,
             artifacts_dir: None,
             provenance,
+            spec: None,
             loaded_stages: Vec::new(),
             frames: Arc::new(FrameCache::new()),
             crowd: None,
@@ -158,6 +163,21 @@ impl Engine {
     pub fn with_provenance(mut self, provenance: Provenance) -> Self {
         self.provenance = provenance;
         self
+    }
+
+    /// Records the declarative spec this engine's plan was lowered from;
+    /// manifests the engine writes then carry the exact spec, so a store
+    /// is reproducible from its own metadata (`pd artifacts ls`).
+    #[must_use]
+    pub fn with_spec(mut self, spec: ScenarioSpec) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// The spec this engine was built from, if it came from one.
+    #[must_use]
+    pub fn spec(&self) -> Option<&ScenarioSpec> {
+        self.spec.as_ref()
     }
 
     /// Replaces the engine's frame cache with a shared one (the builder
@@ -250,15 +270,30 @@ impl Engine {
     }
 
     /// The crawl artifact, cached after the first call (store-backed
-    /// like [`Engine::crowd`]).
+    /// like [`Engine::crowd`]). With [`RunPlan::targets_from_crowd`]
+    /// set, the crowd stage runs (or loads) first and the crawl targets
+    /// are the domains with confirmed crowd variation instead of the
+    /// paper's fixed list.
     pub fn crawl(&mut self) -> &CrawlArtifact {
         if self.crawl.is_none() {
             self.crawl = self.probe_store(StageKind::Crawl);
         }
         if self.crawl.is_none() {
+            let targets = match self.plan.targets_from_crowd {
+                Some(min_confirmed) => {
+                    self.crowd();
+                    stage::targets_from_crowd(
+                        &self.world,
+                        &self.crowd.as_ref().expect("crowd cached above").cleaned,
+                        min_confirmed,
+                    )
+                }
+                None => self.world.paper_crawl_targets(),
+            };
             self.crawl = Some(stage::crawl_stage(
                 &self.world,
                 &self.plan.config,
+                &targets,
                 &self.executor,
                 self.observer.as_ref(),
             ));
@@ -421,7 +456,7 @@ impl Engine {
                 }
             }
             Err(StoreError::NoManifest { .. }) => {
-                ArtifactStore::create(dir, self.provenance.clone(), &self.plan)
+                ArtifactStore::create(dir, self.provenance.clone(), &self.plan, self.spec.clone())
             }
             Err(e) => Err(e),
         }
@@ -457,6 +492,13 @@ impl Engine {
 pub enum BuildError {
     /// The requested scenario name is not registered.
     UnknownScenario(String),
+    /// The supplied [`ScenarioSpec`] failed validation.
+    InvalidSpec {
+        /// The spec's name (possibly empty).
+        name: String,
+        /// The validation failure, rendered.
+        detail: String,
+    },
     /// `build()` was called on a sweep scenario; use
     /// [`ExperimentBuilder::build_variants`].
     SweepScenario(String),
@@ -470,6 +512,9 @@ impl std::fmt::Display for BuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BuildError::UnknownScenario(name) => write!(f, "unknown scenario {name:?}"),
+            BuildError::InvalidSpec { name, detail } => {
+                write!(f, "invalid scenario spec {name:?}: {detail}")
+            }
             BuildError::SweepScenario(name) => write!(
                 f,
                 "scenario {name:?} is a sweep; use build_variants() to get every arm"
@@ -504,6 +549,7 @@ impl std::error::Error for BuildError {}
 pub struct ExperimentBuilder {
     registry: ScenarioRegistry,
     scenario: Option<String>,
+    spec: Option<ScenarioSpec>,
     config: Option<ExperimentConfig>,
     seed: Option<u64>,
     profile: Profile,
@@ -528,6 +574,7 @@ impl Default for ExperimentBuilder {
         ExperimentBuilder {
             registry: ScenarioRegistry::builtin(),
             scenario: None,
+            spec: None,
             config: None,
             seed: None,
             profile: Profile::Paper,
@@ -550,6 +597,16 @@ impl ExperimentBuilder {
     #[must_use]
     pub fn scenario(mut self, name: &str) -> Self {
         self.scenario = Some(name.to_owned());
+        self
+    }
+
+    /// Runs a one-off declarative spec instead of a registered scenario
+    /// (what `pd run --spec FILE.json` does). Wins over
+    /// [`ExperimentBuilder::scenario`]; the spec is validated at build
+    /// time and recorded in any artifact manifest the run writes.
+    #[must_use]
+    pub fn spec(mut self, spec: ScenarioSpec) -> Self {
+        self.spec = Some(spec);
         self
     }
 
@@ -613,20 +670,32 @@ impl ExperimentBuilder {
         self
     }
 
-    /// Resolves the scenario into its labeled run plans.
-    fn resolve(&self) -> Result<(String, Vec<(String, RunPlan)>), BuildError> {
-        let name = self.scenario.as_deref().unwrap_or("paper");
-        let scenario: &dyn Scenario = self
-            .registry
-            .get(name)
-            .ok_or_else(|| BuildError::UnknownScenario(name.to_owned()))?;
+    /// Resolves the scenario (an explicit spec, or a registry name) into
+    /// the producing spec and its labeled run plans.
+    fn resolve(&self) -> Result<(ScenarioSpec, Vec<(String, RunPlan)>), BuildError> {
+        let spec: &ScenarioSpec = match &self.spec {
+            Some(spec) => spec,
+            None => {
+                let name = self.scenario.as_deref().unwrap_or("paper");
+                self.registry
+                    .get(name)
+                    .ok_or_else(|| BuildError::UnknownScenario(name.to_owned()))?
+            }
+        };
+        let name = spec.name.clone();
         let params = ScenarioParams {
             seed: self
                 .seed
                 .unwrap_or_else(|| pd_util::seed::EXPERIMENT_SEED.value()),
             profile: self.profile,
         };
-        let mut variants = scenario.plan(&params).into_variants();
+        let mut variants = spec
+            .lower(&params)
+            .map_err(|e| BuildError::InvalidSpec {
+                name: name.clone(),
+                detail: e.to_string(),
+            })?
+            .into_variants();
         if let Some(config) = &self.config {
             // A config override is only meaningful when the arms do not
             // differ through their configs — otherwise it would silently
@@ -635,7 +704,7 @@ impl ExperimentBuilder {
                 .iter()
                 .any(|(_, plan)| plan.config != variants[0].1.config)
             {
-                return Err(BuildError::ConfigOverridesSweep(name.to_owned()));
+                return Err(BuildError::ConfigOverridesSweep(name));
             }
             // An explicit .seed() composes with the override instead of
             // being silently discarded by it.
@@ -647,7 +716,7 @@ impl ExperimentBuilder {
                 plan.config = config.clone();
             }
         }
-        Ok((name.to_owned(), variants))
+        Ok((spec.clone(), variants))
     }
 
     /// Assembles one arm's engine: provenance from the scenario/label,
@@ -660,7 +729,7 @@ impl ExperimentBuilder {
     /// thread count is what the provenance records.
     fn arm_engine(
         &self,
-        name: &str,
+        spec: &ScenarioSpec,
         label: &str,
         plan: RunPlan,
         executor: Executor,
@@ -668,7 +737,7 @@ impl ExperimentBuilder {
         frames: &Arc<FrameCache>,
     ) -> Engine {
         let provenance = Provenance::new(
-            name,
+            &spec.name,
             label,
             self.profile.name(),
             plan.config.seed.value(),
@@ -676,6 +745,7 @@ impl ExperimentBuilder {
         );
         let mut engine = Engine::from_plan(plan, executor, observer)
             .with_provenance(provenance)
+            .with_spec(spec.clone())
             .with_frame_cache(Arc::clone(frames));
         if let Some(dir) = &self.artifacts {
             let arm_dir = if label.is_empty() {
@@ -696,14 +766,14 @@ impl ExperimentBuilder {
     /// [`BuildError::SweepScenario`] if the scenario expands to more
     /// than one run (use [`ExperimentBuilder::build_variants`]).
     pub fn build(self) -> Result<Engine, BuildError> {
-        let (name, mut variants) = self.resolve()?;
+        let (spec, mut variants) = self.resolve()?;
         if variants.len() != 1 {
-            return Err(BuildError::SweepScenario(name));
+            return Err(BuildError::SweepScenario(spec.name));
         }
         let (label, plan) = variants.remove(0);
         let frames = Arc::new(FrameCache::new());
         Ok(self.arm_engine(
-            &name,
+            &spec,
             &label,
             plan,
             Executor::new(self.threads),
@@ -720,7 +790,7 @@ impl ExperimentBuilder {
     ///
     /// [`BuildError::UnknownScenario`] if the name is not registered.
     pub fn build_variants(self) -> Result<Vec<(String, Engine)>, BuildError> {
-        let (name, variants) = self.resolve()?;
+        let (spec, variants) = self.resolve()?;
         let executor = Executor::new(self.threads);
         // One frame cache for the whole sweep: arms whose upstream
         // measurement fingerprints coincide reuse each other's frames.
@@ -729,7 +799,7 @@ impl ExperimentBuilder {
             .into_iter()
             .map(|(label, plan)| {
                 let engine = self.arm_engine(
-                    &name,
+                    &spec,
                     &label,
                     plan,
                     executor,
@@ -769,7 +839,7 @@ impl ExperimentBuilder {
     ///
     /// Propagates a panic from any arm.
     pub fn run_sweep(self) -> Result<Vec<SweepArmRun>, BuildError> {
-        let (name, variants) = self.resolve()?;
+        let (spec, variants) = self.resolve()?;
         let total = Executor::new(self.threads);
         let (arm_exec, intra) = total.split(variants.len());
         let frames = Arc::new(FrameCache::new());
@@ -783,7 +853,7 @@ impl ExperimentBuilder {
             if !label.is_empty() {
                 observer.arm_started(label);
             }
-            let mut engine = self.arm_engine(&name, label, plan.clone(), intra, observer, &frames);
+            let mut engine = self.arm_engine(&spec, label, plan.clone(), intra, observer, &frames);
             let analysis = engine.analyze();
             SweepArmRun {
                 label: label.clone(),
@@ -910,6 +980,7 @@ impl Experiment {
         let artifact = stage::crawl_stage(
             self.engine.world(),
             self.engine.config(),
+            &self.engine.world().paper_crawl_targets(),
             self.engine.executor(),
             &NullObserver,
         );

@@ -1,12 +1,15 @@
 //! Named scenarios: the workloads the engine knows how to run.
 //!
-//! A [`Scenario`] turns `(seed, profile)` parameters into one or more
-//! [`RunPlan`]s — a full experiment configuration plus the engine knobs
-//! the paper's ablations need (fan-out desynchronization, skipped
-//! cleaning, a vantage subset). Scenarios are addressable by name
-//! through the [`ScenarioRegistry`], so examples, benches, tests and the
-//! `pd` CLI all pull the same workloads instead of hand-assembling
-//! configs (or worse, poking engine internals).
+//! A scenario is a declarative [`ScenarioSpec`] (see [`crate::spec`]):
+//! a base profile, typed config overrides and sweep axes that **lower**
+//! into one or more [`RunPlan`]s — a full experiment configuration plus
+//! the engine knobs the paper's ablations need (fan-out
+//! desynchronization, skipped cleaning, a vantage subset, crowd-targeted
+//! crawling). Scenarios are addressable by name through the
+//! [`ScenarioRegistry`], so examples, benches, tests and the `pd` CLI
+//! all pull the same workloads instead of hand-assembling configs — and
+//! because scenarios are data, new campaigns come from JSON files
+//! (`pd run --spec`), not new code.
 //!
 //! Built-in registry:
 //!
@@ -19,6 +22,9 @@
 //! | `vantage-subset` | single | an 8-probe fleet (the scale-down ablation) |
 //! | `seed-sweep` | sweep | three consecutive seeds (conclusion stability) |
 //! | `locale-sweep` | sweep | crowd population biased US / DE / BR |
+//! | `crowd-sweep` | sweep | crowd budget at 25/50/100% of the profile |
+//! | `failure-sweep` | sweep | transient fetch failures at 0/5/20% |
+//! | `targeted-crawl` | single | crawl targets ranked from crowd variation |
 //!
 //! ```
 //! use pd_core::{Profile, ScenarioParams, ScenarioRegistry};
@@ -30,9 +36,11 @@
 //! assert_eq!(variants.len(), 1, "smoke is a single run");
 //! assert_eq!(variants[0].1.config.seed.value(), 7);
 //! assert!(registry.get("warp-speed").is_none());
+//! assert_eq!(registry.suggest("crowd-swep"), Some("crowd-sweep"));
 //! ```
 
 use crate::config::ExperimentConfig;
+use crate::spec::{builtin_specs, ScenarioSpec};
 use pd_net::clock::SimDuration;
 use std::collections::BTreeMap;
 
@@ -88,7 +96,7 @@ impl Profile {
 
 /// Everything the engine needs to execute one run: the experiment
 /// configuration plus the scenario-level knobs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunPlan {
     /// The experiment configuration.
     pub config: ExperimentConfig,
@@ -102,11 +110,16 @@ pub struct RunPlan {
     /// conditions on ("Finland - Tampere", "USA - Boston", "USA - New
     /// York", "USA - Chicago").
     pub vantage_labels: Option<Vec<String>>,
+    /// Pick crawl targets from confirmed crowd variation instead of the
+    /// paper's fixed 21-retailer list; the value is the minimum
+    /// confirmed-variation count a domain needs to be crawled
+    /// ([`crate::stage::targets_from_crowd`]).
+    pub targets_from_crowd: Option<usize>,
 }
 
 impl RunPlan {
     /// The default plan for a configuration: synchronized, cleaned, full
-    /// fleet — exactly the paper's methodology.
+    /// fleet, paper crawl targets — exactly the paper's methodology.
     #[must_use]
     pub fn new(config: ExperimentConfig) -> Self {
         RunPlan {
@@ -114,6 +127,7 @@ impl RunPlan {
             desync: SimDuration::ZERO,
             cleaning: true,
             vantage_labels: None,
+            targets_from_crowd: None,
         }
     }
 }
@@ -137,8 +151,8 @@ impl Default for ScenarioParams {
     }
 }
 
-/// What a scenario instantiates to: one run, or a labeled sweep of runs
-/// meant to be compared against each other.
+/// What a scenario lowers to: one run, or a labeled sweep of runs meant
+/// to be compared against each other.
 #[derive(Debug, Clone)]
 pub enum ScenarioRun {
     /// One engine run.
@@ -158,20 +172,11 @@ impl ScenarioRun {
     }
 }
 
-/// A named, registrable workload.
-pub trait Scenario: Send + Sync {
-    /// Registry key (kebab-case).
-    fn name(&self) -> &str;
-    /// One-line description for `pd --help` and the README table.
-    fn describe(&self) -> &str;
-    /// Instantiates the scenario at the given parameters.
-    fn plan(&self, params: &ScenarioParams) -> ScenarioRun;
-}
-
-/// Name-addressable scenario collection. Iteration order is the sorted
-/// name order (deterministic help output).
+/// Name-addressable collection of [`ScenarioSpec`]s. Iteration order is
+/// the sorted name order (deterministic help output).
+#[derive(Clone)]
 pub struct ScenarioRegistry {
-    scenarios: BTreeMap<String, Box<dyn Scenario>>,
+    scenarios: BTreeMap<String, ScenarioSpec>,
 }
 
 impl std::fmt::Debug for ScenarioRegistry {
@@ -197,29 +202,28 @@ impl ScenarioRegistry {
         }
     }
 
-    /// The registry with every built-in scenario registered.
+    /// The registry with every built-in scenario registered (see
+    /// [`builtin_specs`]).
     #[must_use]
     pub fn builtin() -> Self {
         let mut reg = Self::empty();
-        reg.register(Box::new(PaperScenario));
-        reg.register(Box::new(SmokeScenario));
-        reg.register(Box::new(DesyncAblation));
-        reg.register(Box::new(NoCleaningAblation));
-        reg.register(Box::new(VantageSubset));
-        reg.register(Box::new(SeedSweep));
-        reg.register(Box::new(LocaleSweep));
+        for spec in builtin_specs() {
+            reg.register(spec);
+        }
         reg
     }
 
-    /// Registers (or replaces) a scenario under its own name.
-    pub fn register(&mut self, scenario: Box<dyn Scenario>) {
-        self.scenarios.insert(scenario.name().to_owned(), scenario);
+    /// Registers (or replaces) a spec under its own name. The spec is
+    /// validated lazily — [`ScenarioSpec::lower`] reports problems when
+    /// the scenario is actually used.
+    pub fn register(&mut self, spec: ScenarioSpec) {
+        self.scenarios.insert(spec.name.clone(), spec);
     }
 
     /// Looks a scenario up by name.
     #[must_use]
-    pub fn get(&self, name: &str) -> Option<&dyn Scenario> {
-        self.scenarios.get(name).map(AsRef::as_ref)
+    pub fn get(&self, name: &str) -> Option<&ScenarioSpec> {
+        self.scenarios.get(name)
     }
 
     /// All registered names, sorted.
@@ -228,46 +232,41 @@ impl ScenarioRegistry {
         self.scenarios.keys().map(String::as_str).collect()
     }
 
-    /// Iterates scenarios in name order.
-    pub fn iter(&self) -> impl Iterator<Item = &dyn Scenario> {
-        self.scenarios.values().map(AsRef::as_ref)
+    /// Iterates specs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &ScenarioSpec> {
+        self.scenarios.values()
+    }
+
+    /// The registered name closest to `name` by edit distance — the
+    /// CLI's did-you-mean hint. `None` when nothing is plausibly close
+    /// (distance greater than half the typed name, or an empty registry).
+    #[must_use]
+    pub fn suggest(&self, name: &str) -> Option<&str> {
+        let best = self
+            .scenarios
+            .keys()
+            .map(|candidate| (levenshtein(name, candidate), candidate.as_str()))
+            .min()?;
+        (best.0 <= name.len().max(1).div_ceil(2)).then_some(best.1)
     }
 }
 
-/// `paper`: the full study, paper methodology, at the requested profile.
-#[derive(Debug, Clone, Copy)]
-pub struct PaperScenario;
-
-impl Scenario for PaperScenario {
-    fn name(&self) -> &str {
-        "paper"
+/// Classic two-row Levenshtein distance (names are short; this runs on
+/// the CLI error path only).
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
     }
-
-    fn describe(&self) -> &str {
-        "the paper's crowd + crawl + persona study at the requested profile"
-    }
-
-    fn plan(&self, params: &ScenarioParams) -> ScenarioRun {
-        ScenarioRun::Single(RunPlan::new(params.profile.config(params.seed)))
-    }
-}
-
-/// `smoke`: the smallest structurally complete run; ignores the profile.
-#[derive(Debug, Clone, Copy)]
-pub struct SmokeScenario;
-
-impl Scenario for SmokeScenario {
-    fn name(&self) -> &str {
-        "smoke"
-    }
-
-    fn describe(&self) -> &str {
-        "sub-second CI run exercising every stage (profile-independent)"
-    }
-
-    fn plan(&self, params: &ScenarioParams) -> ScenarioRun {
-        ScenarioRun::Single(RunPlan::new(ExperimentConfig::smoke(params.seed)))
-    }
+    prev[b.len()]
 }
 
 /// The skew the desync ablation applies between consecutive vantage
@@ -275,50 +274,6 @@ impl Scenario for SmokeScenario {
 /// reprice boundary — exactly the failure mode the paper's synchronized
 /// checks (Sec. 2.2) are designed to prevent.
 pub const DESYNC_SKEW: SimDuration = SimDuration::from_mins(25);
-
-/// `desync-ablation`: synchronized vs desynchronized fan-out.
-#[derive(Debug, Clone, Copy)]
-pub struct DesyncAblation;
-
-impl Scenario for DesyncAblation {
-    fn name(&self) -> &str {
-        "desync-ablation"
-    }
-
-    fn describe(&self) -> &str {
-        "sweep: synchronized fan-out vs 25-min per-probe skew"
-    }
-
-    fn plan(&self, params: &ScenarioParams) -> ScenarioRun {
-        let base = RunPlan::new(params.profile.config(params.seed));
-        let mut skewed = base.clone();
-        skewed.desync = DESYNC_SKEW;
-        ScenarioRun::Sweep(vec![
-            ("synchronized".to_owned(), base),
-            ("desync-25m".to_owned(), skewed),
-        ])
-    }
-}
-
-/// `no-cleaning`: the paper pipeline with the Sec. 3.2 cleaning skipped.
-#[derive(Debug, Clone, Copy)]
-pub struct NoCleaningAblation;
-
-impl Scenario for NoCleaningAblation {
-    fn name(&self) -> &str {
-        "no-cleaning"
-    }
-
-    fn describe(&self) -> &str {
-        "paper run with the Sec. 3.2 noise-cleaning pass disabled"
-    }
-
-    fn plan(&self, params: &ScenarioParams) -> ScenarioRun {
-        let mut plan = RunPlan::new(params.profile.config(params.seed));
-        plan.cleaning = false;
-        ScenarioRun::Single(plan)
-    }
-}
 
 /// The 8-probe fleet of the `vantage-subset` scenario. Keeps every probe
 /// the analysis conditions on while halving the fan-out cost.
@@ -333,92 +288,6 @@ pub const VANTAGE_SUBSET_LABELS: [&str; 8] = [
     "Spain (Linux,FF)",
 ];
 
-/// `vantage-subset`: the study on an 8-probe fleet.
-#[derive(Debug, Clone, Copy)]
-pub struct VantageSubset;
-
-impl Scenario for VantageSubset {
-    fn name(&self) -> &str {
-        "vantage-subset"
-    }
-
-    fn describe(&self) -> &str {
-        "paper run on an 8-probe fleet (fan-out cost ablation)"
-    }
-
-    fn plan(&self, params: &ScenarioParams) -> ScenarioRun {
-        let mut plan = RunPlan::new(params.profile.config(params.seed));
-        plan.vantage_labels = Some(
-            VANTAGE_SUBSET_LABELS
-                .iter()
-                .map(|l| (*l).to_owned())
-                .collect(),
-        );
-        ScenarioRun::Single(plan)
-    }
-}
-
-/// `seed-sweep`: three consecutive seeds, for conclusion stability.
-#[derive(Debug, Clone, Copy)]
-pub struct SeedSweep;
-
-impl Scenario for SeedSweep {
-    fn name(&self) -> &str {
-        "seed-sweep"
-    }
-
-    fn describe(&self) -> &str {
-        "sweep: three consecutive seeds (are conclusions seed-stable?)"
-    }
-
-    fn plan(&self, params: &ScenarioParams) -> ScenarioRun {
-        ScenarioRun::Sweep(
-            (0..3)
-                .map(|offset| {
-                    let seed = params.seed + offset;
-                    (
-                        format!("seed-{seed}"),
-                        RunPlan::new(params.profile.config(seed)),
-                    )
-                })
-                .collect(),
-        )
-    }
-}
-
-/// `locale-sweep`: the crowd population biased toward three different
-/// home countries.
-#[derive(Debug, Clone, Copy)]
-pub struct LocaleSweep;
-
-impl Scenario for LocaleSweep {
-    fn name(&self) -> &str {
-        "locale-sweep"
-    }
-
-    fn describe(&self) -> &str {
-        "sweep: crowd population biased US / DE / BR (discovery robustness)"
-    }
-
-    fn plan(&self, params: &ScenarioParams) -> ScenarioRun {
-        use pd_net::geo::Country;
-        ScenarioRun::Sweep(
-            [
-                ("us-heavy", Country::UnitedStates),
-                ("de-heavy", Country::Germany),
-                ("br-heavy", Country::Brazil),
-            ]
-            .into_iter()
-            .map(|(label, country)| {
-                let mut plan = RunPlan::new(params.profile.config(params.seed));
-                plan.config.crowd.bias_country = Some(country);
-                (label.to_owned(), plan)
-            })
-            .collect(),
-        )
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,33 +298,38 @@ mod tests {
         assert_eq!(
             reg.names(),
             vec![
+                "crowd-sweep",
                 "desync-ablation",
+                "failure-sweep",
                 "locale-sweep",
                 "no-cleaning",
                 "paper",
                 "seed-sweep",
                 "smoke",
+                "targeted-crawl",
                 "vantage-subset",
             ]
         );
         assert!(reg.get("paper").is_some());
         assert!(reg.get("nope").is_none());
         for s in reg.iter() {
-            assert!(!s.describe().is_empty(), "{} undocumented", s.name());
+            assert!(!s.describe.is_empty(), "{} undocumented", s.name);
         }
     }
 
     #[test]
     fn registration_is_by_name_and_replaces() {
         let mut reg = ScenarioRegistry::empty();
-        reg.register(Box::new(PaperScenario));
-        reg.register(Box::new(PaperScenario));
+        reg.register(ScenarioSpec::single("paper", "first"));
+        reg.register(ScenarioSpec::single("paper", "second"));
         assert_eq!(reg.names(), vec!["paper"]);
+        assert_eq!(reg.get("paper").expect("registered").describe, "second");
     }
 
     #[test]
     fn paper_scenario_tracks_profile_and_seed() {
-        let run = PaperScenario.plan(&ScenarioParams {
+        let reg = ScenarioRegistry::builtin();
+        let run = reg.get("paper").expect("builtin").plan(&ScenarioParams {
             seed: 42,
             profile: Profile::Small,
         });
@@ -470,37 +344,78 @@ mod tests {
         assert!(plan.cleaning);
         assert_eq!(plan.desync, SimDuration::ZERO);
         assert!(plan.vantage_labels.is_none());
+        assert!(plan.targets_from_crowd.is_none());
     }
 
     #[test]
     fn ablation_scenarios_set_their_knobs() {
+        let reg = ScenarioRegistry::builtin();
         let params = ScenarioParams {
             seed: 1,
             profile: Profile::Smoke,
         };
-        let ScenarioRun::Sweep(arms) = DesyncAblation.plan(&params) else {
+        let plan_of = |name: &str| reg.get(name).expect("builtin").plan(&params);
+
+        let ScenarioRun::Sweep(arms) = plan_of("desync-ablation") else {
             panic!("desync ablation is a sweep");
         };
         assert_eq!(arms.len(), 2);
         assert_eq!(arms[0].1.desync, SimDuration::ZERO);
         assert_eq!(arms[1].1.desync, DESYNC_SKEW);
 
-        let ScenarioRun::Single(no_clean) = NoCleaningAblation.plan(&params) else {
+        let ScenarioRun::Single(no_clean) = plan_of("no-cleaning") else {
             panic!("no-cleaning is a single run");
         };
         assert!(!no_clean.cleaning);
 
-        let ScenarioRun::Single(subset) = VantageSubset.plan(&params) else {
+        let ScenarioRun::Single(subset) = plan_of("vantage-subset") else {
             panic!("vantage-subset is a single run");
         };
         assert_eq!(subset.vantage_labels.as_ref().map(Vec::len), Some(8));
 
-        assert_eq!(SeedSweep.plan(&params).into_variants().len(), 3);
-        let locales = LocaleSweep.plan(&params).into_variants();
+        assert_eq!(plan_of("seed-sweep").into_variants().len(), 3);
+        let locales = plan_of("locale-sweep").into_variants();
         assert_eq!(locales.len(), 3);
         assert!(locales
             .iter()
             .all(|(_, p)| p.config.crowd.bias_country.is_some()));
+    }
+
+    #[test]
+    fn roadmap_scenarios_lower_to_their_knobs() {
+        let reg = ScenarioRegistry::builtin();
+        let params = ScenarioParams {
+            seed: 1,
+            profile: Profile::Smoke,
+        };
+        let crowd = reg
+            .get("crowd-sweep")
+            .expect("builtin")
+            .plan(&params)
+            .into_variants();
+        assert_eq!(crowd.len(), 3);
+        assert!(
+            crowd[0].1.config.crowd.checks < crowd[2].1.config.crowd.checks,
+            "arms scale the crowd budget"
+        );
+
+        let failures = reg
+            .get("failure-sweep")
+            .expect("builtin")
+            .plan(&params)
+            .into_variants();
+        let rates: Vec<f64> = failures
+            .iter()
+            .map(|(_, p)| p.config.world.failure_rate)
+            .collect();
+        assert_eq!(rates, vec![0.0, 0.05, 0.2]);
+
+        let ScenarioRun::Single(targeted) =
+            reg.get("targeted-crawl").expect("builtin").plan(&params)
+        else {
+            panic!("targeted-crawl is a single run");
+        };
+        assert_eq!(targeted.targets_from_crowd, Some(1));
     }
 
     #[test]
@@ -515,5 +430,24 @@ mod tests {
         }
         assert_eq!(Profile::parse("full"), Some(Profile::Paper));
         assert_eq!(Profile::parse("huge"), None);
+    }
+
+    #[test]
+    fn suggest_finds_near_misses_only() {
+        let reg = ScenarioRegistry::builtin();
+        assert_eq!(reg.suggest("crowd-swep"), Some("crowd-sweep"));
+        assert_eq!(reg.suggest("papr"), Some("paper"));
+        assert_eq!(reg.suggest("seed-sweeep"), Some("seed-sweep"));
+        assert_eq!(reg.suggest("completely-unrelated-zzz"), None);
+        assert_eq!(ScenarioRegistry::empty().suggest("paper"), None);
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("paper", "paper"), 0);
     }
 }

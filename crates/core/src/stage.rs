@@ -283,18 +283,20 @@ pub fn is_tax_explained(world: &World, config: &ExperimentConfig, domain: &str) 
     page_differs && !item_differs
 }
 
-/// Stage 3: the systematic crawl of the paper's 21 retailers, fanned
-/// per retailer and merged in target order.
+/// Stage 3: the systematic crawl of the given `targets` (the paper's 21
+/// retailers, or a crowd-ranked list when the plan sets
+/// [`crate::RunPlan::targets_from_crowd`]), fanned per retailer and
+/// merged in target order.
 #[must_use]
 pub fn crawl_stage(
     world: &World,
     config: &ExperimentConfig,
+    targets: &[String],
     exec: &Executor,
     obs: &dyn RunObserver,
 ) -> CrawlArtifact {
     observed(obs, StageKind::Crawl, || {
         let crawler = Crawler::new(config.seed, config.crawl.clone());
-        let targets = world.paper_crawl_targets();
         obs.counter(StageKind::Crawl, "retailers", targets.len() as u64);
         let shards = exec.map_indexed(targets.len(), |i| {
             crawler.crawl_one(&world.web, &world.sheriff, &targets[i])

@@ -34,7 +34,7 @@
 //!
 //! let dir = std::env::temp_dir().join(format!("pd-store-doc-{}", std::process::id()));
 //! let plan = RunPlan::new(ExperimentConfig::smoke(7));
-//! let mut s = ArtifactStore::create(&dir, Provenance::new("smoke", "", "smoke", 7, 1), &plan)
+//! let mut s = ArtifactStore::create(&dir, Provenance::new("smoke", "", "smoke", 7, 1), &plan, None)
 //!     .expect("store creates");
 //!
 //! // Save an (empty) crawl artifact under its plan fingerprint...
@@ -53,6 +53,7 @@
 use crate::config::ExperimentConfig;
 use crate::observer::StageKind;
 use crate::scenario::RunPlan;
+use crate::spec::ScenarioSpec;
 use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -60,7 +61,11 @@ use std::path::{Path, PathBuf};
 /// On-disk schema version. Bump whenever an artifact's serialized shape
 /// changes; every envelope and manifest records it, and a mismatch is a
 /// hard rejection (never a silent misparse).
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: `ExperimentConfig` grew the `world` section (failure injection),
+/// `RunPlan` grew `targets_from_crowd`, and the manifest records the
+/// producing [`ScenarioSpec`].
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// The manifest file name inside a store directory.
 pub const MANIFEST_FILE: &str = "manifest.json";
@@ -94,7 +99,8 @@ impl fmt::Display for Fingerprint {
 
 /// FNV-1a over a byte string (the same construction the vendored
 /// proptest uses for test seeds; stable across platforms and runs).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// Also the digest behind [`ScenarioSpec::fingerprint`].
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -123,6 +129,10 @@ fn basis_value(plan: &RunPlan, include_analysis: bool) -> Value {
     m.insert(
         "vantage_labels".to_owned(),
         serde_json::to_value(&plan.vantage_labels),
+    );
+    m.insert(
+        "targets_from_crowd".to_owned(),
+        serde_json::to_value(&plan.targets_from_crowd),
     );
     Value::Object(m)
 }
@@ -342,6 +352,9 @@ pub struct PlanRecord {
     pub cleaning: bool,
     /// The vantage subset, if the plan restricted the fleet.
     pub vantage_labels: Option<Vec<String>>,
+    /// The minimum confirmed-variation count when the plan crawled
+    /// crowd-ranked targets instead of the paper's list.
+    pub targets_from_crowd: Option<usize>,
 }
 
 impl PlanRecord {
@@ -353,6 +366,7 @@ impl PlanRecord {
             desync_ms: plan.desync.as_millis(),
             cleaning: plan.cleaning,
             vantage_labels: plan.vantage_labels.clone(),
+            targets_from_crowd: plan.targets_from_crowd,
         }
     }
 
@@ -364,6 +378,7 @@ impl PlanRecord {
             desync: pd_net::clock::SimDuration::from_millis(self.desync_ms),
             cleaning: self.cleaning,
             vantage_labels: self.vantage_labels.clone(),
+            targets_from_crowd: self.targets_from_crowd,
         }
     }
 }
@@ -399,6 +414,11 @@ pub struct Manifest {
     pub provenance: Provenance,
     /// The exact plan the artifacts were measured under.
     pub plan: PlanRecord,
+    /// The declarative spec the run was lowered from, verbatim (`None`
+    /// for raw-config runs built without a scenario). Descriptive like
+    /// the provenance — the fingerprints decide reuse — but it makes a
+    /// store reproducible from its own metadata.
+    pub spec: Option<ScenarioSpec>,
     /// Stored artifacts, in save order.
     pub entries: Vec<ManifestEntry>,
 }
@@ -460,7 +480,12 @@ impl ArtifactStore {
     ///
     /// [`StoreError::Io`] when the directory or manifest cannot be
     /// written.
-    pub fn create(dir: &Path, provenance: Provenance, plan: &RunPlan) -> Result<Self, StoreError> {
+    pub fn create(
+        dir: &Path,
+        provenance: Provenance,
+        plan: &RunPlan,
+        spec: Option<ScenarioSpec>,
+    ) -> Result<Self, StoreError> {
         std::fs::create_dir_all(dir).map_err(|e| io_err(dir, &e))?;
         let store = ArtifactStore {
             dir: dir.to_path_buf(),
@@ -468,6 +493,7 @@ impl ArtifactStore {
                 schema_version: SCHEMA_VERSION,
                 provenance,
                 plan: PlanRecord::from_plan(plan),
+                spec,
                 entries: Vec::new(),
             },
         };
@@ -763,9 +789,13 @@ mod tests {
     fn save_load_round_trips_and_rejects_other_plans() {
         let dir = tmp_dir("round-trip");
         let plan = smoke_plan(7);
-        let mut store =
-            ArtifactStore::create(&dir, Provenance::new("smoke", "", "smoke", 7, 1), &plan)
-                .expect("create");
+        let mut store = ArtifactStore::create(
+            &dir,
+            Provenance::new("smoke", "", "smoke", 7, 1),
+            &plan,
+            None,
+        )
+        .expect("create");
         let art = CrawlArtifact {
             store: pd_sheriff::MeasurementStore::new(),
             stats: vec![],
@@ -792,9 +822,13 @@ mod tests {
     fn corrupt_and_renamed_files_are_rejected() {
         let dir = tmp_dir("corrupt");
         let plan = smoke_plan(7);
-        let mut store =
-            ArtifactStore::create(&dir, Provenance::new("smoke", "", "smoke", 7, 1), &plan)
-                .expect("create");
+        let mut store = ArtifactStore::create(
+            &dir,
+            Provenance::new("smoke", "", "smoke", 7, 1),
+            &plan,
+            None,
+        )
+        .expect("create");
         let art = CrawlArtifact {
             store: pd_sheriff::MeasurementStore::new(),
             stats: vec![],
@@ -837,6 +871,7 @@ mod tests {
             &dir,
             Provenance::new("paper", "arm-1", "medium", 9, 4),
             &plan,
+            None,
         )
         .expect("create");
         let m = ArtifactStore::open(&dir).expect("open").manifest().clone();
@@ -847,6 +882,28 @@ mod tests {
         assert_eq!(m.plan.config.seed.value(), 9);
         assert_eq!(m.plan.to_plan().config, plan.config);
         drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_records_the_producing_spec() {
+        let dir = tmp_dir("spec-record");
+        let plan = smoke_plan(3);
+        let spec = crate::spec::builtin_specs()
+            .into_iter()
+            .find(|s| s.name == "failure-sweep")
+            .expect("builtin");
+        ArtifactStore::create(
+            &dir,
+            Provenance::new("failure-sweep", "fail-0", "smoke", 3, 1),
+            &plan,
+            Some(spec.clone()),
+        )
+        .expect("create");
+        let m = ArtifactStore::open(&dir).expect("open").manifest().clone();
+        let recorded = m.spec.expect("spec recorded");
+        assert_eq!(recorded, spec, "spec must round-trip through the manifest");
+        assert_eq!(recorded.fingerprint(), spec.fingerprint());
         std::fs::remove_dir_all(&dir).ok();
     }
 

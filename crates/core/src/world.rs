@@ -28,6 +28,10 @@ impl World {
         let mut specs = paper_retailers(seed);
         specs.extend(filler_retailers(seed, config.filler_domains));
         let mut web = WebWorld::build(seed, specs, config.fx_days);
+        // Failure injection is part of the world, not the campaign: a
+        // spec-set rate shapes every fetch (crowd, crawl, personas) and
+        // is therefore in every measurement fingerprint.
+        web.set_failure_rate(config.world.failure_rate);
 
         // Vantage points draw their client addresses from the world's
         // allocator so retailers geo-locate them city-accurately.
@@ -100,6 +104,28 @@ mod tests {
         assert!(w.vantage_by_label("Spain (Mac,Safari)").is_some());
         assert!(w.vantage_by_label("Mars - Olympus").is_none());
         assert_eq!(w.vantage_labels().len(), 14);
+    }
+
+    #[test]
+    fn world_applies_the_configured_failure_rate() {
+        let mut config = ExperimentConfig::small(1);
+        config.world.failure_rate = 0.5;
+        let w = World::build(&config);
+        let addr = w.sheriff.vantage_points()[0].addr;
+        let slug = &w.web.servers()[0].catalog().iter().next().unwrap().slug;
+        let domain = &w.web.servers()[0].spec().domain;
+        // At a 50% rate, 40 distinct seconds must hit at least one
+        // injected failure (the failure hash is keyed, not sampled).
+        let failed = (0..40u64).any(|s| {
+            let req = pd_web::Request::get(
+                domain,
+                &format!("/product/{slug}"),
+                addr,
+                pd_net::clock::SimTime::from_millis(s * 1000),
+            );
+            w.web.fetch(&req).status.code() != 200
+        });
+        assert!(failed, "configured failure rate must reach the web world");
     }
 
     #[test]

@@ -1,23 +1,32 @@
 //! `pd` — the scenario-driven experiment runner.
 //!
 //! ```text
-//! pd run <scenario> [--seed N] [--threads N]
+//! pd run <scenario>|--spec FILE.json
+//!                   [--set key=value]... [--seed N] [--threads N]
 //!                   [--profile smoke|small|medium|paper]
 //!                   [--json PATH] [--render] [--timings]
 //!                   [--artifacts DIR [--overwrite-artifacts]]
 //! pd rerun <DIR> [--threads N] [--fig1-top N] [--attribution-products N]
 //!                [--json PATH] [--render] [--timings]
+//! pd scenarios show <NAME> [--json]
 //! pd artifacts ls <DIR>
 //! pd list
 //! pd --help
 //! ```
 //!
 //! Scenarios come from the `pd_core` registry; `pd list` (and `--help`)
-//! print the registered names. Sweep scenarios (e.g. `seed-sweep`) run
-//! every arm **concurrently** on the deterministic executor (the
-//! `--threads` budget splits arm-level × intra-arm) and label the
-//! output in arm order; `--json` then writes one object keyed by arm
-//! label, and `--artifacts` gives each arm its own store subdirectory.
+//! print the registered names, and a typo gets a did-you-mean hint.
+//! Every scenario is a declarative `ScenarioSpec`: `pd scenarios show
+//! NAME --json` dumps any builtin as an editable JSON file, `pd run
+//! --spec FILE.json` executes such a file, and `--set key=value` layers
+//! one-off typed overrides (e.g. `--set world.failure_rate=0.1`) onto
+//! either — overrides compose with sweep axes because they patch the
+//! base plan before the axes expand. Sweep scenarios (e.g.
+//! `seed-sweep`) run every arm **concurrently** on the deterministic
+//! executor (the `--threads` budget splits arm-level × intra-arm) and
+//! label the output in arm order; `--json` then writes one object keyed
+//! by arm label, and `--artifacts` gives each arm its own store
+//! subdirectory (the manifest records the exact producing spec).
 //!
 //! `--artifacts DIR` is a transparent read-through cache: a stage whose
 //! fingerprint matches a stored artifact is loaded instead of computed,
@@ -32,12 +41,17 @@
 //! go to stderr.
 
 use pd_core::store::{ArtifactStore, Provenance, StoreError};
-use pd_core::{Engine, Executor, Experiment, Profile, ScenarioRegistry, StageKind, TimingObserver};
+use pd_core::{
+    ConfigPatch, Engine, Executor, Experiment, Profile, ScenarioRegistry, ScenarioSpec, StageKind,
+    TimingObserver,
+};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 struct RunArgs {
-    scenario: String,
+    scenario: Option<String>,
+    spec: Option<PathBuf>,
+    overrides: ConfigPatch,
     seed: u64,
     threads: usize,
     profile: Profile,
@@ -63,9 +77,21 @@ struct RerunArgs {
 fn scenario_lines(registry: &ScenarioRegistry) -> String {
     let mut out = String::new();
     for s in registry.iter() {
-        out.push_str(&format!("  {:<16} {}\n", s.name(), s.describe()));
+        out.push_str(&format!("  {:<16} {}\n", s.name, s.describe));
     }
     out
+}
+
+/// The unknown-scenario error: did-you-mean hint (nearest registered
+/// name by edit distance) plus the full scenario list.
+fn unknown_scenario(registry: &ScenarioRegistry, name: &str) -> String {
+    let hint = registry
+        .suggest(name)
+        .map_or_else(String::new, |near| format!(" (did you mean {near:?}?)"));
+    format!(
+        "unknown scenario {name:?}{hint}; registered scenarios are:\n\n{}",
+        scenario_lines(registry)
+    )
 }
 
 fn usage(registry: &ScenarioRegistry) -> String {
@@ -73,17 +99,24 @@ fn usage(registry: &ScenarioRegistry) -> String {
         "pd — scenario-driven reproduction of Mikians et al. (CoNEXT 2013)\n\
          \n\
          USAGE:\n\
-         \x20 pd run <scenario> [--seed N] [--threads N]\n\
+         \x20 pd run <scenario>|--spec FILE.json [--set key=value]...\n\
+         \x20                   [--seed N] [--threads N]\n\
          \x20                   [--profile smoke|small|medium|paper]\n\
          \x20                   [--json PATH] [--render] [--timings]\n\
          \x20                   [--artifacts DIR]\n\
          \x20 pd rerun <DIR> [--threads N] [--fig1-top N] [--attribution-products N]\n\
          \x20                [--json PATH] [--render] [--timings]\n\
+         \x20 pd scenarios show <NAME> [--json]\n\
          \x20 pd artifacts ls <DIR>\n\
          \x20 pd list\n\
          \x20 pd --help\n\
          \n\
          OPTIONS:\n\
+         \x20 --spec FILE      run a declarative scenario spec (JSON); start\n\
+         \x20                  from `pd scenarios show NAME --json`\n\
+         \x20 --set key=value  override one spec field (repeatable), e.g.\n\
+         \x20                  --set crowd.users=120 --set world.failure_rate=0.1;\n\
+         \x20                  composes with sweep axes (patches the base plan)\n\
          \x20 --seed N         root seed (default 1307, the paper seed)\n\
          \x20 --threads N      worker threads; 0 = auto (all available cores;\n\
          \x20                  default 1). Sweep arms run concurrently, splitting\n\
@@ -110,15 +143,10 @@ fn usage(registry: &ScenarioRegistry) -> String {
 }
 
 fn parse_run(mut args: std::env::Args, registry: &ScenarioRegistry) -> Result<RunArgs, String> {
-    let scenario = args.next().ok_or("`pd run` needs a scenario name")?;
-    if registry.get(&scenario).is_none() {
-        return Err(format!(
-            "unknown scenario {scenario:?}; registered scenarios are:\n\n{}",
-            scenario_lines(registry)
-        ));
-    }
     let mut run = RunArgs {
-        scenario,
+        scenario: None,
+        spec: None,
+        overrides: ConfigPatch::default(),
         seed: 1307,
         threads: 1,
         profile: Profile::Small,
@@ -128,8 +156,30 @@ fn parse_run(mut args: std::env::Args, registry: &ScenarioRegistry) -> Result<Ru
         artifacts: None,
         overwrite_artifacts: false,
     };
+    let mut first = true;
     while let Some(arg) = args.next() {
+        if std::mem::take(&mut first) && !arg.starts_with("--") {
+            if registry.get(&arg).is_none() {
+                return Err(unknown_scenario(registry, &arg));
+            }
+            run.scenario = Some(arg);
+            continue;
+        }
         match arg.as_str() {
+            "--spec" => {
+                run.spec = Some(PathBuf::from(
+                    args.next().ok_or("--spec needs a file path")?,
+                ));
+            }
+            "--set" => {
+                let kv = args.next().ok_or("--set needs key=value")?;
+                let (key, value) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("--set {kv:?} is not key=value"))?;
+                // Parse eagerly so a bad key or value is a usage error
+                // (exit 2) before any work happens.
+                run.overrides.set(key, value)?;
+            }
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
                 run.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
@@ -154,7 +204,11 @@ fn parse_run(mut args: std::env::Args, registry: &ScenarioRegistry) -> Result<Ru
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    Ok(run)
+    match (&run.scenario, &run.spec) {
+        (None, None) => Err("`pd run` needs a scenario name or --spec FILE".to_owned()),
+        (Some(_), Some(_)) => Err("pass a scenario name or --spec FILE, not both".to_owned()),
+        _ => Ok(run),
+    }
 }
 
 fn parse_rerun(mut args: std::env::Args) -> Result<RerunArgs, String> {
@@ -236,10 +290,44 @@ fn write_json(path: &str, reports: &[(String, pd_core::Report)]) -> Result<(), S
     Ok(())
 }
 
-fn execute_run(run: &RunArgs) -> Result<(), String> {
+/// Resolves the spec a `pd run` invocation asks for: a registered
+/// builtin by name, or a JSON file via `--spec` — then layers any
+/// `--set` overrides onto its patch.
+fn resolve_spec(run: &RunArgs, registry: &ScenarioRegistry) -> Result<ScenarioSpec, String> {
+    let mut spec = match (&run.scenario, &run.spec) {
+        (Some(name), None) => registry
+            .get(name)
+            .ok_or_else(|| unknown_scenario(registry, name))?
+            .clone(),
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading spec {}: {e}", path.display()))?;
+            ScenarioSpec::from_json(&text).map_err(|e| format!("spec {}: {e}", path.display()))?
+        }
+        _ => unreachable!("parse_run enforces scenario xor spec"),
+    };
+    // Refuse overrides a sweep axis would overwrite in every arm — the
+    // value would silently never run (axes that derive from the base
+    // plan, like Seeds and CrowdSizes, compose fine and pass).
+    let conflicts = spec.override_conflicts(&run.overrides);
+    if let Some((key, axis)) = conflicts.first() {
+        return Err(format!(
+            "--set {key} conflicts with the {axis} sweep axis of scenario {:?}: \
+             every arm overwrites that field, so the override would never run \
+             (edit the spec's axis arms instead)",
+            spec.name
+        ));
+    }
+    spec.patch.merge(&run.overrides);
+    Ok(spec)
+}
+
+fn execute_run(run: &RunArgs, registry: &ScenarioRegistry) -> Result<(), String> {
+    let spec = resolve_spec(run, registry)?;
+    let scenario_name = spec.name.clone();
     let observer = Arc::new(TimingObserver::new());
     let mut builder = Experiment::builder()
-        .scenario(&run.scenario)
+        .spec(spec)
         .seed(run.seed)
         .profile(run.profile)
         .threads(run.threads)
@@ -264,13 +352,13 @@ fn execute_run(run: &RunArgs) -> Result<(), String> {
         if label.is_empty() {
             println!(
                 "== {} (profile {}, seed {}, {} threads, {fleet} probes) ==",
-                run.scenario,
+                scenario_name,
                 run.profile.name(),
                 run.seed,
                 engine.executor().threads(),
             );
         } else {
-            println!("== {} / {label} ==", run.scenario);
+            println!("== {scenario_name} / {label} ==");
         }
         print!("{}", report.render_summary());
         if run.render {
@@ -445,6 +533,42 @@ fn execute_artifacts_ls(dir: &Path) -> Result<(), String> {
     Ok(())
 }
 
+/// `pd scenarios show NAME [--json]`: dump a registered scenario — the
+/// human summary by default, the editable JSON spec with `--json`
+/// (pipe it to a file, edit, and feed it back through `pd run --spec`).
+fn execute_scenarios_show(
+    registry: &ScenarioRegistry,
+    name: &str,
+    json: bool,
+) -> Result<(), String> {
+    let spec = registry
+        .get(name)
+        .ok_or_else(|| unknown_scenario(registry, name))?;
+    if json {
+        println!("{}", spec.to_json_pretty());
+        return Ok(());
+    }
+    println!("{:<12} {}", "scenario", spec.name);
+    println!("{:<12} {}", "describe", spec.describe);
+    println!(
+        "{:<12} {}",
+        "base",
+        spec.base.as_deref().unwrap_or("(requested profile)")
+    );
+    let patch = serde_json::to_string(&spec.patch).map_err(|e| e.to_string())?;
+    println!("{:<12} {patch}", "patch");
+    if spec.sweep.is_empty() {
+        println!("{:<12} (single run)", "sweep");
+    } else {
+        for axis in &spec.sweep {
+            let axis = serde_json::to_string(axis).map_err(|e| e.to_string())?;
+            println!("{:<12} {axis}", "sweep");
+        }
+    }
+    println!("\n(dump as an editable spec: pd scenarios show {name} --json)");
+    Ok(())
+}
+
 fn fail(code: i32, msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(code);
@@ -457,7 +581,7 @@ fn main() {
     match args.next().as_deref() {
         Some("run") => {
             let run = parse_run(args, &registry).unwrap_or_else(|e| fail(2, &e));
-            if let Err(e) = execute_run(&run) {
+            if let Err(e) = execute_run(&run, &registry) {
                 fail(1, &e);
             }
         }
@@ -474,6 +598,18 @@ fn main() {
                 }
             }
             _ => fail(2, "usage: pd artifacts ls <DIR>"),
+        },
+        Some("scenarios") => match (args.next().as_deref(), args.next(), args.next().as_deref()) {
+            (Some("show"), Some(name), json) if json.is_none() || json == Some("--json") => {
+                if let Err(e) = execute_scenarios_show(&registry, &name, json.is_some()) {
+                    fail(2, &e);
+                }
+            }
+            (Some("list" | "ls"), None, None) => print!("{}", scenario_lines(&registry)),
+            _ => fail(
+                2,
+                "usage: pd scenarios show <NAME> [--json] | pd scenarios list",
+            ),
         },
         Some("list") => {
             print!("{}", scenario_lines(&registry));

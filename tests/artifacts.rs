@@ -95,7 +95,7 @@ proptest! {
             },
         };
         let fp = store::crowd_fingerprint(&plan);
-        let mut s = ArtifactStore::create(&dir, Provenance::new("prop", "", "smoke", seed, 1), &plan)
+        let mut s = ArtifactStore::create(&dir, Provenance::new("prop", "", "smoke", seed, 1), &plan, None)
             .expect("store creates");
         s.save("crowd", fp, &[], &artifact).expect("first save");
         let first = std::fs::read(dir.join("crowd.json")).expect("artifact file exists");

@@ -180,10 +180,13 @@ fn registry_lookup_and_help_metadata() {
         "vantage-subset",
         "seed-sweep",
         "locale-sweep",
+        "crowd-sweep",
+        "failure-sweep",
+        "targeted-crawl",
     ] {
         let s = reg.get(name).unwrap_or_else(|| panic!("{name} missing"));
-        assert_eq!(s.name(), name);
-        assert!(!s.describe().is_empty());
+        assert_eq!(s.name, name);
+        assert!(!s.describe.is_empty());
     }
     assert!(reg.get("does-not-exist").is_none());
     assert!(matches!(

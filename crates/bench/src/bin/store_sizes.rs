@@ -1,0 +1,182 @@
+//! Measures artifact-store footprint per format into `BENCH_store.json`
+//! (the repo's bench-artifact convention): one run, saved as JSON, then
+//! migrated in place to the chunked binary format, with per-stage
+//! before/after byte counts off the store's own manifest.
+//!
+//! ```text
+//! store_sizes [--scenario NAME] [--profile smoke|small|medium|paper]
+//!             [--seed N] [--threads N] [--out PATH] [--artifacts DIR]
+//! ```
+//!
+//! Defaults: the `smoke` scenario (the store CI tracks), seed 1307,
+//! 1 thread, writing `BENCH_store.json` in the working directory into a
+//! throwaway temp store. `--artifacts DIR` measures into `DIR` instead
+//! and keeps it (left in binary format — `pd artifacts migrate` swaps
+//! it back). Single-run scenarios only: a sweep has no single store.
+
+use pd_core::store::{ArtifactStore, StoreFormat};
+use pd_core::{Experiment, Profile};
+use std::path::PathBuf;
+
+struct Args {
+    scenario: String,
+    profile: Profile,
+    seed: u64,
+    threads: usize,
+    out: String,
+    artifacts: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scenario: "smoke".to_owned(),
+        profile: Profile::Small,
+        seed: 1307,
+        threads: 1,
+        out: "BENCH_store.json".to_owned(),
+        artifacts: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--scenario" => args.scenario = value("--scenario")?,
+            "--profile" => {
+                let v = value("--profile")?;
+                args.profile = Profile::parse(&v).ok_or(format!("unknown profile {v:?}"))?;
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                args.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--threads" => {
+                let v = value("--threads")?;
+                args.threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+            }
+            "--out" => args.out = value("--out")?,
+            "--artifacts" => args.artifacts = Some(value("--artifacts")?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// One stage's footprint in both encodings.
+struct StageRow {
+    stage: String,
+    json_bytes: u64,
+    binary_bytes: u64,
+    chunks: Option<u32>,
+}
+
+/// Hand-rolled JSON so the bin does not need a serde derive for what is
+/// a flat telemetry record.
+#[allow(clippy::cast_precision_loss)]
+fn render_json(args: &Args, rows: &[StageRow]) -> String {
+    let ratio = |json: u64, bin: u64| {
+        if bin == 0 {
+            0.0
+        } else {
+            json as f64 / bin as f64
+        }
+    };
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"scenario\": \"{}\",\n", args.scenario));
+    out.push_str(&format!("  \"profile\": \"{}\",\n", args.profile.name()));
+    out.push_str(&format!("  \"seed\": {},\n", args.seed));
+    out.push_str(&format!("  \"threads\": {},\n", args.threads));
+    out.push_str("  \"stages\": [\n");
+    let lines: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let chunks = r
+                .chunks
+                .map_or_else(|| "null".to_owned(), |c| c.to_string());
+            format!(
+                "    {{\"stage\": \"{}\", \"json_bytes\": {}, \"binary_bytes\": {}, \
+                 \"ratio\": {:.2}, \"chunks\": {chunks}}}",
+                r.stage,
+                r.json_bytes,
+                r.binary_bytes,
+                ratio(r.json_bytes, r.binary_bytes)
+            )
+        })
+        .collect();
+    out.push_str(&lines.join(",\n"));
+    let json_total: u64 = rows.iter().map(|r| r.json_bytes).sum();
+    let binary_total: u64 = rows.iter().map(|r| r.binary_bytes).sum();
+    out.push_str("\n  ],\n");
+    out.push_str(&format!("  \"json_total_bytes\": {json_total},\n"));
+    out.push_str(&format!("  \"binary_total_bytes\": {binary_total},\n"));
+    out.push_str(&format!(
+        "  \"ratio\": {:.2}\n",
+        ratio(json_total, binary_total)
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let args = parse_args().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let fatal = |e: String| -> ! {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    };
+    let (dir, throwaway) = args.artifacts.as_ref().map_or_else(
+        || {
+            let dir = std::env::temp_dir().join(format!("pd-store-sizes-{}", std::process::id()));
+            std::fs::remove_dir_all(&dir).ok();
+            (dir, true)
+        },
+        |d| (PathBuf::from(d), false),
+    );
+
+    let mut engine = Experiment::builder()
+        .scenario(&args.scenario)
+        .profile(args.profile)
+        .seed(args.seed)
+        .threads(args.threads)
+        .build()
+        .unwrap_or_else(|e| fatal(e.to_string()));
+    let analysis = engine.analyze();
+    engine
+        .save_artifacts(&dir)
+        .unwrap_or_else(|e| fatal(e.to_string()));
+    engine
+        .save_analysis(&dir, &analysis)
+        .unwrap_or_else(|e| fatal(e.to_string()));
+
+    // The store starts as pretty JSON; migrating in place to the
+    // chunked binary format yields the per-stage before/after bytes
+    // straight from the manifest rewrite.
+    let mut store = ArtifactStore::open(&dir).unwrap_or_else(|e| fatal(e.to_string()));
+    let migrated = store
+        .migrate(StoreFormat::Binary)
+        .unwrap_or_else(|e| fatal(e.to_string()));
+    let rows: Vec<StageRow> = migrated
+        .into_iter()
+        .map(|(stage, json_bytes, binary_bytes)| {
+            let chunks = store.entry(&stage).and_then(|e| e.chunks);
+            StageRow {
+                stage,
+                json_bytes,
+                binary_bytes,
+                chunks,
+            }
+        })
+        .collect();
+    if throwaway {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    let json = render_json(&args, &rows);
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| {
+        eprintln!("error: writing {:?}: {e}", args.out);
+        std::process::exit(1);
+    });
+    println!("{json}");
+    eprintln!("[store_sizes] wrote {}", args.out);
+}

@@ -1,0 +1,623 @@
+//! Compact binary encoding for artifact payload [`Value`] trees.
+//!
+//! The JSON artifact envelopes spell every key and every repeated
+//! domain/slug string out in full, per row. This module provides the
+//! byte-level codec for the v3 binary store format: a tagged, varint-
+//! based encoding of the same [`Value`] tree the serde stub produces,
+//! with two per-buffer interning tables:
+//!
+//! * a **string table** — a string literal is written once, then
+//!   referenced by index (one byte for the first 128 strings);
+//! * a **shape table** — an object's *key set* is written once, and
+//!   every later object with the same keys encodes as a shape
+//!   reference followed by its values only. Measurement rows are
+//!   thousands of identically-shaped observation objects, so this is
+//!   where most of the 3-5x size win comes from.
+//!
+//! Framing (magic bytes, chunk index, checksums) lives in
+//! [`crate::store`]; this module only turns `Value`s into bytes and
+//! back.
+//!
+//! ## Wire format
+//!
+//! Every value starts with a one-byte tag:
+//!
+//! | tag | meaning | payload |
+//! |----:|---------|---------|
+//! | 0   | null    | —       |
+//! | 1   | false   | —       |
+//! | 2   | true    | —       |
+//! | 3   | int     | zigzag LEB128 varint |
+//! | 4   | uint (> `i64::MAX`) | LEB128 varint |
+//! | 5   | float   | 8 bytes, `f64::to_bits` little-endian |
+//! | 6   | new string | varint byte length + UTF-8 bytes; appended to the string table |
+//! | 7   | string ref | varint index into the string table |
+//! | 8   | array   | varint element count + elements |
+//! | 9   | object, new shape | varint key count + keys (string-encoded) + values; shape appended to the shape table |
+//! | 10  | object, shape ref | varint index into the shape table + values |
+//! | 16–143  | string ref 0–127 | — (packed into the tag) |
+//! | 144–207 | int 0–63 | — (packed into the tag) |
+//! | 208–255 | object shape ref 0–47 | values |
+//!
+//! Object keys use the same new/ref string encoding as string values
+//! and share one table. Both tables are threaded sequentially through
+//! a buffer: decoding is strictly front-to-back, which is fine because
+//! the store always decodes a chunk whole.
+//!
+//! Rows inside a chunk are framed as `varint original-index` +
+//! `u32-LE byte length` + encoded value, after a leading varint row
+//! count. The explicit index lets the store splice a chunk's rows back
+//! into their original positions without trusting any ordering
+//! invariant of the payload; the explicit length is a per-row
+//! consistency check that catches truncation and bit-flips early.
+
+use serde::Value;
+use std::collections::HashMap;
+
+/// Decode errors carry a human-readable detail string; [`crate::store`]
+/// wraps them into `StoreError::Corrupt` with the file path attached.
+pub(crate) type DecodeError = String;
+
+/// Nesting depth cap during decode. Our real payloads are a handful of
+/// levels deep; a corrupt or adversarial buffer could otherwise nest
+/// arrays two bytes per level and blow the stack.
+const MAX_DEPTH: usize = 128;
+
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_UINT: u8 = 4;
+const TAG_FLOAT: u8 = 5;
+const TAG_STR_NEW: u8 = 6;
+const TAG_STR_REF: u8 = 7;
+const TAG_ARRAY: u8 = 8;
+const TAG_OBJ_NEW_SHAPE: u8 = 9;
+const TAG_OBJ_SHAPE_REF: u8 = 10;
+
+/// One-byte string refs: tags `SMALL_REF_BASE..=SMALL_REF_BASE+127`.
+const SMALL_REF_BASE: u8 = 16;
+const SMALL_REF_COUNT: u64 = 128;
+/// One-byte small non-negative ints: 64 tags from `SMALL_INT_BASE`.
+const SMALL_INT_BASE: u8 = 144;
+const SMALL_INT_COUNT: u64 = 64;
+/// One-byte shape refs: 48 tags from `SMALL_SHAPE_BASE`.
+const SMALL_SHAPE_BASE: u8 = 208;
+const SMALL_SHAPE_COUNT: u64 = 48;
+
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Encoder state: the output buffer plus the string and shape tables
+/// built so far.
+struct Encoder {
+    buf: Vec<u8>,
+    strings: HashMap<String, u64>,
+    shapes: HashMap<Vec<String>, u64>,
+}
+
+impl Encoder {
+    fn new() -> Self {
+        Self {
+            buf: Vec::new(),
+            strings: HashMap::new(),
+            shapes: HashMap::new(),
+        }
+    }
+
+    fn string(&mut self, s: &str) {
+        if let Some(&idx) = self.strings.get(s) {
+            if idx < SMALL_REF_COUNT {
+                self.buf.push(SMALL_REF_BASE + idx as u8);
+            } else {
+                self.buf.push(TAG_STR_REF);
+                put_varint(&mut self.buf, idx);
+            }
+        } else {
+            self.buf.push(TAG_STR_NEW);
+            put_varint(&mut self.buf, s.len() as u64);
+            self.buf.extend_from_slice(s.as_bytes());
+            let idx = self.strings.len() as u64;
+            self.strings.insert(s.to_owned(), idx);
+        }
+    }
+
+    fn object(&mut self, map: &serde::Map) {
+        // BTreeMap iteration is sorted, so two objects with equal key
+        // sets produce the same shape vector — and decode back into
+        // the same sorted map.
+        let shape: Vec<String> = map.keys().cloned().collect();
+        if let Some(&idx) = self.shapes.get(&shape) {
+            if idx < SMALL_SHAPE_COUNT {
+                self.buf.push(SMALL_SHAPE_BASE + idx as u8);
+            } else {
+                self.buf.push(TAG_OBJ_SHAPE_REF);
+                put_varint(&mut self.buf, idx);
+            }
+        } else {
+            self.buf.push(TAG_OBJ_NEW_SHAPE);
+            put_varint(&mut self.buf, map.len() as u64);
+            for key in &shape {
+                self.string(key);
+            }
+            let idx = self.shapes.len() as u64;
+            self.shapes.insert(shape, idx);
+        }
+        for val in map.values() {
+            self.value(val);
+        }
+    }
+
+    fn value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.buf.push(TAG_NULL),
+            Value::Bool(false) => self.buf.push(TAG_FALSE),
+            Value::Bool(true) => self.buf.push(TAG_TRUE),
+            Value::Int(i) => {
+                if (0..SMALL_INT_COUNT as i64).contains(i) {
+                    self.buf.push(SMALL_INT_BASE + *i as u8);
+                } else {
+                    self.buf.push(TAG_INT);
+                    put_varint(&mut self.buf, zigzag(*i));
+                }
+            }
+            Value::UInt(u) => {
+                self.buf.push(TAG_UINT);
+                put_varint(&mut self.buf, *u);
+            }
+            Value::Float(f) => {
+                self.buf.push(TAG_FLOAT);
+                self.buf.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+            Value::String(s) => self.string(s),
+            Value::Array(items) => {
+                self.buf.push(TAG_ARRAY);
+                put_varint(&mut self.buf, items.len() as u64);
+                for item in items {
+                    self.value(item);
+                }
+            }
+            Value::Object(map) => self.object(map),
+        }
+    }
+}
+
+/// Decoder state: a cursor over the input plus the string and shape
+/// tables reconstructed so far.
+struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    strings: Vec<String>,
+    shapes: Vec<Vec<String>>,
+}
+
+impl<'a> Decoder<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self {
+            buf,
+            pos: 0,
+            strings: Vec::new(),
+            shapes: Vec::new(),
+        }
+    }
+
+    fn byte(&mut self) -> Result<u8, DecodeError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| format!("truncated at byte {}", self.pos))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| format!("truncated: need {n} bytes at byte {}", self.pos))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn varint(&mut self) -> Result<u64, DecodeError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.byte()?;
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(format!("varint longer than 10 bytes at byte {}", self.pos))
+    }
+
+    fn string_ref(&self, idx: u64) -> Result<String, DecodeError> {
+        self.strings
+            .get(usize::try_from(idx).unwrap_or(usize::MAX))
+            .cloned()
+            .ok_or_else(|| format!("string ref {idx} out of range ({})", self.strings.len()))
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let tag = self.byte()?;
+        self.string_body(tag)
+    }
+
+    fn string_body(&mut self, tag: u8) -> Result<String, DecodeError> {
+        match tag {
+            TAG_STR_NEW => {
+                let len = self.varint()? as usize;
+                let bytes = self.take(len)?;
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|e| format!("invalid UTF-8 in string: {e}"))?
+                    .to_owned();
+                self.strings.push(s.clone());
+                Ok(s)
+            }
+            TAG_STR_REF => {
+                let idx = self.varint()?;
+                self.string_ref(idx)
+            }
+            t if (SMALL_REF_BASE..SMALL_REF_BASE + SMALL_REF_COUNT as u8).contains(&t) => {
+                self.string_ref(u64::from(t - SMALL_REF_BASE))
+            }
+            other => Err(format!("expected string tag, found {other}")),
+        }
+    }
+
+    fn object_with_shape(&mut self, idx: u64, depth: usize) -> Result<Value, DecodeError> {
+        let shape = self
+            .shapes
+            .get(usize::try_from(idx).unwrap_or(usize::MAX))
+            .cloned()
+            .ok_or_else(|| format!("shape ref {idx} out of range ({})", self.shapes.len()))?;
+        let mut map = serde::Map::new();
+        for key in shape {
+            let val = self.value(depth + 1)?;
+            map.insert(key, val);
+        }
+        Ok(Value::Object(map))
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, DecodeError> {
+        if depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} levels"));
+        }
+        let tag = self.byte()?;
+        match tag {
+            TAG_NULL => Ok(Value::Null),
+            TAG_FALSE => Ok(Value::Bool(false)),
+            TAG_TRUE => Ok(Value::Bool(true)),
+            TAG_INT => Ok(Value::Int(unzigzag(self.varint()?))),
+            TAG_UINT => Ok(Value::UInt(self.varint()?)),
+            TAG_FLOAT => {
+                let bytes: [u8; 8] = self.take(8)?.try_into().expect("take(8) returned 8 bytes");
+                Ok(Value::Float(f64::from_bits(u64::from_le_bytes(bytes))))
+            }
+            TAG_STR_NEW | TAG_STR_REF => Ok(Value::String(self.string_body(tag)?)),
+            TAG_ARRAY => {
+                let count = self.varint()? as usize;
+                // A corrupt count can dwarf the buffer; each element is
+                // at least one byte, so cap the pre-allocation.
+                let mut items = Vec::with_capacity(count.min(self.buf.len() - self.pos));
+                for _ in 0..count {
+                    items.push(self.value(depth + 1)?);
+                }
+                Ok(Value::Array(items))
+            }
+            TAG_OBJ_NEW_SHAPE => {
+                let count = self.varint()? as usize;
+                let mut shape = Vec::with_capacity(count.min(self.buf.len() - self.pos));
+                for _ in 0..count {
+                    shape.push(self.string()?);
+                }
+                self.shapes.push(shape);
+                self.object_with_shape(self.shapes.len() as u64 - 1, depth)
+            }
+            TAG_OBJ_SHAPE_REF => {
+                let idx = self.varint()?;
+                self.object_with_shape(idx, depth)
+            }
+            t if (SMALL_REF_BASE..SMALL_REF_BASE + SMALL_REF_COUNT as u8).contains(&t) => Ok(
+                Value::String(self.string_ref(u64::from(t - SMALL_REF_BASE))?),
+            ),
+            t if (SMALL_INT_BASE..SMALL_INT_BASE + SMALL_INT_COUNT as u8).contains(&t) => {
+                Ok(Value::Int(i64::from(t - SMALL_INT_BASE)))
+            }
+            t if t >= SMALL_SHAPE_BASE => {
+                self.object_with_shape(u64::from(t - SMALL_SHAPE_BASE), depth)
+            }
+            other => Err(format!("unknown value tag {other}")),
+        }
+    }
+}
+
+/// Encodes a single standalone value (envelope header, meta chunk) with
+/// its own fresh tables.
+pub(crate) fn encode_one(v: &Value) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.value(v);
+    enc.buf
+}
+
+/// Decodes a buffer produced by [`encode_one`], rejecting trailing
+/// garbage.
+pub(crate) fn decode_one(bytes: &[u8]) -> Result<Value, DecodeError> {
+    let mut dec = Decoder::new(bytes);
+    let v = dec.value(0)?;
+    if dec.pos != bytes.len() {
+        return Err(format!(
+            "{} trailing bytes after value",
+            bytes.len() - dec.pos
+        ));
+    }
+    Ok(v)
+}
+
+/// Encodes a row chunk: leading varint row count, then per row the
+/// original row index (varint), the encoded byte length (u32 LE), and
+/// the row value. One string table and one shape table span the whole
+/// chunk, so after the first row a repeated key set costs one byte.
+pub(crate) fn encode_rows(rows: &[(u64, &Value)]) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    put_varint(&mut enc.buf, rows.len() as u64);
+    for (index, row) in rows {
+        put_varint(&mut enc.buf, *index);
+        let len_at = enc.buf.len();
+        enc.buf.extend_from_slice(&[0u8; 4]);
+        enc.value(row);
+        let len = (enc.buf.len() - len_at - 4) as u32;
+        enc.buf[len_at..len_at + 4].copy_from_slice(&len.to_le_bytes());
+    }
+    enc.buf
+}
+
+/// Decodes a chunk produced by [`encode_rows`] back into
+/// `(original index, row value)` pairs, verifying every row's length
+/// frame and rejecting trailing garbage.
+pub(crate) fn decode_rows(bytes: &[u8]) -> Result<Vec<(u64, Value)>, DecodeError> {
+    let mut dec = Decoder::new(bytes);
+    let count = dec.varint()? as usize;
+    let mut rows = Vec::with_capacity(count.min(bytes.len()));
+    for n in 0..count {
+        let index = dec.varint()?;
+        let frame: [u8; 4] = dec.take(4)?.try_into().expect("take(4) returned 4 bytes");
+        let len = u32::from_le_bytes(frame) as usize;
+        let start = dec.pos;
+        let row = dec.value(0).map_err(|e| format!("row {n}: {e}"))?;
+        if dec.pos - start != len {
+            return Err(format!(
+                "row {n}: frame says {len} bytes, decoded {}",
+                dec.pos - start
+            ));
+        }
+        rows.push((index, row));
+    }
+    if dec.pos != bytes.len() {
+        return Err(format!(
+            "{} trailing bytes after {count} rows",
+            bytes.len() - dec.pos
+        ));
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_row(i: u64, domain: &str) -> Value {
+        let mut flags = serde::Map::new();
+        flags.insert("genuine".into(), Value::Bool(i.is_multiple_of(2)));
+        flags.insert("note".into(), Value::Null);
+        let mut m = serde::Map::new();
+        m.insert("request".into(), serde_json::to_value(&i));
+        m.insert("domain".into(), Value::String(domain.to_owned()));
+        m.insert(
+            "product_slug".into(),
+            Value::String(format!("slug-{}", i % 3)),
+        );
+        m.insert("prices".into(), serde_json::to_value(&[12.5, -0.25, 1e300]));
+        m.insert("flags".into(), Value::Object(flags));
+        m.insert("count".into(), Value::Int(-42));
+        m.insert("big".into(), Value::UInt(u64::MAX));
+        Value::Object(m)
+    }
+
+    #[test]
+    fn scalar_values_round_trip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(-1),
+            Value::Int(63),
+            Value::Int(64),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::UInt(0),
+            Value::UInt(u64::MAX),
+            Value::Float(3.5),
+            Value::Float(-0.0),
+            Value::String(String::new()),
+            Value::String("héllo".to_owned()),
+            Value::Array(Vec::new()),
+            Value::Object(serde::Map::new()),
+        ] {
+            let bytes = encode_one(&v);
+            assert_eq!(decode_one(&bytes).unwrap(), v, "{v:?}");
+        }
+        // Int and UInt must keep their variant through a round-trip
+        // (equality is variant-sensitive even when the number is equal).
+        assert_eq!(
+            decode_one(&encode_one(&Value::UInt(5))).unwrap(),
+            Value::UInt(5)
+        );
+        assert_eq!(
+            decode_one(&encode_one(&Value::Int(5))).unwrap(),
+            Value::Int(5)
+        );
+        // Non-finite floats survive bit-exactly (never produced by the
+        // serializers, but the codec should not corrupt them).
+        let nan = encode_one(&Value::Float(f64::NAN));
+        match decode_one(&nan).unwrap() {
+            Value::Float(f) => assert!(f.is_nan()),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_values_round_trip() {
+        let v = sample_row(7, "shop.example");
+        let bytes = encode_one(&v);
+        assert_eq!(decode_one(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn tables_dedupe_repeated_rows() {
+        let one = encode_rows(&[(0, &sample_row(0, "repeated-domain.example"))]);
+        let rows: Vec<Value> = (0..10)
+            .map(|i| sample_row(i, "repeated-domain.example"))
+            .collect();
+        let refs: Vec<(u64, &Value)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i as u64, r))
+            .collect();
+        let ten = encode_rows(&refs);
+        // Rows 2..10 reuse every key, string and object shape via
+        // one-byte table refs, so ten rows must cost far less than ten
+        // independent encodings.
+        assert!(
+            ten.len() < one.len() * 5,
+            "10 rows = {} bytes vs 1 row = {} bytes",
+            ten.len(),
+            one.len()
+        );
+        let decoded = decode_rows(&ten).unwrap();
+        assert_eq!(decoded.len(), 10);
+        for (i, (index, row)) in decoded.iter().enumerate() {
+            assert_eq!(*index, i as u64);
+            assert_eq!(row, &rows[i]);
+        }
+    }
+
+    #[test]
+    fn many_distinct_strings_and_shapes_round_trip() {
+        // Push both tables past their one-byte tag ranges so the
+        // varint fallbacks get exercised.
+        let mut rows: Vec<Value> = Vec::new();
+        for i in 0..200u64 {
+            let mut m = serde::Map::new();
+            m.insert(format!("key-{i}"), Value::Int(i as i64));
+            m.insert("shared".to_owned(), Value::String(format!("val-{i}")));
+            rows.push(Value::Object(m));
+        }
+        // Repeat the whole set so every late table entry is referenced.
+        let doubled: Vec<Value> = rows.iter().chain(rows.iter()).cloned().collect();
+        let refs: Vec<(u64, &Value)> = doubled
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i as u64, r))
+            .collect();
+        let bytes = encode_rows(&refs);
+        let decoded = decode_rows(&bytes).unwrap();
+        assert_eq!(decoded.len(), 400);
+        for (i, (_, row)) in decoded.iter().enumerate() {
+            assert_eq!(row, &doubled[i]);
+        }
+    }
+
+    #[test]
+    fn rows_preserve_explicit_indices() {
+        let a = sample_row(3, "a.example");
+        let b = sample_row(9, "b.example");
+        let bytes = encode_rows(&[(9, &b), (3, &a)]);
+        let decoded = decode_rows(&bytes).unwrap();
+        assert_eq!(decoded[0].0, 9);
+        assert_eq!(decoded[1].0, 3);
+        assert_eq!(decoded[0].1, b);
+        assert_eq!(decoded[1].1, a);
+    }
+
+    #[test]
+    fn truncated_buffers_are_rejected() {
+        let v = sample_row(1, "shop.example");
+        let bytes = encode_one(&v);
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_one(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let chunk = encode_rows(&[(0, &v), (1, &v)]);
+        for cut in [chunk.len() / 3, chunk.len() - 1] {
+            assert!(decode_rows(&chunk[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_are_rejected_not_misread() {
+        // Unused tag between the object tags and the packed ranges.
+        assert!(decode_one(&[12]).is_err());
+        // String ref past the table.
+        assert!(decode_one(&[TAG_STR_REF, 5]).is_err());
+        assert!(decode_one(&[SMALL_REF_BASE + 3]).is_err());
+        // Shape ref past the table.
+        assert!(decode_one(&[TAG_OBJ_SHAPE_REF, 2]).is_err());
+        assert!(decode_one(&[SMALL_SHAPE_BASE + 1]).is_err());
+        // Invalid UTF-8 in a new string.
+        assert!(decode_one(&[TAG_STR_NEW, 1, 0xff]).is_err());
+        // Trailing garbage after a complete value.
+        assert!(decode_one(&[TAG_NULL, TAG_NULL]).is_err());
+        // Row frame length that disagrees with the encoded row.
+        let mut m = serde::Map::new();
+        m.insert("k".into(), Value::Int(1));
+        let v = Value::Object(m);
+        let mut chunk = encode_rows(&[(0, &v)]);
+        chunk[2] ^= 0x01; // flip a bit in the u32 length frame
+        assert!(decode_rows(&chunk).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_capped() {
+        let mut bytes = Vec::new();
+        for _ in 0..10_000 {
+            bytes.push(TAG_ARRAY);
+            bytes.push(1);
+        }
+        bytes.push(TAG_NULL);
+        assert!(decode_one(&bytes).unwrap_err().contains("nesting"));
+    }
+
+    #[test]
+    fn varint_edge_values_round_trip() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut dec = Decoder::new(&buf);
+            assert_eq!(dec.varint().unwrap(), v);
+            assert_eq!(dec.pos, buf.len());
+        }
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

@@ -48,22 +48,30 @@
 //! ```
 
 use crate::executor::Executor;
+use crate::store::{ChunkedPayload, StoreError};
 use pd_analysis::CheckFrame;
 use pd_currency::FxSeries;
-use pd_sheriff::MeasurementStore;
+use pd_sheriff::{Measurement, MeasurementStore};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-/// What one [`FrameCache::frame_for`] call did: how many per-domain
-/// frames it had to build versus how many it served from the cache.
-/// Surfaced as the `frames_built` / `frames_reused` analysis counters
-/// on [`crate::RunObserver`].
+/// What one [`FrameCache::frame_for`] (or
+/// [`FrameCache::frame_for_chunked`]) call did: how many per-domain
+/// frames it had to build versus how many it served from the cache, and
+/// how many binary chunks it decoded to do so. Surfaced as the
+/// `frames_built` / `frames_reused` / `frames_chunks_loaded` analysis
+/// counters on [`crate::RunObserver`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FrameStats {
     /// Domain frames built by this call.
     pub built: usize,
     /// Domain frames (or a whole assembled frame) served from cache.
     pub reused: usize,
+    /// Binary store chunks decoded from a [`ChunkedPayload`] by this
+    /// call. Zero on the in-memory path and on every cache hit — a
+    /// non-zero value proves the call streamed rows from disk without
+    /// materializing the whole payload.
+    pub chunks_loaded: usize,
 }
 
 /// One store's per-domain frame shards, keyed by interned domain.
@@ -114,6 +122,7 @@ impl FrameCache {
                 FrameStats {
                     built: 0,
                     reused: *shards,
+                    chunks_loaded: 0,
                 },
             );
         }
@@ -193,8 +202,114 @@ impl FrameCache {
             FrameStats {
                 built: missing.len(),
                 reused,
+                chunks_loaded: 0,
             },
         )
+    }
+
+    /// Like [`FrameCache::frame_for`], but cut from a **chunked binary
+    /// payload** instead of an in-memory [`MeasurementStore`]: each
+    /// missing domain shard is produced by decoding only that domain's
+    /// chunk of `section` from `payload` — the whole measurement store
+    /// is never materialized. `FrameStats::chunks_loaded` reports how
+    /// many chunks were actually decoded (zero on a cache hit), which
+    /// is what the `frames_chunks_loaded` counter surfaces.
+    ///
+    /// Chunks are partitioned by domain in store first-seen order and
+    /// each chunk keeps original store order internally, so the result
+    /// is row-for-row identical to `frame_for` over the assembled
+    /// store — the two paths share one cache key space.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] when a chunk is missing, fails its
+    /// checksum, or a row does not deserialize as a [`Measurement`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cache lock is poisoned (a frame build panicked).
+    pub fn frame_for_chunked(
+        &self,
+        key: u64,
+        payload: &ChunkedPayload,
+        section: &str,
+        fx: &FxSeries,
+        exec: &Executor,
+    ) -> Result<(Arc<CheckFrame>, FrameStats), StoreError> {
+        if let Some((frame, shards)) = self.assembled.lock().expect("frame cache lock").get(&key) {
+            return Ok((
+                Arc::clone(frame),
+                FrameStats {
+                    built: 0,
+                    reused: *shards,
+                    chunks_loaded: 0,
+                },
+            ));
+        }
+
+        let domains: Vec<String> = payload
+            .chunk_names(section)
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        let mut have: Vec<Option<Arc<CheckFrame>>> = Vec::with_capacity(domains.len());
+        let mut missing: Vec<usize> = Vec::new();
+        {
+            let shards = self.shards.lock().expect("frame cache lock");
+            let for_key = shards.get(&key);
+            for (i, domain) in domains.iter().enumerate() {
+                match for_key.and_then(|m| m.get(domain.as_str())) {
+                    Some(hit) => have.push(Some(Arc::clone(hit))),
+                    None => {
+                        have.push(None);
+                        missing.push(i);
+                    }
+                }
+            }
+        }
+        let reused = domains.len() - missing.len();
+
+        // Decode the missing domains' chunks in parallel — one disk
+        // read + row decode per retailer, nothing else leaves the file.
+        let built = exec.map_indexed(missing.len(), |j| {
+            let rows: Vec<Measurement> = payload.read_chunk_rows(section, &domains[missing[j]])?;
+            Ok::<_, StoreError>(Arc::new(CheckFrame::from_rows(
+                rows.iter()
+                    .filter_map(|m| pd_analysis::CheckRow::from_measurement(m, fx))
+                    .collect(),
+            )))
+        });
+        let built = built.into_iter().collect::<Result<Vec<_>, _>>()?;
+        {
+            let mut shards = self.shards.lock().expect("frame cache lock");
+            let for_key = shards.entry(key).or_default();
+            for (j, frame) in built.iter().enumerate() {
+                let domain: Arc<str> = pd_util::intern(&domains[missing[j]]);
+                for_key.entry(domain).or_insert_with(|| Arc::clone(frame));
+            }
+        }
+        for (j, frame) in built.iter().enumerate() {
+            have[missing[j]] = Some(Arc::clone(frame));
+        }
+
+        let frame = Arc::new(CheckFrame::merge_shards(
+            have.iter()
+                .map(|f| f.as_deref().expect("all shards present")),
+        ));
+        self.assembled
+            .lock()
+            .expect("frame cache lock")
+            .entry(key)
+            .or_insert_with(|| (Arc::clone(&frame), domains.len()));
+        self.shards.lock().expect("frame cache lock").remove(&key);
+        Ok((
+            frame,
+            FrameStats {
+                built: missing.len(),
+                reused,
+                chunks_loaded: missing.len(),
+            },
+        ))
     }
 
     /// Number of domain shards currently held for in-flight assemblies
@@ -275,7 +390,8 @@ mod tests {
                     stats,
                     FrameStats {
                         built: 3,
-                        reused: 0
+                        reused: 0,
+                        chunks_loaded: 0
                     }
                 );
             } else {
@@ -283,7 +399,8 @@ mod tests {
                     stats,
                     FrameStats {
                         built: 0,
-                        reused: 3
+                        reused: 3,
+                        chunks_loaded: 0
                     }
                 );
             }
@@ -293,6 +410,57 @@ mod tests {
             0,
             "shards are released once the assembled frame is memoized"
         );
+    }
+
+    #[test]
+    fn chunked_frames_match_in_memory_frames() {
+        use crate::config::ExperimentConfig;
+        use crate::scenario::RunPlan;
+        use crate::stage::CrawlArtifact;
+        use crate::store::{self, ArtifactStore, Provenance, StoreFormat};
+
+        let dir = std::env::temp_dir().join(format!("pd-frames-chunked-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let plan = RunPlan::new(ExperimentConfig::smoke(7));
+        let mut artifacts = ArtifactStore::create(
+            &dir,
+            Provenance::new("smoke", "", "smoke", 7, 1),
+            &plan,
+            None,
+        )
+        .expect("store creates");
+        artifacts.set_format(StoreFormat::Binary);
+        let store = sample_store();
+        let fp = store::crawl_fingerprint(&plan);
+        let art = CrawlArtifact {
+            store: sample_store(),
+            stats: vec![],
+        };
+        artifacts
+            .save("crawl", fp, &[], &art)
+            .expect("saves binary");
+        let payload = artifacts.open_chunked("crawl", fp).expect("opens chunked");
+
+        let fx = fx();
+        for threads in [1, 4] {
+            let exec = Executor::new(threads);
+            let memory = FrameCache::new();
+            let (direct, _) = memory.frame_for(11, &store, &fx, &exec);
+            let cache = FrameCache::new();
+            let (chunked, stats) = cache
+                .frame_for_chunked(11, &payload, "store", &fx, &exec)
+                .expect("chunked build");
+            assert_eq!(chunked.rows(), direct.rows(), "{threads} threads");
+            assert_eq!(stats.built, 3);
+            assert_eq!(stats.chunks_loaded, 3, "one chunk decoded per domain");
+            // Second call is an assembled-frame hit: no disk reads.
+            let (again, hit) = cache
+                .frame_for_chunked(11, &payload, "store", &fx, &exec)
+                .expect("cache hit");
+            assert!(Arc::ptr_eq(&chunked, &again));
+            assert_eq!((hit.chunks_loaded, hit.reused), (0, 3));
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -31,8 +31,10 @@
 //! telemetry flow through the [`RunObserver`] hooks.
 //!
 //! Artifacts also **persist across processes**: the [`store`] module
-//! writes each stage artifact as versioned, fingerprinted JSON under a
-//! directory ([`store::ArtifactStore`]), and an engine built with
+//! writes each stage artifact as a versioned, fingerprinted envelope
+//! under a directory ([`store::ArtifactStore`]) — pretty JSON or a
+//! compact chunked binary format ([`store::StoreFormat`]) that analysis
+//! streams domain by domain — and an engine built with
 //! [`ExperimentBuilder::artifacts`] checks that store before computing —
 //! the paper's "measure once, analyze many ways" methodology, on disk.
 //! See `docs/ARCHITECTURE.md` for the full lifecycle.
@@ -61,6 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod binfmt;
 pub mod config;
 pub mod executor;
 pub mod frames;
@@ -86,7 +89,10 @@ pub use report::Report;
 pub use scenario::{Profile, RunPlan, ScenarioParams, ScenarioRegistry, ScenarioRun};
 pub use spec::{ConfigPatch, ScenarioSpec, SpecError, SweepAxis};
 pub use stage::{AnalysisArtifact, CrawlArtifact, CrowdArtifact, PersonaArtifact};
-pub use store::{ArtifactStore, Fingerprint, Provenance, StoreError, SCHEMA_VERSION};
+pub use store::{
+    ArtifactStore, ChunkedPayload, Fingerprint, Provenance, StoreError, StoreFormat,
+    MIN_SCHEMA_VERSION, SCHEMA_VERSION,
+};
 pub use world::World;
 
 // Re-export the component crates so downstream users need one dependency.

@@ -21,7 +21,7 @@ use crate::report::Report;
 use crate::scenario::{Profile, RunPlan, ScenarioParams, ScenarioRegistry};
 use crate::spec::ScenarioSpec;
 use crate::stage::{self, AnalysisArtifact, CrawlArtifact, CrowdArtifact, PersonaArtifact};
-use crate::store::{self, ArtifactStore, Provenance, StoreError};
+use crate::store::{self, ArtifactStore, ChunkedPayload, Provenance, StoreError, StoreFormat};
 use crate::world::World;
 use pd_sheriff::cleaning::CleaningReport;
 use pd_sheriff::MeasurementStore;
@@ -48,9 +48,19 @@ pub struct Engine {
     /// Per-domain frame cache the analysis stage reuses across repeated
     /// `analyze()` calls; shared across sweep arms built by one builder.
     frames: Arc<FrameCache>,
+    /// Payload format for artifacts this engine saves.
+    store_format: StoreFormat,
     crowd: Option<CrowdArtifact>,
     crawl: Option<CrawlArtifact>,
     personas: Option<PersonaArtifact>,
+    /// Chunked handle onto an on-disk binary crowd payload: analysis
+    /// streams its rows per domain instead of materializing `crowd`.
+    crowd_chunked: Option<ChunkedPayload>,
+    /// The cleaning report from the chunked crowd payload's meta chunk
+    /// (present exactly when `crowd_chunked` is).
+    crowd_cleaning: Option<CleaningReport>,
+    /// Chunked handle onto an on-disk binary crawl payload.
+    crawl_chunked: Option<ChunkedPayload>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -139,9 +149,13 @@ impl Engine {
             spec: None,
             loaded_stages: Vec::new(),
             frames: Arc::new(FrameCache::new()),
+            store_format: StoreFormat::Json,
             crowd: None,
             crawl: None,
             personas: None,
+            crowd_chunked: None,
+            crowd_cleaning: None,
+            crawl_chunked: None,
         }
     }
 
@@ -193,6 +207,23 @@ impl Engine {
     #[must_use]
     pub fn frame_cache(&self) -> &Arc<FrameCache> {
         &self.frames
+    }
+
+    /// Sets the payload format artifacts are saved in (default
+    /// [`StoreFormat::Json`]; [`StoreFormat::Binary`] for the compact
+    /// chunked encoding). Loading auto-detects per entry, so this only
+    /// shapes what [`Engine::save_artifacts`] and
+    /// [`Engine::save_analysis`] write.
+    #[must_use]
+    pub fn with_store_format(mut self, format: StoreFormat) -> Self {
+        self.store_format = format;
+        self
+    }
+
+    /// The payload format in force for saves.
+    #[must_use]
+    pub fn store_format(&self) -> StoreFormat {
+        self.store_format
     }
 
     /// The attached read-through store directory, if any.
@@ -249,6 +280,27 @@ impl Engine {
         self.observer.stage_loaded(kind, &fp.to_string());
         self.loaded_stages.push(kind);
         Some(artifact)
+    }
+
+    /// Probes the attached store for a **binary** entry of `kind` and
+    /// opens it as a chunked handle (fingerprint- and checksum-checked,
+    /// rows left on disk). `None` when there is no store, the entry is
+    /// missing/JSON/stale/corrupt — the caller falls back to
+    /// [`Engine::probe_store`] or computing.
+    fn probe_chunked(&mut self, kind: StageKind) -> Option<ChunkedPayload> {
+        let dir = self.artifacts_dir.as_deref()?;
+        if !ArtifactStore::is_store(dir) {
+            return None;
+        }
+        let store = ArtifactStore::open(dir).ok()?;
+        if store.entry(kind.as_str())?.store_format() != StoreFormat::Binary {
+            return None;
+        }
+        let fp = store::measurement_fingerprint(kind, &self.plan)?;
+        let payload = store.open_chunked(kind.as_str(), fp).ok()?;
+        self.observer.stage_loaded(kind, &fp.to_string());
+        self.loaded_stages.push(kind);
+        Some(payload)
     }
 
     /// The crowd campaign artifact: from the in-memory cache, else from
@@ -343,9 +395,61 @@ impl Engine {
                     }
                 }
             };
+        // Binary crowd/crawl entries open as chunked handles: the rows
+        // stay on disk and `analyze()` streams them one domain chunk at
+        // a time instead of materializing the whole payload.
+        let mut streamed: Vec<StageKind> = Vec::new();
+        for kind in [StageKind::Crowd, StageKind::Crawl] {
+            let chunked_cached = match kind {
+                StageKind::Crowd => self.crowd_chunked.is_some(),
+                _ => self.crawl_chunked.is_some(),
+            };
+            if chunked_cached {
+                // A previous load already opened this stage's handle.
+                streamed.push(kind);
+                outcome(kind, &mut summary, true, None);
+                continue;
+            }
+            let in_memory = match kind {
+                StageKind::Crowd => self.crowd.is_some(),
+                _ => self.crawl.is_some(),
+            };
+            if in_memory
+                || !store
+                    .entry(kind.as_str())
+                    .is_some_and(|e| e.store_format() == StoreFormat::Binary)
+            {
+                continue;
+            }
+            streamed.push(kind);
+            let fp = store::measurement_fingerprint(kind, &self.plan)
+                .expect("measurement stage has a fingerprint");
+            match store.open_chunked(kind.as_str(), fp) {
+                Ok(payload) => {
+                    if kind == StageKind::Crowd {
+                        match chunked_cleaning(&payload) {
+                            Some(cleaning) => self.crowd_cleaning = Some(cleaning),
+                            None => {
+                                outcome(kind, &mut summary, false, None);
+                                continue;
+                            }
+                        }
+                        self.crowd_chunked = Some(payload);
+                    } else {
+                        self.crawl_chunked = Some(payload);
+                    }
+                    self.observer.stage_loaded(kind, &fp.to_string());
+                    self.loaded_stages.push(kind);
+                    outcome(kind, &mut summary, true, None);
+                }
+                Err(e) => outcome(kind, &mut summary, false, Some(&e)),
+            }
+        }
         macro_rules! load_stage {
             ($kind:expr, $slot:ident, $ty:ty) => {
-                if self.$slot.is_none() {
+                if streamed.contains(&$kind) {
+                    // Resolved above as a chunked handle (or reported).
+                } else if self.$slot.is_none() {
                     let fp = store::measurement_fingerprint($kind, &self.plan)
                         .expect("measurement stage has a fingerprint");
                     match store.load::<$ty>($kind.as_str(), fp) {
@@ -445,30 +549,53 @@ impl Engine {
     /// die to a seed typo. The caller decides whether to delete the
     /// directory and retry (the CLI's `--overwrite-artifacts`).
     fn open_or_create_store(&self, dir: &Path) -> Result<ArtifactStore, StoreError> {
-        match ArtifactStore::open(dir) {
+        let mut store = match ArtifactStore::open(dir) {
             Ok(existing) => {
                 if existing.manifest().plan == store::PlanRecord::from_plan(&self.plan) {
-                    Ok(existing)
+                    existing
                 } else {
-                    Err(StoreError::PlanMismatch {
+                    return Err(StoreError::PlanMismatch {
                         dir: dir.display().to_string(),
-                    })
+                    });
                 }
             }
             Err(StoreError::NoManifest { .. }) => {
-                ArtifactStore::create(dir, self.provenance.clone(), &self.plan, self.spec.clone())
+                ArtifactStore::create(dir, self.provenance.clone(), &self.plan, self.spec.clone())?
             }
-            Err(e) => Err(e),
-        }
+            Err(e) => return Err(e),
+        };
+        store.set_format(self.store_format);
+        Ok(store)
     }
 
     /// Runs the analysis over the (cached) upstream artifacts and
     /// returns the analysis artifact. Upstream stages run at most once;
     /// calling this twice re-analyzes but does not re-measure.
+    ///
+    /// When the attached store holds a stage in the **binary chunked**
+    /// format, its rows are streamed one domain chunk at a time (the
+    /// `frames_chunks_loaded` counter reports how many) instead of
+    /// deserializing the whole payload; a chunk that fails mid-read
+    /// drops the handle and falls back to computing in memory.
     pub fn analyze(&mut self) -> AnalysisArtifact {
+        self.personas();
+        // Prefer streaming handles for the heavy measurement payloads.
+        if self.crowd.is_none() && self.crowd_chunked.is_none() {
+            if let Some(payload) = self.probe_chunked(StageKind::Crowd) {
+                if let Some(cleaning) = chunked_cleaning(&payload) {
+                    self.crowd_cleaning = Some(cleaning);
+                    self.crowd_chunked = Some(payload);
+                }
+            }
+        }
+        if self.crawl.is_none() && self.crawl_chunked.is_none() {
+            self.crawl_chunked = self.probe_chunked(StageKind::Crawl);
+        }
+        if let Some(analysis) = self.try_analyze_chunked() {
+            return analysis;
+        }
         self.crowd();
         self.crawl();
-        self.personas();
         stage::analysis_stage(
             &self.world,
             &self.plan,
@@ -481,10 +608,86 @@ impl Engine {
         )
     }
 
+    /// The chunked analysis attempt: runs [`stage::analysis_over`] with
+    /// whatever mix of in-memory artifacts and chunked handles the
+    /// engine holds. `None` when no handle is open (nothing to stream)
+    /// or a chunk failed mid-read — the handles are dropped so the
+    /// caller recomputes in memory.
+    fn try_analyze_chunked(&mut self) -> Option<AnalysisArtifact> {
+        if self.crowd_chunked.is_none() && self.crawl_chunked.is_none() {
+            return None;
+        }
+        // Materialize whichever heavy stage has no handle (mixed-format
+        // stores: e.g. a v2 JSON crawl next to a v3 binary crowd).
+        if self.crowd.is_none() && self.crowd_chunked.is_none() {
+            self.crowd();
+        }
+        if self.crawl.is_none() && self.crawl_chunked.is_none() {
+            self.crawl();
+        }
+        let keys = stage::FrameKeys {
+            cache: self.frames.as_ref(),
+            crowd: store::crowd_fingerprint(&self.plan).as_u64(),
+            crawl: store::crawl_fingerprint(&self.plan).as_u64(),
+        };
+        let (crowd_raw, crowd_clean, cleaning) = match (&self.crowd, &self.crowd_chunked) {
+            (Some(art), _) => (
+                stage::StoreSource::Memory(&art.raw),
+                stage::StoreSource::Memory(&art.cleaned),
+                art.cleaning,
+            ),
+            (None, Some(payload)) => (
+                stage::StoreSource::Chunked(payload, "raw"),
+                stage::StoreSource::Chunked(payload, "cleaned"),
+                *self
+                    .crowd_cleaning
+                    .as_ref()
+                    .expect("cleaning stashed with the crowd handle"),
+            ),
+            (None, None) => unreachable!("crowd materialized above"),
+        };
+        let crawl_store = match (&self.crawl, &self.crawl_chunked) {
+            (Some(art), _) => stage::StoreSource::Memory(&art.store),
+            (None, Some(payload)) => stage::StoreSource::Chunked(payload, "store"),
+            (None, None) => unreachable!("crawl materialized above"),
+        };
+        match stage::analysis_over(
+            &self.world,
+            &self.plan.config,
+            crowd_raw,
+            crowd_clean,
+            cleaning,
+            crawl_store,
+            self.personas.as_ref().expect("personas cached"),
+            Some(keys),
+            &self.executor,
+            self.observer.as_ref(),
+        ) {
+            Ok(analysis) => Some(analysis),
+            Err(_) => {
+                // A chunk rotted between open and read: recompute from
+                // scratch rather than serve a partial analysis.
+                self.crowd_chunked = None;
+                self.crowd_cleaning = None;
+                self.crawl_chunked = None;
+                None
+            }
+        }
+    }
+
     /// Runs the full pipeline and returns the report.
     pub fn run(&mut self) -> Report {
         self.analyze().report
     }
+}
+
+/// The cleaning report parked in a chunked crowd payload's meta chunk
+/// (the meta chunk is the artifact with its row arrays emptied, so it
+/// deserializes as a hollow [`CrowdArtifact`]).
+fn chunked_cleaning(payload: &ChunkedPayload) -> Option<CleaningReport> {
+    let meta = payload.meta_value().ok()?;
+    let hollow: CrowdArtifact = serde::Deserialize::deserialize(&meta).ok()?;
+    Some(hollow.cleaning)
 }
 
 /// Why a builder could not produce an engine.
@@ -556,6 +759,7 @@ pub struct ExperimentBuilder {
     threads: usize,
     observer: Arc<dyn RunObserver>,
     artifacts: Option<PathBuf>,
+    store_format: StoreFormat,
 }
 
 impl std::fmt::Debug for ExperimentBuilder {
@@ -581,6 +785,7 @@ impl Default for ExperimentBuilder {
             threads: 1,
             observer: Arc::new(NullObserver),
             artifacts: None,
+            store_format: StoreFormat::Json,
         }
     }
 }
@@ -670,6 +875,14 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Sets the payload format for artifacts the built engines save
+    /// (default [`StoreFormat::Json`]; what `pd run --format` drives).
+    #[must_use]
+    pub fn store_format(mut self, format: StoreFormat) -> Self {
+        self.store_format = format;
+        self
+    }
+
     /// Resolves the scenario (an explicit spec, or a registry name) into
     /// the producing spec and its labeled run plans.
     fn resolve(&self) -> Result<(ScenarioSpec, Vec<(String, RunPlan)>), BuildError> {
@@ -746,7 +959,8 @@ impl ExperimentBuilder {
         let mut engine = Engine::from_plan(plan, executor, observer)
             .with_provenance(provenance)
             .with_spec(spec.clone())
-            .with_frame_cache(Arc::clone(frames));
+            .with_frame_cache(Arc::clone(frames))
+            .with_store_format(self.store_format);
         if let Some(dir) = &self.artifacts {
             let arm_dir = if label.is_empty() {
                 dir.clone()
@@ -855,6 +1069,11 @@ impl ExperimentBuilder {
             }
             let mut engine = self.arm_engine(&spec, label, plan.clone(), intra, observer, &frames);
             let analysis = engine.analyze();
+            // Between arms: drop interned strings only this arm's
+            // transient frame shards were holding, so a long multi-arm
+            // sweep does not accumulate every arm's domain set for the
+            // process lifetime.
+            pd_util::intern::purge_unreferenced();
             SweepArmRun {
                 label: label.clone(),
                 engine,
@@ -1016,15 +1235,16 @@ impl Experiment {
         stage::analysis_over(
             world,
             config,
-            crowd_raw,
-            crowd_clean,
+            stage::StoreSource::Memory(crowd_raw),
+            stage::StoreSource::Memory(crowd_clean),
             cleaning,
-            crawl_store,
+            stage::StoreSource::Memory(crawl_store),
             &personas,
             None,
             exec,
             &NullObserver,
         )
+        .expect("in-memory analysis sources cannot fail")
         .report
     }
 }
@@ -1196,6 +1416,51 @@ mod tests {
         let resaved = consumer.save_artifacts(&dir).expect("re-save");
         assert!(resaved.saved.is_empty(), "{resaved:?}");
         assert_eq!(resaved.fresh, vec!["crowd", "crawl", "personas"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn binary_store_round_trip_streams_chunks() {
+        use crate::observer::TimingObserver;
+        let dir = tmp_store("binary-stream");
+        let mut producer = Experiment::builder()
+            .scenario("smoke")
+            .seed(7)
+            .store_format(StoreFormat::Binary)
+            .build()
+            .expect("smoke builds");
+        let report = producer.run();
+        producer.save_artifacts(&dir).expect("save binary");
+
+        let observer = Arc::new(TimingObserver::new());
+        let mut consumer = Experiment::builder()
+            .scenario("smoke")
+            .seed(7)
+            .observer(observer.clone())
+            .artifacts(dir.clone())
+            .build()
+            .expect("smoke builds");
+        let reloaded = consumer.run();
+        assert_eq!(
+            report.to_json(),
+            reloaded.to_json(),
+            "streamed binary chunks must reproduce the report byte-for-byte"
+        );
+        for kind in [StageKind::Crowd, StageKind::Crawl, StageKind::Personas] {
+            assert_eq!(observer.starts(kind), 0, "{kind} must come from disk");
+            assert_eq!(observer.loads(kind), 1, "{kind} load must be observed");
+        }
+        let chunks: u64 = observer
+            .timings()
+            .iter()
+            .flat_map(|t| t.counters.iter())
+            .filter(|(name, _)| name == "frames_chunks_loaded")
+            .map(|(_, value)| *value)
+            .sum();
+        assert!(
+            chunks > 0,
+            "analysis must stream domain chunks instead of whole payloads"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

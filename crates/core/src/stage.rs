@@ -29,10 +29,11 @@
 
 use crate::config::ExperimentConfig;
 use crate::executor::Executor;
-use crate::frames::FrameCache;
+use crate::frames::{FrameCache, FrameStats};
 use crate::observer::{RunObserver, StageKind};
 use crate::report::{Fig8Grid, Report};
 use crate::scenario::RunPlan;
+use crate::store::{ChunkedPayload, StoreError};
 use crate::world::World;
 use pd_analysis::{crawl, crowd as crowd_figs, location, login, strategy, summary, thirdparty};
 use pd_crawler::crawl::RetailerCrawlStats;
@@ -447,6 +448,65 @@ pub fn targets_from_crowd(
         .collect()
 }
 
+/// Where an analysis input store's rows come from: memory, or a chunked
+/// binary payload on disk that is decoded one domain chunk at a time
+/// (never materialized whole). Both variants yield row-identical frames
+/// and summaries; only the `frames_chunks_loaded` counter tells them
+/// apart.
+#[derive(Clone, Copy)]
+pub(crate) enum StoreSource<'a> {
+    /// Rows already in memory.
+    Memory(&'a MeasurementStore),
+    /// Rows on disk under the named row section of a chunked payload.
+    Chunked(&'a ChunkedPayload, &'static str),
+}
+
+impl StoreSource<'_> {
+    /// The analysis frame for this source — through the cache under
+    /// `key` when one is given, built uncached otherwise.
+    fn frame(
+        &self,
+        keyed: Option<(&FrameCache, u64)>,
+        fx: &pd_currency::FxSeries,
+        exec: &Executor,
+    ) -> Result<(std::sync::Arc<pd_analysis::CheckFrame>, FrameStats), StoreError> {
+        match (self, keyed) {
+            (Self::Memory(store), Some((cache, key))) => Ok(cache.frame_for(key, store, fx, exec)),
+            (Self::Memory(store), None) => Ok((
+                std::sync::Arc::new(pd_analysis::CheckFrame::build(store, fx)),
+                FrameStats::default(),
+            )),
+            (Self::Chunked(payload, section), Some((cache, key))) => {
+                cache.frame_for_chunked(key, payload, section, fx, exec)
+            }
+            (Self::Chunked(payload, section), None) => {
+                FrameCache::new().frame_for_chunked(0, payload, section, fx, exec)
+            }
+        }
+    }
+
+    /// Feeds every row of this source to `f`, one chunk at a time for
+    /// chunked sources.
+    fn scan(&self, mut f: impl FnMut(&pd_sheriff::Measurement)) -> Result<(), StoreError> {
+        match self {
+            Self::Memory(store) => {
+                for m in store.records() {
+                    f(m);
+                }
+                Ok(())
+            }
+            Self::Chunked(payload, section) => {
+                for name in payload.chunk_names(section) {
+                    for m in payload.read_chunk_rows::<pd_sheriff::Measurement>(section, name)? {
+                        f(&m);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// Stage 5: every figure and table, from the upstream artifacts. The
 /// per-retailer attribution probes fan across the executor, and the
 /// check frames come from the [`FrameCache`]: per-domain shards built in
@@ -473,15 +533,16 @@ pub fn analysis_stage(
     analysis_over(
         world,
         &plan.config,
-        &crowd.raw,
-        &crowd.cleaned,
+        StoreSource::Memory(&crowd.raw),
+        StoreSource::Memory(&crowd.cleaned),
         crowd.cleaning,
-        &crawl_art.store,
+        StoreSource::Memory(&crawl_art.store),
         persona_art,
         Some(keys),
         exec,
         obs,
     )
+    .expect("in-memory analysis sources cannot fail")
 }
 
 /// How [`analysis_over`] should obtain its frames: through a
@@ -495,48 +556,48 @@ pub(crate) struct FrameKeys<'a> {
     pub crawl: u64,
 }
 
-/// The analysis body over borrowed stores — shared by the artifact-based
-/// [`analysis_stage`] and the legacy `Experiment::analyze` shim (which
-/// receives bare store references with no plan lineage, so it passes no
-/// frame keys and builds uncached).
+/// The analysis body over [`StoreSource`]s — shared by the artifact-based
+/// [`analysis_stage`], the engine's chunked read path (which streams
+/// domain chunks off disk), and the legacy `Experiment::analyze` shim
+/// (which receives bare store references with no plan lineage, so it
+/// passes no frame keys and builds uncached).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn analysis_over(
     world: &World,
     config: &ExperimentConfig,
-    crowd_raw: &MeasurementStore,
-    crowd_clean: &MeasurementStore,
+    crowd_raw: StoreSource<'_>,
+    crowd_clean: StoreSource<'_>,
     cleaning: CleaningReport,
-    crawl_store: &MeasurementStore,
+    crawl_store: StoreSource<'_>,
     persona_art: &PersonaArtifact,
     frames: Option<FrameKeys<'_>>,
     exec: &Executor,
     obs: &dyn RunObserver,
-) -> AnalysisArtifact {
+) -> Result<AnalysisArtifact, StoreError> {
     observed(obs, StageKind::Analysis, || {
         let fx = world.web.fx();
-        let (crowd_frame, crawl_frame) = match frames {
-            Some(keys) => {
-                let (crowd_frame, crowd_stats) =
-                    keys.cache.frame_for(keys.crowd, crowd_clean, fx, exec);
-                let (crawl_frame, crawl_stats) =
-                    keys.cache.frame_for(keys.crawl, crawl_store, fx, exec);
-                obs.counter(
-                    StageKind::Analysis,
-                    "frames_built",
-                    (crowd_stats.built + crawl_stats.built) as u64,
-                );
-                obs.counter(
-                    StageKind::Analysis,
-                    "frames_reused",
-                    (crowd_stats.reused + crawl_stats.reused) as u64,
-                );
-                (crowd_frame, crawl_frame)
-            }
-            None => (
-                std::sync::Arc::new(pd_analysis::CheckFrame::build(crowd_clean, fx)),
-                std::sync::Arc::new(pd_analysis::CheckFrame::build(crawl_store, fx)),
-            ),
-        };
+        let keyed = frames.is_some();
+        let (crowd_frame, crowd_stats) =
+            crowd_clean.frame(frames.as_ref().map(|k| (k.cache, k.crowd)), fx, exec)?;
+        let (crawl_frame, crawl_stats) =
+            crawl_store.frame(frames.as_ref().map(|k| (k.cache, k.crawl)), fx, exec)?;
+        if keyed {
+            obs.counter(
+                StageKind::Analysis,
+                "frames_built",
+                (crowd_stats.built + crawl_stats.built) as u64,
+            );
+            obs.counter(
+                StageKind::Analysis,
+                "frames_reused",
+                (crowd_stats.reused + crawl_stats.reused) as u64,
+            );
+            obs.counter(
+                StageKind::Analysis,
+                "frames_chunks_loaded",
+                (crowd_stats.chunks_loaded + crawl_stats.chunks_loaded) as u64,
+            );
+        }
         let crowd_frame = &*crowd_frame;
         let crawl_frame = &*crawl_frame;
         let labels = world.vantage_labels();
@@ -628,7 +689,13 @@ pub(crate) fn analysis_over(
         let third_party =
             thirdparty::scan_third_parties(&world.web, &targets, boston_vp.addr, exp_time);
 
-        let summary = summary::dataset_summary(&world.crowd, crowd_raw, crawl_store);
+        // The Sec. 3.2 summary is a streaming scan: chunked sources
+        // feed it one domain chunk at a time, memory sources row by row
+        // — identical numbers either way.
+        let mut scan = summary::SummaryScan::new();
+        crowd_raw.scan(|m| scan.crowd_row(m))?;
+        crawl_store.scan(|m| scan.crawl_row(m))?;
+        let summary = scan.finish(&world.crowd);
 
         // Extension: per-retailer factor attribution over the crawled
         // set, fanned per retailer.
@@ -650,7 +717,7 @@ pub(crate) fn analysis_over(
             attribution.len() as u64,
         );
 
-        AnalysisArtifact {
+        Ok(AnalysisArtifact {
             report: Report {
                 summary,
                 cleaning,
@@ -672,6 +739,6 @@ pub(crate) fn analysis_over(
                 third_party,
                 attribution,
             },
-        }
+        })
     })
 }

@@ -50,6 +50,7 @@
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+use crate::binfmt;
 use crate::config::ExperimentConfig;
 use crate::observer::StageKind;
 use crate::scenario::RunPlan;
@@ -59,13 +60,31 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// On-disk schema version. Bump whenever an artifact's serialized shape
-/// changes; every envelope and manifest records it, and a mismatch is a
-/// hard rejection (never a silent misparse).
+/// changes; every envelope and manifest records it, and a version this
+/// build cannot read is a hard rejection (never a silent misparse).
 ///
 /// v2: `ExperimentConfig` grew the `world` section (failure injection),
 /// `RunPlan` grew `targets_from_crowd`, and the manifest records the
 /// producing [`ScenarioSpec`].
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3: the store learned the compact binary payload format
+/// ([`StoreFormat::Binary`]) and the manifest entries record a format
+/// and chunk count. The *artifact shapes* did not change, so v2 stores
+/// remain fully readable ([`MIN_SCHEMA_VERSION`]) and their
+/// fingerprints stay valid (the fingerprint basis carries its own
+/// schema revision, `FINGERPRINT_SCHEMA`, which did not move).
+pub const SCHEMA_VERSION: u32 = 3;
+
+/// Oldest on-disk schema version this build still reads. v2 stores are
+/// plain-JSON-only but shape-identical, so they load as-is.
+pub const MIN_SCHEMA_VERSION: u32 = 2;
+
+/// The schema revision folded into every fingerprint basis. This is
+/// *not* bumped in lockstep with [`SCHEMA_VERSION`]: a container-level
+/// change (v2→v3 added a payload encoding, not new artifact semantics)
+/// must not invalidate every previously measured store. Bump this only
+/// when the meaning of a stored artifact changes.
+const FINGERPRINT_SCHEMA: u32 = 2;
 
 /// The manifest file name inside a store directory.
 pub const MANIFEST_FILE: &str = "manifest.json";
@@ -109,6 +128,74 @@ pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// How a stage payload is laid out on disk.
+///
+/// Both formats sit behind the exact same schema + fingerprint checks;
+/// the format decides only how the payload bytes are produced and
+/// consumed. JSON (`<stage>.json`) is the human-inspectable default;
+/// binary (`<stage>.bin`) is the compact v3 encoding: framed rows in
+/// domain-partitioned chunks behind a chunk index, so a single domain
+/// loads without deserializing the whole payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFormat {
+    /// One JSON envelope per stage, payload inline.
+    Json,
+    /// Length-prefixed framed-rows binary envelope with a chunk index.
+    Binary,
+}
+
+impl StoreFormat {
+    /// The flag spelling (`json` / `binary`).
+    #[must_use]
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            StoreFormat::Json => "json",
+            StoreFormat::Binary => "binary",
+        }
+    }
+
+    /// Parses the flag spelling produced by [`Self::as_str`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<StoreFormat> {
+        match s {
+            "json" => Some(StoreFormat::Json),
+            "binary" => Some(StoreFormat::Binary),
+            _ => None,
+        }
+    }
+
+    /// The artifact file name for a stage in this format.
+    fn file_name(self, stage: &str) -> String {
+        match self {
+            StoreFormat::Json => format!("{stage}.json"),
+            StoreFormat::Binary => format!("{stage}.bin"),
+        }
+    }
+}
+
+impl fmt::Display for StoreFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Serialize for StoreFormat {
+    fn serialize(&self) -> Value {
+        Value::String(self.as_str().to_owned())
+    }
+}
+
+impl Deserialize for StoreFormat {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        match v.as_str() {
+            Some(s) => {
+                StoreFormat::parse(s).ok_or_else(|| serde::Error::unknown_variant(s, "StoreFormat"))
+            }
+            None => Err(serde::Error::expected("string", "StoreFormat")),
+        }
+    }
+}
+
 /// The canonical fingerprint basis of a plan: config (optionally with
 /// the analysis-only section removed), engine knobs, schema version.
 fn basis_value(plan: &RunPlan, include_analysis: bool) -> Value {
@@ -119,7 +206,10 @@ fn basis_value(plan: &RunPlan, include_analysis: bool) -> Value {
         }
     }
     let mut m = serde::Map::new();
-    m.insert("schema".to_owned(), serde_json::to_value(&SCHEMA_VERSION));
+    m.insert(
+        "schema".to_owned(),
+        serde_json::to_value(&FINGERPRINT_SCHEMA),
+    );
     m.insert("config".to_owned(), config);
     m.insert(
         "desync_ms".to_owned(),
@@ -271,7 +361,8 @@ impl fmt::Display for StoreError {
             }
             StoreError::SchemaMismatch { path, found } => write!(
                 f,
-                "{path} uses on-disk schema v{found}, this build reads v{SCHEMA_VERSION}"
+                "{path} uses on-disk schema v{found}, this build reads \
+                 v{MIN_SCHEMA_VERSION}..v{SCHEMA_VERSION}"
             ),
             StoreError::StaleFingerprint {
                 stage,
@@ -396,13 +487,27 @@ pub struct ManifestEntry {
     /// Serialized size in bytes.
     pub bytes: u64,
     /// Serialized size of the payload alone (the artifact body without
-    /// the envelope framing — the number a compact payload encoding,
-    /// the ROADMAP follow-up to the JSON store, would shrink). `None`
-    /// in manifests written before this field existed.
+    /// the envelope framing — the number the binary payload encoding
+    /// shrinks). `None` in manifests written before this field existed.
     pub payload_bytes: Option<u64>,
+    /// Payload layout of the file. `None` in manifests written before
+    /// the binary format existed (implied [`StoreFormat::Json`]).
+    pub format: Option<StoreFormat>,
+    /// Chunk count of a binary file (one meta chunk + one row chunk per
+    /// domain per row section). `None` for JSON entries.
+    pub chunks: Option<u32>,
     /// Hex fingerprints of the upstream artifacts this one was derived
     /// from (empty for measurement stages).
     pub upstream: Vec<String>,
+}
+
+impl ManifestEntry {
+    /// The entry's payload layout ([`StoreFormat::Json`] when the
+    /// manifest predates the format field).
+    #[must_use]
+    pub fn store_format(&self) -> StoreFormat {
+        self.format.unwrap_or(StoreFormat::Json)
+    }
 }
 
 /// The store's index: provenance, the producing plan, and every entry.
@@ -462,6 +567,7 @@ impl fmt::Display for EntryHealth {
 pub struct ArtifactStore {
     dir: PathBuf,
     manifest: Manifest,
+    format: StoreFormat,
 }
 
 impl ArtifactStore {
@@ -496,6 +602,7 @@ impl ArtifactStore {
                 spec,
                 entries: Vec::new(),
             },
+            format: StoreFormat::Json,
         };
         store.write_manifest()?;
         Ok(store)
@@ -521,7 +628,7 @@ impl ArtifactStore {
             path: path.display().to_string(),
             detail: e.to_string(),
         })?;
-        if manifest.schema_version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&manifest.schema_version) {
             return Err(StoreError::SchemaMismatch {
                 path: path.display().to_string(),
                 found: manifest.schema_version,
@@ -530,6 +637,7 @@ impl ArtifactStore {
         Ok(ArtifactStore {
             dir: dir.to_path_buf(),
             manifest,
+            format: StoreFormat::Json,
         })
     }
 
@@ -537,6 +645,19 @@ impl ArtifactStore {
     #[must_use]
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The payload format subsequent [`save`](Self::save) calls write.
+    /// Loads always auto-detect from the manifest entry, so a store can
+    /// hold mixed formats.
+    #[must_use]
+    pub fn format(&self) -> StoreFormat {
+        self.format
+    }
+
+    /// Sets the payload format for subsequent saves.
+    pub fn set_format(&mut self, format: StoreFormat) {
+        self.format = format;
     }
 
     /// The manifest (provenance, plan, entries).
@@ -552,9 +673,10 @@ impl ArtifactStore {
     }
 
     /// Saves an artifact under its fingerprint, replacing any previous
-    /// entry for the same stage. The file is written atomically (temp
-    /// file + rename) and the manifest is updated on disk before the
-    /// call returns. Returns the serialized size in bytes.
+    /// entry for the same stage. The file is written atomically (unique
+    /// temp file + fsync + rename) in the store's current
+    /// [`format`](Self::format) and the manifest is updated on disk
+    /// before the call returns. Returns the serialized size in bytes.
     ///
     /// # Errors
     ///
@@ -567,44 +689,80 @@ impl ArtifactStore {
         upstream: &[Fingerprint],
         artifact: &T,
     ) -> Result<u64, StoreError> {
-        let envelope = Envelope {
-            schema_version: SCHEMA_VERSION,
-            stage: stage.to_owned(),
-            fingerprint: fingerprint.to_string(),
-            payload: serde_json::to_value(artifact),
+        self.save_value(stage, fingerprint, upstream, serde_json::to_value(artifact))
+    }
+
+    /// Format-dispatching core of [`save`](Self::save); also the target
+    /// of [`migrate`](Self::migrate), which re-saves decoded payloads.
+    fn save_value(
+        &mut self,
+        stage: &str,
+        fingerprint: Fingerprint,
+        upstream: &[Fingerprint],
+        payload: Value,
+    ) -> Result<u64, StoreError> {
+        let (bytes, payload_bytes, chunks) = match self.format {
+            StoreFormat::Json => {
+                let envelope = Envelope {
+                    schema_version: SCHEMA_VERSION,
+                    stage: stage.to_owned(),
+                    fingerprint: fingerprint.to_string(),
+                    payload,
+                };
+                let text = serde_json::to_string(&envelope).expect("envelope serializes");
+                // Payload size without re-serializing the payload:
+                // render the same envelope around a `null` payload and
+                // subtract the framing (rendering is deterministic —
+                // sorted keys, no whitespace — so the framing length is
+                // exact).
+                let framing = {
+                    let hollow = Envelope {
+                        payload: Value::Null,
+                        ..envelope
+                    };
+                    serde_json::to_string(&hollow)
+                        .expect("envelope serializes")
+                        .len()
+                        - "null".len()
+                };
+                let payload_bytes = (text.len() - framing) as u64;
+                (text.into_bytes(), payload_bytes, None)
+            }
+            StoreFormat::Binary => {
+                let (bytes, payload_bytes, chunks) = encode_binary(stage, fingerprint, payload);
+                (bytes, payload_bytes, Some(chunks))
+            }
         };
-        let text = serde_json::to_string(&envelope).expect("envelope serializes");
-        // Payload size without re-serializing the payload: render the
-        // same envelope around a `null` payload and subtract the
-        // framing (rendering is deterministic — sorted keys, no
-        // whitespace — so the framing length is exact).
-        let framing = {
-            let hollow = Envelope {
-                payload: Value::Null,
-                ..envelope
-            };
-            serde_json::to_string(&hollow)
-                .expect("envelope serializes")
-                .len()
-                - "null".len()
-        };
-        let file = format!("{stage}.json");
+        let file = self.format.file_name(stage);
         let path = self.dir.join(&file);
-        write_atomic(&path, text.as_bytes())?;
+        write_atomic(&path, &bytes)?;
+        // A format switch leaves the stage's old file under the other
+        // extension; drop it so the directory never holds two
+        // generations of one stage.
+        if let Some(old) = self.entry(stage).map(|e| e.file.clone()) {
+            if old != file {
+                let _ = std::fs::remove_file(self.dir.join(old));
+            }
+        }
         let entry = ManifestEntry {
             stage: stage.to_owned(),
             fingerprint: fingerprint.to_string(),
             file,
-            bytes: text.len() as u64,
-            payload_bytes: Some((text.len() - framing) as u64),
+            bytes: bytes.len() as u64,
+            payload_bytes: Some(payload_bytes),
+            format: Some(self.format),
+            chunks,
             upstream: upstream.iter().map(Fingerprint::to_string).collect(),
         };
         match self.manifest.entries.iter_mut().find(|e| e.stage == stage) {
             Some(existing) => *existing = entry,
             None => self.manifest.entries.push(entry),
         }
+        // Any save from this build upgrades the container version (the
+        // artifact shapes are unchanged; see SCHEMA_VERSION docs).
+        self.manifest.schema_version = SCHEMA_VERSION;
         self.write_manifest()?;
-        Ok(text.len() as u64)
+        Ok(bytes.len() as u64)
     }
 
     /// Loads a stage artifact, trusting nothing: the manifest must list
@@ -634,33 +792,146 @@ impl ArtifactStore {
                 found: entry.fingerprint.clone(),
             });
         }
-        let envelope = self.read_envelope(entry)?;
-        if envelope.fingerprint != expected.to_string() {
-            return Err(StoreError::StaleFingerprint {
-                stage: stage.to_owned(),
-                expected: expected.to_string(),
-                found: envelope.fingerprint,
-            });
-        }
+        let payload = match entry.store_format() {
+            StoreFormat::Json => {
+                let envelope = self.read_envelope(entry)?;
+                if envelope.fingerprint != expected.to_string() {
+                    return Err(StoreError::StaleFingerprint {
+                        stage: stage.to_owned(),
+                        expected: expected.to_string(),
+                        found: envelope.fingerprint,
+                    });
+                }
+                envelope.payload
+            }
+            StoreFormat::Binary => self.open_chunked_entry(entry)?.assemble_value()?,
+        };
         let path = self.dir.join(&entry.file);
-        serde_json::from_value(envelope.payload).map_err(|e| StoreError::Corrupt {
+        serde_json::from_value(payload).map_err(|e| StoreError::Corrupt {
             path: path.display().to_string(),
             detail: format!("payload does not deserialize: {e}"),
         })
     }
 
-    /// Checks every manifest entry against its file: existence, parse,
-    /// schema version, stage and fingerprint consistency. Used by
-    /// `pd artifacts ls` (payload sizes come straight off the manifest
-    /// — [`ManifestEntry::payload_bytes`] is recorded at save time).
+    /// Opens a binary stage entry for chunked reads: the header and
+    /// every chunk checksum are validated up front (so corruption is
+    /// caught here, exactly like a failed JSON parse), but no chunk is
+    /// *decoded* — [`ChunkedPayload::read_chunk`] decodes single
+    /// domains on demand, which is what lets `pd rerun` re-analyze a
+    /// store without materializing whole measurement payloads.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingStage`] / [`StoreError::StaleFingerprint`]
+    /// as for [`load`](Self::load); [`StoreError::Corrupt`] when the
+    /// entry is stored as JSON (callers check
+    /// [`ManifestEntry::store_format`] first) or the file fails
+    /// validation.
+    pub fn open_chunked(
+        &self,
+        stage: &str,
+        expected: Fingerprint,
+    ) -> Result<ChunkedPayload, StoreError> {
+        let entry = self.entry(stage).ok_or_else(|| StoreError::MissingStage {
+            stage: stage.to_owned(),
+        })?;
+        if entry.fingerprint != expected.to_string() {
+            return Err(StoreError::StaleFingerprint {
+                stage: stage.to_owned(),
+                expected: expected.to_string(),
+                found: entry.fingerprint.clone(),
+            });
+        }
+        self.open_chunked_entry(entry)
+    }
+
+    /// Validates and opens an entry's binary file against its manifest
+    /// record (magic, schema, stage, fingerprint, every chunk checksum).
+    fn open_chunked_entry(&self, entry: &ManifestEntry) -> Result<ChunkedPayload, StoreError> {
+        let path = self.dir.join(&entry.file);
+        if entry.store_format() != StoreFormat::Binary {
+            return Err(StoreError::Corrupt {
+                path: path.display().to_string(),
+                detail: format!(
+                    "stage {} is stored as {}, not binary",
+                    entry.stage,
+                    entry.store_format()
+                ),
+            });
+        }
+        ChunkedPayload::open(&path, &entry.stage, &entry.fingerprint)
+    }
+
+    /// Decodes an entry's payload back to its [`Value`] tree regardless
+    /// of format (the migration path).
+    fn load_payload_value(&self, entry: &ManifestEntry) -> Result<Value, StoreError> {
+        match entry.store_format() {
+            StoreFormat::Json => Ok(self.read_envelope(entry)?.payload),
+            StoreFormat::Binary => self.open_chunked_entry(entry)?.assemble_value(),
+        }
+    }
+
+    /// Re-encodes every stored artifact in `format`, leaving stages,
+    /// fingerprints and payloads untouched. Idempotent: entries already
+    /// in the target format are rewritten in place. Returns per-stage
+    /// `(stage, old bytes, new bytes)` rows in manifest order.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`] from decoding an existing entry or writing
+    /// the re-encoded one; entries before the failing one are already
+    /// migrated (each save is atomic and manifest-consistent).
+    pub fn migrate(&mut self, format: StoreFormat) -> Result<Vec<(String, u64, u64)>, StoreError> {
+        let entries = self.manifest.entries.clone();
+        self.format = format;
+        let mut report = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let payload = self.load_payload_value(&entry)?;
+            let fingerprint =
+                Fingerprint::parse(&entry.fingerprint).ok_or_else(|| StoreError::Corrupt {
+                    path: self.dir.join(MANIFEST_FILE).display().to_string(),
+                    detail: format!(
+                        "manifest fingerprint {:?} for stage {} is not 16 hex digits",
+                        entry.fingerprint, entry.stage
+                    ),
+                })?;
+            let upstream: Vec<Fingerprint> = entry
+                .upstream
+                .iter()
+                .map(|fp| {
+                    Fingerprint::parse(fp).ok_or_else(|| StoreError::Corrupt {
+                        path: self.dir.join(MANIFEST_FILE).display().to_string(),
+                        detail: format!(
+                            "manifest upstream fingerprint {fp:?} for stage {} is not 16 hex \
+                             digits",
+                            entry.stage
+                        ),
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            let new_bytes = self.save_value(&entry.stage, fingerprint, &upstream, payload)?;
+            report.push((entry.stage, entry.bytes, new_bytes));
+        }
+        Ok(report)
+    }
+
+    /// Checks every manifest entry against its file: existence, parse
+    /// (JSON) or header + chunk checksums (binary), schema version,
+    /// stage and fingerprint consistency. Used by `pd artifacts ls`
+    /// (payload sizes come straight off the manifest —
+    /// [`ManifestEntry::payload_bytes`] is recorded at save time).
     #[must_use]
     pub fn verify(&self) -> Vec<(ManifestEntry, EntryHealth)> {
         self.manifest
             .entries
             .iter()
             .map(|entry| {
-                let health = match self.read_envelope(entry) {
-                    Ok(_) => EntryHealth::Ok,
+                let outcome = match entry.store_format() {
+                    StoreFormat::Json => self.read_envelope(entry).map(|_| ()),
+                    StoreFormat::Binary => self.open_chunked_entry(entry).map(|_| ()),
+                };
+                let health = match outcome {
+                    Ok(()) => EntryHealth::Ok,
                     Err(StoreError::Io { detail, .. }) if !self.dir.join(&entry.file).is_file() => {
                         let _ = detail;
                         EntryHealth::MissingFile
@@ -682,7 +953,7 @@ impl ArtifactStore {
             path: path.display().to_string(),
             detail: e.to_string(),
         })?;
-        if envelope.schema_version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&envelope.schema_version) {
             return Err(StoreError::SchemaMismatch {
                 path: path.display().to_string(),
                 found: envelope.schema_version,
@@ -708,12 +979,546 @@ impl ArtifactStore {
     }
 }
 
-/// Writes via a sibling temp file + rename so a crash mid-write never
-/// leaves a truncated artifact behind a valid-looking name.
+/// Magic bytes opening every binary artifact file (`<stage>.bin`).
+const BIN_MAGIC: [u8; 4] = *b"PDB3";
+
+/// Where the row arrays live inside a stage payload. Each listed
+/// section is pulled out of the payload at save time and partitioned
+/// into one chunk per domain (first-seen order, matching
+/// `MeasurementStore::domains`); everything else — and every stage not
+/// listed — stays in the meta chunk. Row membership is decided by the
+/// row's own `domain` field, and every row carries its original array
+/// index, so reassembly is exact regardless of chunk order.
+fn row_sections(stage: &str) -> &'static [(&'static str, &'static [&'static str])] {
+    match stage {
+        "crowd" => &[
+            ("raw", &["raw", "records"]),
+            ("cleaned", &["cleaned", "records"]),
+        ],
+        "crawl" => &[("store", &["store", "records"])],
+        _ => &[],
+    }
+}
+
+/// Mutable access to the row array at `path` inside a payload tree.
+fn rows_slot<'a>(payload: &'a mut Value, path: &[&str]) -> Option<&'a mut Vec<Value>> {
+    let mut cur = payload;
+    for key in path {
+        match cur {
+            Value::Object(map) => cur = map.get_mut(*key)?,
+            _ => return None,
+        }
+    }
+    match cur {
+        Value::Array(rows) => Some(rows),
+        _ => None,
+    }
+}
+
+/// One chunk's entry in the binary file's index: where it lives inside
+/// the chunk region and what it holds.
+#[derive(Debug, Clone)]
+struct ChunkInfo {
+    /// Which row section the chunk belongs to (empty for the meta chunk).
+    section: String,
+    /// The partition key — the domain (empty for the meta chunk).
+    name: String,
+    /// Byte offset inside the chunk region.
+    offset: u64,
+    /// Byte length.
+    len: u64,
+    /// Row count (0 for the meta chunk).
+    rows: u64,
+    /// FNV-1a64 over the chunk bytes.
+    checksum: u64,
+}
+
+impl ChunkInfo {
+    fn to_value(&self) -> Value {
+        let mut m = serde::Map::new();
+        m.insert("section".to_owned(), Value::String(self.section.clone()));
+        m.insert("name".to_owned(), Value::String(self.name.clone()));
+        m.insert("offset".to_owned(), Value::UInt(self.offset));
+        m.insert("len".to_owned(), Value::UInt(self.len));
+        m.insert("rows".to_owned(), Value::UInt(self.rows));
+        m.insert(
+            "checksum".to_owned(),
+            Value::String(format!("{:016x}", self.checksum)),
+        );
+        Value::Object(m)
+    }
+
+    fn from_value(v: &Value) -> Result<ChunkInfo, String> {
+        let map = match v {
+            Value::Object(map) => map,
+            _ => return Err("chunk index entry is not an object".to_owned()),
+        };
+        let str_field = |key: &str| {
+            map.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("chunk index entry missing string field {key:?}"))
+        };
+        let u64_field = |key: &str| {
+            map.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("chunk index entry missing integer field {key:?}"))
+        };
+        let checksum_hex = str_field("checksum")?;
+        let checksum = (checksum_hex.len() == 16)
+            .then(|| u64::from_str_radix(&checksum_hex, 16).ok())
+            .flatten()
+            .ok_or_else(|| format!("bad chunk checksum {checksum_hex:?}"))?;
+        Ok(ChunkInfo {
+            section: str_field("section")?,
+            name: str_field("name")?,
+            offset: u64_field("offset")?,
+            len: u64_field("len")?,
+            rows: u64_field("rows")?,
+            checksum,
+        })
+    }
+}
+
+/// Encodes a payload into the binary file layout: magic, u32-LE header
+/// length, binfmt-encoded header (schema, stage, fingerprint, chunk
+/// index), then the chunk region — the meta chunk (the payload with
+/// its row arrays emptied) followed by one framed-rows chunk per
+/// domain per row section. Returns the file bytes, the chunk-region
+/// size (the payload-only byte count) and the chunk count.
+fn encode_binary(stage: &str, fingerprint: Fingerprint, mut payload: Value) -> (Vec<u8>, u64, u32) {
+    // Pull each row section out of the payload and partition by domain.
+    let mut row_chunks: Vec<(String, String, Vec<u8>, u64)> = Vec::new();
+    for (section, path) in row_sections(stage) {
+        let Some(rows) = rows_slot(&mut payload, path) else {
+            continue;
+        };
+        let rows = std::mem::take(rows);
+        let mut order: Vec<&str> = Vec::new();
+        let mut by_domain: std::collections::HashMap<&str, Vec<(u64, &Value)>> =
+            std::collections::HashMap::new();
+        for (index, row) in rows.iter().enumerate() {
+            let domain = match row {
+                Value::Object(map) => map.get("domain").and_then(Value::as_str).unwrap_or(""),
+                _ => "",
+            };
+            let bucket = by_domain.entry(domain).or_default();
+            if bucket.is_empty() {
+                order.push(domain);
+            }
+            bucket.push((index as u64, row));
+        }
+        for domain in order {
+            let bucket = &by_domain[domain];
+            row_chunks.push((
+                (*section).to_owned(),
+                domain.to_owned(),
+                binfmt::encode_rows(bucket),
+                bucket.len() as u64,
+            ));
+        }
+    }
+    let meta_bytes = binfmt::encode_one(&payload);
+
+    // Lay the chunk region out: meta first, then the row chunks.
+    let mut region: Vec<u8> = Vec::new();
+    let mut place = |bytes: &[u8]| {
+        let offset = region.len() as u64;
+        region.extend_from_slice(bytes);
+        (offset, bytes.len() as u64, fnv1a64(bytes))
+    };
+    let (offset, len, checksum) = place(&meta_bytes);
+    let meta = ChunkInfo {
+        section: String::new(),
+        name: String::new(),
+        offset,
+        len,
+        rows: 0,
+        checksum,
+    };
+    let chunks: Vec<ChunkInfo> = row_chunks
+        .iter()
+        .map(|(section, name, bytes, rows)| {
+            let (offset, len, checksum) = place(bytes);
+            ChunkInfo {
+                section: section.clone(),
+                name: name.clone(),
+                offset,
+                len,
+                rows: *rows,
+                checksum,
+            }
+        })
+        .collect();
+
+    let mut header = serde::Map::new();
+    header.insert(
+        "schema_version".to_owned(),
+        Value::UInt(u64::from(SCHEMA_VERSION)),
+    );
+    header.insert("stage".to_owned(), Value::String(stage.to_owned()));
+    header.insert(
+        "fingerprint".to_owned(),
+        Value::String(fingerprint.to_string()),
+    );
+    header.insert("meta".to_owned(), meta.to_value());
+    header.insert(
+        "chunks".to_owned(),
+        Value::Array(chunks.iter().map(ChunkInfo::to_value).collect()),
+    );
+    let header_bytes = binfmt::encode_one(&Value::Object(header));
+
+    let mut file = Vec::with_capacity(8 + header_bytes.len() + region.len());
+    file.extend_from_slice(&BIN_MAGIC);
+    file.extend_from_slice(&(header_bytes.len() as u32).to_le_bytes());
+    file.extend_from_slice(&header_bytes);
+    file.extend_from_slice(&region);
+    let payload_bytes = region.len() as u64;
+    (file, payload_bytes, 1 + chunks.len() as u32)
+}
+
+/// A validated, open binary artifact whose row chunks decode on
+/// demand. Produced by [`ArtifactStore::open_chunked`]; every chunk's
+/// checksum was verified at open time, so reads fail only on
+/// filesystem races. Cheap to keep around: it holds the chunk index,
+/// not the payload.
+#[derive(Debug, Clone)]
+pub struct ChunkedPayload {
+    path: PathBuf,
+    chunk_base: u64,
+    meta: ChunkInfo,
+    chunks: Vec<ChunkInfo>,
+}
+
+impl ChunkedPayload {
+    /// Opens `path` and validates it end to end against the manifest's
+    /// expectations: magic, readable schema version, stage name,
+    /// fingerprint, and the checksum of every chunk (bytes are read
+    /// once and hashed, never decoded).
+    fn open(path: &Path, stage: &str, fingerprint: &str) -> Result<ChunkedPayload, StoreError> {
+        use std::io::Read;
+        let corrupt = |detail: String| StoreError::Corrupt {
+            path: path.display().to_string(),
+            detail,
+        };
+        let mut file = std::fs::File::open(path).map_err(|e| io_err(path, &e))?;
+        let mut prefix = [0u8; 8];
+        file.read_exact(&mut prefix)
+            .map_err(|e| corrupt(format!("file shorter than its fixed prefix: {e}")))?;
+        if prefix[..4] != BIN_MAGIC {
+            return Err(corrupt(format!(
+                "bad magic {:02x?} (not a binary artifact)",
+                &prefix[..4]
+            )));
+        }
+        let header_len = u32::from_le_bytes(prefix[4..8].try_into().expect("4 bytes")) as usize;
+        let mut header_bytes = vec![0u8; header_len];
+        file.read_exact(&mut header_bytes)
+            .map_err(|e| corrupt(format!("truncated header: {e}")))?;
+        let header = binfmt::decode_one(&header_bytes)
+            .map_err(|e| corrupt(format!("header does not decode: {e}")))?;
+        let map = match &header {
+            Value::Object(map) => map,
+            _ => return Err(corrupt("header is not an object".to_owned())),
+        };
+        let schema = map
+            .get("schema_version")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| corrupt("header missing schema_version".to_owned()))?;
+        let schema = u32::try_from(schema).unwrap_or(u32::MAX);
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema) {
+            return Err(StoreError::SchemaMismatch {
+                path: path.display().to_string(),
+                found: schema,
+            });
+        }
+        let header_stage = map.get("stage").and_then(Value::as_str).unwrap_or("");
+        let header_fp = map.get("fingerprint").and_then(Value::as_str).unwrap_or("");
+        if header_stage != stage || header_fp != fingerprint {
+            return Err(corrupt(format!(
+                "header says stage {header_stage} fingerprint {header_fp}, manifest says stage \
+                 {stage} fingerprint {fingerprint}"
+            )));
+        }
+        let meta = ChunkInfo::from_value(
+            map.get("meta")
+                .ok_or_else(|| corrupt("header missing meta chunk".to_owned()))?,
+        )
+        .map_err(&corrupt)?;
+        let chunks: Vec<ChunkInfo> = map
+            .get("chunks")
+            .and_then(Value::as_array)
+            .ok_or_else(|| corrupt("header missing chunk index".to_owned()))?
+            .iter()
+            .map(ChunkInfo::from_value)
+            .collect::<Result<_, _>>()
+            .map_err(&corrupt)?;
+        let payload = ChunkedPayload {
+            path: path.to_path_buf(),
+            chunk_base: 8 + header_len as u64,
+            meta,
+            chunks,
+        };
+        // Eager integrity pass: read (not decode) every chunk once and
+        // verify its checksum, so a bit-flipped or truncated chunk is
+        // rejected at open — the same failure point as a JSON parse
+        // error — rather than mid-analysis.
+        payload.read_chunk_bytes(&payload.meta)?;
+        for chunk in &payload.chunks {
+            payload.read_chunk_bytes(chunk)?;
+        }
+        Ok(payload)
+    }
+
+    /// Total chunk count (meta + row chunks).
+    #[must_use]
+    pub fn chunk_count(&self) -> usize {
+        1 + self.chunks.len()
+    }
+
+    /// The domains of a row section, in chunk (= first-seen) order.
+    #[must_use]
+    pub fn chunk_names(&self, section: &str) -> Vec<&str> {
+        self.chunks
+            .iter()
+            .filter(|c| c.section == section)
+            .map(|c| c.name.as_str())
+            .collect()
+    }
+
+    /// Reads and verifies one chunk's raw bytes.
+    fn read_chunk_bytes(&self, chunk: &ChunkInfo) -> Result<Vec<u8>, StoreError> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = std::fs::File::open(&self.path).map_err(|e| io_err(&self.path, &e))?;
+        file.seek(SeekFrom::Start(self.chunk_base + chunk.offset))
+            .map_err(|e| io_err(&self.path, &e))?;
+        let len = usize::try_from(chunk.len).map_err(|_| StoreError::Corrupt {
+            path: self.path.display().to_string(),
+            detail: format!("chunk length {} overflows", chunk.len),
+        })?;
+        let mut bytes = vec![0u8; len];
+        file.read_exact(&mut bytes)
+            .map_err(|e| StoreError::Corrupt {
+                path: self.path.display().to_string(),
+                detail: format!(
+                    "chunk {}/{} truncated at offset {}: {e}",
+                    chunk.section, chunk.name, chunk.offset
+                ),
+            })?;
+        if fnv1a64(&bytes) != chunk.checksum {
+            return Err(StoreError::Corrupt {
+                path: self.path.display().to_string(),
+                detail: format!(
+                    "chunk {}/{} fails its checksum (expected {:016x})",
+                    chunk.section, chunk.name, chunk.checksum
+                ),
+            });
+        }
+        Ok(bytes)
+    }
+
+    /// Decodes the meta chunk: the payload tree with every row array
+    /// empty (stores deserialize with zero records, stats and cleaning
+    /// metadata intact).
+    pub(crate) fn meta_value(&self) -> Result<Value, StoreError> {
+        let bytes = self.read_chunk_bytes(&self.meta)?;
+        binfmt::decode_one(&bytes).map_err(|e| StoreError::Corrupt {
+            path: self.path.display().to_string(),
+            detail: format!("meta chunk does not decode: {e}"),
+        })
+    }
+
+    /// Decodes one domain's chunk into `(original row index, row)`
+    /// pairs. This is the single-domain streamed read: nothing outside
+    /// the chunk is touched.
+    pub fn read_chunk(&self, section: &str, name: &str) -> Result<Vec<(u64, Value)>, StoreError> {
+        let chunk = self
+            .chunks
+            .iter()
+            .find(|c| c.section == section && c.name == name)
+            .ok_or_else(|| StoreError::Corrupt {
+                path: self.path.display().to_string(),
+                detail: format!("no chunk {section}/{name} in the index"),
+            })?;
+        let bytes = self.read_chunk_bytes(chunk)?;
+        binfmt::decode_rows(&bytes).map_err(|e| StoreError::Corrupt {
+            path: self.path.display().to_string(),
+            detail: format!("chunk {section}/{name} does not decode: {e}"),
+        })
+    }
+
+    /// Decodes one domain's chunk and deserializes every row to `T`
+    /// (row order inside a chunk is original store order, so the
+    /// result needs no re-sorting).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] when the chunk is missing from the
+    /// index, fails to decode, or a row does not deserialize.
+    pub fn read_chunk_rows<T: Deserialize>(
+        &self,
+        section: &str,
+        name: &str,
+    ) -> Result<Vec<T>, StoreError> {
+        self.read_chunk(section, name)?
+            .iter()
+            .map(|(_, row)| {
+                T::deserialize(row).map_err(|e| StoreError::Corrupt {
+                    path: self.path.display().to_string(),
+                    detail: format!("chunk {section}/{name} row does not deserialize: {e}"),
+                })
+            })
+            .collect()
+    }
+
+    /// Reassembles the full payload tree: the meta chunk with every
+    /// section's rows spliced back into their original positions.
+    pub(crate) fn assemble_value(&self) -> Result<Value, StoreError> {
+        let corrupt = |detail: String| StoreError::Corrupt {
+            path: self.path.display().to_string(),
+            detail,
+        };
+        let mut payload = self.meta_value()?;
+        let sections: Vec<&str> = {
+            let mut seen = Vec::new();
+            for c in &self.chunks {
+                if !seen.contains(&c.section.as_str()) {
+                    seen.push(c.section.as_str());
+                }
+            }
+            seen
+        };
+        for section in sections {
+            let mut collected: Vec<(u64, Value)> = Vec::new();
+            for name in self.chunk_names(section) {
+                collected.extend(self.read_chunk(section, name)?);
+            }
+            let total = collected.len();
+            let mut slots: Vec<Option<Value>> =
+                std::iter::repeat_with(|| None).take(total).collect();
+            for (index, row) in collected {
+                let slot = usize::try_from(index)
+                    .ok()
+                    .and_then(|i| slots.get_mut(i))
+                    .ok_or_else(|| {
+                        corrupt(format!(
+                            "section {section}: row index {index} out of range 0..{total}"
+                        ))
+                    })?;
+                if slot.is_some() {
+                    return Err(corrupt(format!(
+                        "section {section}: duplicate row index {index}"
+                    )));
+                }
+                *slot = Some(row);
+            }
+            let rows: Vec<Value> = slots
+                .into_iter()
+                .collect::<Option<_>>()
+                .ok_or_else(|| corrupt(format!("section {section}: missing row index")))?;
+            let path = section_path(&payload, section).ok_or_else(|| {
+                corrupt(format!(
+                    "section {section} has no row array in the meta payload"
+                ))
+            })?;
+            let slot = rows_slot(&mut payload, path).ok_or_else(|| {
+                corrupt(format!(
+                    "section {section} has no row array in the meta payload"
+                ))
+            })?;
+            *slot = rows;
+        }
+        Ok(payload)
+    }
+
+    /// Reassembles and deserializes the full artifact (the non-chunked
+    /// load path for binary entries).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] when a chunk fails to decode or the
+    /// payload does not deserialize; [`StoreError::Io`] on read races.
+    pub fn assemble<T: Deserialize>(&self) -> Result<T, StoreError> {
+        let payload = self.assemble_value()?;
+        serde_json::from_value(payload).map_err(|e| StoreError::Corrupt {
+            path: self.path.display().to_string(),
+            detail: format!("payload does not deserialize: {e}"),
+        })
+    }
+}
+
+/// Finds the row-array path for a section by probing the known stage
+/// layouts against the payload shape (the stage name is not stored in
+/// the chunk index, so reassembly matches on structure).
+fn section_path(payload: &Value, section: &str) -> Option<&'static [&'static str]> {
+    for stage in ["crowd", "crawl"] {
+        for (s, path) in row_sections(stage) {
+            if *s != section {
+                continue;
+            }
+            // The path must exist in this payload to be the right one.
+            let mut cur = payload;
+            let mut ok = true;
+            for key in *path {
+                match cur {
+                    Value::Object(map) => match map.get(*key) {
+                        Some(next) => cur = next,
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    },
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok && matches!(cur, Value::Array(_)) {
+                return Some(path);
+            }
+        }
+    }
+    None
+}
+
+/// Writes via a unique sibling temp file, fsync and rename, so a crash
+/// mid-write never leaves a truncated artifact behind a valid-looking
+/// name — the data hits the disk before the name does, and the parent
+/// directory is fsynced after the rename so the name itself survives a
+/// crash. The temp name embeds the pid and a process-wide counter, so
+/// concurrent savers (threads or processes sharing one store dir) each
+/// write their own temp file and can never publish another writer's
+/// partial bytes.
 fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
-    let tmp = path.with_extension("json.tmp");
-    std::fs::write(&tmp, bytes).map_err(|e| io_err(&tmp, &e))?;
-    std::fs::rename(&tmp, path).map_err(|e| io_err(path, &e))
+    use std::io::Write;
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("artifact");
+    let tmp = path.with_file_name(format!(".{name}.{}.{seq}.tmp", std::process::id()));
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, &e))?;
+        file.write_all(bytes).map_err(|e| io_err(&tmp, &e))?;
+        file.sync_all().map_err(|e| io_err(&tmp, &e))?;
+        std::fs::rename(&tmp, path).map_err(|e| io_err(path, &e))
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return result;
+    }
+    // The rename is durable only once the directory entry is synced;
+    // opening a directory read-only for fsync works on the Unix
+    // platforms we support, and a platform that refuses the open keeps
+    // the old (rename-only) guarantee rather than failing the save.
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            dir.sync_all().map_err(|e| io_err(parent, &e))?;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -904,6 +1709,375 @@ mod tests {
         let recorded = m.spec.expect("spec recorded");
         assert_eq!(recorded, spec, "spec must round-trip through the manifest");
         assert_eq!(recorded.fingerprint(), spec.fingerprint());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A deterministic measurement for payload-shape tests (the
+    /// integration suite randomizes; here we exercise the encoding).
+    fn measurement(i: u64, domain: &str) -> pd_sheriff::measurement::Measurement {
+        use pd_currency::{Currency, Price};
+        use pd_sheriff::measurement::{Measurement, NoiseTruth, PriceObservation};
+        use pd_util::{Money, RequestId, UserId, VantageId};
+        #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+        let price = Price::new(
+            Money::from_minor(1000 + i as i64),
+            Currency::ALL[(i as usize) % Currency::ALL.len()],
+        );
+        Measurement {
+            request: RequestId::new(0),
+            user: UserId::new((i % 7) as u32),
+            domain: domain.to_owned(),
+            product_slug: format!("prod-{}", i % 3),
+            time: pd_net::clock::SimTime::from_millis(1000 * i),
+            user_price: Some(price),
+            observations: (0..3)
+                .map(|v| {
+                    PriceObservation::ok(VantageId::new(v), price, format!("{} x", price.amount))
+                })
+                .collect(),
+            noise_truth: NoiseTruth::Clean,
+        }
+    }
+
+    fn crawl_artifact(domains: &[&str], per_domain: u64) -> CrawlArtifact {
+        let mut store = pd_sheriff::MeasurementStore::new();
+        for d in domains {
+            for i in 0..per_domain {
+                store.push(measurement(i, d));
+            }
+        }
+        CrawlArtifact {
+            store,
+            stats: vec![],
+        }
+    }
+
+    #[test]
+    fn binary_round_trip_matches_json_and_is_smaller() {
+        let dir_json = tmp_dir("bin-vs-json-j");
+        let dir_bin = tmp_dir("bin-vs-json-b");
+        let plan = smoke_plan(7);
+        let fp = crawl_fingerprint(&plan);
+        let art = crawl_artifact(&["a.example", "b.example", "c.example"], 40);
+        let prov = || Provenance::new("smoke", "", "smoke", 7, 1);
+
+        let mut js = ArtifactStore::create(&dir_json, prov(), &plan, None).expect("create");
+        let json_bytes = js.save("crawl", fp, &[], &art).expect("json save");
+
+        let mut bs = ArtifactStore::create(&dir_bin, prov(), &plan, None).expect("create");
+        bs.set_format(StoreFormat::Binary);
+        let bin_bytes = bs.save("crawl", fp, &[], &art).expect("binary save");
+        assert!(dir_bin.join("crawl.bin").is_file());
+        assert!(
+            bin_bytes * 3 <= json_bytes,
+            "binary ({bin_bytes} B) must be ≤ 1/3 of JSON ({json_bytes} B)"
+        );
+
+        let from_json: CrawlArtifact = ArtifactStore::open(&dir_json)
+            .expect("open")
+            .load("crawl", fp)
+            .expect("json load");
+        let from_bin: CrawlArtifact = ArtifactStore::open(&dir_bin)
+            .expect("open")
+            .load("crawl", fp)
+            .expect("binary load");
+        assert_eq!(
+            serde_json::to_string(&serde_json::to_value(&from_json)),
+            serde_json::to_string(&serde_json::to_value(&from_bin)),
+            "the two formats must load identical artifacts"
+        );
+        assert_eq!(from_bin.store.len(), art.store.len());
+        assert_eq!(from_bin.store.records(), art.store.records());
+
+        let entry = bs.entry("crawl").expect("entry").clone();
+        assert_eq!(entry.store_format(), StoreFormat::Binary);
+        assert_eq!(entry.chunks, Some(4), "meta + one chunk per domain");
+        std::fs::remove_dir_all(&dir_json).ok();
+        std::fs::remove_dir_all(&dir_bin).ok();
+    }
+
+    #[test]
+    fn chunked_open_reads_single_domains() {
+        let dir = tmp_dir("chunked-read");
+        let plan = smoke_plan(7);
+        let fp = crawl_fingerprint(&plan);
+        let domains = ["x.example", "y.example", "z.example"];
+        let art = crawl_artifact(&domains, 5);
+        let mut store = ArtifactStore::create(
+            &dir,
+            Provenance::new("smoke", "", "smoke", 7, 1),
+            &plan,
+            None,
+        )
+        .expect("create");
+        store.set_format(StoreFormat::Binary);
+        store.save("crawl", fp, &[], &art).expect("save");
+
+        let chunked = store.open_chunked("crawl", fp).expect("open chunked");
+        assert_eq!(chunked.chunk_count(), 4);
+        assert_eq!(chunked.chunk_names("store"), domains.to_vec());
+        let rows = chunked.read_chunk("store", "y.example").expect("chunk");
+        assert_eq!(rows.len(), 5);
+        // The recorded indices are the rows' positions in the original
+        // store (domain y holds positions 5..10).
+        let indices: Vec<u64> = rows.iter().map(|(i, _)| *i).collect();
+        assert_eq!(indices, vec![5, 6, 7, 8, 9]);
+        for (_, row) in &rows {
+            let domain = match row {
+                Value::Object(m) => m.get("domain").and_then(Value::as_str),
+                _ => None,
+            };
+            assert_eq!(domain, Some("y.example"));
+        }
+        let back: CrawlArtifact = chunked.assemble().expect("assemble");
+        assert_eq!(back.store.records(), art.store.records());
+
+        assert!(matches!(
+            chunked.read_chunk("store", "missing.example"),
+            Err(StoreError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            store.open_chunked("crawl", crawl_fingerprint(&smoke_plan(8))),
+            Err(StoreError::StaleFingerprint { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_binary_chunks_are_rejected_at_open() {
+        let dir = tmp_dir("bin-corrupt");
+        let plan = smoke_plan(7);
+        let fp = crawl_fingerprint(&plan);
+        let mut store = ArtifactStore::create(
+            &dir,
+            Provenance::new("smoke", "", "smoke", 7, 1),
+            &plan,
+            None,
+        )
+        .expect("create");
+        store.set_format(StoreFormat::Binary);
+        store
+            .save(
+                "crawl",
+                fp,
+                &[],
+                &crawl_artifact(&["a.example", "b.example"], 10),
+            )
+            .expect("save");
+
+        // Flip one byte near the end of the file (inside the last row
+        // chunk): the open-time checksum pass must reject it.
+        let path = dir.join("crawl.bin");
+        let mut bytes = std::fs::read(&path).expect("read");
+        let at = bytes.len() - 8;
+        bytes[at] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("scribble");
+
+        let reopened = ArtifactStore::open(&dir).expect("open");
+        assert!(matches!(
+            reopened.open_chunked("crawl", fp),
+            Err(StoreError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            reopened.load::<CrawlArtifact>("crawl", fp),
+            Err(StoreError::Corrupt { .. })
+        ));
+        let verified = reopened.verify();
+        assert_eq!(verified.len(), 1);
+        assert!(matches!(verified[0].1, EntryHealth::Corrupt(_)));
+
+        // Truncation is caught too.
+        bytes[at] ^= 0x40; // restore the flipped byte
+        bytes.truncate(bytes.len() - 3);
+        std::fs::write(&path, &bytes).expect("truncate");
+        assert!(matches!(
+            reopened.open_chunked("crawl", fp),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn migrate_round_trips_byte_identically() {
+        let dir = tmp_dir("migrate");
+        let plan = smoke_plan(7);
+        let fp = crawl_fingerprint(&plan);
+        let mut store = ArtifactStore::create(
+            &dir,
+            Provenance::new("smoke", "", "smoke", 7, 1),
+            &plan,
+            None,
+        )
+        .expect("create");
+        store
+            .save(
+                "crawl",
+                fp,
+                &[],
+                &crawl_artifact(&["m.example", "n.example"], 12),
+            )
+            .expect("save");
+        let original = std::fs::read(dir.join("crawl.json")).expect("json bytes");
+
+        let mut store = ArtifactStore::open(&dir).expect("open");
+        let report = store.migrate(StoreFormat::Binary).expect("to binary");
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].0, "crawl");
+        assert_eq!(report[0].1, original.len() as u64);
+        assert!(report[0].2 < report[0].1, "binary must shrink the store");
+        assert!(dir.join("crawl.bin").is_file());
+        assert!(
+            !dir.join("crawl.json").exists(),
+            "the superseded JSON file must be removed"
+        );
+        // The fingerprint is untouched, so the entry still loads.
+        let art: CrawlArtifact = store.load("crawl", fp).expect("load after migrate");
+        assert_eq!(art.store.len(), 24);
+
+        let report = store.migrate(StoreFormat::Json).expect("back to json");
+        let restored = std::fs::read(dir.join("crawl.json")).expect("json bytes");
+        assert_eq!(report[0].2, restored.len() as u64);
+        assert_eq!(
+            original, restored,
+            "json → binary → json must be byte-identical"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_saves_never_publish_partial_bytes() {
+        let dir = tmp_dir("concurrent-save");
+        let plan = smoke_plan(7);
+        let fp = crawl_fingerprint(&plan);
+        ArtifactStore::create(
+            &dir,
+            Provenance::new("smoke", "", "smoke", 7, 1),
+            &plan,
+            None,
+        )
+        .expect("create");
+
+        // Eight threads, each with its own handle on the same dir,
+        // hammer the same stage with payloads of very different sizes.
+        // Before the unique-temp-name fix the writers shared one
+        // `crawl.json.tmp` and could rename each other's half-written
+        // bytes into place.
+        let sizes: Vec<u64> = (0..8).map(|i| 5 + 40 * i).collect();
+        let threads: Vec<_> = sizes
+            .iter()
+            .map(|&n| {
+                let dir = dir.clone();
+                std::thread::spawn(move || {
+                    let mut store = ArtifactStore::open(&dir).expect("open");
+                    let art = crawl_artifact(&["c1.example", "c2.example"], n);
+                    for _ in 0..4 {
+                        store.save("crawl", fp, &[], &art).expect("save");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("no saver panics");
+        }
+
+        // Whatever interleaving happened, the published file must be a
+        // complete, valid envelope holding one of the variants...
+        let reopened = ArtifactStore::open(&dir).expect("manifest parses");
+        let art: CrawlArtifact = reopened.load("crawl", fp).expect("envelope parses");
+        let len = art.store.len() as u64;
+        assert!(
+            sizes.iter().any(|&n| 2 * n == len),
+            "loaded store holds {len} records, not one of the written variants"
+        );
+        // ...and no temp droppings survive.
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .expect("readdir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v2_json_stores_still_load() {
+        let dir = tmp_dir("v2-compat");
+        let plan = smoke_plan(7);
+        let fp = crawl_fingerprint(&plan);
+        let art = crawl_artifact(&["old.example"], 6);
+
+        // Write the store with this build, then rewrite both files the
+        // way a v2 build laid them down: schema_version 2 and no
+        // format/chunks keys in the manifest entry.
+        let mut store = ArtifactStore::create(
+            &dir,
+            Provenance::new("smoke", "", "smoke", 7, 1),
+            &plan,
+            None,
+        )
+        .expect("create");
+        store.save("crawl", fp, &[], &art).expect("save");
+
+        let downgrade = |v: &mut Value| {
+            if let Value::Object(map) = v {
+                map.insert("schema_version".to_owned(), Value::UInt(2));
+            }
+        };
+        let envelope_path = dir.join("crawl.json");
+        let mut envelope: Value =
+            serde_json::from_str(&std::fs::read_to_string(&envelope_path).expect("read"))
+                .expect("parse");
+        downgrade(&mut envelope);
+        std::fs::write(
+            &envelope_path,
+            serde_json::to_string(&envelope).expect("render"),
+        )
+        .expect("write");
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let mut manifest: Value =
+            serde_json::from_str(&std::fs::read_to_string(&manifest_path).expect("read"))
+                .expect("parse");
+        downgrade(&mut manifest);
+        if let Value::Object(map) = &mut manifest {
+            if let Some(Value::Array(entries)) = map.get_mut("entries") {
+                for entry in entries {
+                    if let Value::Object(entry) = entry {
+                        entry.remove("format");
+                        entry.remove("chunks");
+                    }
+                }
+            }
+        }
+        std::fs::write(
+            &manifest_path,
+            serde_json::to_string_pretty(&manifest).expect("render"),
+        )
+        .expect("write");
+
+        // The v2 store opens, reports JSON format, and loads — the
+        // fingerprint basis did not move with the container version.
+        let reopened = ArtifactStore::open(&dir).expect("v2 store opens");
+        assert_eq!(reopened.manifest().schema_version, 2);
+        let entry = reopened.entry("crawl").expect("entry");
+        assert_eq!(entry.store_format(), StoreFormat::Json);
+        let back: CrawlArtifact = reopened.load("crawl", fp).expect("v2 artifact loads");
+        assert_eq!(back.store.records(), art.store.records());
+
+        // Saving anything upgrades the container to the current version.
+        let mut reopened = reopened;
+        reopened.save("crawl", fp, &[], &art).expect("re-save");
+        assert_eq!(reopened.manifest().schema_version, SCHEMA_VERSION);
+        assert_eq!(
+            ArtifactStore::open(&dir)
+                .expect("reopen")
+                .manifest()
+                .schema_version,
+            SCHEMA_VERSION
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

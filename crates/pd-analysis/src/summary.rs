@@ -1,7 +1,9 @@
 //! Sec. 3.2 dataset summary statistics (the reproduction's "T0").
 
-use pd_sheriff::{Crowd, MeasurementStore};
+use pd_sheriff::{Crowd, Measurement, MeasurementStore};
+use pd_util::UserId;
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 
 /// The headline numbers of Sec. 3.2.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -24,6 +26,65 @@ pub struct DatasetSummary {
     pub crawled_prices: usize,
 }
 
+/// Streaming accumulator behind [`dataset_summary`]: feed it crowd and
+/// crawl measurements one at a time — in any order, e.g. chunk by chunk
+/// from an on-disk store — and [`SummaryScan::finish`] yields the same
+/// numbers as a whole-store scan. Every statistic is a count, a set
+/// cardinality or a sum, so the scan never has to hold the stores.
+#[derive(Debug, Default)]
+pub struct SummaryScan {
+    crowd_requests: usize,
+    crowd_users: HashSet<UserId>,
+    crowd_domains: HashSet<String>,
+    crawl_domains: HashSet<String>,
+    crawled_products: HashSet<(String, String)>,
+    crawl_days: HashSet<usize>,
+    crawled_prices: usize,
+}
+
+impl SummaryScan {
+    /// An empty scan.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accounts one measurement from the **raw crowd** store.
+    pub fn crowd_row(&mut self, m: &Measurement) {
+        self.crowd_requests += 1;
+        self.crowd_users.insert(m.user);
+        if !self.crowd_domains.contains(m.domain.as_str()) {
+            self.crowd_domains.insert(m.domain.clone());
+        }
+    }
+
+    /// Accounts one measurement from the **crawl** store.
+    pub fn crawl_row(&mut self, m: &Measurement) {
+        if !self.crawl_domains.contains(m.domain.as_str()) {
+            self.crawl_domains.insert(m.domain.clone());
+        }
+        self.crawled_products
+            .insert((m.domain.clone(), m.product_slug.clone()));
+        self.crawl_days.insert(m.day());
+        self.crawled_prices += m.prices().len();
+    }
+
+    /// The Sec. 3.2 headline numbers for everything fed so far.
+    #[must_use]
+    pub fn finish(self, crowd: &Crowd) -> DatasetSummary {
+        DatasetSummary {
+            crowd_requests: self.crowd_requests,
+            crowd_users: self.crowd_users.len(),
+            crowd_countries: crowd.country_count(),
+            crowd_domains: self.crowd_domains.len(),
+            crawled_retailers: self.crawl_domains.len(),
+            crawled_products: self.crawled_products.len(),
+            crawl_days: self.crawl_days.len(),
+            crawled_prices: self.crawled_prices,
+        }
+    }
+}
+
 /// Builds the summary from the two stores and the crowd.
 #[must_use]
 pub fn dataset_summary(
@@ -31,25 +92,14 @@ pub fn dataset_summary(
     crowd_store: &MeasurementStore,
     crawl_store: &MeasurementStore,
 ) -> DatasetSummary {
-    let crowd_users: std::collections::HashSet<_> =
-        crowd_store.records().iter().map(|m| m.user).collect();
-    let crawled_products: std::collections::HashSet<_> = crawl_store
-        .records()
-        .iter()
-        .map(|m| (m.domain.clone(), m.product_slug.clone()))
-        .collect();
-    let crawl_days: std::collections::HashSet<_> =
-        crawl_store.records().iter().map(|m| m.day()).collect();
-    DatasetSummary {
-        crowd_requests: crowd_store.len(),
-        crowd_users: crowd_users.len(),
-        crowd_countries: crowd.country_count(),
-        crowd_domains: crowd_store.domains().len(),
-        crawled_retailers: crawl_store.domains().len(),
-        crawled_products: crawled_products.len(),
-        crawl_days: crawl_days.len(),
-        crawled_prices: crawl_store.total_extracted_prices(),
+    let mut scan = SummaryScan::new();
+    for m in crowd_store.records() {
+        scan.crowd_row(m);
     }
+    for m in crawl_store.records() {
+        scan.crawl_row(m);
+    }
+    scan.finish(crowd)
 }
 
 #[cfg(test)]
@@ -112,5 +162,17 @@ mod tests {
         assert_eq!(s.crawled_products, 2);
         assert_eq!(s.crawl_days, 2);
         assert_eq!(s.crawled_prices, 14 + 14 + 13);
+
+        // Feeding the same rows through the streaming scan — crawl rows
+        // first, crowd rows reversed — lands on identical numbers: the
+        // chunked store path depends on this order independence.
+        let mut scan = SummaryScan::new();
+        for m in crawl_store.records().iter().rev() {
+            scan.crawl_row(m);
+        }
+        for m in crowd_store.records().iter().rev() {
+            scan.crowd_row(m);
+        }
+        assert_eq!(scan.finish(&crowd), s);
     }
 }

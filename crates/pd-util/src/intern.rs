@@ -7,10 +7,13 @@
 //! reference-count bump and equality checks usually short-circuit on
 //! pointer identity.
 //!
-//! The pool is process-global and append-only: entries live for the
-//! process lifetime, which is the right trade for identifiers drawn from
-//! a small closed set (retailer domains, product slugs). Do not intern
-//! unbounded user input.
+//! The pool is process-global. Entries stay alive as long as anything —
+//! including the pool itself — holds them, which is the right trade for
+//! identifiers drawn from a small closed set (retailer domains, product
+//! slugs). Long-lived processes that churn through many disjoint
+//! identifier sets (a sweep driver running arm after arm) can call
+//! [`purge_unreferenced`] at a quiet point to drop entries nothing else
+//! references anymore. Do not intern unbounded user input.
 //!
 //! ```
 //! use pd_util::intern::intern;
@@ -67,6 +70,35 @@ pub fn interned_count() -> usize {
     pool().read().expect("intern pool lock").len()
 }
 
+/// Whether `s` is currently in the pool (diagnostics and tests).
+///
+/// # Panics
+///
+/// Panics if the pool lock is poisoned (a thread panicked mid-intern).
+#[must_use]
+pub fn is_interned(s: &str) -> bool {
+    pool().read().expect("intern pool lock").contains(s)
+}
+
+/// Drops every pooled string whose only remaining strong reference is
+/// the pool's own, returning how many entries were removed.
+///
+/// Safe to call at any time: an entry some thread still holds (or is
+/// mid-`intern` on) has `strong_count > 1` and survives; a purged string
+/// is simply re-interned as a fresh allocation on next sight. The sweep
+/// driver calls this between arms so a long multi-arm run does not
+/// accumulate every arm's synthetic domain set for the process lifetime.
+///
+/// # Panics
+///
+/// Panics if the pool lock is poisoned (a thread panicked mid-intern).
+pub fn purge_unreferenced() -> usize {
+    let mut pool = pool().write().expect("intern pool lock");
+    let before = pool.len();
+    pool.retain(|s| Arc::strong_count(s) > 1);
+    before - pool.len()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,13 +114,34 @@ mod tests {
     }
 
     #[test]
-    fn pool_grows_monotonically() {
-        let before = interned_count();
-        let _ = intern("unit-test-growth-1.example");
-        let _ = intern("unit-test-growth-1.example");
-        let _ = intern("unit-test-growth-2.example");
-        let after = interned_count();
-        assert!(after >= before + 2, "{before} -> {after}");
+    fn pool_holds_live_entries() {
+        // Hold the Arcs so a concurrent purge (other tests run in
+        // parallel in this binary) cannot evict them.
+        let a = intern("unit-test-growth-1.example");
+        let b = intern("unit-test-growth-2.example");
+        assert!(is_interned("unit-test-growth-1.example"));
+        assert!(is_interned("unit-test-growth-2.example"));
+        assert!(interned_count() >= 2);
+        drop((a, b));
+    }
+
+    #[test]
+    fn purge_drops_only_orphaned_entries() {
+        let kept = intern("unit-test-purge-kept.example");
+        {
+            let _orphan = intern("unit-test-purge-orphan.example");
+        }
+        assert!(is_interned("unit-test-purge-orphan.example"));
+        purge_unreferenced();
+        assert!(
+            !is_interned("unit-test-purge-orphan.example"),
+            "orphaned entry should be purged"
+        );
+        assert!(
+            is_interned("unit-test-purge-kept.example"),
+            "live entry must survive a purge"
+        );
+        assert!(Arc::ptr_eq(&kept, &intern("unit-test-purge-kept.example")));
     }
 
     #[test]

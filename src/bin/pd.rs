@@ -5,11 +5,13 @@
 //!                   [--set key=value]... [--seed N] [--threads N]
 //!                   [--profile smoke|small|medium|paper]
 //!                   [--json PATH] [--render] [--timings]
-//!                   [--artifacts DIR [--overwrite-artifacts]]
+//!                   [--artifacts DIR [--overwrite-artifacts]
+//!                    [--format json|binary]]
 //! pd rerun <DIR> [--threads N] [--fig1-top N] [--attribution-products N]
 //!                [--json PATH] [--render] [--timings]
 //! pd scenarios show <NAME> [--json]
 //! pd artifacts ls <DIR>
+//! pd artifacts migrate <DIR> [--format json|binary]
 //! pd list
 //! pd --help
 //! ```
@@ -32,15 +34,18 @@
 //! fingerprint matches a stored artifact is loaded instead of computed,
 //! and freshly computed artifacts are persisted after the run. A store
 //! produced by a *different* run is never silently replaced — that
-//! takes `--overwrite-artifacts`. `pd rerun DIR` re-analyzes a stored
-//! crawl — optionally under different analysis knobs — without
-//! re-measuring anything.
+//! takes `--overwrite-artifacts`. `--format binary` saves the compact
+//! chunked encoding (5–10x smaller; loads stream one domain chunk at a
+//! time); `pd artifacts migrate DIR` converts a store in place either
+//! way, byte-identically. `pd rerun DIR` re-analyzes a stored crawl —
+//! optionally under different analysis knobs — without re-measuring
+//! anything.
 //!
 //! Exit codes: `0` success, `1` runtime failure (store/report/IO), `2`
 //! usage error (unknown command, flag, scenario or profile). All errors
 //! go to stderr.
 
-use pd_core::store::{ArtifactStore, Provenance, StoreError};
+use pd_core::store::{ArtifactStore, Provenance, StoreError, StoreFormat};
 use pd_core::{
     ConfigPatch, Engine, Executor, Experiment, Profile, ScenarioRegistry, ScenarioSpec, StageKind,
     TimingObserver,
@@ -60,6 +65,7 @@ struct RunArgs {
     timings: bool,
     artifacts: Option<PathBuf>,
     overwrite_artifacts: bool,
+    format: StoreFormat,
 }
 
 struct RerunArgs {
@@ -103,11 +109,12 @@ fn usage(registry: &ScenarioRegistry) -> String {
          \x20                   [--seed N] [--threads N]\n\
          \x20                   [--profile smoke|small|medium|paper]\n\
          \x20                   [--json PATH] [--render] [--timings]\n\
-         \x20                   [--artifacts DIR]\n\
+         \x20                   [--artifacts DIR [--format json|binary]]\n\
          \x20 pd rerun <DIR> [--threads N] [--fig1-top N] [--attribution-products N]\n\
          \x20                [--json PATH] [--render] [--timings]\n\
          \x20 pd scenarios show <NAME> [--json]\n\
          \x20 pd artifacts ls <DIR>\n\
+         \x20 pd artifacts migrate <DIR> [--format json|binary]\n\
          \x20 pd list\n\
          \x20 pd --help\n\
          \n\
@@ -131,6 +138,11 @@ fn usage(registry: &ScenarioRegistry) -> String {
          \x20                  run (measure once, re-analyze forever)\n\
          \x20 --overwrite-artifacts  allow --artifacts to replace a store\n\
          \x20                  produced by a different run (refused otherwise)\n\
+         \x20 --format F       payload format for saved artifacts: json\n\
+         \x20                  (default, human-readable) or binary (compact\n\
+         \x20                  chunked encoding; loads stream per-domain\n\
+         \x20                  chunks). `pd artifacts migrate` converts a\n\
+         \x20                  store in place, byte-identically\n\
          \n\
          RERUN OPTIONS (re-analyze a stored crawl without re-measuring):\n\
          \x20 --fig1-top N              rank N domains in Fig. 1 (default 27)\n\
@@ -155,6 +167,7 @@ fn parse_run(mut args: std::env::Args, registry: &ScenarioRegistry) -> Result<Ru
         timings: false,
         artifacts: None,
         overwrite_artifacts: false,
+        format: StoreFormat::Json,
     };
     let mut first = true;
     while let Some(arg) = args.next() {
@@ -201,6 +214,11 @@ fn parse_run(mut args: std::env::Args, registry: &ScenarioRegistry) -> Result<Ru
                 ));
             }
             "--overwrite-artifacts" => run.overwrite_artifacts = true,
+            "--format" => {
+                let v = args.next().ok_or("--format needs json or binary")?;
+                run.format =
+                    StoreFormat::parse(&v).ok_or(format!("unknown format {v:?} (json|binary)"))?;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -333,7 +351,7 @@ fn execute_run(run: &RunArgs, registry: &ScenarioRegistry) -> Result<(), String>
         .threads(run.threads)
         .observer(observer.clone());
     if let Some(dir) = &run.artifacts {
-        builder = builder.artifacts(dir.clone());
+        builder = builder.artifacts(dir.clone()).store_format(run.format);
     }
     // Sweep arms run concurrently (the thread budget splits arm-level ×
     // intra-arm); output, artifact saves and observer events stay in
@@ -512,23 +530,48 @@ fn execute_artifacts_ls(dir: &Path) -> Result<(), String> {
         m.schema_version, p.created_unix_ms
     );
     println!(
-        "  {:<10} {:<17} {:>10} {:>10}  status",
-        "stage", "fingerprint", "bytes", "payload"
+        "  {:<10} {:<17} {:>10} {:>10} {:>7} {:>7}  status",
+        "stage", "fingerprint", "bytes", "payload", "format", "chunks"
     );
     for (entry, health) in store.verify() {
         // Payload size (the artifact body inside the envelope, recorded
-        // at save time): the number a compact payload encoding would
-        // shrink. "-" for manifests written before the field existed.
+        // at save time). "-" for manifests written before the field
+        // existed; likewise chunks for JSON entries (unchunked).
         let payload = entry
             .payload_bytes
             .map_or_else(|| "-".to_owned(), |b| b.to_string());
+        let chunks = entry
+            .chunks
+            .map_or_else(|| "-".to_owned(), |c| c.to_string());
         println!(
-            "  {:<10} {:<17} {:>10} {:>10}  {}",
-            entry.stage, entry.fingerprint, entry.bytes, payload, health
+            "  {:<10} {:<17} {:>10} {:>10} {:>7} {:>7}  {}",
+            entry.stage,
+            entry.fingerprint,
+            entry.bytes,
+            payload,
+            entry.store_format().as_str(),
+            chunks,
+            health
         );
         for up in &entry.upstream {
             println!("  {:<10} upstream {up}", "");
         }
+    }
+    Ok(())
+}
+
+/// `pd artifacts migrate DIR`: re-encode every stored payload in the
+/// requested format (binary by default), in place, under the same
+/// fingerprints — a later load sees byte-identical artifacts.
+fn execute_artifacts_migrate(dir: &Path, format: StoreFormat) -> Result<(), String> {
+    let mut store = ArtifactStore::open(dir).map_err(|e| e.to_string())?;
+    let moved = store.migrate(format).map_err(|e| e.to_string())?;
+    println!("migrated {} to {format} payloads", dir.display());
+    if moved.is_empty() {
+        println!("  (store has no entries)");
+    }
+    for (stage, old_bytes, new_bytes) in moved {
+        println!("  {stage:<10} {old_bytes:>10} -> {new_bytes:>10} bytes");
     }
     Ok(())
 }
@@ -597,7 +640,24 @@ fn main() {
                     fail(1, &e);
                 }
             }
-            _ => fail(2, "usage: pd artifacts ls <DIR>"),
+            (Some("migrate"), Some(dir)) => {
+                let format = match (args.next().as_deref(), args.next()) {
+                    (None, None) => StoreFormat::Binary,
+                    (Some("--format"), Some(v)) => StoreFormat::parse(&v)
+                        .unwrap_or_else(|| fail(2, &format!("unknown format {v:?} (json|binary)"))),
+                    _ => fail(
+                        2,
+                        "usage: pd artifacts migrate <DIR> [--format json|binary]",
+                    ),
+                };
+                if let Err(e) = execute_artifacts_migrate(Path::new(&dir), format) {
+                    fail(1, &e);
+                }
+            }
+            _ => fail(
+                2,
+                "usage: pd artifacts ls <DIR> | pd artifacts migrate <DIR> [--format json|binary]",
+            ),
         },
         Some("scenarios") => match (args.next().as_deref(), args.next(), args.next().as_deref()) {
             (Some("show"), Some(name), json) if json.is_none() || json == Some("--json") => {

@@ -10,8 +10,10 @@
 //!   direct run's JSON exactly, and the CLI's error paths exit nonzero
 //!   on stderr.
 
-use pd_core::store::{self, ArtifactStore, EntryHealth, Provenance, StoreError};
-use pd_core::{CrowdArtifact, Experiment, ExperimentConfig, RunPlan, StageKind, TimingObserver};
+use pd_core::store::{self, ArtifactStore, EntryHealth, Provenance, StoreError, StoreFormat};
+use pd_core::{
+    CrawlArtifact, CrowdArtifact, Experiment, ExperimentConfig, RunPlan, StageKind, TimingObserver,
+};
 use pd_currency::{Currency, Price};
 use pd_net::clock::SimTime;
 use pd_sheriff::measurement::{Measurement, NoiseTruth, PriceObservation};
@@ -115,6 +117,70 @@ proptest! {
     }
 }
 
+proptest! {
+    /// The binary payload format agrees with JSON: the same artifact
+    /// saved both ways loads to identical records, and the binary
+    /// save → load → save loop is byte-identical on disk — over
+    /// randomized contents (prices of every sign and currency, failure
+    /// strings with escapes, arbitrary check times).
+    #[test]
+    fn prop_binary_store_matches_json(
+        n in 1usize..12,
+        minor in -1_000_000i64..10_000_000,
+        tag in "[a-z0-9]{1,12}",
+        time_ms in 0u64..10_000_000_000,
+        seed in 0u64..1_000_000,
+    ) {
+        let json_dir = tmp(&format!("prop-fmt-json-{seed}-{n}"));
+        let bin_dir = tmp(&format!("prop-fmt-bin-{seed}-{n}"));
+        let plan = RunPlan::new(ExperimentConfig::smoke(seed));
+        let mut raw = MeasurementStore::new();
+        for i in 0..n as u64 {
+            raw.push(measurement(i.wrapping_add(seed), minor + i as i64, &tag, i % 5 == 0, time_ms + i));
+        }
+        let artifact = CrowdArtifact {
+            cleaned: raw.clone(),
+            raw,
+            cleaning: pd_sheriff::cleaning::CleaningReport {
+                kept: n,
+                dropped_inconsistent: n / 2,
+                dropped_unhealthy: 0,
+                dropped_tax_explained: 1,
+                dropped_truly_noisy: 0,
+                kept_truly_noisy: n / 3,
+            },
+        };
+        let fp = store::crowd_fingerprint(&plan);
+        let provenance = Provenance::new("prop", "", "smoke", seed, 1);
+        let mut json_store = ArtifactStore::create(&json_dir, provenance.clone(), &plan, None)
+            .expect("json store creates");
+        json_store.save("crowd", fp, &[], &artifact).expect("json save");
+        let mut bin_store = ArtifactStore::create(&bin_dir, provenance, &plan, None)
+            .expect("binary store creates");
+        bin_store.set_format(StoreFormat::Binary);
+        bin_store.save("crowd", fp, &[], &artifact).expect("binary save");
+        let first = std::fs::read(bin_dir.join("crowd.bin")).expect("binary file exists");
+
+        let from_json: CrowdArtifact = ArtifactStore::open(&json_dir)
+            .expect("json store reopens")
+            .load("crowd", fp)
+            .expect("json load");
+        let from_bin: CrowdArtifact = ArtifactStore::open(&bin_dir)
+            .expect("binary store reopens")
+            .load("crowd", fp)
+            .expect("binary load");
+        prop_assert_eq!(from_bin.raw.records(), from_json.raw.records());
+        prop_assert_eq!(from_bin.cleaned.records(), from_json.cleaned.records());
+        prop_assert_eq!(from_bin.cleaning, from_json.cleaning);
+
+        bin_store.save("crowd", fp, &[], &from_bin).expect("binary re-save");
+        let second = std::fs::read(bin_dir.join("crowd.bin")).expect("binary file exists");
+        prop_assert_eq!(first, second, "binary round-trip must be byte-identical");
+        std::fs::remove_dir_all(&json_dir).ok();
+        std::fs::remove_dir_all(&bin_dir).ok();
+    }
+}
+
 /// The full acceptance loop in-process: a saved smoke run reloads into a
 /// byte-identical `Report`, with the observer proving the measurement
 /// stages never re-ran.
@@ -188,6 +254,144 @@ fn corrupted_artifacts_are_rejected_and_recomputed() {
         1,
         "corrupt must recompute"
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Binary corruption is rejected chunk-by-chunk: scribbling over the
+/// chunk region fails the per-chunk checksums at open, both the full
+/// load and the streaming probe report `Corrupt`, and the engine falls
+/// back to recomputing the stage.
+#[test]
+fn corrupted_binary_chunks_are_rejected_and_recomputed() {
+    let dir = tmp("corrupt-binary");
+    let mut producer = Experiment::builder()
+        .scenario("smoke")
+        .seed(7)
+        .store_format(StoreFormat::Binary)
+        .build()
+        .expect("smoke builds");
+    producer.crawl();
+    producer.save_artifacts(&dir).expect("save");
+
+    // Flip bytes near the end of the file — inside the last domain
+    // chunk, well past the header — then also try a truncated copy.
+    let path = dir.join("crawl.bin");
+    let pristine = std::fs::read(&path).expect("binary artifact exists");
+    let mut flipped = pristine.clone();
+    let at = flipped.len() - 32;
+    for b in &mut flipped[at..] {
+        *b ^= 0xff;
+    }
+    let fp = store::crawl_fingerprint(&RunPlan::new(ExperimentConfig::smoke(7)));
+    for (label, bytes) in [
+        ("flipped", flipped),
+        ("truncated", pristine[..pristine.len() - 16].to_vec()),
+    ] {
+        std::fs::write(&path, bytes).expect("corrupt the file");
+        let s = ArtifactStore::open(&dir).expect("manifest still fine");
+        assert!(
+            matches!(
+                s.load::<CrawlArtifact>("crawl", fp),
+                Err(StoreError::Corrupt { .. })
+            ),
+            "{label} chunk must fail the full load"
+        );
+        assert!(
+            matches!(s.open_chunked("crawl", fp), Err(StoreError::Corrupt { .. })),
+            "{label} chunk must fail the streaming probe"
+        );
+    }
+
+    let observer = Arc::new(TimingObserver::new());
+    let mut consumer = Experiment::builder()
+        .scenario("smoke")
+        .seed(7)
+        .observer(observer.clone())
+        .artifacts(dir.clone())
+        .build()
+        .expect("smoke builds");
+    consumer.crawl();
+    assert_eq!(observer.loads(StageKind::Crawl), 0, "corrupt must not load");
+    assert_eq!(
+        observer.starts(StageKind::Crawl),
+        1,
+        "corrupt must recompute"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Formats and container versions mix freely within one store: a v2-era
+/// JSON crawl (schema_version 2 envelope, no format/chunks manifest
+/// keys) sits beside v3 binary stages, and a consumer loads all of them
+/// into a byte-identical report.
+#[test]
+fn mixed_version_mixed_format_store_loads() {
+    let dir = tmp("mixed-version");
+    let mut producer = Experiment::builder()
+        .scenario("smoke")
+        .seed(7)
+        .store_format(StoreFormat::Binary)
+        .build()
+        .expect("smoke builds");
+    let direct = producer.run();
+    producer.save_artifacts(&dir).expect("save");
+
+    // Re-save the crawl the way a v2 build laid it down: JSON payload,
+    // schema_version 2 envelope, manifest entry without format/chunks.
+    let plan = RunPlan::new(ExperimentConfig::smoke(7));
+    let fp = store::crawl_fingerprint(&plan);
+    let mut s = ArtifactStore::open(&dir).expect("store opens");
+    let crawl: CrawlArtifact = s.load("crawl", fp).expect("binary crawl loads");
+    s.set_format(StoreFormat::Json);
+    s.save("crawl", fp, &[], &crawl).expect("json re-save");
+    let envelope_path = dir.join("crawl.json");
+    let mut envelope: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&envelope_path).expect("read"))
+            .expect("parse");
+    if let serde_json::Value::Object(map) = &mut envelope {
+        map.insert("schema_version".to_owned(), serde_json::Value::UInt(2));
+    }
+    std::fs::write(
+        &envelope_path,
+        serde_json::to_string(&envelope).expect("render"),
+    )
+    .expect("write");
+    let manifest_path = dir.join("manifest.json");
+    let mut manifest: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&manifest_path).expect("read"))
+            .expect("parse");
+    if let serde_json::Value::Object(map) = &mut manifest {
+        if let Some(serde_json::Value::Array(entries)) = map.get_mut("entries") {
+            for entry in entries {
+                if let serde_json::Value::Object(entry) = entry {
+                    if entry.get("stage") == Some(&serde_json::Value::String("crawl".to_owned())) {
+                        entry.remove("format");
+                        entry.remove("chunks");
+                    }
+                }
+            }
+        }
+    }
+    std::fs::write(
+        &manifest_path,
+        serde_json::to_string_pretty(&manifest).expect("render"),
+    )
+    .expect("write");
+
+    let observer = Arc::new(TimingObserver::new());
+    let mut consumer = Experiment::builder()
+        .scenario("smoke")
+        .seed(7)
+        .observer(observer.clone())
+        .artifacts(dir.clone())
+        .build()
+        .expect("smoke builds");
+    let reloaded = consumer.run();
+    assert_eq!(direct.to_json(), reloaded.to_json(), "JSON must match");
+    for kind in [StageKind::Crowd, StageKind::Crawl, StageKind::Personas] {
+        assert_eq!(observer.starts(kind), 0, "{kind} must not recompute");
+        assert_eq!(observer.loads(kind), 1, "{kind} must load from the store");
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -279,6 +483,126 @@ fn rerun_reanalyzes_a_stored_smoke_crawl_across_processes() {
         assert!(ls_out.contains(needle), "missing {needle:?} in:\n{ls_out}");
     }
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The binary-format acceptance, cross-process: `pd run --format
+/// binary` writes a store several times smaller than JSON, `pd rerun`
+/// reproduces the direct report byte for byte from it, `pd artifacts
+/// ls` shows the format and chunk counts, and `pd artifacts migrate`
+/// converts in place without changing what a rerun computes.
+#[test]
+fn binary_store_reruns_byte_identically_across_processes() {
+    let bin_dir = tmp("cross-binary");
+    let json_dir = tmp("cross-binary-json");
+    let direct_json = bin_dir.join("direct.json");
+    let rerun_json = bin_dir.join("rerun.json");
+    let migrated_json = bin_dir.join("migrated.json");
+    std::fs::create_dir_all(&bin_dir).expect("mkdir");
+
+    let run = pd()
+        .args(["run", "smoke", "--seed", "7", "--artifacts"])
+        .arg(&bin_dir)
+        .args(["--format", "binary", "--json"])
+        .arg(&direct_json)
+        .output()
+        .expect("pd run executes");
+    assert!(run.status.success(), "pd run failed: {run:?}");
+    let run_json = pd()
+        .args(["run", "smoke", "--seed", "7", "--artifacts"])
+        .arg(&json_dir)
+        .output()
+        .expect("pd run executes");
+    assert!(run_json.status.success(), "pd run failed: {run_json:?}");
+
+    // The compression target: the binary payloads together are at
+    // least 3x smaller than their JSON twins.
+    let total = |dir: &PathBuf, ext: &str| -> u64 {
+        ["crowd", "crawl", "personas", "analysis"]
+            .iter()
+            .map(|stage| {
+                std::fs::metadata(dir.join(format!("{stage}.{ext}")))
+                    .unwrap_or_else(|_| panic!("{stage}.{ext} missing"))
+                    .len()
+            })
+            .sum()
+    };
+    let (bin_total, json_total) = (total(&bin_dir, "bin"), total(&json_dir, "json"));
+    assert!(
+        bin_total * 3 <= json_total,
+        "binary stores must be >= 3x smaller: {bin_total} vs {json_total} bytes"
+    );
+
+    let rerun = pd()
+        .arg("rerun")
+        .arg(&bin_dir)
+        .arg("--json")
+        .arg(&rerun_json)
+        .output()
+        .expect("pd rerun executes");
+    assert!(rerun.status.success(), "pd rerun failed: {rerun:?}");
+    let stdout = String::from_utf8_lossy(&rerun.stdout);
+    assert!(
+        stdout.contains("reused crowd, crawl, personas"),
+        "rerun must reuse every measurement stage:\n{stdout}"
+    );
+    let direct = std::fs::read(&direct_json).expect("direct report written");
+    assert_eq!(
+        direct,
+        std::fs::read(&rerun_json).expect("rerun report written"),
+        "rerun from the binary store must equal the direct run's JSON"
+    );
+
+    let ls = pd()
+        .args(["artifacts", "ls"])
+        .arg(&bin_dir)
+        .output()
+        .expect("ls");
+    assert!(ls.status.success());
+    let ls_out = String::from_utf8_lossy(&ls.stdout);
+    assert!(
+        ls_out.contains("binary"),
+        "ls must show the format:\n{ls_out}"
+    );
+    assert!(
+        ls_out.contains("chunks"),
+        "ls must show chunk counts:\n{ls_out}"
+    );
+
+    // Migrate binary -> json in place; a rerun still reproduces the
+    // same report from the converted store.
+    let migrate = pd()
+        .args(["artifacts", "migrate"])
+        .arg(&bin_dir)
+        .args(["--format", "json"])
+        .output()
+        .expect("migrate");
+    assert!(migrate.status.success(), "migrate failed: {migrate:?}");
+    assert!(
+        bin_dir.join("crawl.json").exists(),
+        "migrate must re-encode"
+    );
+    assert!(
+        !bin_dir.join("crawl.bin").exists(),
+        "migrate must drop the old file"
+    );
+    let rerun2 = pd()
+        .arg("rerun")
+        .arg(&bin_dir)
+        .arg("--json")
+        .arg(&migrated_json)
+        .output()
+        .expect("pd rerun executes");
+    assert!(
+        rerun2.status.success(),
+        "rerun after migrate failed: {rerun2:?}"
+    );
+    assert_eq!(
+        direct,
+        std::fs::read(&migrated_json).expect("migrated report written"),
+        "rerun after migrate must equal the direct run's JSON"
+    );
+    std::fs::remove_dir_all(&bin_dir).ok();
+    std::fs::remove_dir_all(&json_dir).ok();
 }
 
 /// CLI error-path contract: unknown scenarios/commands/stores exit

@@ -1,0 +1,176 @@
+//! Measures the daemon's warm-cache win: cold vs warm job latency over
+//! sequential smoke analyses against one in-process `pd-serve` daemon,
+//! emitted as `BENCH_serve.json` (the repo's bench-artifact convention).
+//!
+//! ```text
+//! serve_latency [--jobs N] [--scenario NAME] [--profile P] [--seed N]
+//!               [--out PATH] [--artifacts DIR]
+//! ```
+//!
+//! Defaults: 50 jobs of the `smoke` scenario at the `smoke` profile,
+//! seed 1307, writing `BENCH_serve.json` in the working directory. The
+//! first job is the **cold** path (it builds the analysis frames and,
+//! with `--artifacts`, streams the store); every later job hits the
+//! daemon's process-wide warm `FrameCache`, so the JSON separates
+//! `cold_ms` from the warm population's p50/p95 — the service-layer
+//! claim is that warm jobs rebuild nothing (`frames_built == 0`).
+//!
+//! Latencies are the daemon's own `run_ms` (queue wait excluded), so
+//! the client's 25 ms poll granularity does not pollute the numbers.
+
+use pd_serve::{Client, ServeConfig, Server, SubmitRequest};
+use pd_util::stats::quantile;
+use std::time::Duration;
+
+struct Args {
+    jobs: usize,
+    scenario: String,
+    profile: String,
+    seed: u64,
+    out: String,
+    artifacts: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        jobs: 50,
+        scenario: "smoke".to_owned(),
+        profile: "smoke".to_owned(),
+        seed: 1307,
+        out: "BENCH_serve.json".to_owned(),
+        artifacts: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--jobs" => {
+                let v = value("--jobs")?;
+                args.jobs = v.parse().map_err(|_| format!("bad job count {v:?}"))?;
+                if args.jobs < 2 {
+                    return Err("--jobs must be at least 2 (one cold + warm samples)".to_owned());
+                }
+            }
+            "--scenario" => args.scenario = value("--scenario")?,
+            "--profile" => args.profile = value("--profile")?,
+            "--seed" => {
+                let v = value("--seed")?;
+                args.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--out" => args.out = value("--out")?,
+            "--artifacts" => args.artifacts = Some(value("--artifacts")?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn fail(code: i32, msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(code);
+}
+
+/// Hand-rolled JSON for a flat telemetry record (no serde derive).
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    args: &Args,
+    cold_ms: f64,
+    warm: &[f64],
+    cold_frames_built: u64,
+    warm_frames_built: u64,
+    warm_frames_reused: u64,
+    total_ms: f64,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"scenario\": \"{}\",\n", args.scenario));
+    out.push_str(&format!("  \"profile\": \"{}\",\n", args.profile));
+    out.push_str(&format!("  \"seed\": {},\n", args.seed));
+    out.push_str(&format!("  \"jobs\": {},\n", args.jobs));
+    out.push_str(&format!(
+        "  \"artifacts\": {},\n",
+        args.artifacts
+            .as_ref()
+            .map_or("null".to_owned(), |d| format!("{d:?}"))
+    ));
+    out.push_str(&format!("  \"cold_ms\": {cold_ms:.3},\n"));
+    out.push_str(&format!("  \"cold_frames_built\": {cold_frames_built},\n"));
+    out.push_str(&format!("  \"warm_jobs\": {},\n", warm.len()));
+    out.push_str(&format!("  \"warm_p50_ms\": {:.3},\n", quantile(warm, 0.5)));
+    out.push_str(&format!(
+        "  \"warm_p95_ms\": {:.3},\n",
+        quantile(warm, 0.95)
+    ));
+    out.push_str(&format!("  \"warm_frames_built\": {warm_frames_built},\n"));
+    out.push_str(&format!(
+        "  \"warm_frames_reused\": {warm_frames_reused},\n"
+    ));
+    out.push_str(&format!("  \"total_ms\": {total_ms:.3}\n"));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let args = parse_args().unwrap_or_else(|e| fail(2, &e));
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(), // ephemeral bench port
+        artifacts: args.artifacts.clone().map(Into::into),
+        ..ServeConfig::default()
+    })
+    .unwrap_or_else(|e| fail(1, &e));
+    let client = Client::new(&server.addr().to_string());
+    client
+        .wait_ready(Duration::from_secs(10))
+        .unwrap_or_else(|e| fail(1, &e));
+    let request = SubmitRequest {
+        scenario: Some(args.scenario.clone()),
+        seed: Some(args.seed),
+        profile: Some(args.profile.clone()),
+        ..SubmitRequest::default()
+    };
+
+    let start = std::time::Instant::now();
+    let mut cold_ms = 0.0;
+    let mut cold_frames_built = 0;
+    let mut warm = Vec::with_capacity(args.jobs - 1);
+    let mut warm_frames_built = 0;
+    let mut warm_frames_reused = 0;
+    for n in 0..args.jobs {
+        let id = client.submit(&request).unwrap_or_else(|e| fail(1, &e));
+        let snap = client
+            .wait_done(&id, Duration::from_secs(600))
+            .unwrap_or_else(|e| fail(1, &e));
+        let run_ms = snap.run_ms.unwrap_or(0) as f64;
+        if n == 0 {
+            cold_ms = run_ms;
+            cold_frames_built = snap.frames_built;
+        } else {
+            warm.push(run_ms);
+            warm_frames_built += snap.frames_built;
+            warm_frames_reused += snap.frames_reused;
+        }
+    }
+    let total_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    client.shutdown().unwrap_or_else(|e| fail(1, &e));
+    server.join();
+
+    if warm_frames_built > 0 {
+        eprintln!(
+            "[serve_latency] WARNING: warm jobs built {warm_frames_built} frames — \
+             the shared cache is not serving the repeat analyses"
+        );
+    }
+    let json = render_json(
+        &args,
+        cold_ms,
+        &warm,
+        cold_frames_built,
+        warm_frames_built,
+        warm_frames_reused,
+        total_ms,
+    );
+    std::fs::write(&args.out, &json)
+        .unwrap_or_else(|e| fail(1, &format!("writing {:?}: {e}", args.out)));
+    println!("{json}");
+    eprintln!("[serve_latency] wrote {}", args.out);
+}

@@ -85,9 +85,12 @@ pub use observer::{
 pub use pipeline::{
     BuildError, Engine, Experiment, ExperimentBuilder, LoadSummary, SaveSummary, SweepArmRun,
 };
-pub use report::Report;
-pub use scenario::{Profile, RunPlan, ScenarioParams, ScenarioRegistry, ScenarioRun};
-pub use spec::{ConfigPatch, ScenarioSpec, SpecError, SweepAxis};
+pub use report::{reports_to_json, Report};
+pub use scenario::{suggest_name, Profile, RunPlan, ScenarioParams, ScenarioRegistry, ScenarioRun};
+pub use spec::{
+    find_spec_file, load_spec, spec_names_on_path, spec_search_dirs, ConfigPatch, ScenarioSpec,
+    SpecError, SweepAxis, SPEC_PATH_ENV,
+};
 pub use stage::{AnalysisArtifact, CrawlArtifact, CrowdArtifact, PersonaArtifact};
 pub use store::{
     ArtifactStore, ChunkedPayload, Fingerprint, Provenance, StoreError, StoreFormat,

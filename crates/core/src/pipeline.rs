@@ -760,6 +760,7 @@ pub struct ExperimentBuilder {
     observer: Arc<dyn RunObserver>,
     artifacts: Option<PathBuf>,
     store_format: StoreFormat,
+    frame_cache: Option<Arc<FrameCache>>,
 }
 
 impl std::fmt::Debug for ExperimentBuilder {
@@ -786,6 +787,7 @@ impl Default for ExperimentBuilder {
             observer: Arc::new(NullObserver),
             artifacts: None,
             store_format: StoreFormat::Json,
+            frame_cache: None,
         }
     }
 }
@@ -881,6 +883,27 @@ impl ExperimentBuilder {
     pub fn store_format(mut self, format: StoreFormat) -> Self {
         self.store_format = format;
         self
+    }
+
+    /// Shares a caller-owned [`FrameCache`] with every engine this
+    /// builder produces, instead of the per-build cache it would
+    /// otherwise create. Long-lived callers (the `pd serve` daemon) pass
+    /// one process-wide cache here so repeated runs over the same
+    /// measurements reuse assembled frames across builds — frames are
+    /// keyed by measurement fingerprint, so unrelated workloads never
+    /// collide.
+    #[must_use]
+    pub fn frame_cache(mut self, frames: Arc<FrameCache>) -> Self {
+        self.frame_cache = Some(frames);
+        self
+    }
+
+    /// The frame cache the built engines will share: the injected one,
+    /// or a fresh per-build cache.
+    fn shared_frames(&self) -> Arc<FrameCache> {
+        self.frame_cache
+            .clone()
+            .unwrap_or_else(|| Arc::new(FrameCache::new()))
     }
 
     /// Resolves the scenario (an explicit spec, or a registry name) into
@@ -985,7 +1008,7 @@ impl ExperimentBuilder {
             return Err(BuildError::SweepScenario(spec.name));
         }
         let (label, plan) = variants.remove(0);
-        let frames = Arc::new(FrameCache::new());
+        let frames = self.shared_frames();
         Ok(self.arm_engine(
             &spec,
             &label,
@@ -1008,7 +1031,7 @@ impl ExperimentBuilder {
         let executor = Executor::new(self.threads);
         // One frame cache for the whole sweep: arms whose upstream
         // measurement fingerprints coincide reuse each other's frames.
-        let frames = Arc::new(FrameCache::new());
+        let frames = self.shared_frames();
         Ok(variants
             .into_iter()
             .map(|(label, plan)| {
@@ -1056,7 +1079,7 @@ impl ExperimentBuilder {
         let (spec, variants) = self.resolve()?;
         let total = Executor::new(self.threads);
         let (arm_exec, intra) = total.split(variants.len());
-        let frames = Arc::new(FrameCache::new());
+        let frames = self.shared_frames();
         let buffers: Vec<Arc<BufferedObserver>> = variants
             .iter()
             .map(|_| Arc::new(BufferedObserver::new()))

@@ -231,6 +231,25 @@ impl Report {
     }
 }
 
+/// Canonical JSON rendering for a set of labeled reports: a lone
+/// unlabeled report renders as [`Report::to_json`]; anything else becomes
+/// one object keyed by arm label. This is the single formatter behind
+/// `pd run --json`, `pd rerun --json` and the `pd serve` report endpoint,
+/// so their outputs stay byte-identical by construction.
+#[must_use]
+pub fn reports_to_json(reports: &[(String, Report)]) -> String {
+    if let [(label, report)] = reports {
+        if label.is_empty() {
+            return report.to_json();
+        }
+    }
+    let body: Vec<String> = reports
+        .iter()
+        .map(|(label, r)| format!("{:?}: {}", label, r.to_json()))
+        .collect();
+    format!("{{\n{}\n}}", body.join(",\n"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

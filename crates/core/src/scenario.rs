@@ -242,13 +242,24 @@ impl ScenarioRegistry {
     /// (distance greater than half the typed name, or an empty registry).
     #[must_use]
     pub fn suggest(&self, name: &str) -> Option<&str> {
-        let best = self
-            .scenarios
-            .keys()
-            .map(|candidate| (levenshtein(name, candidate), candidate.as_str()))
-            .min()?;
-        (best.0 <= name.len().max(1).div_ceil(2)).then_some(best.1)
+        suggest_name(name, self.scenarios.keys().map(String::as_str))
     }
+}
+
+/// The candidate closest to `name` by edit distance — the generic
+/// did-you-mean behind [`ScenarioRegistry::suggest`] and the spec
+/// search-path errors. `None` when nothing is plausibly close (distance
+/// greater than half the typed name, or no candidates).
+#[must_use]
+pub fn suggest_name<'a, I>(name: &str, candidates: I) -> Option<&'a str>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let best = candidates
+        .into_iter()
+        .map(|candidate| (levenshtein(name, candidate), candidate))
+        .min()?;
+    (best.0 <= name.len().max(1).div_ceil(2)).then_some(best.1)
 }
 
 /// Classic two-row Levenshtein distance (names are short; this runs on

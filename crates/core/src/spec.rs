@@ -44,12 +44,14 @@
 //! ```
 
 use crate::scenario::{
-    Profile, RunPlan, ScenarioParams, ScenarioRun, DESYNC_SKEW, VANTAGE_SUBSET_LABELS,
+    suggest_name, Profile, RunPlan, ScenarioParams, ScenarioRun, DESYNC_SKEW, VANTAGE_SUBSET_LABELS,
 };
 use pd_net::clock::SimDuration;
 use pd_net::geo::Country;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 /// A declarative, serializable scenario: base profile, typed overrides
 /// and sweep axes. See the [module docs](self) for the model and a
@@ -701,6 +703,106 @@ impl ScenarioSpec {
             .map_err(|e| format!("invalid spec {:?}: {e}", spec.name))?;
         Ok(spec)
     }
+}
+
+/// The environment variable holding extra `:`-separated spec
+/// directories, searched after `examples/specs/`.
+pub const SPEC_PATH_ENV: &str = "PD_SPEC_PATH";
+
+/// Directories a bare spec name resolves against, in search order:
+/// `examples/specs/` under the current directory, then every non-empty
+/// `:`-separated entry of [`SPEC_PATH_ENV`]. Read at call time, so a
+/// long-running service picks up the environment it was launched with.
+#[must_use]
+pub fn spec_search_dirs() -> Vec<PathBuf> {
+    let mut dirs = vec![PathBuf::from("examples/specs")];
+    if let Ok(path) = std::env::var(SPEC_PATH_ENV) {
+        dirs.extend(
+            path.split(':')
+                .filter(|entry| !entry.is_empty())
+                .map(PathBuf::from),
+        );
+    }
+    dirs
+}
+
+/// Every distinct spec name discoverable on the search path: the file
+/// stem of each `*.json` in each [`spec_search_dirs`] entry, sorted.
+/// Unreadable directories are skipped (most search entries are
+/// optional), so this never fails.
+#[must_use]
+pub fn spec_names_on_path() -> Vec<String> {
+    let mut stems = BTreeSet::new();
+    for dir in spec_search_dirs() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|ext| ext == "json") {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    stems.insert(stem.to_owned());
+                }
+            }
+        }
+    }
+    stems.into_iter().collect()
+}
+
+/// Resolves a `--spec` argument (or a `POST /runs` spec name) to a file.
+///
+/// An argument naming an existing file wins unchanged. Otherwise a bare
+/// name — no path separator — is tried as `NAME` and `NAME.json` in each
+/// [`spec_search_dirs`] entry, in order. The error names the searched
+/// directories and suggests the closest discovered spec
+/// ([`suggest_name`] over the `*.json` stems).
+///
+/// # Errors
+///
+/// A human-readable message when nothing on disk matches.
+pub fn find_spec_file(arg: &str) -> Result<PathBuf, String> {
+    let direct = Path::new(arg);
+    if direct.is_file() {
+        return Ok(direct.to_path_buf());
+    }
+    let bare = !arg.contains('/') && !arg.contains(std::path::MAIN_SEPARATOR);
+    let dirs = spec_search_dirs();
+    if bare {
+        for dir in &dirs {
+            for candidate in [dir.join(arg), dir.join(format!("{arg}.json"))] {
+                if candidate.is_file() {
+                    return Ok(candidate);
+                }
+            }
+        }
+    }
+    let mut msg = format!("spec {arg:?} not found");
+    if bare {
+        let searched: Vec<String> = dirs.iter().map(|d| d.display().to_string()).collect();
+        msg.push_str(&format!(" (searched {})", searched.join(", ")));
+        let names = spec_names_on_path();
+        let stem = arg.strip_suffix(".json").unwrap_or(arg);
+        if let Some(hint) = suggest_name(stem, names.iter().map(String::as_str)) {
+            msg.push_str(&format!("; did you mean {hint:?}?"));
+        } else if !names.is_empty() {
+            msg.push_str(&format!("; available: {}", names.join(", ")));
+        }
+    }
+    Err(msg)
+}
+
+/// [`find_spec_file`] + read + [`ScenarioSpec::from_json`]: the one-call
+/// resolver behind `pd run --spec` and the service's by-name submissions.
+///
+/// # Errors
+///
+/// The search error, a read failure, or a parse/validation failure —
+/// all as human-readable messages naming the offending path.
+pub fn load_spec(arg: &str) -> Result<ScenarioSpec, String> {
+    let path = find_spec_file(arg)?;
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("reading spec {}: {e}", path.display()))?;
+    ScenarioSpec::from_json(&text).map_err(|e| format!("spec {}: {e}", path.display()))
 }
 
 /// The keys a spec file may use, per object. Deserialization ignores

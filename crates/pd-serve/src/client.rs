@@ -1,0 +1,240 @@
+//! A small blocking HTTP client for the daemon's API.
+//!
+//! Built on the same `pd_web::http` wire codec the server parses with,
+//! so client and server cannot drift. One connection per request
+//! (`connection: close`), plain `std::net` — usable from tests, the
+//! `pd submit` / `pd poll` CLI, and benches without any extra
+//! dependencies.
+
+use crate::service::{JobSnapshot, RunsList, SubmitReply, SubmitRequest};
+use pd_web::http::{Request, Response, Status};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Ipv4Addr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Blocking client for one daemon address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for `HOST:PORT` with a 30 s per-request socket timeout.
+    #[must_use]
+    pub fn new(addr: &str) -> Self {
+        Client {
+            addr: addr.to_owned(),
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Overrides the per-request socket timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sends one request and reads the response (one connection each).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on connect/write/read/parse failure.
+    pub fn request(&self, request: &Request) -> Result<Response, String> {
+        let stream = TcpStream::connect(&self.addr)
+            .map_err(|e| format!("connecting to {}: {e}", self.addr))?;
+        let _ = stream.set_read_timeout(Some(self.timeout));
+        let _ = stream.set_write_timeout(Some(self.timeout));
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| format!("cloning stream: {e}"))?;
+        let mut writer = BufWriter::new(stream);
+        request
+            .write_to(&mut writer)
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("sending request to {}: {e}", self.addr))?;
+        let mut reader = BufReader::new(read_half);
+        Response::read_from(&mut reader).map_err(|e| format!("reading response: {e}"))
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn get(&self, path: &str) -> Result<Response, String> {
+        self.request(&Request::get(
+            &self.addr,
+            path,
+            Ipv4Addr::UNSPECIFIED,
+            pd_core::net::clock::SimTime::EPOCH,
+        ))
+    }
+
+    /// `POST path` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn post_json(&self, path: &str, body: &str) -> Result<Response, String> {
+        self.request(
+            &Request::post(
+                &self.addr,
+                path,
+                body,
+                Ipv4Addr::UNSPECIFIED,
+                pd_core::net::clock::SimTime::EPOCH,
+            )
+            .with_header("content-type", "application/json"),
+        )
+    }
+
+    /// Polls `/healthz` until the daemon answers (startup race in CI).
+    ///
+    /// # Errors
+    ///
+    /// The last failure when `within` elapses unanswered.
+    pub fn wait_ready(&self, within: Duration) -> Result<(), String> {
+        let deadline = Instant::now() + within;
+        loop {
+            let last = match self.get("/healthz") {
+                Ok(resp) if resp.status == Status::Ok => return Ok(()),
+                Ok(resp) => format!("healthz answered {}", resp.status),
+                Err(e) => e,
+            };
+            if Instant::now() >= deadline {
+                return Err(format!("daemon not ready within {within:?}: {last}"));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Submits a job; returns its `j-N` id.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a non-200 reply rendered as
+    /// `"submit rejected (status CODE): BODY"` — a full queue therefore
+    /// surfaces as a message containing `503`.
+    pub fn submit(&self, submission: &SubmitRequest) -> Result<String, String> {
+        let body = serde_json::to_string(submission).map_err(|e| format!("encoding: {e}"))?;
+        let resp = self.post_json("/runs", &body)?;
+        if resp.status != Status::Ok {
+            return Err(format!(
+                "submit rejected (status {}): {}",
+                resp.status.code(),
+                resp.body.trim()
+            ));
+        }
+        let reply: SubmitReply =
+            serde_json::from_str(&resp.body).map_err(|e| format!("bad submit reply: {e}"))?;
+        Ok(reply.id)
+    }
+
+    /// `GET /runs/:id` as a typed snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, 404 for an unknown id, or a malformed body.
+    pub fn job(&self, id: &str) -> Result<JobSnapshot, String> {
+        let resp = self.get(&format!("/runs/{id}"))?;
+        if resp.status != Status::Ok {
+            return Err(format!(
+                "job {id} lookup failed (status {}): {}",
+                resp.status.code(),
+                resp.body.trim()
+            ));
+        }
+        serde_json::from_str(&resp.body).map_err(|e| format!("bad job snapshot: {e}"))
+    }
+
+    /// `GET /runs` as a typed list (newest first).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a malformed body.
+    pub fn runs(&self) -> Result<RunsList, String> {
+        let resp = self.get("/runs")?;
+        if resp.status != Status::Ok {
+            return Err(format!("runs list failed (status {})", resp.status.code()));
+        }
+        serde_json::from_str(&resp.body).map_err(|e| format!("bad runs list: {e}"))
+    }
+
+    /// Polls `GET /runs/:id` until the job finishes.
+    ///
+    /// # Errors
+    ///
+    /// The job failing (its `error` text), the deadline passing, or any
+    /// transport failure.
+    pub fn wait_done(&self, id: &str, within: Duration) -> Result<JobSnapshot, String> {
+        let deadline = Instant::now() + within;
+        loop {
+            let snapshot = self.job(id)?;
+            match snapshot.status.as_str() {
+                "done" => return Ok(snapshot),
+                "failed" => {
+                    return Err(format!(
+                        "job {id} failed: {}",
+                        snapshot.error.as_deref().unwrap_or("unknown error")
+                    ))
+                }
+                _ => {}
+            }
+            if Instant::now() >= deadline {
+                return Err(format!("job {id} not finished within {within:?}"));
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    /// `GET /runs/:id/report` — the raw report JSON, byte-identical to
+    /// the offline `pd run --json` output for the same submission.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or 404 while the job has no report.
+    pub fn report(&self, id: &str) -> Result<String, String> {
+        let resp = self.get(&format!("/runs/{id}/report"))?;
+        if resp.status != Status::Ok {
+            return Err(format!(
+                "report {id} failed (status {}): {}",
+                resp.status.code(),
+                resp.body.trim()
+            ));
+        }
+        Ok(resp.body)
+    }
+
+    /// `GET /metrics` as raw text.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-200 reply.
+    pub fn metrics(&self) -> Result<String, String> {
+        let resp = self.get("/metrics")?;
+        if resp.status != Status::Ok {
+            return Err(format!("metrics failed (status {})", resp.status.code()));
+        }
+        Ok(resp.body)
+    }
+
+    /// `POST /shutdown` — begins the graceful drain.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a non-200 reply (e.g. the endpoint is
+    /// disabled).
+    pub fn shutdown(&self) -> Result<(), String> {
+        let resp = self.post_json("/shutdown", "")?;
+        if resp.status != Status::Ok {
+            return Err(format!(
+                "shutdown refused (status {}): {}",
+                resp.status.code(),
+                resp.body.trim()
+            ));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,142 @@
+//! Observer plumbing between engine runs and the service.
+//!
+//! Every job the daemon executes runs under a [`TeeObserver`] fanning
+//! the engine's event stream into two sinks: a per-job
+//! [`pd_core::TimingObserver`] (job status endpoints) and the shared
+//! [`ServiceObserver`] (process-lifetime `/metrics` aggregates).
+
+use crate::service::Metrics;
+use pd_core::{RunObserver, StageKind};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Feeds the service-wide [`Metrics`] from [`RunObserver`] events:
+/// cumulative per-stage wall-time, the analysis stage's frame counters
+/// (`frames_built` / `frames_reused` / `frames_chunks_loaded`) and
+/// artifact-store hits. One instance lives for the whole daemon, shared
+/// by every job.
+#[derive(Debug)]
+pub struct ServiceObserver {
+    metrics: Arc<Metrics>,
+}
+
+impl ServiceObserver {
+    /// An observer feeding `metrics`.
+    #[must_use]
+    pub fn new(metrics: Arc<Metrics>) -> Self {
+        ServiceObserver { metrics }
+    }
+}
+
+impl RunObserver for ServiceObserver {
+    fn stage_finished(&self, stage: StageKind, wall: Duration) {
+        self.metrics.add_stage_wall(stage, wall);
+    }
+
+    fn counter(&self, _stage: StageKind, name: &str, value: u64) {
+        self.metrics.add_named_counter(name, value);
+    }
+
+    fn stage_loaded(&self, _stage: StageKind, _fingerprint: &str) {
+        self.metrics.add_store_hit();
+    }
+}
+
+/// Forwards every event to each inner observer, in order. This is how a
+/// job reports to both its own [`pd_core::TimingObserver`] and the
+/// daemon's [`ServiceObserver`] from a single engine run.
+pub struct TeeObserver {
+    sinks: Vec<Arc<dyn RunObserver>>,
+}
+
+impl TeeObserver {
+    /// A tee over `sinks` (events arrive in the given order).
+    #[must_use]
+    pub fn new(sinks: Vec<Arc<dyn RunObserver>>) -> Self {
+        TeeObserver { sinks }
+    }
+}
+
+impl std::fmt::Debug for TeeObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TeeObserver")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl RunObserver for TeeObserver {
+    fn arm_started(&self, label: &str) {
+        for sink in &self.sinks {
+            sink.arm_started(label);
+        }
+    }
+
+    fn stage_started(&self, stage: StageKind) {
+        for sink in &self.sinks {
+            sink.stage_started(stage);
+        }
+    }
+
+    fn stage_finished(&self, stage: StageKind, wall: Duration) {
+        for sink in &self.sinks {
+            sink.stage_finished(stage, wall);
+        }
+    }
+
+    fn counter(&self, stage: StageKind, name: &str, value: u64) {
+        for sink in &self.sinks {
+            sink.counter(stage, name, value);
+        }
+    }
+
+    fn stage_loaded(&self, stage: StageKind, fingerprint: &str) {
+        for sink in &self.sinks {
+            sink.stage_loaded(stage, fingerprint);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_core::TimingObserver;
+
+    #[test]
+    fn tee_forwards_to_every_sink() {
+        let a = Arc::new(TimingObserver::new());
+        let b = Arc::new(TimingObserver::new());
+        let tee = TeeObserver::new(vec![
+            Arc::clone(&a) as Arc<dyn RunObserver>,
+            Arc::clone(&b) as Arc<dyn RunObserver>,
+        ]);
+        tee.stage_started(StageKind::Crowd);
+        tee.counter(StageKind::Crowd, "checks", 3);
+        tee.stage_finished(StageKind::Crowd, Duration::from_millis(1));
+        tee.stage_loaded(StageKind::Crawl, "00000000deadbeef");
+        for obs in [&a, &b] {
+            assert_eq!(obs.starts(StageKind::Crowd), 1);
+            assert_eq!(obs.loads(StageKind::Crawl), 1);
+            assert_eq!(obs.timings()[0].counters, vec![("checks".to_owned(), 3)]);
+        }
+    }
+
+    #[test]
+    fn service_observer_accumulates_into_metrics() {
+        let metrics = Arc::new(Metrics::new());
+        let obs = ServiceObserver::new(Arc::clone(&metrics));
+        obs.stage_finished(StageKind::Analysis, Duration::from_millis(12));
+        obs.stage_finished(StageKind::Analysis, Duration::from_millis(5));
+        obs.counter(StageKind::Analysis, "frames_built", 4);
+        obs.counter(StageKind::Analysis, "frames_reused", 2);
+        obs.counter(StageKind::Analysis, "frames_chunks_loaded", 9);
+        obs.counter(StageKind::Analysis, "unrelated", 99);
+        obs.stage_loaded(StageKind::Crowd, "00000000deadbeef");
+        let text = metrics.render_text();
+        assert!(text.contains("frames_built 4\n"), "got:\n{text}");
+        assert!(text.contains("frames_reused 2\n"), "got:\n{text}");
+        assert!(text.contains("frames_chunks_loaded 9\n"), "got:\n{text}");
+        assert!(text.contains("store_hits 1\n"), "got:\n{text}");
+        assert!(text.contains("stage_ms_analysis 17\n"), "got:\n{text}");
+    }
+}

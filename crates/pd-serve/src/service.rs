@@ -1,0 +1,817 @@
+//! The daemon's shared state: configuration, job table, bounded queue,
+//! warm caches and `/metrics` aggregates.
+//!
+//! A [`PdService`] is everything the HTTP layer needs behind one `Arc`:
+//! the process-wide [`FrameCache`] every job's engine shares (warm-path
+//! re-analyses rebuild nothing), the scenario registry, the job table,
+//! and the [`Metrics`] the [`crate::ServiceObserver`] feeds. Jobs run
+//! strictly one at a time on a dedicated runner thread pulling from a
+//! bounded queue — submissions beyond the queue capacity are rejected
+//! immediately (the HTTP layer turns that into `503` + `Retry-After`),
+//! so the accept loop never blocks on a slow pipeline.
+
+use crate::observer::{ServiceObserver, TeeObserver};
+use pd_core::{
+    reports_to_json, Experiment, FrameCache, Profile, RunObserver, ScenarioRegistry, ScenarioSpec,
+    StageKind, TimingObserver,
+};
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How the daemon is wired: address, pool sizes, warm-store directory.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, `HOST:PORT` (`:0` picks an ephemeral port).
+    pub addr: String,
+    /// HTTP worker threads accepting and answering connections.
+    pub threads: usize,
+    /// Executor threads each job's engine runs with (`0` = auto).
+    /// Reports are byte-identical at any value.
+    pub job_threads: usize,
+    /// Read-through artifact store directory jobs re-analyze from (the
+    /// service never writes stores — it is a read-only analysis path).
+    pub artifacts: Option<PathBuf>,
+    /// Bounded job-queue capacity; a full queue rejects with 503.
+    pub queue_capacity: usize,
+    /// Whether `POST /shutdown` is served (the graceful-shutdown path).
+    pub enable_shutdown: bool,
+    /// Start with the job runner gated (tests/benches fill the queue
+    /// deterministically, then [`PdService::resume`]).
+    pub paused: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7413".to_owned(),
+            threads: 4,
+            job_threads: 1,
+            artifacts: None,
+            queue_capacity: 16,
+            enable_shutdown: true,
+            paused: false,
+        }
+    }
+}
+
+/// A `POST /runs` body: a registered scenario (or spec-search-path) name
+/// *or* an inline spec, plus optional seed and profile overrides.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SubmitRequest {
+    /// Scenario name — resolved against the registry, then the spec
+    /// search path (`examples/specs/`, `$PD_SPEC_PATH`).
+    pub scenario: Option<String>,
+    /// Inline declarative spec (wins may not be combined with
+    /// `scenario`).
+    pub spec: Option<ScenarioSpec>,
+    /// Root seed (default: the paper seed).
+    pub seed: Option<u64>,
+    /// Workload profile name (default `small`).
+    pub profile: Option<String>,
+}
+
+/// Why a submission was turned away.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — retry later (HTTP 503).
+    QueueFull,
+    /// The service is draining for shutdown (HTTP 503).
+    Draining,
+    /// The request itself is unusable (HTTP 400).
+    Invalid(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "job queue is full"),
+            SubmitError::Draining => write!(f, "service is shutting down"),
+            SubmitError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Job lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting in the bounded queue.
+    Queued,
+    /// Executing on the runner thread.
+    Running,
+    /// Finished; report available.
+    Done,
+    /// The run errored or panicked; see the snapshot's `error`.
+    Failed,
+}
+
+impl JobState {
+    /// Stable lowercase name (the wire `status` field).
+    #[must_use]
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+/// The public, wire-serializable view of one job (what `GET /runs/:id`
+/// returns; the full report body lives at `GET /runs/:id/report`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobSnapshot {
+    /// Job id, `j-N`.
+    pub id: String,
+    /// The scenario/spec name the job runs.
+    pub scenario: String,
+    /// `queued` | `running` | `done` | `failed`.
+    pub status: String,
+    /// Failure detail when `status == "failed"`.
+    pub error: Option<String>,
+    /// Milliseconds spent waiting in the queue (set once running).
+    pub queued_ms: Option<u64>,
+    /// Milliseconds the run took (set once finished).
+    pub run_ms: Option<u64>,
+    /// Analysis frames built by this job (0 on a fully warm path).
+    pub frames_built: u64,
+    /// Analysis frames served from the shared warm cache.
+    pub frames_reused: u64,
+    /// Domain chunks streamed from chunked binary stores.
+    pub frames_chunks_loaded: u64,
+    /// Pipeline stages satisfied from the artifact store.
+    pub store_loads: u64,
+    /// Rendered per-arm summaries (set once done).
+    pub rendered: Option<String>,
+    /// Whether `GET /runs/:id/report` will serve a body.
+    pub has_report: bool,
+}
+
+/// The `POST /runs` success body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubmitReply {
+    /// The accepted job's id, `j-N`.
+    pub id: String,
+    /// Always `queued`.
+    pub status: String,
+}
+
+/// The `GET /runs` body: recent jobs, newest first.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunsList {
+    /// Snapshots, newest first (capped at 50).
+    pub runs: Vec<JobSnapshot>,
+}
+
+/// What the runner pulls off the queue.
+pub(crate) enum QueueMsg {
+    /// Run the job with this id.
+    Job(u64),
+    /// Drain sentinel: everything before it has run; exit the loop.
+    Shutdown,
+}
+
+/// Process-lifetime counters behind `/metrics`. All atomics — readable
+/// without locking from any worker thread.
+#[derive(Debug)]
+pub struct Metrics {
+    jobs_done: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_rejected: AtomicU64,
+    jobs_running: AtomicU64,
+    queue_depth: AtomicU64,
+    frames_built: AtomicU64,
+    frames_reused: AtomicU64,
+    frames_chunks_loaded: AtomicU64,
+    store_hits: AtomicU64,
+    /// Cumulative wall microseconds, indexed by [`stage_index`].
+    stage_us: [AtomicU64; 5],
+    started: Instant,
+}
+
+/// Dense index for [`StageKind`] (metrics array slot).
+const fn stage_index(stage: StageKind) -> usize {
+    match stage {
+        StageKind::Build => 0,
+        StageKind::Crowd => 1,
+        StageKind::Crawl => 2,
+        StageKind::Personas => 3,
+        StageKind::Analysis => 4,
+    }
+}
+
+const STAGE_ORDER: [StageKind; 5] = [
+    StageKind::Build,
+    StageKind::Crowd,
+    StageKind::Crawl,
+    StageKind::Personas,
+    StageKind::Analysis,
+];
+
+impl Metrics {
+    /// Fresh, all-zero metrics with the uptime clock started.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics {
+            jobs_done: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            jobs_rejected: AtomicU64::new(0),
+            jobs_running: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            frames_built: AtomicU64::new(0),
+            frames_reused: AtomicU64::new(0),
+            frames_chunks_loaded: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
+            stage_us: Default::default(),
+            started: Instant::now(),
+        }
+    }
+
+    pub(crate) fn add_stage_wall(&self, stage: StageKind, wall: Duration) {
+        let us = u64::try_from(wall.as_micros()).unwrap_or(u64::MAX);
+        self.stage_us[stage_index(stage)].fetch_add(us, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_named_counter(&self, name: &str, value: u64) {
+        let slot = match name {
+            "frames_built" => &self.frames_built,
+            "frames_reused" => &self.frames_reused,
+            "frames_chunks_loaded" => &self.frames_chunks_loaded,
+            _ => return,
+        };
+        slot.fetch_add(value, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_store_hit(&self) {
+        self.store_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `/metrics` body: one `key value` pair per line, text/plain.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let depth = self.queue_depth.load(Ordering::Relaxed);
+        let mut out = String::new();
+        let uptime = u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+        out.push_str(&format!("uptime_ms {uptime}\n"));
+        out.push_str(&format!("jobs_queued {depth}\n"));
+        out.push_str(&format!(
+            "jobs_running {}\n",
+            self.jobs_running.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "jobs_done {}\n",
+            self.jobs_done.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "jobs_failed {}\n",
+            self.jobs_failed.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "jobs_rejected {}\n",
+            self.jobs_rejected.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!("queue_depth {depth}\n"));
+        out.push_str(&format!(
+            "frames_built {}\n",
+            self.frames_built.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "frames_reused {}\n",
+            self.frames_reused.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "frames_chunks_loaded {}\n",
+            self.frames_chunks_loaded.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "store_hits {}\n",
+            self.store_hits.load(Ordering::Relaxed)
+        ));
+        for stage in STAGE_ORDER {
+            let ms = self.stage_us[stage_index(stage)].load(Ordering::Relaxed) / 1000;
+            out.push_str(&format!("stage_ms_{} {ms}\n", stage.as_str()));
+        }
+        out
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Pauses/resumes the runner thread (deterministic backpressure tests).
+#[derive(Debug, Default)]
+struct Gate {
+    paused: Mutex<bool>,
+    unpause: Condvar,
+}
+
+impl Gate {
+    fn wait_ready(&self) {
+        let mut paused = self.paused.lock().expect("gate lock");
+        while *paused {
+            paused = self.unpause.wait(paused).expect("gate lock");
+        }
+    }
+
+    fn set_paused(&self, value: bool) {
+        *self.paused.lock().expect("gate lock") = value;
+        if !value {
+            self.unpause.notify_all();
+        }
+    }
+}
+
+/// What one accepted job carries until the runner picks it up.
+struct JobWork {
+    spec: ScenarioSpec,
+    seed: u64,
+    profile: Profile,
+}
+
+/// One row of the job table.
+struct JobRecord {
+    scenario: String,
+    state: JobState,
+    error: Option<String>,
+    rendered: Option<String>,
+    report_json: Option<String>,
+    queued_ms: Option<u64>,
+    run_ms: Option<u64>,
+    frames_built: u64,
+    frames_reused: u64,
+    frames_chunks_loaded: u64,
+    store_loads: u64,
+    submitted: Instant,
+    work: Option<JobWork>,
+}
+
+/// The daemon's shared state. See the [module docs](self).
+pub struct PdService {
+    config: ServeConfig,
+    registry: ScenarioRegistry,
+    frames: Arc<FrameCache>,
+    metrics: Arc<Metrics>,
+    service_observer: Arc<ServiceObserver>,
+    jobs: Mutex<Vec<JobRecord>>,
+    queue: Mutex<SyncSender<QueueMsg>>,
+    draining: AtomicBool,
+    gate: Gate,
+}
+
+impl std::fmt::Debug for PdService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PdService")
+            .field("config", &self.config)
+            .field("jobs", &self.jobs.lock().map(|j| j.len()).unwrap_or(0))
+            .finish()
+    }
+}
+
+impl PdService {
+    /// Builds the service around an already-created bounded queue sender
+    /// (the matching receiver goes to [`PdService::runner_loop`]).
+    #[must_use]
+    pub(crate) fn new(config: ServeConfig, queue: SyncSender<QueueMsg>) -> Self {
+        let metrics = Arc::new(Metrics::new());
+        let gate = Gate::default();
+        gate.set_paused(config.paused);
+        PdService {
+            config,
+            registry: ScenarioRegistry::builtin(),
+            frames: Arc::new(FrameCache::new()),
+            service_observer: Arc::new(ServiceObserver::new(Arc::clone(&metrics))),
+            metrics,
+            jobs: Mutex::new(Vec::new()),
+            queue: Mutex::new(queue),
+            draining: AtomicBool::new(false),
+            gate,
+        }
+    }
+
+    /// The live configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The process-wide metrics (what `/metrics` renders).
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// The `/metrics` body.
+    #[must_use]
+    pub fn metrics_text(&self) -> String {
+        self.metrics.render_text()
+    }
+
+    /// Gates the runner thread before its next job (see
+    /// [`ServeConfig::paused`]).
+    pub fn pause(&self) {
+        self.gate.set_paused(true);
+    }
+
+    /// Releases a paused runner thread.
+    pub fn resume(&self) {
+        self.gate.set_paused(false);
+    }
+
+    /// Whether graceful shutdown has begun (submissions are refused).
+    #[must_use]
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Accepts a submission into the bounded queue.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Invalid`] when neither/both of `scenario`/`spec`
+    /// are given, the name resolves nowhere (the message carries a
+    /// did-you-mean), the profile is unknown, or the inline spec fails
+    /// validation; [`SubmitError::QueueFull`] / [`SubmitError::Draining`]
+    /// for backpressure — the job table is untouched in every error case.
+    pub fn submit(&self, req: &SubmitRequest) -> Result<String, SubmitError> {
+        if self.draining() {
+            return Err(SubmitError::Draining);
+        }
+        let spec = match (&req.scenario, &req.spec) {
+            (Some(_), Some(_)) => {
+                return Err(SubmitError::Invalid(
+                    "give either \"scenario\" or \"spec\", not both".to_owned(),
+                ))
+            }
+            (None, None) => {
+                return Err(SubmitError::Invalid(
+                    "missing \"scenario\" (name) or \"spec\" (inline)".to_owned(),
+                ))
+            }
+            (Some(name), None) => self.resolve_name(name)?,
+            (None, Some(spec)) => {
+                spec.validate()
+                    .map_err(|e| SubmitError::Invalid(format!("invalid spec: {e}")))?;
+                spec.clone()
+            }
+        };
+        let profile = match &req.profile {
+            None => Profile::Small,
+            Some(name) => Profile::parse(name)
+                .ok_or_else(|| SubmitError::Invalid(format!("unknown profile {name:?}")))?,
+        };
+        let seed = req
+            .seed
+            .unwrap_or_else(|| pd_util::seed::EXPERIMENT_SEED.value());
+
+        // Push + enqueue under one lock so ids stay dense even when a
+        // full queue forces the push to roll back.
+        let mut jobs = self.jobs.lock().expect("jobs lock");
+        let id = jobs.len() as u64 + 1;
+        jobs.push(JobRecord {
+            scenario: spec.name.clone(),
+            state: JobState::Queued,
+            error: None,
+            rendered: None,
+            report_json: None,
+            queued_ms: None,
+            run_ms: None,
+            frames_built: 0,
+            frames_reused: 0,
+            frames_chunks_loaded: 0,
+            store_loads: 0,
+            submitted: Instant::now(),
+            work: Some(JobWork {
+                spec,
+                seed,
+                profile,
+            }),
+        });
+        let sender = self.queue.lock().expect("queue lock").clone();
+        match sender.try_send(QueueMsg::Job(id)) {
+            Ok(()) => {
+                self.metrics.queue_depth.fetch_add(1, Ordering::SeqCst);
+                Ok(format!("j-{id}"))
+            }
+            Err(TrySendError::Full(_)) => {
+                jobs.pop();
+                self.metrics.jobs_rejected.fetch_add(1, Ordering::SeqCst);
+                Err(SubmitError::QueueFull)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                jobs.pop();
+                Err(SubmitError::Draining)
+            }
+        }
+    }
+
+    /// Resolves a by-name submission: registry first, then the spec
+    /// search path; the error message carries a did-you-mean.
+    fn resolve_name(&self, name: &str) -> Result<ScenarioSpec, SubmitError> {
+        if let Some(spec) = self.registry.get(name) {
+            return Ok(spec.clone());
+        }
+        match pd_core::load_spec(name) {
+            Ok(spec) => Ok(spec),
+            Err(search_err) => {
+                let mut msg = format!("unknown scenario {name:?}");
+                if let Some(hint) = self.registry.suggest(name) {
+                    msg.push_str(&format!("; did you mean {hint:?}?"));
+                }
+                msg.push_str(&format!(" ({search_err})"));
+                Err(SubmitError::Invalid(msg))
+            }
+        }
+    }
+
+    /// `GET /runs/:id` — `None` when no such job exists.
+    #[must_use]
+    pub fn snapshot(&self, id: u64) -> Option<JobSnapshot> {
+        let jobs = self.jobs.lock().expect("jobs lock");
+        let idx = usize::try_from(id.checked_sub(1)?).ok()?;
+        jobs.get(idx).map(|job| snapshot_of(id, job))
+    }
+
+    /// `GET /runs` — recent jobs, newest first, capped at 50.
+    #[must_use]
+    pub fn list(&self) -> RunsList {
+        let jobs = self.jobs.lock().expect("jobs lock");
+        let runs = jobs
+            .iter()
+            .enumerate()
+            .rev()
+            .take(50)
+            .map(|(idx, job)| snapshot_of(idx as u64 + 1, job))
+            .collect();
+        RunsList { runs }
+    }
+
+    /// `GET /runs/:id/report` — the outer `None` is "no such job", the
+    /// inner `None` is "job exists but has no report (yet)". A returned
+    /// body is byte-identical to the offline `pd run --json` output for
+    /// the same submission.
+    #[must_use]
+    pub fn report_body(&self, id: u64) -> Option<Option<String>> {
+        let jobs = self.jobs.lock().expect("jobs lock");
+        let idx = usize::try_from(id.checked_sub(1)?).ok()?;
+        jobs.get(idx).map(|job| job.report_json.clone())
+    }
+
+    /// Starts graceful shutdown: refuse new submissions, unpause the
+    /// runner, and append the drain sentinel so every already-queued job
+    /// still runs. Idempotent. May block briefly while the queue drains
+    /// enough to accept the sentinel.
+    pub fn begin_shutdown(&self) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.gate.set_paused(false);
+        let sender = self.queue.lock().expect("queue lock").clone();
+        let _ = sender.send(QueueMsg::Shutdown);
+    }
+
+    /// The runner thread: pulls jobs off the bounded queue and executes
+    /// them one at a time until the drain sentinel (or every sender
+    /// hung up). Lives on its own thread, spawned by
+    /// [`crate::Server::start`].
+    pub(crate) fn runner_loop(self: &Arc<Self>, queue: Receiver<QueueMsg>) {
+        loop {
+            // Gate *before* recv: a paused runner must not drain a queue
+            // slot, or backpressure tests could never fill the queue.
+            self.gate.wait_ready();
+            match queue.recv() {
+                Err(_) | Ok(QueueMsg::Shutdown) => return,
+                Ok(QueueMsg::Job(id)) => self.run_job(id),
+            }
+        }
+    }
+
+    /// Executes one queued job, recording outcome, timings and frame
+    /// stats. A panicking run marks the job failed instead of killing
+    /// the runner thread.
+    fn run_job(&self, id: u64) {
+        let idx = id as usize - 1;
+        let work = {
+            let mut jobs = self.jobs.lock().expect("jobs lock");
+            let job = &mut jobs[idx];
+            job.state = JobState::Running;
+            job.queued_ms =
+                Some(u64::try_from(job.submitted.elapsed().as_millis()).unwrap_or(u64::MAX));
+            job.work.take().expect("queued job carries its work")
+        };
+        self.metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        self.metrics.jobs_running.fetch_add(1, Ordering::SeqCst);
+
+        let per_job = Arc::new(TimingObserver::new());
+        let observer: Arc<dyn RunObserver> = Arc::new(TeeObserver::new(vec![
+            Arc::clone(&per_job) as Arc<dyn RunObserver>,
+            Arc::clone(&self.service_observer) as Arc<dyn RunObserver>,
+        ]));
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.execute(&work, observer)))
+            .unwrap_or_else(|panic| Err(format!("job panicked: {}", panic_message(&panic))));
+        let run_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+
+        let timings = per_job.timings();
+        let counter_total = |name: &str| -> u64 {
+            timings
+                .iter()
+                .flat_map(|t| t.counters.iter())
+                .filter(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .sum()
+        };
+        let mut jobs = self.jobs.lock().expect("jobs lock");
+        let job = &mut jobs[idx];
+        job.run_ms = Some(run_ms);
+        job.frames_built = counter_total("frames_built");
+        job.frames_reused = counter_total("frames_reused");
+        job.frames_chunks_loaded = counter_total("frames_chunks_loaded");
+        job.store_loads = per_job.loaded().len() as u64;
+        match outcome {
+            Ok((rendered, report_json)) => {
+                job.state = JobState::Done;
+                job.rendered = Some(rendered);
+                job.report_json = Some(report_json);
+                self.metrics.jobs_done.fetch_add(1, Ordering::SeqCst);
+            }
+            Err(msg) => {
+                job.state = JobState::Failed;
+                job.error = Some(msg);
+                self.metrics.jobs_failed.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        self.metrics.jobs_running.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Runs one job's sweep on the shared warm state, producing the
+    /// rendered summaries and the canonical report JSON (the exact
+    /// [`reports_to_json`] string `pd run --json` would write).
+    fn execute(
+        &self,
+        work: &JobWork,
+        observer: Arc<dyn RunObserver>,
+    ) -> Result<(String, String), String> {
+        let mut builder = Experiment::builder()
+            .spec(work.spec.clone())
+            .seed(work.seed)
+            .profile(work.profile)
+            .threads(self.config.job_threads)
+            .observer(observer)
+            .frame_cache(Arc::clone(&self.frames));
+        if let Some(dir) = &self.config.artifacts {
+            builder = builder.artifacts(dir.clone());
+        }
+        let arms = builder.run_sweep().map_err(|e| e.to_string())?;
+        let mut rendered = String::new();
+        let mut reports = Vec::new();
+        for arm in arms {
+            if !arm.label.is_empty() {
+                rendered.push_str(&format!("== {} / {} ==\n", work.spec.name, arm.label));
+            }
+            rendered.push_str(&arm.analysis.report.render_summary());
+            reports.push((arm.label, arm.analysis.report.clone()));
+        }
+        Ok((rendered, reports_to_json(&reports)))
+    }
+}
+
+/// Human text out of a panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+fn snapshot_of(id: u64, job: &JobRecord) -> JobSnapshot {
+    JobSnapshot {
+        id: format!("j-{id}"),
+        scenario: job.scenario.clone(),
+        status: job.state.as_str().to_owned(),
+        error: job.error.clone(),
+        queued_ms: job.queued_ms,
+        run_ms: job.run_ms,
+        frames_built: job.frames_built,
+        frames_reused: job.frames_reused,
+        frames_chunks_loaded: job.frames_chunks_loaded,
+        store_loads: job.store_loads,
+        rendered: job.rendered.clone(),
+        has_report: job.report_json.is_some(),
+    }
+}
+
+/// Parses a `j-N` job id (the wire format of [`JobSnapshot::id`]).
+#[must_use]
+pub fn parse_job_id(id: &str) -> Option<u64> {
+    id.strip_prefix("j-")?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn service(capacity: usize) -> (Arc<PdService>, Receiver<QueueMsg>) {
+        let (tx, rx) = mpsc::sync_channel(capacity);
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            ..ServeConfig::default()
+        };
+        (Arc::new(PdService::new(config, tx)), rx)
+    }
+
+    #[test]
+    fn submit_validates_inputs() {
+        let (svc, _rx) = service(4);
+        let err = svc.submit(&SubmitRequest::default()).unwrap_err();
+        assert!(matches!(err, SubmitError::Invalid(_)), "{err}");
+        let err = svc
+            .submit(&SubmitRequest {
+                scenario: Some("smoke".to_owned()),
+                profile: Some("warp".to_owned()),
+                ..SubmitRequest::default()
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown profile"), "{err}");
+        let err = svc
+            .submit(&SubmitRequest {
+                scenario: Some("smok".to_owned()),
+                ..SubmitRequest::default()
+            })
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("did you mean \"smoke\""), "{msg}");
+        // Nothing was admitted into the job table.
+        assert!(svc.list().runs.is_empty());
+    }
+
+    #[test]
+    fn full_queue_rejects_and_rolls_back() {
+        let (svc, _rx) = service(1);
+        let req = SubmitRequest {
+            scenario: Some("smoke".to_owned()),
+            profile: Some("smoke".to_owned()),
+            ..SubmitRequest::default()
+        };
+        assert_eq!(svc.submit(&req).expect("first fits"), "j-1");
+        assert_eq!(svc.submit(&req).unwrap_err(), SubmitError::QueueFull);
+        // The rejected job must not appear, and ids stay dense.
+        assert_eq!(svc.list().runs.len(), 1);
+        assert!(svc.metrics_text().contains("jobs_rejected 1\n"));
+    }
+
+    #[test]
+    fn draining_refuses_submissions() {
+        let (svc, rx) = service(4);
+        svc.begin_shutdown();
+        let err = svc
+            .submit(&SubmitRequest {
+                scenario: Some("smoke".to_owned()),
+                ..SubmitRequest::default()
+            })
+            .unwrap_err();
+        assert_eq!(err, SubmitError::Draining);
+        drop(rx);
+    }
+
+    #[test]
+    fn runner_executes_queued_jobs_and_drains_on_shutdown() {
+        let (svc, rx) = service(4);
+        let req = SubmitRequest {
+            scenario: Some("smoke".to_owned()),
+            seed: Some(7),
+            profile: Some("smoke".to_owned()),
+            ..SubmitRequest::default()
+        };
+        let id = svc.submit(&req).expect("queued");
+        assert_eq!(id, "j-1");
+        svc.begin_shutdown();
+        svc.runner_loop(rx); // runs j-1, then hits the sentinel
+        let snap = svc.snapshot(1).expect("job exists");
+        assert_eq!(snap.status, "done");
+        assert!(snap.has_report);
+        assert!(snap.run_ms.is_some());
+        assert!(svc.report_body(1).expect("exists").is_some());
+        assert!(svc.metrics_text().contains("jobs_done 1\n"));
+    }
+
+    #[test]
+    fn job_ids_parse() {
+        assert_eq!(parse_job_id("j-12"), Some(12));
+        assert_eq!(parse_job_id("12"), None);
+        assert_eq!(parse_job_id("j-x"), None);
+    }
+}

@@ -12,6 +12,13 @@
 //! pd scenarios show <NAME> [--json]
 //! pd artifacts ls <DIR>
 //! pd artifacts migrate <DIR> [--format json|binary]
+//! pd serve [--addr HOST:PORT] [--threads N] [--job-threads N]
+//!          [--artifacts DIR] [--queue N]
+//! pd submit <scenario>|--spec FILE_OR_NAME [--addr HOST:PORT]
+//!           [--set key=value]... [--seed N] [--profile P]
+//! pd poll <JOB-ID> [--addr HOST:PORT] [--json PATH] [--timeout-secs N]
+//! pd metrics [--addr HOST:PORT]
+//! pd shutdown [--addr HOST:PORT]
 //! pd list
 //! pd --help
 //! ```
@@ -41,6 +48,19 @@
 //! optionally under different analysis knobs — without re-measuring
 //! anything.
 //!
+//! `--spec` accepts a file path or a bare name: bare names resolve
+//! against the spec search path (`examples/specs/`, then each
+//! colon-separated directory in `$PD_SPEC_PATH`), with a did-you-mean
+//! hint over every spec found on the path.
+//!
+//! `pd serve` starts the long-running measurement service (see the
+//! `pd-serve` crate): a TCP daemon with one process-wide warm
+//! `FrameCache` shared across jobs, an HTTP/1.1 JSON API, and live
+//! `/metrics`. `pd submit` queues a job on a running daemon (printing
+//! its `j-N` id to stdout), `pd poll` waits for one and can fetch its
+//! report — byte-identical to `pd run --json` for the same inputs —
+//! and `pd shutdown` drains the daemon gracefully.
+//!
 //! Exit codes: `0` success, `1` runtime failure (store/report/IO), `2`
 //! usage error (unknown command, flag, scenario or profile). All errors
 //! go to stderr.
@@ -55,7 +75,7 @@ use std::sync::Arc;
 
 struct RunArgs {
     scenario: Option<String>,
-    spec: Option<PathBuf>,
+    spec: Option<String>,
     overrides: ConfigPatch,
     seed: u64,
     threads: usize,
@@ -76,6 +96,35 @@ struct RerunArgs {
     json: Option<String>,
     render: bool,
     timings: bool,
+}
+
+/// The daemon's default listen address, shared by every service
+/// subcommand's `--addr` flag.
+const DEFAULT_ADDR: &str = "127.0.0.1:7413";
+
+struct ServeArgs {
+    addr: String,
+    threads: usize,
+    job_threads: usize,
+    artifacts: Option<PathBuf>,
+    queue: usize,
+}
+
+struct SubmitArgs {
+    scenario: Option<String>,
+    spec: Option<String>,
+    overrides: ConfigPatch,
+    has_overrides: bool,
+    seed: Option<u64>,
+    profile: Option<Profile>,
+    addr: String,
+}
+
+struct PollArgs {
+    id: String,
+    addr: String,
+    json: Option<String>,
+    timeout_secs: u64,
 }
 
 /// The SCENARIOS block, shared by `--help`, `pd list` context and the
@@ -115,12 +164,21 @@ fn usage(registry: &ScenarioRegistry) -> String {
          \x20 pd scenarios show <NAME> [--json]\n\
          \x20 pd artifacts ls <DIR>\n\
          \x20 pd artifacts migrate <DIR> [--format json|binary]\n\
+         \x20 pd serve [--addr HOST:PORT] [--threads N] [--job-threads N]\n\
+         \x20          [--artifacts DIR] [--queue N]\n\
+         \x20 pd submit <scenario>|--spec FILE_OR_NAME [--addr HOST:PORT]\n\
+         \x20           [--set key=value]... [--seed N] [--profile P]\n\
+         \x20 pd poll <JOB-ID> [--addr HOST:PORT] [--json PATH] [--timeout-secs N]\n\
+         \x20 pd metrics [--addr HOST:PORT]\n\
+         \x20 pd shutdown [--addr HOST:PORT]\n\
          \x20 pd list\n\
          \x20 pd --help\n\
          \n\
          OPTIONS:\n\
          \x20 --spec FILE      run a declarative scenario spec (JSON); start\n\
-         \x20                  from `pd scenarios show NAME --json`\n\
+         \x20                  from `pd scenarios show NAME --json`. A bare\n\
+         \x20                  name (no '/') searches examples/specs/ and each\n\
+         \x20                  directory in $PD_SPEC_PATH for NAME[.json]\n\
          \x20 --set key=value  override one spec field (repeatable), e.g.\n\
          \x20                  --set crowd.users=120 --set world.failure_rate=0.1;\n\
          \x20                  composes with sweep axes (patches the base plan)\n\
@@ -148,6 +206,18 @@ fn usage(registry: &ScenarioRegistry) -> String {
          \x20 --fig1-top N              rank N domains in Fig. 1 (default 27)\n\
          \x20 --attribution-products N  products probed per retailer by the\n\
          \x20                           attribution extension (default 8)\n\
+         \n\
+         SERVICE (pd serve / submit / poll / metrics / shutdown):\n\
+         \x20 --addr HOST:PORT daemon address (default {DEFAULT_ADDR})\n\
+         \x20 --threads N      serve: accept-loop worker threads (default 4)\n\
+         \x20 --job-threads N  serve: executor threads per job (default 1)\n\
+         \x20 --queue N        serve: bounded job queue capacity (default 16;\n\
+         \x20                  a full queue answers 503 + Retry-After)\n\
+         \x20 --timeout-secs N poll: give up waiting after N seconds\n\
+         \x20                  (default 300)\n\
+         \x20 Jobs share the daemon's warm frame cache; a repeated analysis\n\
+         \x20 reports frames built=0. `pd poll --json PATH` writes the\n\
+         \x20 report byte-identically to an offline `pd run --json`.\n\
          \n\
          SCENARIOS:\n{}",
         scenario_lines(registry)
@@ -180,9 +250,7 @@ fn parse_run(mut args: std::env::Args, registry: &ScenarioRegistry) -> Result<Ru
         }
         match arg.as_str() {
             "--spec" => {
-                run.spec = Some(PathBuf::from(
-                    args.next().ok_or("--spec needs a file path")?,
-                ));
+                run.spec = Some(args.next().ok_or("--spec needs a file path or name")?);
             }
             "--set" => {
                 let kv = args.next().ok_or("--set needs key=value")?;
@@ -294,40 +362,21 @@ fn stage_names(stages: &[StageKind]) -> String {
 }
 
 fn write_json(path: &str, reports: &[(String, pd_core::Report)]) -> Result<(), String> {
-    let json = if reports.len() == 1 && reports[0].0.is_empty() {
-        reports[0].1.to_json()
-    } else {
-        let body: Vec<String> = reports
-            .iter()
-            .map(|(label, r)| format!("{:?}: {}", label, r.to_json()))
-            .collect();
-        format!("{{\n{}\n}}", body.join(",\n"))
-    };
+    // One shared formatter (`pd_core::reports_to_json`) renders the CLI
+    // file, the daemon's stored report, and the bench comparisons — so
+    // "byte-identical to `pd run --json`" holds by construction.
+    let json = pd_core::reports_to_json(reports);
     std::fs::write(path, json).map_err(|e| format!("writing {path:?}: {e}"))?;
     println!("report JSON written to {path}");
     Ok(())
 }
 
-/// Resolves the spec a `pd run` invocation asks for: a registered
-/// builtin by name, or a JSON file via `--spec` — then layers any
-/// `--set` overrides onto its patch.
-fn resolve_spec(run: &RunArgs, registry: &ScenarioRegistry) -> Result<ScenarioSpec, String> {
-    let mut spec = match (&run.scenario, &run.spec) {
-        (Some(name), None) => registry
-            .get(name)
-            .ok_or_else(|| unknown_scenario(registry, name))?
-            .clone(),
-        (None, Some(path)) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("reading spec {}: {e}", path.display()))?;
-            ScenarioSpec::from_json(&text).map_err(|e| format!("spec {}: {e}", path.display()))?
-        }
-        _ => unreachable!("parse_run enforces scenario xor spec"),
-    };
-    // Refuse overrides a sweep axis would overwrite in every arm — the
-    // value would silently never run (axes that derive from the base
-    // plan, like Seeds and CrowdSizes, compose fine and pass).
-    let conflicts = spec.override_conflicts(&run.overrides);
+/// Layers `--set` overrides onto a resolved spec, refusing overrides a
+/// sweep axis would overwrite in every arm — the value would silently
+/// never run (axes that derive from the base plan, like Seeds and
+/// CrowdSizes, compose fine and pass).
+fn apply_overrides(spec: &mut ScenarioSpec, overrides: &ConfigPatch) -> Result<(), String> {
+    let conflicts = spec.override_conflicts(overrides);
     if let Some((key, axis)) = conflicts.first() {
         return Err(format!(
             "--set {key} conflicts with the {axis} sweep axis of scenario {:?}: \
@@ -336,7 +385,24 @@ fn resolve_spec(run: &RunArgs, registry: &ScenarioRegistry) -> Result<ScenarioSp
             spec.name
         ));
     }
-    spec.patch.merge(&run.overrides);
+    spec.patch.merge(overrides);
+    Ok(())
+}
+
+/// Resolves the spec a `pd run` invocation asks for: a registered
+/// builtin by name, or a file/bare name via `--spec` (bare names search
+/// `examples/specs/` and `$PD_SPEC_PATH`) — then layers any `--set`
+/// overrides onto its patch.
+fn resolve_spec(run: &RunArgs, registry: &ScenarioRegistry) -> Result<ScenarioSpec, String> {
+    let mut spec = match (&run.scenario, &run.spec) {
+        (Some(name), None) => registry
+            .get(name)
+            .ok_or_else(|| unknown_scenario(registry, name))?
+            .clone(),
+        (None, Some(arg)) => pd_core::load_spec(arg)?,
+        _ => unreachable!("parse_run enforces scenario xor spec"),
+    };
+    apply_overrides(&mut spec, &run.overrides)?;
     Ok(spec)
 }
 
@@ -612,6 +678,225 @@ fn execute_scenarios_show(
     Ok(())
 }
 
+fn parse_serve(mut args: std::env::Args) -> Result<ServeArgs, String> {
+    let mut serve = ServeArgs {
+        addr: DEFAULT_ADDR.to_owned(),
+        threads: 4,
+        job_threads: 1,
+        artifacts: None,
+        queue: 16,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => serve.addr = args.next().ok_or("--addr needs HOST:PORT")?,
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                serve.threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+            }
+            "--job-threads" => {
+                let v = args.next().ok_or("--job-threads needs a value")?;
+                serve.job_threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+            }
+            "--artifacts" => {
+                serve.artifacts = Some(PathBuf::from(
+                    args.next().ok_or("--artifacts needs a directory")?,
+                ));
+            }
+            "--queue" => {
+                let v = args.next().ok_or("--queue needs a capacity")?;
+                serve.queue = v.parse().map_err(|_| format!("bad queue capacity {v:?}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(serve)
+}
+
+fn parse_submit(
+    mut args: std::env::Args,
+    registry: &ScenarioRegistry,
+) -> Result<SubmitArgs, String> {
+    let mut submit = SubmitArgs {
+        scenario: None,
+        spec: None,
+        overrides: ConfigPatch::default(),
+        has_overrides: false,
+        seed: None,
+        profile: None,
+        addr: DEFAULT_ADDR.to_owned(),
+    };
+    let mut first = true;
+    while let Some(arg) = args.next() {
+        if std::mem::take(&mut first) && !arg.starts_with("--") {
+            if registry.get(&arg).is_none() {
+                return Err(unknown_scenario(registry, &arg));
+            }
+            submit.scenario = Some(arg);
+            continue;
+        }
+        match arg.as_str() {
+            "--spec" => {
+                submit.spec = Some(args.next().ok_or("--spec needs a file path or name")?);
+            }
+            "--set" => {
+                let kv = args.next().ok_or("--set needs key=value")?;
+                let (key, value) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("--set {kv:?} is not key=value"))?;
+                submit.overrides.set(key, value)?;
+                submit.has_overrides = true;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                submit.seed = Some(v.parse().map_err(|_| format!("bad seed {v:?}"))?);
+            }
+            "--profile" => {
+                let v = args.next().ok_or("--profile needs a value")?;
+                submit.profile = Some(Profile::parse(&v).ok_or(format!("unknown profile {v:?}"))?);
+            }
+            "--addr" => submit.addr = args.next().ok_or("--addr needs HOST:PORT")?,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    match (&submit.scenario, &submit.spec) {
+        (None, None) => Err("`pd submit` needs a scenario name or --spec FILE_OR_NAME".to_owned()),
+        (Some(_), Some(_)) => Err("pass a scenario name or --spec, not both".to_owned()),
+        _ => Ok(submit),
+    }
+}
+
+fn parse_poll(mut args: std::env::Args) -> Result<PollArgs, String> {
+    let id = args.next().ok_or("`pd poll` needs a job id (e.g. j-1)")?;
+    let mut poll = PollArgs {
+        id,
+        addr: DEFAULT_ADDR.to_owned(),
+        json: None,
+        timeout_secs: 300,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => poll.addr = args.next().ok_or("--addr needs HOST:PORT")?,
+            "--json" => poll.json = Some(args.next().ok_or("--json needs a path")?),
+            "--timeout-secs" => {
+                let v = args.next().ok_or("--timeout-secs needs a value")?;
+                poll.timeout_secs = v.parse().map_err(|_| format!("bad timeout {v:?}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(poll)
+}
+
+/// Parses the `[--addr HOST:PORT]` tail shared by `pd metrics` and
+/// `pd shutdown`.
+fn parse_addr_only(mut args: std::env::Args, command: &str) -> Result<String, String> {
+    let mut addr = DEFAULT_ADDR.to_owned();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().ok_or("--addr needs HOST:PORT")?,
+            other => {
+                return Err(format!(
+                    "unknown flag {other:?} (usage: pd {command} [--addr HOST:PORT])"
+                ))
+            }
+        }
+    }
+    Ok(addr)
+}
+
+/// `pd serve`: start the daemon and block until it drains (via
+/// `POST /shutdown`). Exit 0 after a graceful drain.
+fn execute_serve(serve: &ServeArgs) -> Result<(), String> {
+    let config = pd_serve::ServeConfig {
+        addr: serve.addr.clone(),
+        threads: serve.threads,
+        job_threads: serve.job_threads,
+        artifacts: serve.artifacts.clone(),
+        queue_capacity: serve.queue,
+        ..pd_serve::ServeConfig::default()
+    };
+    let server = pd_serve::Server::start(config)?;
+    println!(
+        "pd serve listening on {} ({} workers, queue capacity {})",
+        server.addr(),
+        serve.threads.max(1),
+        serve.queue.max(1),
+    );
+    if let Some(dir) = &serve.artifacts {
+        println!("artifact store (read-through): {}", dir.display());
+    }
+    println!("endpoints: POST /runs, GET /runs[/ID[/report]], GET /healthz, GET /metrics, POST /shutdown");
+    server.join();
+    println!("pd serve: drained and exited");
+    Ok(())
+}
+
+/// `pd submit`: queue one job on a running daemon. A bare scenario name
+/// without `--set` is sent by name (the daemon resolves it against its
+/// registry and spec search path); `--spec` and `--set` resolve
+/// client-side and send the full inline spec.
+fn execute_submit(submit: &SubmitArgs, registry: &ScenarioRegistry) -> Result<(), String> {
+    let mut request = pd_serve::SubmitRequest {
+        seed: submit.seed,
+        profile: submit.profile.map(|p| p.name().to_owned()),
+        ..pd_serve::SubmitRequest::default()
+    };
+    match (&submit.scenario, &submit.spec) {
+        (Some(name), None) if !submit.has_overrides => request.scenario = Some(name.clone()),
+        (Some(name), None) => {
+            let mut spec = registry
+                .get(name)
+                .ok_or_else(|| unknown_scenario(registry, name))?
+                .clone();
+            apply_overrides(&mut spec, &submit.overrides)?;
+            request.spec = Some(spec);
+        }
+        (None, Some(arg)) => {
+            let mut spec = pd_core::load_spec(arg)?;
+            apply_overrides(&mut spec, &submit.overrides)?;
+            request.spec = Some(spec);
+        }
+        _ => unreachable!("parse_submit enforces scenario xor spec"),
+    }
+    let client = pd_serve::Client::new(&submit.addr);
+    let id = client.submit(&request)?;
+    eprintln!(
+        "submitted to {}; poll with: pd poll {id} --addr {}",
+        submit.addr, submit.addr
+    );
+    // The bare id on stdout so scripts can capture it: ID=$(pd submit …).
+    println!("{id}");
+    Ok(())
+}
+
+/// `pd poll`: wait for a job, print its frame-cache counters (one
+/// greppable line) and rendered summary, optionally write the report —
+/// byte-identical to the offline `pd run --json` output.
+fn execute_poll(poll: &PollArgs) -> Result<(), String> {
+    let client = pd_serve::Client::new(&poll.addr);
+    let done = client.wait_done(&poll.id, std::time::Duration::from_secs(poll.timeout_secs))?;
+    println!(
+        "job {} done: scenario {} (queued {} ms, ran {} ms)",
+        done.id,
+        done.scenario,
+        done.queued_ms.unwrap_or(0),
+        done.run_ms.unwrap_or(0),
+    );
+    println!(
+        "frames: built={} reused={} chunks_loaded={} store_loads={}",
+        done.frames_built, done.frames_reused, done.frames_chunks_loaded, done.store_loads,
+    );
+    if let Some(rendered) = &done.rendered {
+        print!("{rendered}");
+    }
+    if let Some(path) = &poll.json {
+        let report = client.report(&done.id)?;
+        std::fs::write(path, report).map_err(|e| format!("writing {path:?}: {e}"))?;
+        println!("report JSON written to {path}");
+    }
+    Ok(())
+}
+
 fn fail(code: i32, msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(code);
@@ -671,6 +956,38 @@ fn main() {
                 "usage: pd scenarios show <NAME> [--json] | pd scenarios list",
             ),
         },
+        Some("serve") => {
+            let serve = parse_serve(args).unwrap_or_else(|e| fail(2, &e));
+            if let Err(e) = execute_serve(&serve) {
+                fail(1, &e);
+            }
+        }
+        Some("submit") => {
+            let submit = parse_submit(args, &registry).unwrap_or_else(|e| fail(2, &e));
+            if let Err(e) = execute_submit(&submit, &registry) {
+                fail(1, &e);
+            }
+        }
+        Some("poll") => {
+            let poll = parse_poll(args).unwrap_or_else(|e| fail(2, &e));
+            if let Err(e) = execute_poll(&poll) {
+                fail(1, &e);
+            }
+        }
+        Some("metrics") => {
+            let addr = parse_addr_only(args, "metrics").unwrap_or_else(|e| fail(2, &e));
+            match pd_serve::Client::new(&addr).metrics() {
+                Ok(text) => print!("{text}"),
+                Err(e) => fail(1, &e),
+            }
+        }
+        Some("shutdown") => {
+            let addr = parse_addr_only(args, "shutdown").unwrap_or_else(|e| fail(2, &e));
+            if let Err(e) = pd_serve::Client::new(&addr).shutdown() {
+                fail(1, &e);
+            }
+            println!("shutdown requested; {addr} is draining");
+        }
         Some("list") => {
             print!("{}", scenario_lines(&registry));
         }

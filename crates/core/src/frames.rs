@@ -48,10 +48,12 @@
 //! ```
 
 use crate::executor::Executor;
+use crate::observer::StageKind;
 use crate::store::{ChunkedPayload, StoreError};
 use pd_analysis::CheckFrame;
 use pd_currency::FxSeries;
 use pd_sheriff::{Measurement, MeasurementStore};
+use std::any::Any;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -330,6 +332,99 @@ impl FrameCache {
     }
 }
 
+/// Shared, thread-safe cache of **loaded measurement artifacts**, keyed
+/// by `(stage, measurement fingerprint)` — the store-level sibling of
+/// [`FrameCache`]. Where the frame cache memoizes the analysis-ready
+/// frames cut *from* a store, this cache memoizes the deserialized
+/// store artifact itself (`CrowdArtifact`, `CrawlArtifact`, …), so N
+/// concurrent re-analyses of one crawl share a single `Arc` instead of
+/// each paying a disk load and holding its own copy.
+///
+/// Only artifacts that came off disk are cached (the fingerprint then
+/// certifies the bytes); computed artifacts stay engine-private. Values
+/// are type-erased as `Arc<dyn Any>` so one cache covers every stage's
+/// artifact type — the typed accessors downcast, and a key can never
+/// alias across types because the [`StageKind`] half of the key pins
+/// the artifact type stored under it.
+#[derive(Default)]
+pub struct StoreCache {
+    entries: Mutex<HashMap<(StageKind, u64), Arc<dyn Any + Send + Sync>>>,
+}
+
+impl std::fmt::Debug for StoreCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreCache")
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+impl StoreCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached artifacts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache lock is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("store cache lock").len()
+    }
+
+    /// `true` when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cached artifact for `(stage, fingerprint)`, if present and of
+    /// type `T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache lock is poisoned.
+    #[must_use]
+    pub fn get<T: Send + Sync + 'static>(
+        &self,
+        stage: StageKind,
+        fingerprint: u64,
+    ) -> Option<Arc<T>> {
+        self.entries
+            .lock()
+            .expect("store cache lock")
+            .get(&(stage, fingerprint))
+            .and_then(|any| Arc::clone(any).downcast::<T>().ok())
+    }
+
+    /// Caches `artifact` under `(stage, fingerprint)` and returns the
+    /// canonical `Arc` — on a racing double-load the first insert wins
+    /// and the loser's copy is dropped, so every holder of a key shares
+    /// one allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache lock is poisoned.
+    pub fn insert<T: Send + Sync + 'static>(
+        &self,
+        stage: StageKind,
+        fingerprint: u64,
+        artifact: Arc<T>,
+    ) -> Arc<T> {
+        let mut entries = self.entries.lock().expect("store cache lock");
+        let slot = entries
+            .entry((stage, fingerprint))
+            .or_insert_with(|| artifact.clone() as Arc<dyn Any + Send + Sync>);
+        Arc::clone(slot)
+            .downcast::<T>()
+            .unwrap_or_else(|_| unreachable!("StageKind key pins the artifact type"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -461,6 +556,25 @@ mod tests {
             assert_eq!((hit.chunks_loaded, hit.reused), (0, 3));
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_cache_shares_one_arc_and_keeps_types_apart() {
+        let cache = StoreCache::new();
+        assert!(cache.is_empty());
+        let first = cache.insert(StageKind::Crowd, 7, Arc::new(vec![1u64, 2]));
+        // A racing second load of the same key: first insert wins.
+        let second = cache.insert(StageKind::Crowd, 7, Arc::new(vec![9u64]));
+        assert!(Arc::ptr_eq(&first, &second), "losers adopt the winner");
+        let hit = cache
+            .get::<Vec<u64>>(StageKind::Crowd, 7)
+            .expect("cached artifact");
+        assert!(Arc::ptr_eq(&first, &hit));
+        // Same fingerprint under a different stage is a distinct entry.
+        assert!(cache.get::<Vec<u64>>(StageKind::Crawl, 7).is_none());
+        // A type mismatch is a miss, never a panic.
+        assert!(cache.get::<String>(StageKind::Crowd, 7).is_none());
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

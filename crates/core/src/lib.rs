@@ -78,7 +78,7 @@ pub mod world;
 
 pub use config::{AnalysisConfig, ExperimentConfig, WorldConfig};
 pub use executor::Executor;
-pub use frames::{FrameCache, FrameStats};
+pub use frames::{FrameCache, FrameStats, StoreCache};
 pub use observer::{
     BufferedObserver, NullObserver, RunObserver, StageKind, StageTiming, TimingObserver,
 };

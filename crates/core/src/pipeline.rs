@@ -15,7 +15,7 @@
 
 use crate::config::ExperimentConfig;
 use crate::executor::Executor;
-use crate::frames::FrameCache;
+use crate::frames::{FrameCache, StoreCache};
 use crate::observer::{BufferedObserver, NullObserver, RunObserver, StageKind};
 use crate::report::Report;
 use crate::scenario::{Profile, RunPlan, ScenarioParams, ScenarioRegistry};
@@ -50,9 +50,13 @@ pub struct Engine {
     frames: Arc<FrameCache>,
     /// Payload format for artifacts this engine saves.
     store_format: StoreFormat,
-    crowd: Option<CrowdArtifact>,
-    crawl: Option<CrawlArtifact>,
-    personas: Option<PersonaArtifact>,
+    /// Shared cache of loaded (deserialized) store artifacts, when one
+    /// is attached: concurrent engines whose fingerprints coincide share
+    /// one `Arc` per artifact instead of each paying a disk load.
+    stores: Option<Arc<StoreCache>>,
+    crowd: Option<Arc<CrowdArtifact>>,
+    crawl: Option<Arc<CrawlArtifact>>,
+    personas: Option<Arc<PersonaArtifact>>,
     /// Chunked handle onto an on-disk binary crowd payload: analysis
     /// streams its rows per domain instead of materializing `crowd`.
     crowd_chunked: Option<ChunkedPayload>,
@@ -150,6 +154,7 @@ impl Engine {
             loaded_stages: Vec::new(),
             frames: Arc::new(FrameCache::new()),
             store_format: StoreFormat::Json,
+            stores: None,
             crowd: None,
             crawl: None,
             personas: None,
@@ -207,6 +212,23 @@ impl Engine {
     #[must_use]
     pub fn frame_cache(&self) -> &Arc<FrameCache> {
         &self.frames
+    }
+
+    /// Attaches a shared [`StoreCache`]: artifacts this engine loads
+    /// from disk are parked there (keyed by stage + measurement
+    /// fingerprint), and loads check it before touching disk — so
+    /// concurrent engines re-analyzing the same measurements share one
+    /// `Arc` per artifact. Computed artifacts stay engine-private.
+    #[must_use]
+    pub fn with_store_cache(mut self, stores: Arc<StoreCache>) -> Self {
+        self.stores = Some(stores);
+        self
+    }
+
+    /// The shared store cache in force, if any.
+    #[must_use]
+    pub fn store_cache(&self) -> Option<&Arc<StoreCache>> {
+        self.stores.as_ref()
     }
 
     /// Sets the payload format artifacts are saved in (default
@@ -269,17 +291,46 @@ impl Engine {
     /// (no store, stale fingerprint, corrupt file) is a cache miss: the
     /// caller computes. `pd artifacts ls` is the diagnostic surface for
     /// unhealthy stores.
-    fn probe_store<T: serde::Deserialize>(&mut self, kind: StageKind) -> Option<T> {
+    fn probe_store<T: serde::Deserialize + Send + Sync + 'static>(
+        &mut self,
+        kind: StageKind,
+    ) -> Option<Arc<T>> {
         let dir = self.artifacts_dir.as_deref()?;
+        let fp = store::measurement_fingerprint(kind, &self.plan)?;
+        // A shared-cache hit is as trustworthy as the disk load that
+        // populated it: the fingerprint key certifies the bytes.
+        if let Some(stores) = &self.stores {
+            if let Some(hit) = stores.get::<T>(kind, fp.as_u64()) {
+                self.observer.stage_loaded(kind, &fp.to_string());
+                self.loaded_stages.push(kind);
+                return Some(hit);
+            }
+        }
         if !ArtifactStore::is_store(dir) {
             return None;
         }
         let store = ArtifactStore::open(dir).ok()?;
-        let fp = store::measurement_fingerprint(kind, &self.plan)?;
-        let artifact = store.load::<T>(kind.as_str(), fp).ok()?;
+        let artifact = Arc::new(store.load::<T>(kind.as_str(), fp).ok()?);
+        let artifact = self.cache_loaded(kind, fp.as_u64(), artifact);
         self.observer.stage_loaded(kind, &fp.to_string());
         self.loaded_stages.push(kind);
         Some(artifact)
+    }
+
+    /// Parks a just-loaded artifact in the shared [`StoreCache`] (when
+    /// one is attached) and returns the canonical `Arc` — under a racing
+    /// double-load the first insert wins, so every engine ends up
+    /// holding the same allocation.
+    fn cache_loaded<T: Send + Sync + 'static>(
+        &self,
+        kind: StageKind,
+        fingerprint: u64,
+        artifact: Arc<T>,
+    ) -> Arc<T> {
+        match &self.stores {
+            Some(stores) => stores.insert(kind, fingerprint, artifact),
+            None => artifact,
+        }
     }
 
     /// Probes the attached store for a **binary** entry of `kind` and
@@ -311,14 +362,14 @@ impl Engine {
             self.crowd = self.probe_store(StageKind::Crowd);
         }
         if self.crowd.is_none() {
-            self.crowd = Some(stage::crowd_stage(
+            self.crowd = Some(Arc::new(stage::crowd_stage(
                 &self.world,
                 &self.plan,
                 &self.executor,
                 self.observer.as_ref(),
-            ));
+            )));
         }
-        self.crowd.as_ref().expect("just computed")
+        self.crowd.as_deref().expect("just computed")
     }
 
     /// The crawl artifact, cached after the first call (store-backed
@@ -342,15 +393,15 @@ impl Engine {
                 }
                 None => self.world.paper_crawl_targets(),
             };
-            self.crawl = Some(stage::crawl_stage(
+            self.crawl = Some(Arc::new(stage::crawl_stage(
                 &self.world,
                 &self.plan.config,
                 &targets,
                 &self.executor,
                 self.observer.as_ref(),
-            ));
+            )));
         }
-        self.crawl.as_ref().expect("just computed")
+        self.crawl.as_deref().expect("just computed")
     }
 
     /// The persona/login artifact, cached after the first call
@@ -360,14 +411,14 @@ impl Engine {
             self.personas = self.probe_store(StageKind::Personas);
         }
         if self.personas.is_none() {
-            self.personas = Some(stage::persona_stage(
+            self.personas = Some(Arc::new(stage::persona_stage(
                 &self.world,
                 &self.plan.config,
                 &self.executor,
                 self.observer.as_ref(),
-            ));
+            )));
         }
-        self.personas.as_ref().expect("just computed")
+        self.personas.as_deref().expect("just computed")
     }
 
     /// Eagerly loads every measurement artifact the store holds for this
@@ -456,7 +507,8 @@ impl Engine {
                         Ok(artifact) => {
                             self.observer.stage_loaded($kind, &fp.to_string());
                             self.loaded_stages.push($kind);
-                            self.$slot = Some(artifact);
+                            self.$slot =
+                                Some(self.cache_loaded($kind, fp.as_u64(), Arc::new(artifact)));
                             outcome($kind, &mut summary, true, None);
                         }
                         Err(e) => outcome($kind, &mut summary, false, Some(&e)),
@@ -498,7 +550,7 @@ impl Engine {
                     {
                         summary.fresh.push(name);
                     } else {
-                        store.save(name, fp, &[], artifact)?;
+                        store.save(name, fp, &[], artifact.as_ref())?;
                         summary.saved.push(name);
                     }
                 }
@@ -599,9 +651,9 @@ impl Engine {
         stage::analysis_stage(
             &self.world,
             &self.plan,
-            self.crowd.as_ref().expect("cached above"),
-            self.crawl.as_ref().expect("cached above"),
-            self.personas.as_ref().expect("cached above"),
+            self.crowd.as_deref().expect("cached above"),
+            self.crawl.as_deref().expect("cached above"),
+            self.personas.as_deref().expect("cached above"),
             &self.frames,
             &self.executor,
             self.observer.as_ref(),
@@ -658,7 +710,7 @@ impl Engine {
             crowd_clean,
             cleaning,
             crawl_store,
-            self.personas.as_ref().expect("personas cached"),
+            self.personas.as_deref().expect("personas cached"),
             Some(keys),
             &self.executor,
             self.observer.as_ref(),
@@ -761,6 +813,7 @@ pub struct ExperimentBuilder {
     artifacts: Option<PathBuf>,
     store_format: StoreFormat,
     frame_cache: Option<Arc<FrameCache>>,
+    store_cache: Option<Arc<StoreCache>>,
 }
 
 impl std::fmt::Debug for ExperimentBuilder {
@@ -788,6 +841,7 @@ impl Default for ExperimentBuilder {
             artifacts: None,
             store_format: StoreFormat::Json,
             frame_cache: None,
+            store_cache: None,
         }
     }
 }
@@ -898,6 +952,19 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Shares a caller-owned [`StoreCache`] with every engine this
+    /// builder produces: measurement artifacts loaded from the attached
+    /// store are parked in (and served from) the shared cache, so
+    /// concurrent runs over the same on-disk crawl hold one `Arc` per
+    /// artifact instead of N deserialized copies. Like the frame cache,
+    /// entries are keyed by measurement fingerprint — unrelated
+    /// workloads never collide.
+    #[must_use]
+    pub fn store_cache(mut self, stores: Arc<StoreCache>) -> Self {
+        self.store_cache = Some(stores);
+        self
+    }
+
     /// The frame cache the built engines will share: the injected one,
     /// or a fresh per-build cache.
     fn shared_frames(&self) -> Arc<FrameCache> {
@@ -984,6 +1051,9 @@ impl ExperimentBuilder {
             .with_spec(spec.clone())
             .with_frame_cache(Arc::clone(frames))
             .with_store_format(self.store_format);
+        if let Some(stores) = &self.store_cache {
+            engine = engine.with_store_cache(Arc::clone(stores));
+        }
         if let Some(dir) = &self.artifacts {
             let arm_dir = if label.is_empty() {
                 dir.clone()

@@ -1,22 +1,43 @@
 //! A small blocking HTTP client for the daemon's API.
 //!
 //! Built on the same `pd_web::http` wire codec the server parses with,
-//! so client and server cannot drift. One connection per request
-//! (`connection: close`), plain `std::net` — usable from tests, the
-//! `pd submit` / `pd poll` CLI, and benches without any extra
-//! dependencies.
+//! so client and server cannot drift. Connections are **persistent**:
+//! after a response arrives with `connection: keep-alive` the socket is
+//! cached and the next request reuses it, so a polling loop (`pd poll`,
+//! `wait_done`) pays the TCP handshake once. A cached connection that
+//! has gone stale (server idle-closed it) is detected on the next
+//! request and replaced with a fresh one, transparently. Plain
+//! `std::net` — usable from tests, the `pd submit` / `pd poll` CLI, and
+//! benches without any extra dependencies.
 
 use crate::service::{JobSnapshot, RunsList, SubmitReply, SubmitRequest};
 use pd_web::http::{Request, Response, Status};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Ipv4Addr, TcpStream};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Blocking client for one daemon address.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Client {
     addr: String,
     timeout: Duration,
+    /// The kept-alive connection from the previous request, if the
+    /// server agreed to keep it open.
+    conn: Mutex<Option<TcpStream>>,
+}
+
+impl Clone for Client {
+    /// Clones the address and timeout — **not** the cached connection.
+    /// Each clone opens its own socket, so clones handed to separate
+    /// threads never serialize on one connection.
+    fn clone(&self) -> Self {
+        Client {
+            addr: self.addr.clone(),
+            timeout: self.timeout,
+            conn: Mutex::new(None),
+        }
+    }
 }
 
 impl Client {
@@ -26,6 +47,7 @@ impl Client {
         Client {
             addr: addr.to_owned(),
             timeout: Duration::from_secs(30),
+            conn: Mutex::new(None),
         }
     }
 
@@ -36,16 +58,33 @@ impl Client {
         self
     }
 
-    /// Sends one request and reads the response (one connection each).
+    /// Sends one request and reads the response, reusing the cached
+    /// keep-alive connection when one exists.
+    ///
+    /// A reuse attempt that fails (the server idle-closed the socket
+    /// between requests) is retried once on a fresh connection; errors
+    /// on a fresh connection are real and surface to the caller.
     ///
     /// # Errors
     ///
     /// A human-readable message on connect/write/read/parse failure.
     pub fn request(&self, request: &Request) -> Result<Response, String> {
+        let cached = self.conn.lock().expect("client conn lock").take();
+        if let Some(stream) = cached {
+            if let Ok(response) = self.round_trip(stream, request) {
+                return Ok(response);
+            }
+        }
         let stream = TcpStream::connect(&self.addr)
             .map_err(|e| format!("connecting to {}: {e}", self.addr))?;
         let _ = stream.set_read_timeout(Some(self.timeout));
         let _ = stream.set_write_timeout(Some(self.timeout));
+        self.round_trip(stream, request)
+    }
+
+    /// One request/response exchange on `stream`; caches the socket for
+    /// the next request iff the server answered `connection: keep-alive`.
+    fn round_trip(&self, stream: TcpStream, request: &Request) -> Result<Response, String> {
         let read_half = stream
             .try_clone()
             .map_err(|e| format!("cloning stream: {e}"))?;
@@ -54,8 +93,17 @@ impl Client {
             .write_to(&mut writer)
             .and_then(|()| writer.flush())
             .map_err(|e| format!("sending request to {}: {e}", self.addr))?;
+        // A fresh BufReader per exchange is safe: the protocol is strict
+        // request-response with content-length framing, so `read_from`
+        // consumes exactly one response and buffers nothing beyond it.
         let mut reader = BufReader::new(read_half);
-        Response::read_from(&mut reader).map_err(|e| format!("reading response: {e}"))
+        let response =
+            Response::read_from(&mut reader).map_err(|e| format!("reading response: {e}"))?;
+        if response.keep_alive() {
+            let stream = reader.into_inner();
+            *self.conn.lock().expect("client conn lock") = Some(stream);
+        }
+        Ok(response)
     }
 
     /// `GET path`.

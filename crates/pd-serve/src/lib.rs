@@ -18,18 +18,32 @@
 //! | `GET /metrics` | text `key value` counters (jobs, frames, stage ms) |
 //! | `POST /shutdown` | graceful drain: queued jobs finish, then exit |
 //!
-//! Jobs run strictly one at a time on the deterministic executor via a
-//! bounded queue — a full queue answers `503` + `Retry-After` instead of
-//! ever blocking the accept loop — and every engine shares the daemon's
-//! [`pd_core::FrameCache`] (injected through
-//! [`pd_core::ExperimentBuilder::frame_cache`]), so a repeated analysis
-//! is served from warm frames: its job snapshot shows
-//! `frames_built == 0`, `frames_reused > 0`.
+//! Jobs run on a **runner pool** (`--runners N`, default cores /
+//! job-threads) fed by a bounded queue — a full queue answers `503` +
+//! `Retry-After` instead of ever blocking the accept loop — and
+//! **identical submissions coalesce**: while a job for a given
+//! (spec fingerprint, seed, profile) is queued or running, an identical
+//! submission gets its own `j-N` id but attaches as a *follower* of the
+//! in-flight *leader* instead of taking a queue slot; when the leader
+//! finishes, every follower settles with the same (byte-identical)
+//! report, its snapshot naming the leader in `coalesced_into`. The
+//! `/metrics` counter `jobs_coalesced` counts followers. Every engine
+//! shares the daemon's [`pd_core::FrameCache`] and
+//! [`pd_core::StoreCache`] (injected through
+//! [`pd_core::ExperimentBuilder::frame_cache`] /
+//! [`pd_core::ExperimentBuilder::store_cache`]), so a repeated analysis
+//! is served from warm frames (`frames_built == 0`,
+//! `frames_reused > 0`) and concurrent jobs load each measurement store
+//! from disk at most once.
 //!
 //! The wire format is the byte-level codec in `pd_web::http`; the same
 //! [`Request`](pd_web::http::Request)/[`Response`](pd_web::http::Response)
 //! types serve the daemon, the blocking [`Client`], and the
-//! `pd submit` / `pd poll` CLI.
+//! `pd submit` / `pd poll` CLI. Connections are **HTTP/1.1 persistent**
+//! on both sides: the accept workers serve a per-connection request
+//! loop until the client sends `connection: close` (or goes idle), and
+//! the [`Client`] caches its socket between requests, so polling pays
+//! the TCP handshake once.
 //!
 //! ```
 //! use pd_serve::{Client, ServeConfig, Server, SubmitRequest};

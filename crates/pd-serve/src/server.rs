@@ -2,31 +2,52 @@
 //!
 //! [`Server::start`] binds the configured address, spawns `threads`
 //! accept-loop workers sharing one `TcpListener` (the kernel load-
-//! balances `accept`), and one runner thread executing queued jobs
-//! sequentially. Connections are one-request-one-response
-//! (`connection: close`): a worker reads a [`Request`] with the
-//! byte-level codec from `pd_web::http`, routes it, writes the
-//! [`Response`], and returns to `accept` — a full job queue therefore
-//! *rejects* (503 + `Retry-After`) instead of ever blocking the accept
-//! loop.
+//! balances `accept`), and a **runner pool**
+//! ([`ServeConfig::effective_runners`] threads) executing queued jobs
+//! concurrently off one shared receiver. Connections are persistent
+//! (HTTP/1.1 keep-alive): a worker reads [`Request`]s with the
+//! byte-level codec from `pd_web::http` in a per-connection loop,
+//! routing and answering each until the client sends `connection:
+//! close`, goes idle past the keep-alive window, or the daemon stops —
+//! a full job queue therefore *rejects* (503 + `Retry-After`) instead
+//! of ever blocking the accept loop.
 //!
 //! Graceful shutdown (`POST /shutdown`, or [`Server::shutdown`]): the
 //! service stops admitting jobs, a drain sentinel is queued behind every
-//! in-flight job, the runner exits once they have all run, and
-//! [`Server::join`] then stops the workers. In-flight work is never
-//! dropped.
+//! in-flight job, each runner forwards the sentinel and exits once the
+//! queue is dry, and [`Server::join`] then stops the workers. In-flight
+//! work is never dropped.
 
-use crate::service::{parse_job_id, PdService, ServeConfig, SubmitError, SubmitRequest};
+use crate::service::{parse_job_id, PdService, QueueMsg, ServeConfig, SubmitError, SubmitRequest};
 use pd_web::http::{HttpError, Request, Response, Status};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::mpsc::Receiver;
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Per-connection socket timeout: a stalled peer frees its worker.
+/// Socket timeout for a connection's first request: a stalled peer
+/// frees its worker.
 const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Idle window for *subsequent* requests on a keep-alive connection.
+/// Short on purpose: an idle persistent connection must release its
+/// worker quickly so a bounded pool survives many polling clients, and
+/// [`Server::join`] is never stuck behind a parked socket. Clients
+/// reconnect transparently ([`crate::Client`] retries on a dead cached
+/// connection).
+const KEEPALIVE_IDLE: Duration = Duration::from_secs(1);
+
+/// Requests served on one connection before the server answers
+/// `connection: close` and returns to the accept loop. Without a cap, a
+/// busy polling client holds its worker indefinitely and a fixed pool
+/// of N workers starves the (N+1)-th concurrent client; with it, every
+/// worker cycles back to `accept` regularly, so fairness is guaranteed
+/// no matter how many persistent clients hammer the daemon. Clients
+/// reconnect transparently.
+const KEEPALIVE_MAX_REQUESTS: usize = 32;
 
 /// A running daemon. Keep it to [`Server::join`]; dropping it without
 /// joining leaks the worker threads for the process lifetime.
@@ -35,7 +56,7 @@ pub struct Server {
     addr: SocketAddr,
     stop_workers: Arc<AtomicBool>,
     workers: Vec<JoinHandle<()>>,
-    runner: Option<JoinHandle<()>>,
+    runners: Vec<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Server {
@@ -43,12 +64,13 @@ impl std::fmt::Debug for Server {
         f.debug_struct("Server")
             .field("addr", &self.addr)
             .field("workers", &self.workers.len())
+            .field("runners", &self.runners.len())
             .finish()
     }
 }
 
 impl Server {
-    /// Binds the address and spawns the worker pool and job runner.
+    /// Binds the address and spawns the worker pool and the runner pool.
     ///
     /// # Errors
     ///
@@ -61,16 +83,21 @@ impl Server {
             .local_addr()
             .map_err(|e| format!("resolving local addr: {e}"))?;
         let threads = config.threads.max(1);
+        let runner_count = config.effective_runners();
         let (queue_tx, queue_rx) = mpsc::sync_channel(config.queue_capacity.max(1));
         let service = Arc::new(PdService::new(config, queue_tx));
 
-        let runner = {
+        let queue_rx: Arc<Mutex<Receiver<QueueMsg>>> = Arc::new(Mutex::new(queue_rx));
+        let mut runners = Vec::with_capacity(runner_count);
+        for i in 0..runner_count {
             let service = Arc::clone(&service);
-            std::thread::Builder::new()
-                .name("pd-serve-runner".to_owned())
-                .spawn(move || service.runner_loop(queue_rx))
-                .map_err(|e| format!("spawning runner: {e}"))?
-        };
+            let queue_rx = Arc::clone(&queue_rx);
+            let handle = std::thread::Builder::new()
+                .name(format!("pd-serve-runner-{i}"))
+                .spawn(move || service.runner_loop(&queue_rx))
+                .map_err(|e| format!("spawning runner {i}: {e}"))?;
+            runners.push(handle);
+        }
 
         let listener = Arc::new(listener);
         let stop_workers = Arc::new(AtomicBool::new(false));
@@ -91,7 +118,7 @@ impl Server {
             addr,
             stop_workers,
             workers,
-            runner: Some(runner),
+            runners,
         })
     }
 
@@ -113,20 +140,26 @@ impl Server {
         self.service.begin_shutdown();
     }
 
-    /// Blocks until the daemon has fully drained and exited: the runner
-    /// finishes every job queued before shutdown began, then the worker
-    /// pool is woken and joined. Returns only after a shutdown was
-    /// requested via `POST /shutdown` or [`Server::shutdown`].
+    /// Blocks until the daemon has fully drained and exited: every
+    /// runner finishes (the drain sentinel chains through the pool),
+    /// then the worker pool is woken and joined. Returns only after a
+    /// shutdown was requested via `POST /shutdown` or
+    /// [`Server::shutdown`].
     pub fn join(mut self) {
-        if let Some(runner) = self.runner.take() {
+        for runner in self.runners.drain(..) {
             let _ = runner.join();
         }
         self.stop_workers.store(true, Ordering::SeqCst);
-        // Each blocked `accept` needs one nudge to notice the flag.
-        for _ in 0..self.workers.len() {
-            let _ = TcpStream::connect(self.addr);
-        }
+        // A worker blocked in `accept` needs a connect nudge to notice
+        // the flag; one mid-keep-alive notices at its next request or
+        // idle timeout. Keep nudging until each has actually exited —
+        // a single nudge per worker can be swallowed by a worker that
+        // was about to exit anyway.
         for worker in self.workers.drain(..) {
+            while !worker.is_finished() {
+                let _ = TcpStream::connect(self.addr);
+                std::thread::sleep(Duration::from_millis(5));
+            }
             let _ = worker.join();
         }
     }
@@ -143,46 +176,90 @@ fn worker_loop(service: &Arc<PdService>, listener: &Arc<TcpListener>, stop: &Arc
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        if handle_connection(service, stream, peer) {
+        if handle_connection(service, stream, peer, stop) {
             service.begin_shutdown();
         }
     }
 }
 
-/// Serves one connection (one request, one response). Returns whether a
-/// graceful shutdown was requested — the drain itself happens in the
-/// caller *after* the response is on the wire.
-fn handle_connection(service: &Arc<PdService>, stream: TcpStream, peer: SocketAddr) -> bool {
+/// Serves one persistent connection: reads requests in a loop, routing
+/// and answering each, until the client asks to close (`connection:
+/// close`, or an HTTP/1.0 request without keep-alive), goes idle past
+/// [`KEEPALIVE_IDLE`], hits the [`KEEPALIVE_MAX_REQUESTS`] fairness
+/// cap, sends something unparseable, or the daemon is stopping. Every
+/// response carries an explicit `connection` header announcing the
+/// decision. Returns whether a graceful shutdown was requested — the
+/// drain itself happens in the caller *after* the response is on the
+/// wire.
+fn handle_connection(
+    service: &Arc<PdService>,
+    stream: TcpStream,
+    peer: SocketAddr,
+    stop: &AtomicBool,
+) -> bool {
     let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
     let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
     let Ok(read_half) = stream.try_clone() else {
         return false;
     };
+    // Timeouts are per-socket, shared by the clones: this handle
+    // shortens the read window once the connection turns persistent.
+    let Ok(control) = stream.try_clone() else {
+        return false;
+    };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
-    let mut request = match Request::read_from(&mut reader) {
-        Ok(request) => request,
-        Err(HttpError::Eof) => return false,
-        Err(e) => {
-            write_response(
-                &mut writer,
-                &error_json(Status::BadRequest, &format!("bad request: {e}")),
-            );
+    let mut served = 0usize;
+    loop {
+        let mut request = match Request::read_from(&mut reader) {
+            Ok(request) => request,
+            Err(HttpError::Eof) => return false,
+            // An I/O failure mid-read on a persistent connection is the
+            // idle timeout (or a vanished peer) — close without a 400:
+            // there is no request to answer.
+            Err(HttpError::Io(_)) if served > 0 => return false,
+            Err(e) => {
+                // A malformed request poisons only *this* connection's
+                // byte stream: answer 400, close, and let the client
+                // start clean on a fresh connection.
+                write_response(
+                    &mut writer,
+                    &error_json(Status::BadRequest, &format!("bad request: {e}")),
+                    false,
+                );
+                return false;
+            }
+        };
+        if let SocketAddr::V4(v4) = peer {
+            request.client_addr = *v4.ip();
+        }
+        let (response, shutdown) = route(service, &request);
+        served += 1;
+        let keep = request.keep_alive()
+            && response.keep_alive()
+            && served < KEEPALIVE_MAX_REQUESTS
+            && !shutdown
+            && !stop.load(Ordering::SeqCst);
+        write_response(&mut writer, &response, keep);
+        if shutdown {
+            return true;
+        }
+        if !keep {
             return false;
         }
-    };
-    if let SocketAddr::V4(v4) = peer {
-        request.client_addr = *v4.ip();
+        if served == 1 {
+            let _ = control.set_read_timeout(Some(KEEPALIVE_IDLE));
+        }
     }
-    let (response, shutdown) = route(service, &request);
-    write_response(&mut writer, &response);
-    shutdown
 }
 
-fn write_response<W: Write>(writer: &mut W, response: &Response) {
+/// Writes `response` with an explicit `connection: keep-alive|close`
+/// header reflecting the server's decision.
+fn write_response<W: Write>(writer: &mut W, response: &Response, keep_alive: bool) {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     let _ = response
         .clone()
-        .with_header("connection", "close")
+        .with_header("connection", connection)
         .write_to(writer);
     let _ = writer.flush();
 }

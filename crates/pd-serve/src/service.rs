@@ -2,20 +2,32 @@
 //! warm caches and `/metrics` aggregates.
 //!
 //! A [`PdService`] is everything the HTTP layer needs behind one `Arc`:
-//! the process-wide [`FrameCache`] every job's engine shares (warm-path
-//! re-analyses rebuild nothing), the scenario registry, the job table,
-//! and the [`Metrics`] the [`crate::ServiceObserver`] feeds. Jobs run
-//! strictly one at a time on a dedicated runner thread pulling from a
+//! the process-wide [`FrameCache`] and [`StoreCache`] every job's
+//! engine shares (warm-path re-analyses rebuild nothing and never copy
+//! a loaded store), the scenario registry, the job table, and the
+//! [`Metrics`] the [`crate::ServiceObserver`] feeds. Jobs execute on a
+//! **runner pool** ([`ServeConfig::runners`] threads) pulling from one
 //! bounded queue — submissions beyond the queue capacity are rejected
 //! immediately (the HTTP layer turns that into `503` + `Retry-After`),
 //! so the accept loop never blocks on a slow pipeline.
+//!
+//! Identical submissions **coalesce**: while a job for a given
+//! fingerprint key (spec fingerprint + seed + profile) is queued or
+//! running, further submissions of the same key attach to it as
+//! *followers* — they are admitted instantly without a queue slot,
+//! their `GET /runs/:id` carries `coalesced_into: "j-N"` naming the
+//! job that does the work, and when that leader finishes every
+//! follower receives the same outcome and the **same report bytes**
+//! (one shared allocation, so equality is structural). The
+//! `jobs_coalesced` metric counts followers admitted this way.
 
 use crate::observer::{ServiceObserver, TeeObserver};
 use pd_core::{
     reports_to_json, Experiment, FrameCache, Profile, RunObserver, ScenarioRegistry, ScenarioSpec,
-    StageKind, TimingObserver,
+    StageKind, StoreCache, TimingObserver,
 };
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -33,6 +45,11 @@ pub struct ServeConfig {
     /// Executor threads each job's engine runs with (`0` = auto).
     /// Reports are byte-identical at any value.
     pub job_threads: usize,
+    /// Runner-pool threads executing queued jobs concurrently (`0` =
+    /// auto: available cores divided by the per-job thread budget, at
+    /// least 1). Reports are byte-identical at any value — the pool
+    /// changes completion order, never content.
+    pub runners: usize,
     /// Read-through artifact store directory jobs re-analyze from (the
     /// service never writes stores — it is a read-only analysis path).
     pub artifacts: Option<PathBuf>,
@@ -45,12 +62,33 @@ pub struct ServeConfig {
     pub paused: bool,
 }
 
+impl ServeConfig {
+    /// The runner-pool size actually spawned: the configured value, or
+    /// (for `0`) the machine's available cores divided by the per-job
+    /// executor budget, so the pool and the engines never oversubscribe
+    /// the host together. Always at least 1.
+    #[must_use]
+    pub fn effective_runners(&self) -> usize {
+        if self.runners > 0 {
+            return self.runners;
+        }
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let per_job = if self.job_threads == 0 {
+            cores
+        } else {
+            self.job_threads
+        };
+        (cores / per_job.max(1)).max(1)
+    }
+}
+
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             addr: "127.0.0.1:7413".to_owned(),
             threads: 4,
             job_threads: 1,
+            runners: 0,
             artifacts: None,
             queue_capacity: 16,
             enable_shutdown: true,
@@ -152,6 +190,10 @@ pub struct JobSnapshot {
     pub rendered: Option<String>,
     /// Whether `GET /runs/:id/report` will serve a body.
     pub has_report: bool,
+    /// When this submission coalesced onto an identical in-flight job,
+    /// the `j-N` id of the job that executes for both (this job's
+    /// report is that job's report, byte for byte).
+    pub coalesced_into: Option<String>,
 }
 
 /// The `POST /runs` success body.
@@ -185,6 +227,7 @@ pub struct Metrics {
     jobs_done: AtomicU64,
     jobs_failed: AtomicU64,
     jobs_rejected: AtomicU64,
+    jobs_coalesced: AtomicU64,
     jobs_running: AtomicU64,
     queue_depth: AtomicU64,
     frames_built: AtomicU64,
@@ -223,6 +266,7 @@ impl Metrics {
             jobs_done: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
             jobs_rejected: AtomicU64::new(0),
+            jobs_coalesced: AtomicU64::new(0),
             jobs_running: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             frames_built: AtomicU64::new(0),
@@ -277,6 +321,10 @@ impl Metrics {
             "jobs_rejected {}\n",
             self.jobs_rejected.load(Ordering::Relaxed)
         ));
+        out.push_str(&format!(
+            "jobs_coalesced {}\n",
+            self.jobs_coalesced.load(Ordering::Relaxed)
+        ));
         out.push_str(&format!("queue_depth {depth}\n"));
         out.push_str(&format!(
             "frames_built {}\n",
@@ -308,7 +356,8 @@ impl Default for Metrics {
     }
 }
 
-/// Pauses/resumes the runner thread (deterministic backpressure tests).
+/// Pauses/resumes the runner pool (deterministic backpressure and
+/// coalescing tests).
 #[derive(Debug, Default)]
 struct Gate {
     paused: Mutex<bool>,
@@ -331,20 +380,28 @@ impl Gate {
     }
 }
 
-/// What one accepted job carries until the runner picks it up.
+/// What one accepted job carries until a runner picks it up.
 struct JobWork {
     spec: ScenarioSpec,
     seed: u64,
     profile: Profile,
 }
 
-/// One row of the job table.
+/// The identity two submissions must share to coalesce: everything
+/// that shapes the report. [`ScenarioSpec::fingerprint`] digests the
+/// full canonical spec, the seed roots every RNG stream, and the
+/// profile scales the workload (by name — profiles are a closed enum).
+type CoalesceKey = (u64, u64, &'static str);
+
+/// One row of the job table. Report strings are `Arc<str>` so a
+/// leader's followers share the exact allocation — "byte-identical"
+/// is structural, not a copy that happens to match.
 struct JobRecord {
     scenario: String,
     state: JobState,
     error: Option<String>,
-    rendered: Option<String>,
-    report_json: Option<String>,
+    rendered: Option<Arc<str>>,
+    report_json: Option<Arc<str>>,
     queued_ms: Option<u64>,
     run_ms: Option<u64>,
     frames_built: u64,
@@ -353,6 +410,25 @@ struct JobRecord {
     store_loads: u64,
     submitted: Instant,
     work: Option<JobWork>,
+    /// Set on a follower: the leader job id whose execution this
+    /// submission attached to.
+    coalesced_into: Option<u64>,
+    /// Set on a leader: follower job ids to settle when it finishes.
+    followers: Vec<u64>,
+    /// Set on a leader while it is queued/running: its entry in
+    /// [`JobTable::active`], removed on completion.
+    coalesce_key: Option<CoalesceKey>,
+}
+
+/// The job table: every record ever admitted (ids stay dense) plus the
+/// coalescing index over the in-flight ones.
+#[derive(Default)]
+struct JobTable {
+    records: Vec<JobRecord>,
+    /// `coalesce key → leader job id`, present exactly while that
+    /// leader is queued or running — the window in which an identical
+    /// submission attaches instead of executing.
+    active: HashMap<CoalesceKey, u64>,
 }
 
 /// The daemon's shared state. See the [module docs](self).
@@ -360,9 +436,10 @@ pub struct PdService {
     config: ServeConfig,
     registry: ScenarioRegistry,
     frames: Arc<FrameCache>,
+    stores: Arc<StoreCache>,
     metrics: Arc<Metrics>,
     service_observer: Arc<ServiceObserver>,
-    jobs: Mutex<Vec<JobRecord>>,
+    jobs: Mutex<JobTable>,
     queue: Mutex<SyncSender<QueueMsg>>,
     draining: AtomicBool,
     gate: Gate,
@@ -372,7 +449,10 @@ impl std::fmt::Debug for PdService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PdService")
             .field("config", &self.config)
-            .field("jobs", &self.jobs.lock().map(|j| j.len()).unwrap_or(0))
+            .field(
+                "jobs",
+                &self.jobs.lock().map(|j| j.records.len()).unwrap_or(0),
+            )
             .finish()
     }
 }
@@ -389,9 +469,10 @@ impl PdService {
             config,
             registry: ScenarioRegistry::builtin(),
             frames: Arc::new(FrameCache::new()),
+            stores: Arc::new(StoreCache::new()),
             service_observer: Arc::new(ServiceObserver::new(Arc::clone(&metrics))),
             metrics,
-            jobs: Mutex::new(Vec::new()),
+            jobs: Mutex::new(JobTable::default()),
             queue: Mutex::new(queue),
             draining: AtomicBool::new(false),
             gate,
@@ -416,13 +497,13 @@ impl PdService {
         self.metrics.render_text()
     }
 
-    /// Gates the runner thread before its next job (see
+    /// Gates every runner before its next job (see
     /// [`ServeConfig::paused`]).
     pub fn pause(&self) {
         self.gate.set_paused(true);
     }
 
-    /// Releases a paused runner thread.
+    /// Releases a paused runner pool.
     pub fn resume(&self) {
         self.gate.set_paused(false);
     }
@@ -433,7 +514,12 @@ impl PdService {
         self.draining.load(Ordering::SeqCst)
     }
 
-    /// Accepts a submission into the bounded queue.
+    /// Accepts a submission: into the bounded queue, or — when an
+    /// identical job (same spec fingerprint, seed and profile) is
+    /// already queued or running — as a **follower** of that job,
+    /// costing no queue slot and no execution. Followers finish when
+    /// their leader does, with the same outcome and the same report
+    /// bytes; their snapshot names the leader in `coalesced_into`.
     ///
     /// # Errors
     ///
@@ -473,11 +559,40 @@ impl PdService {
             .seed
             .unwrap_or_else(|| pd_util::seed::EXPERIMENT_SEED.value());
 
+        let key: CoalesceKey = (spec.fingerprint(), seed, profile.name());
+
         // Push + enqueue under one lock so ids stay dense even when a
-        // full queue forces the push to roll back.
+        // full queue forces the push to roll back — and so the
+        // coalescing index cannot race a leader's completion.
         let mut jobs = self.jobs.lock().expect("jobs lock");
-        let id = jobs.len() as u64 + 1;
-        jobs.push(JobRecord {
+        let id = jobs.records.len() as u64 + 1;
+        if let Some(&leader) = jobs.active.get(&key) {
+            // An identical job is in flight: attach as a follower. No
+            // queue slot, no work — the leader's completion settles it.
+            jobs.records.push(JobRecord {
+                scenario: spec.name.clone(),
+                state: JobState::Queued,
+                error: None,
+                rendered: None,
+                report_json: None,
+                queued_ms: None,
+                run_ms: None,
+                frames_built: 0,
+                frames_reused: 0,
+                frames_chunks_loaded: 0,
+                store_loads: 0,
+                submitted: Instant::now(),
+                work: None,
+                coalesced_into: Some(leader),
+                followers: Vec::new(),
+                coalesce_key: None,
+            });
+            let leader_idx = usize::try_from(leader - 1).expect("dense leader id");
+            jobs.records[leader_idx].followers.push(id);
+            self.metrics.jobs_coalesced.fetch_add(1, Ordering::SeqCst);
+            return Ok(format!("j-{id}"));
+        }
+        jobs.records.push(JobRecord {
             scenario: spec.name.clone(),
             state: JobState::Queued,
             error: None,
@@ -495,7 +610,11 @@ impl PdService {
                 seed,
                 profile,
             }),
+            coalesced_into: None,
+            followers: Vec::new(),
+            coalesce_key: Some(key),
         });
+        jobs.active.insert(key, id);
         let sender = self.queue.lock().expect("queue lock").clone();
         match sender.try_send(QueueMsg::Job(id)) {
             Ok(()) => {
@@ -503,12 +622,14 @@ impl PdService {
                 Ok(format!("j-{id}"))
             }
             Err(TrySendError::Full(_)) => {
-                jobs.pop();
+                jobs.records.pop();
+                jobs.active.remove(&key);
                 self.metrics.jobs_rejected.fetch_add(1, Ordering::SeqCst);
                 Err(SubmitError::QueueFull)
             }
             Err(TrySendError::Disconnected(_)) => {
-                jobs.pop();
+                jobs.records.pop();
+                jobs.active.remove(&key);
                 Err(SubmitError::Draining)
             }
         }
@@ -538,7 +659,7 @@ impl PdService {
     pub fn snapshot(&self, id: u64) -> Option<JobSnapshot> {
         let jobs = self.jobs.lock().expect("jobs lock");
         let idx = usize::try_from(id.checked_sub(1)?).ok()?;
-        jobs.get(idx).map(|job| snapshot_of(id, job))
+        jobs.records.get(idx).map(|job| snapshot_of(id, job))
     }
 
     /// `GET /runs` — recent jobs, newest first, capped at 50.
@@ -546,6 +667,7 @@ impl PdService {
     pub fn list(&self) -> RunsList {
         let jobs = self.jobs.lock().expect("jobs lock");
         let runs = jobs
+            .records
             .iter()
             .enumerate()
             .rev()
@@ -558,18 +680,20 @@ impl PdService {
     /// `GET /runs/:id/report` — the outer `None` is "no such job", the
     /// inner `None` is "job exists but has no report (yet)". A returned
     /// body is byte-identical to the offline `pd run --json` output for
-    /// the same submission.
+    /// the same submission (a follower serves its leader's allocation).
     #[must_use]
     pub fn report_body(&self, id: u64) -> Option<Option<String>> {
         let jobs = self.jobs.lock().expect("jobs lock");
         let idx = usize::try_from(id.checked_sub(1)?).ok()?;
-        jobs.get(idx).map(|job| job.report_json.clone())
+        jobs.records
+            .get(idx)
+            .map(|job| job.report_json.as_deref().map(str::to_owned))
     }
 
     /// Starts graceful shutdown: refuse new submissions, unpause the
-    /// runner, and append the drain sentinel so every already-queued job
-    /// still runs. Idempotent. May block briefly while the queue drains
-    /// enough to accept the sentinel.
+    /// runner pool, and append the drain sentinel so every
+    /// already-queued job still runs. Idempotent. May block briefly
+    /// while the queue drains enough to accept the sentinel.
     pub fn begin_shutdown(&self) {
         if self.draining.swap(true, Ordering::SeqCst) {
             return;
@@ -579,30 +703,41 @@ impl PdService {
         let _ = sender.send(QueueMsg::Shutdown);
     }
 
-    /// The runner thread: pulls jobs off the bounded queue and executes
-    /// them one at a time until the drain sentinel (or every sender
-    /// hung up). Lives on its own thread, spawned by
-    /// [`crate::Server::start`].
-    pub(crate) fn runner_loop(self: &Arc<Self>, queue: Receiver<QueueMsg>) {
+    /// One runner's loop: pull jobs off the shared bounded queue and
+    /// execute them until the drain sentinel (or every sender hung up).
+    /// [`crate::Server::start`] spawns [`ServeConfig::effective_runners`]
+    /// threads running this over one `Mutex`-shared receiver. A runner
+    /// that receives the sentinel **forwards it** before exiting, so one
+    /// `Shutdown` message drains the whole pool — and because the
+    /// sentinel is queued behind every accepted job, forwarding can
+    /// never block (the queue is empty of work by then).
+    pub(crate) fn runner_loop(self: &Arc<Self>, queue: &Mutex<Receiver<QueueMsg>>) {
         loop {
             // Gate *before* recv: a paused runner must not drain a queue
             // slot, or backpressure tests could never fill the queue.
             self.gate.wait_ready();
-            match queue.recv() {
-                Err(_) | Ok(QueueMsg::Shutdown) => return,
+            let msg = queue.lock().expect("runner queue lock").recv();
+            match msg {
+                Err(_) => return,
+                Ok(QueueMsg::Shutdown) => {
+                    let sender = self.queue.lock().expect("queue lock").clone();
+                    let _ = sender.send(QueueMsg::Shutdown);
+                    return;
+                }
                 Ok(QueueMsg::Job(id)) => self.run_job(id),
             }
         }
     }
 
     /// Executes one queued job, recording outcome, timings and frame
-    /// stats. A panicking run marks the job failed instead of killing
-    /// the runner thread.
+    /// stats, then settles every follower that coalesced onto it. A
+    /// panicking run marks the job (and its followers) failed instead
+    /// of killing the runner.
     fn run_job(&self, id: u64) {
         let idx = id as usize - 1;
         let work = {
             let mut jobs = self.jobs.lock().expect("jobs lock");
-            let job = &mut jobs[idx];
+            let job = &mut jobs.records[idx];
             job.state = JobState::Running;
             job.queued_ms =
                 Some(u64::try_from(job.submitted.elapsed().as_millis()).unwrap_or(u64::MAX));
@@ -630,24 +765,53 @@ impl PdService {
                 .map(|(_, v)| *v)
                 .sum()
         };
+        // Outcome, key retirement and follower settlement happen under
+        // one lock: after it drops, the key is free for a fresh leader
+        // and no follower can still be pending.
         let mut jobs = self.jobs.lock().expect("jobs lock");
-        let job = &mut jobs[idx];
+        let job = &mut jobs.records[idx];
         job.run_ms = Some(run_ms);
         job.frames_built = counter_total("frames_built");
         job.frames_reused = counter_total("frames_reused");
         job.frames_chunks_loaded = counter_total("frames_chunks_loaded");
         job.store_loads = per_job.loaded().len() as u64;
-        match outcome {
+        let (state, error, rendered, report_json) = match outcome {
             Ok((rendered, report_json)) => {
-                job.state = JobState::Done;
-                job.rendered = Some(rendered);
-                job.report_json = Some(report_json);
-                self.metrics.jobs_done.fetch_add(1, Ordering::SeqCst);
+                let rendered: Arc<str> = rendered.into();
+                let report_json: Arc<str> = report_json.into();
+                (JobState::Done, None, Some(rendered), Some(report_json))
             }
-            Err(msg) => {
-                job.state = JobState::Failed;
-                job.error = Some(msg);
-                self.metrics.jobs_failed.fetch_add(1, Ordering::SeqCst);
+            Err(msg) => (JobState::Failed, Some(msg), None, None),
+        };
+        job.state = state;
+        job.error.clone_from(&error);
+        job.rendered.clone_from(&rendered);
+        job.report_json.clone_from(&report_json);
+        let followers = std::mem::take(&mut job.followers);
+        let key = job.coalesce_key.take();
+        let settled = 1 + followers.len() as u64;
+        if let Some(key) = key {
+            jobs.active.remove(&key);
+        }
+        for fid in followers {
+            let follower = &mut jobs.records[fid as usize - 1];
+            follower.state = state;
+            follower.error.clone_from(&error);
+            follower.rendered.clone_from(&rendered);
+            follower.report_json.clone_from(&report_json);
+            // The follower waited its own wall time for the shared run.
+            follower.queued_ms =
+                Some(u64::try_from(follower.submitted.elapsed().as_millis()).unwrap_or(u64::MAX));
+            follower.run_ms = Some(run_ms);
+        }
+        match state {
+            JobState::Done => {
+                self.metrics.jobs_done.fetch_add(settled, Ordering::SeqCst);
+            }
+            _ => {
+                self.metrics
+                    .jobs_failed
+                    .fetch_add(settled, Ordering::SeqCst);
             }
         }
         self.metrics.jobs_running.fetch_sub(1, Ordering::SeqCst);
@@ -667,7 +831,8 @@ impl PdService {
             .profile(work.profile)
             .threads(self.config.job_threads)
             .observer(observer)
-            .frame_cache(Arc::clone(&self.frames));
+            .frame_cache(Arc::clone(&self.frames))
+            .store_cache(Arc::clone(&self.stores));
         if let Some(dir) = &self.config.artifacts {
             builder = builder.artifacts(dir.clone());
         }
@@ -708,8 +873,9 @@ fn snapshot_of(id: u64, job: &JobRecord) -> JobSnapshot {
         frames_reused: job.frames_reused,
         frames_chunks_loaded: job.frames_chunks_loaded,
         store_loads: job.store_loads,
-        rendered: job.rendered.clone(),
+        rendered: job.rendered.as_deref().map(str::to_owned),
         has_report: job.report_json.is_some(),
+        coalesced_into: job.coalesced_into.map(|leader| format!("j-{leader}")),
     }
 }
 
@@ -731,6 +897,13 @@ mod tests {
             ..ServeConfig::default()
         };
         (Arc::new(PdService::new(config, tx)), rx)
+    }
+
+    /// Drives the pool loop to completion on the calling thread (tests
+    /// exercise the queue semantics without spawning runners).
+    fn drain(svc: &Arc<PdService>, rx: Receiver<QueueMsg>) {
+        svc.begin_shutdown();
+        svc.runner_loop(&Mutex::new(rx));
     }
 
     #[test]
@@ -767,7 +940,13 @@ mod tests {
             ..SubmitRequest::default()
         };
         assert_eq!(svc.submit(&req).expect("first fits"), "j-1");
-        assert_eq!(svc.submit(&req).unwrap_err(), SubmitError::QueueFull);
+        // A *different* spec (other seed) cannot coalesce onto j-1, so
+        // it must contend for the (full) queue and bounce.
+        let other = SubmitRequest {
+            seed: Some(4242),
+            ..req.clone()
+        };
+        assert_eq!(svc.submit(&other).unwrap_err(), SubmitError::QueueFull);
         // The rejected job must not appear, and ids stay dense.
         assert_eq!(svc.list().runs.len(), 1);
         assert!(svc.metrics_text().contains("jobs_rejected 1\n"));
@@ -798,14 +977,148 @@ mod tests {
         };
         let id = svc.submit(&req).expect("queued");
         assert_eq!(id, "j-1");
-        svc.begin_shutdown();
-        svc.runner_loop(rx); // runs j-1, then hits the sentinel
+        drain(&svc, rx); // runs j-1, then hits the sentinel
         let snap = svc.snapshot(1).expect("job exists");
         assert_eq!(snap.status, "done");
         assert!(snap.has_report);
         assert!(snap.run_ms.is_some());
+        assert!(snap.coalesced_into.is_none(), "a lone job leads itself");
         assert!(svc.report_body(1).expect("exists").is_some());
         assert!(svc.metrics_text().contains("jobs_done 1\n"));
+    }
+
+    /// Five identical submissions while the pool is paused: one leader
+    /// in the queue, four followers attached to it. After resume +
+    /// drain, one execution produced five done jobs with the same
+    /// report bytes and a correct `coalesced_into` lineage.
+    #[test]
+    fn identical_submissions_coalesce_onto_one_execution() {
+        let (tx, rx) = mpsc::sync_channel(8);
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            paused: true,
+            ..ServeConfig::default()
+        };
+        let svc = Arc::new(PdService::new(config, tx));
+        let req = SubmitRequest {
+            scenario: Some("smoke".to_owned()),
+            seed: Some(7),
+            profile: Some("smoke".to_owned()),
+            ..SubmitRequest::default()
+        };
+        let ids: Vec<String> = (0..5)
+            .map(|_| svc.submit(&req).expect("admitted"))
+            .collect();
+        assert_eq!(ids, ["j-1", "j-2", "j-3", "j-4", "j-5"]);
+        // Followers cost no queue slot: only the leader occupies one.
+        assert!(svc.metrics_text().contains("jobs_queued 1\n"));
+        assert!(svc.metrics_text().contains("jobs_coalesced 4\n"));
+
+        svc.resume();
+        drain(&svc, rx);
+
+        let leader = svc.snapshot(1).expect("leader exists");
+        assert_eq!(leader.status, "done");
+        assert!(leader.coalesced_into.is_none());
+        let reference = svc.report_body(1).expect("exists").expect("has report");
+        for id in 2..=5 {
+            let snap = svc.snapshot(id).expect("follower exists");
+            assert_eq!(snap.status, "done", "j-{id}");
+            assert_eq!(snap.coalesced_into.as_deref(), Some("j-1"), "j-{id}");
+            assert!(snap.queued_ms.is_some(), "j-{id} waited for the leader");
+            let body = svc.report_body(id).expect("exists").expect("has report");
+            assert_eq!(body, reference, "j-{id} must serve the leader's bytes");
+        }
+        assert!(svc.metrics_text().contains("jobs_done 5\n"));
+        // One execution: exactly one job carries non-zero frame builds.
+        let built: Vec<u64> = (1..=5)
+            .map(|id| svc.snapshot(id).expect("exists").frames_built)
+            .collect();
+        assert!(built[0] > 0, "the leader built the frames: {built:?}");
+        assert!(built[1..].iter().all(|&b| b == 0), "{built:?}");
+    }
+
+    /// Submissions differing only in seed do NOT coalesce — the seed is
+    /// part of the coalescing identity because it shapes the report.
+    #[test]
+    fn different_seeds_do_not_coalesce() {
+        let (tx, rx) = mpsc::sync_channel(8);
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            paused: true,
+            ..ServeConfig::default()
+        };
+        let svc = Arc::new(PdService::new(config, tx));
+        let req = |seed: u64| SubmitRequest {
+            scenario: Some("smoke".to_owned()),
+            seed: Some(seed),
+            profile: Some("smoke".to_owned()),
+            ..SubmitRequest::default()
+        };
+        svc.submit(&req(7)).expect("admitted");
+        svc.submit(&req(8)).expect("admitted");
+        assert!(svc.metrics_text().contains("jobs_queued 2\n"));
+        assert!(svc.metrics_text().contains("jobs_coalesced 0\n"));
+
+        svc.resume();
+        drain(&svc, rx);
+        let a = svc.report_body(1).expect("exists").expect("report");
+        let b = svc.report_body(2).expect("exists").expect("report");
+        assert_ne!(a, b, "different seeds are different runs");
+        for id in [1, 2] {
+            let snap = svc.snapshot(id).expect("exists");
+            assert_eq!(snap.status, "done");
+            assert!(snap.coalesced_into.is_none(), "j-{id} ran for itself");
+        }
+    }
+
+    /// After a leader finishes, its coalescing window is closed: the
+    /// same submission executes again instead of attaching to history.
+    #[test]
+    fn coalescing_window_closes_with_the_leader() {
+        let (svc, rx) = service(8);
+        let req = SubmitRequest {
+            scenario: Some("smoke".to_owned()),
+            seed: Some(7),
+            profile: Some("smoke".to_owned()),
+            ..SubmitRequest::default()
+        };
+        svc.submit(&req).expect("first leader");
+        // Run j-1 to completion on this thread.
+        match rx.recv().expect("queued msg") {
+            QueueMsg::Job(id) => svc.run_job(id),
+            QueueMsg::Shutdown => panic!("no shutdown queued"),
+        }
+        // The identical resubmission is a fresh leader, not a follower.
+        svc.submit(&req).expect("second leader");
+        assert!(svc.metrics_text().contains("jobs_coalesced 0\n"));
+        drain(&svc, rx);
+        let snap = svc.snapshot(2).expect("exists");
+        assert_eq!(snap.status, "done");
+        assert!(snap.coalesced_into.is_none());
+        assert_eq!(
+            svc.report_body(1).expect("exists"),
+            svc.report_body(2).expect("exists"),
+            "same inputs, same bytes — just paid for twice"
+        );
+    }
+
+    #[test]
+    fn effective_runners_divides_cores_by_job_threads() {
+        let config = |runners, job_threads| ServeConfig {
+            runners,
+            job_threads,
+            ..ServeConfig::default()
+        };
+        assert_eq!(config(3, 1).effective_runners(), 3, "explicit value wins");
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        assert_eq!(config(0, 1).effective_runners(), cores);
+        assert_eq!(
+            config(0, 0).effective_runners(),
+            1,
+            "auto job threads take the whole machine: one runner"
+        );
+        assert!(config(0, usize::MAX).effective_runners() >= 1);
     }
 
     #[test]

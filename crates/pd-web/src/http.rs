@@ -13,6 +13,14 @@
 //! messages with `content-length` framing. Parsing lowercases header
 //! names and folds duplicate headers into one comma-separated value
 //! (RFC 7230 §3.2.2), so the in-memory map round-trips bytes exactly.
+//!
+//! Connection persistence follows HTTP/1.1 semantics: a message is
+//! keep-alive unless its `connection` header carries a `close` token
+//! ([`Request::keep_alive`] / [`Response::keep_alive`]). A parsed
+//! HTTP/1.0 request without an explicit `connection` header gets
+//! `connection: close` synthesized — the struct does not carry the
+//! version, so the header records the 1.0 default and the decision
+//! survives re-serialization (writing always emits HTTP/1.1).
 
 use pd_net::clock::SimTime;
 use serde::{Deserialize, Serialize};
@@ -148,6 +156,17 @@ fn read_body<R: BufRead>(
         _ => HttpError::Io(e.to_string()),
     })?;
     String::from_utf8(raw).map_err(|e| HttpError::BadBody(e.to_string()))
+}
+
+/// Whether a `connection` header value asks to close: any comma-
+/// separated token equal to `close`, ASCII case-insensitively
+/// (RFC 7230 §6.1 — `Connection` is a list-typed header).
+fn wants_close(connection: Option<&str>) -> bool {
+    connection.is_some_and(|value| {
+        value
+            .split(',')
+            .any(|token| token.trim().eq_ignore_ascii_case("close"))
+    })
 }
 
 /// Writes the header block (sorted by name) plus `content-length` framing.
@@ -338,6 +357,15 @@ impl Request {
         })
     }
 
+    /// Whether the connection should persist after this request
+    /// (HTTP/1.1 semantics: keep-alive unless the `connection` header
+    /// carries a `close` token; [`Request::read_from`] synthesizes that
+    /// header for HTTP/1.0 requests, where close is the default).
+    #[must_use]
+    pub fn keep_alive(&self) -> bool {
+        !wants_close(self.header("connection"))
+    }
+
     /// Serializes the request in HTTP/1.1 wire format.
     ///
     /// The `host` field becomes the `host` header and `content-length` is
@@ -405,6 +433,13 @@ impl Request {
             if host.is_empty() {
                 host = header_host;
             }
+        }
+        // HTTP/1.0 defaults to close. The struct does not carry the
+        // version, so record the default as an explicit header — an
+        // old client without `connection: keep-alive` is never left
+        // waiting on a connection the server holds open.
+        if version == "HTTP/1.0" && !headers.contains_key("connection") {
+            headers.insert("connection".to_owned(), "close".to_owned());
         }
         let body = read_body(reader, &headers)?;
         headers.remove("content-length");
@@ -519,6 +554,14 @@ impl Response {
     pub fn with_status(mut self, status: Status) -> Self {
         self.status = status;
         self
+    }
+
+    /// Whether the connection persists after this response (keep-alive
+    /// unless the `connection` header carries a `close` token). Clients
+    /// use this to decide if the socket is reusable.
+    #[must_use]
+    pub fn keep_alive(&self) -> bool {
+        !wants_close(self.header("connection"))
     }
 
     /// Serializes the response in HTTP/1.1 wire format
@@ -728,6 +771,33 @@ mod tests {
             Request::parse(b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort"),
             Err(HttpError::BadBody(_))
         ));
+    }
+
+    #[test]
+    fn keep_alive_follows_connection_semantics() {
+        // HTTP/1.1 default: keep-alive.
+        let r = Request::parse(b"GET / HTTP/1.1\r\nhost: a\r\n\r\n").expect("parse");
+        assert!(r.keep_alive());
+        // A `close` token anywhere in the list, any case, closes.
+        let r = Request::parse(b"GET / HTTP/1.1\r\nconnection: Keep-Alive, CLOSE\r\n\r\n")
+            .expect("parse");
+        assert!(!r.keep_alive());
+        // ... but a token merely *containing* "close" does not.
+        let r = Request::parse(b"GET / HTTP/1.1\r\nconnection: closed\r\n\r\n").expect("parse");
+        assert!(r.keep_alive());
+        // HTTP/1.0 default: close, recorded as a synthesized header.
+        let r = Request::parse(b"GET / HTTP/1.0\r\n\r\n").expect("parse");
+        assert!(!r.keep_alive());
+        assert_eq!(r.header("connection"), Some("close"));
+        // HTTP/1.0 with an explicit keep-alive stays open.
+        let r = Request::parse(b"GET / HTTP/1.0\r\nconnection: keep-alive\r\n\r\n").expect("parse");
+        assert!(r.keep_alive());
+
+        assert!(Response::ok(String::new()).keep_alive());
+        let closing = Response::ok(String::new()).with_header("Connection", "close");
+        assert!(!closing.keep_alive());
+        let parsed = Response::parse(&closing.to_bytes()).expect("round-trip");
+        assert!(!parsed.keep_alive(), "the decision survives the wire");
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Property tests for the keep-alive wire codec (ISSUE 8).
+//!
+//! The `pd serve` daemon reads many requests off one persistent
+//! connection, so the codec must hold up under *sequences*, not just
+//! single messages:
+//!
+//! * **pipelining** — any sequence of requests serialized back-to-back
+//!   into one byte stream reads back exactly, in order, through the
+//!   same `read_from` loop an accept worker runs, ending in a clean
+//!   `Eof`,
+//! * **mid-stream close** — a `connection: close` token (any case, any
+//!   position in the list-typed header) ends the serving loop at the
+//!   right request, and everything served up to that point round-tripped
+//!   exactly,
+//! * **truncation** — any strict prefix of a valid request is rejected
+//!   with an error, never mis-parsed — and the rejection does not
+//!   poison anything: the same request re-sent whole on a fresh
+//!   connection parses fine (what a client does after a 400 + close).
+
+use pd_net::clock::SimTime;
+use pd_web::http::{HttpError, Request};
+use proptest::prelude::*;
+use proptest::{collection, TestRng};
+use std::io::BufReader;
+use std::net::Ipv4Addr;
+
+/// Connection-header spellings a real client might send; half the
+/// sampled requests carry none at all.
+const CONNECTION_VALUES: &[&str] = &[
+    "keep-alive",
+    "close",
+    "Close",
+    "CLOSE",
+    "x-token, close",
+    "keep-alive, x-other",
+];
+
+/// A strategy producing wire-safe requests: origin-form path, lowercase
+/// headers, printable-ASCII body, and sometimes an explicit
+/// `connection` header.
+struct ArbRequest;
+
+impl Strategy for ArbRequest {
+    type Value = Request;
+
+    fn sample(&self, rng: &mut TestRng) -> Request {
+        let method = ["GET", "POST", "PUT", "DELETE"][rng.below(4) as usize];
+        let host = Strategy::sample(&"[a-z0-9]{1,12}", rng);
+        let path = Strategy::sample(&"/[a-z0-9/_-]{0,20}", rng);
+        let body = Strategy::sample(&"[ -~]{0,40}", rng);
+        let mut request = Request {
+            method: method.to_owned(),
+            host,
+            path,
+            client_addr: Ipv4Addr::UNSPECIFIED,
+            time: SimTime::EPOCH,
+            headers: std::collections::BTreeMap::new(),
+            body,
+        };
+        for _ in 0..rng.below(4) {
+            let name = Strategy::sample(&"x-[a-z][a-z0-9-]{0,8}", rng);
+            let value = Strategy::sample(&"[a-z0-9-]{0,12}", rng);
+            request = request.with_header(&name, &value);
+        }
+        if rng.below(2) == 0 {
+            let value = CONNECTION_VALUES[rng.below(CONNECTION_VALUES.len() as u64) as usize];
+            request = request.with_header("connection", value);
+        }
+        request
+    }
+}
+
+/// One connection's worth of bytes: every request, back to back.
+fn pipeline_bytes(requests: &[Request]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for request in requests {
+        wire.extend_from_slice(&request.to_bytes());
+    }
+    wire
+}
+
+proptest! {
+    /// Pipelined sequences round-trip: reading the concatenated wire
+    /// bytes with the server's `read_from` loop yields every request
+    /// exactly, in order, and then a clean `Eof` — no request's bytes
+    /// bleed into the next.
+    #[test]
+    fn prop_pipelined_requests_round_trip(
+        requests in collection::vec(ArbRequest, 1..8),
+    ) {
+        let wire = pipeline_bytes(&requests);
+        // A tiny BufReader models the socket's buffered read half,
+        // including reads that straddle buffer refills.
+        let mut reader = BufReader::with_capacity(16, wire.as_slice());
+        for (i, sent) in requests.iter().enumerate() {
+            let parsed = Request::read_from(&mut reader)
+                .unwrap_or_else(|e| panic!("request {i} failed to parse: {e}"));
+            prop_assert_eq!(&parsed, sent, "request {} mutated in transit", i);
+        }
+        prop_assert_eq!(
+            Request::read_from(&mut reader),
+            Err(HttpError::Eof),
+            "a drained connection must end in a clean Eof"
+        );
+    }
+
+    /// The serving loop stops exactly at the first `connection: close`
+    /// request (any case, anywhere in the list-typed value), and every
+    /// request served before the close round-tripped exactly.
+    #[test]
+    fn prop_mid_stream_close_ends_the_loop_at_the_right_request(
+        requests in collection::vec(ArbRequest, 1..8),
+    ) {
+        let wire = pipeline_bytes(&requests);
+        let mut reader = BufReader::new(wire.as_slice());
+        // The accept worker's loop: serve until a request asks to close.
+        let mut served = Vec::new();
+        loop {
+            match Request::read_from(&mut reader) {
+                Ok(request) => {
+                    let keep = request.keep_alive();
+                    served.push(request);
+                    if !keep {
+                        break;
+                    }
+                }
+                Err(HttpError::Eof) => break,
+                Err(e) => panic!("valid pipeline failed to parse: {e}"),
+            }
+        }
+        let expect = requests
+            .iter()
+            .position(|r| !r.keep_alive())
+            .map_or(requests.len(), |i| i + 1);
+        prop_assert_eq!(served.len(), expect);
+        prop_assert_eq!(&served[..], &requests[..expect]);
+    }
+
+    /// Any strict prefix of a request is an error — never a mis-parse —
+    /// and the error does not poison a retry: the full bytes on a fresh
+    /// connection still parse to the original request.
+    #[test]
+    fn prop_truncated_request_rejects_then_fresh_connection_succeeds(
+        request in ArbRequest,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let wire = request.to_bytes();
+        // Map the fraction onto [1, len): always a strict, non-empty
+        // prefix.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let cut = 1 + ((wire.len() - 1) as f64 * cut_frac) as usize;
+        prop_assume!(cut < wire.len());
+        let truncated = &wire[..cut];
+        prop_assert!(
+            Request::parse(truncated).is_err(),
+            "a {}-byte prefix of a {}-byte request must not parse",
+            cut,
+            wire.len()
+        );
+        // The "next connection": same request, fresh stream, whole bytes.
+        let reparsed = Request::parse(&wire).expect("full request parses");
+        prop_assert_eq!(reparsed, request);
+    }
+}

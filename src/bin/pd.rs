@@ -13,7 +13,7 @@
 //! pd artifacts ls <DIR>
 //! pd artifacts migrate <DIR> [--format json|binary]
 //! pd serve [--addr HOST:PORT] [--threads N] [--job-threads N]
-//!          [--artifacts DIR] [--queue N]
+//!          [--runners N] [--artifacts DIR] [--queue N]
 //! pd submit <scenario>|--spec FILE_OR_NAME [--addr HOST:PORT]
 //!           [--set key=value]... [--seed N] [--profile P]
 //! pd poll <JOB-ID> [--addr HOST:PORT] [--json PATH] [--timeout-secs N]
@@ -106,6 +106,7 @@ struct ServeArgs {
     addr: String,
     threads: usize,
     job_threads: usize,
+    runners: usize,
     artifacts: Option<PathBuf>,
     queue: usize,
 }
@@ -165,7 +166,7 @@ fn usage(registry: &ScenarioRegistry) -> String {
          \x20 pd artifacts ls <DIR>\n\
          \x20 pd artifacts migrate <DIR> [--format json|binary]\n\
          \x20 pd serve [--addr HOST:PORT] [--threads N] [--job-threads N]\n\
-         \x20          [--artifacts DIR] [--queue N]\n\
+         \x20          [--runners N] [--artifacts DIR] [--queue N]\n\
          \x20 pd submit <scenario>|--spec FILE_OR_NAME [--addr HOST:PORT]\n\
          \x20           [--set key=value]... [--seed N] [--profile P]\n\
          \x20 pd poll <JOB-ID> [--addr HOST:PORT] [--json PATH] [--timeout-secs N]\n\
@@ -211,6 +212,10 @@ fn usage(registry: &ScenarioRegistry) -> String {
          \x20 --addr HOST:PORT daemon address (default {DEFAULT_ADDR})\n\
          \x20 --threads N      serve: accept-loop worker threads (default 4)\n\
          \x20 --job-threads N  serve: executor threads per job (default 1)\n\
+         \x20 --runners N      serve: runner-pool threads executing jobs\n\
+         \x20                  concurrently (default 0 = auto: available\n\
+         \x20                  cores / job-threads, at least 1). Reports are\n\
+         \x20                  byte-identical at any value\n\
          \x20 --queue N        serve: bounded job queue capacity (default 16;\n\
          \x20                  a full queue answers 503 + Retry-After)\n\
          \x20 --timeout-secs N poll: give up waiting after N seconds\n\
@@ -683,6 +688,7 @@ fn parse_serve(mut args: std::env::Args) -> Result<ServeArgs, String> {
         addr: DEFAULT_ADDR.to_owned(),
         threads: 4,
         job_threads: 1,
+        runners: 0,
         artifacts: None,
         queue: 16,
     };
@@ -696,6 +702,10 @@ fn parse_serve(mut args: std::env::Args) -> Result<ServeArgs, String> {
             "--job-threads" => {
                 let v = args.next().ok_or("--job-threads needs a value")?;
                 serve.job_threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+            }
+            "--runners" => {
+                let v = args.next().ok_or("--runners needs a value")?;
+                serve.runners = v.parse().map_err(|_| format!("bad runner count {v:?}"))?;
             }
             "--artifacts" => {
                 serve.artifacts = Some(PathBuf::from(
@@ -811,15 +821,18 @@ fn execute_serve(serve: &ServeArgs) -> Result<(), String> {
         addr: serve.addr.clone(),
         threads: serve.threads,
         job_threads: serve.job_threads,
+        runners: serve.runners,
         artifacts: serve.artifacts.clone(),
         queue_capacity: serve.queue,
         ..pd_serve::ServeConfig::default()
     };
+    let runner_count = config.effective_runners();
     let server = pd_serve::Server::start(config)?;
     println!(
-        "pd serve listening on {} ({} workers, queue capacity {})",
+        "pd serve listening on {} ({} workers, {} runners, queue capacity {})",
         server.addr(),
         serve.threads.max(1),
+        runner_count,
         serve.queue.max(1),
     );
     if let Some(dir) = &serve.artifacts {

@@ -1,17 +1,26 @@
-//! The service-layer contracts (ISSUE 7 acceptance):
+//! The service-layer contracts (ISSUE 7 acceptance, updated for the
+//! ISSUE 8 runner pool + coalescing):
 //!
 //! * **byte-identical under concurrency** — four client threads submit
 //!   the same smoke run to one daemon; every fetched report equals the
-//!   offline `reports_to_json` output byte-for-byte,
-//! * **warm frame cache** — after the first job, a repeat analysis
-//!   reports `frames_built == 0` and `frames_reused > 0` (the daemon's
-//!   one process-wide `FrameCache` is shared across jobs),
+//!   offline `reports_to_json` output byte-for-byte, whether the job
+//!   executed or settled as a coalesced follower,
+//! * **warm frame cache** — after the first execution, a repeat
+//!   analysis that actually runs reports `frames_built == 0` and
+//!   `frames_reused > 0` (the daemon's one process-wide `FrameCache`
+//!   is shared across jobs),
 //! * **backpressure** — a full bounded queue answers `503` +
-//!   `Retry-After` and never blocks the accept loop,
+//!   `Retry-After` for *distinct* specs and never blocks the accept
+//!   loop; an *identical* spec coalesces instead of bouncing,
 //! * **graceful shutdown** — `POST /shutdown` drains every queued job
 //!   before `Server::join` returns,
 //! * **name resolution** — `POST /runs` by name falls back to the spec
 //!   search path (`$PD_SPEC_PATH`), and a typo gets a did-you-mean.
+//!
+//! **Ordering contract**: job ids are assigned in submission order, but
+//! with a runner pool jobs do **not** execute or finish in id order —
+//! all assertions here are keyed per id (`/runs/:id`), never on which
+//! id finished first. See `tests/README.md`.
 //!
 //! Everything runs in-process against a real `Server` on an ephemeral
 //! port — real sockets, real HTTP bytes, no mocks.
@@ -65,9 +74,13 @@ fn offline_smoke_json(seed: u64) -> String {
 }
 
 /// Four concurrent submissions of the same run: every served report is
-/// byte-identical to the offline path, exactly one job paid to build
-/// the analysis frames, and the rest were served from the shared warm
-/// cache (`frames_built == 0`, `frames_reused > 0`).
+/// byte-identical to the offline path. With coalescing, identical
+/// in-flight submissions attach to one execution (`coalesced_into`
+/// names the leader); executions of the same fingerprint are therefore
+/// serialized, so exactly one job ever pays to build the analysis
+/// frames and every other *execution* runs fully warm. How many of the
+/// four coalesce vs. re-execute depends on timing — the assertions
+/// hold either way.
 #[test]
 fn concurrent_submissions_serve_byte_identical_reports_from_warm_frames() {
     let offline = offline_smoke_json(7);
@@ -94,6 +107,7 @@ fn concurrent_submissions_serve_byte_identical_reports_from_warm_frames() {
 
     let mut built_jobs = 0;
     let mut warm_jobs = 0;
+    let mut followers = 0;
     for id in &ids {
         let report = client.report(id).expect("report body");
         assert_eq!(
@@ -102,21 +116,29 @@ fn concurrent_submissions_serve_byte_identical_reports_from_warm_frames() {
         );
         let snap = client.job(id).expect("snapshot");
         assert!(snap.has_report, "{id} must advertise its report");
-        if snap.frames_built > 0 {
+        if let Some(leader) = &snap.coalesced_into {
+            assert!(
+                ids.contains(leader),
+                "{id} coalesced into {leader}, which must be one of ours"
+            );
+            assert_eq!(snap.frames_built, 0, "{id}: a follower never ran an engine");
+            followers += 1;
+        } else if snap.frames_built > 0 {
             built_jobs += 1;
         } else {
             assert!(
                 snap.frames_reused > 0,
-                "{id}: a job that built nothing must have reused warm frames"
+                "{id}: an execution that built nothing must have reused warm frames"
             );
             warm_jobs += 1;
         }
     }
     assert_eq!(
         built_jobs, 1,
-        "exactly one job pays to build the frames; the cache serves the rest"
+        "exactly one execution pays to build the frames; coalescing and \
+         the cache serve the rest"
     );
-    assert_eq!(warm_jobs, 3);
+    assert_eq!(warm_jobs + followers, 3);
 
     // A fifth, sequential job is fully warm.
     let id = client.submit(&smoke_request(7)).expect("accepted");
@@ -131,6 +153,7 @@ fn concurrent_submissions_serve_byte_identical_reports_from_warm_frames() {
         "uptime_ms ",
         "jobs_done 5\n",
         "jobs_failed 0\n",
+        "jobs_coalesced ",
         "frames_built ",
         "frames_reused ",
         "frames_chunks_loaded ",
@@ -144,19 +167,23 @@ fn concurrent_submissions_serve_byte_identical_reports_from_warm_frames() {
     server.join();
 }
 
-/// A full bounded queue answers `503` with a `Retry-After` header — and
-/// because submissions use `try_send`, the accept loop keeps answering
-/// (`/healthz` works while the queue is jammed).
+/// A full bounded queue answers `503` with a `Retry-After` header for a
+/// *distinct* spec — and because submissions use `try_send`, the accept
+/// loop keeps answering (`/healthz` works while the queue is jammed).
+/// An *identical* spec never sees the 503: it coalesces onto the queued
+/// leader without needing a slot.
 #[test]
 fn full_queue_answers_503_with_retry_after_and_keeps_accepting() {
     let (server, client) = boot(ServeConfig {
         queue_capacity: 1,
-        paused: true, // runner gated: the queue fills deterministically
+        paused: true, // runners gated: the queue fills deterministically
         ..ServeConfig::default()
     });
 
+    // Seed 3 takes the only slot; seed 4 is a different fingerprint, so
+    // it must contend for the queue — and bounce.
     let first = client.submit(&smoke_request(3)).expect("fits the queue");
-    let body = serde_json::to_string(&smoke_request(3)).expect("encodes");
+    let body = serde_json::to_string(&smoke_request(4)).expect("encodes");
     let rejected = client.post_json("/runs", &body).expect("transport ok");
     assert_eq!(rejected.status, Status::ServiceUnavailable);
     assert_eq!(
@@ -170,15 +197,31 @@ fn full_queue_answers_503_with_retry_after_and_keeps_accepting() {
     // The jammed queue never blocks the accept loop.
     let health = client.get("/healthz").expect("still accepting");
     assert_eq!(health.status, Status::Ok);
-    let err = client.submit(&smoke_request(3)).expect_err("full queue");
+    let err = client.submit(&smoke_request(4)).expect_err("full queue");
     assert!(err.contains("503"), "client surfaces the 503: {err}");
+
+    // An identical resubmission does NOT need a queue slot: it rides
+    // the queued leader.
+    let dup = client
+        .submit(&smoke_request(3))
+        .expect("identical spec coalesces instead of bouncing");
 
     server.service().resume();
     client
         .wait_done(&first, Duration::from_secs(120))
         .expect("accepted job still runs");
+    let dup_snap = client
+        .wait_done(&dup, Duration::from_secs(120))
+        .expect("follower settles with the leader");
+    assert_eq!(dup_snap.coalesced_into.as_deref(), Some(first.as_str()));
+    assert_eq!(
+        client.report(&dup).expect("follower report"),
+        client.report(&first).expect("leader report"),
+        "follower and leader serve the same bytes"
+    );
     let metrics = client.metrics().expect("metrics");
     assert!(metrics.contains("jobs_rejected 2\n"), "{metrics}");
+    assert!(metrics.contains("jobs_coalesced 1\n"), "{metrics}");
 
     client.shutdown().expect("graceful drain");
     server.join();

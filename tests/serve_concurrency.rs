@@ -1,0 +1,213 @@
+//! The runner-pool + coalescing contracts (ISSUE 8 acceptance):
+//!
+//! * **16-client hammer** — 16 client threads submit a mix of 4
+//!   distinct specs to a 4-runner daemon while the pool is gated;
+//!   exactly 4 jobs execute (one per distinct fingerprint), the other
+//!   12 coalesce (`/metrics` shows `jobs_coalesced 12`), and every one
+//!   of the 16 served reports is byte-identical to the offline
+//!   `reports_to_json` output for its seed,
+//! * **one build per fingerprint** — each leader executed with its own
+//!   frame build (`frames_built > 0`), each follower never ran an
+//!   engine (`frames_built == 0`, `coalesced_into` names its leader),
+//! * **graceful drain under load** — `POST /shutdown` fired while the
+//!   pool is mid-burst still finishes every accepted job before
+//!   `Server::join` returns.
+//!
+//! **Ordering contract**: job ids are assigned in submission order, but
+//! the pool executes and finishes them in any order — all assertions
+//! are keyed per id. See `tests/README.md`.
+//!
+//! Everything runs in-process against a real `Server` on an ephemeral
+//! port — real sockets, real HTTP/1.1 keep-alive connections, no mocks.
+
+use pd_core::{reports_to_json, Experiment, Profile, ScenarioRegistry};
+use pd_serve::{Client, ServeConfig, Server, SubmitRequest};
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// A daemon on an ephemeral port plus a client pointed at it.
+fn boot(config: ServeConfig) -> (Server, Client) {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        ..config
+    })
+    .expect("bind ephemeral port");
+    let client = Client::new(&server.addr().to_string());
+    client
+        .wait_ready(Duration::from_secs(10))
+        .expect("daemon answers /healthz");
+    (server, client)
+}
+
+fn smoke_request(seed: u64) -> SubmitRequest {
+    SubmitRequest {
+        scenario: Some("smoke".to_owned()),
+        seed: Some(seed),
+        profile: Some("smoke".to_owned()),
+        ..SubmitRequest::default()
+    }
+}
+
+/// The offline report JSON for the same submission — what
+/// `pd run smoke --seed N --profile smoke --json` would write.
+fn offline_smoke_json(seed: u64) -> String {
+    let spec = ScenarioRegistry::builtin()
+        .get("smoke")
+        .expect("smoke is builtin")
+        .clone();
+    let arms = Experiment::builder()
+        .spec(spec)
+        .seed(seed)
+        .profile(Profile::parse("smoke").expect("smoke profile"))
+        .run_sweep()
+        .expect("offline smoke runs");
+    let reports: Vec<(String, pd_core::Report)> = arms
+        .into_iter()
+        .map(|arm| (arm.label, arm.analysis.report.clone()))
+        .collect();
+    reports_to_json(&reports)
+}
+
+const SEEDS: [u64; 4] = [21, 22, 23, 24];
+
+/// 16 clients, 4 distinct specs, 4 runners: the pool is gated while all
+/// 16 submissions land, so exactly one leader per fingerprint takes a
+/// queue slot and the other 12 submissions attach as followers. Resume,
+/// and the 4 leaders execute concurrently; everyone gets bytes
+/// identical to the offline run for their seed.
+#[test]
+fn sixteen_clients_coalesce_onto_four_executions() {
+    let offline: HashMap<u64, String> = SEEDS
+        .iter()
+        .map(|&seed| (seed, offline_smoke_json(seed)))
+        .collect();
+    let (server, client) = boot(ServeConfig {
+        runners: 4,
+        queue_capacity: 8,
+        paused: true, // gate the pool: all 16 submissions land first
+        ..ServeConfig::default()
+    });
+
+    let results: Vec<(u64, String)> = std::thread::scope(|scope| {
+        let (submitted_tx, submitted_rx) = mpsc::channel::<()>();
+        let handles: Vec<_> = (0..16)
+            .map(|i| {
+                // Each thread gets its own client — its own keep-alive
+                // connection hammering the daemon in parallel.
+                let client = client.clone();
+                let seed = SEEDS[i % SEEDS.len()];
+                let submitted = submitted_tx.clone();
+                scope.spawn(move || {
+                    let id = client.submit(&smoke_request(seed)).expect("accepted");
+                    submitted.send(()).expect("main thread listening");
+                    let snap = client
+                        .wait_done(&id, Duration::from_secs(180))
+                        .expect("job finishes");
+                    assert_eq!(snap.status, "done", "{id}");
+                    let report = client.report(&id).expect("report body");
+                    (seed, id, report, snap)
+                })
+            })
+            .collect();
+        drop(submitted_tx);
+        // Hold the gate until every submission is in, then release.
+        for _ in 0..16 {
+            submitted_rx.recv().expect("each thread submits");
+        }
+        server.service().resume();
+
+        let mut out = Vec::new();
+        let mut leaders = 0;
+        let mut followers = 0;
+        for handle in handles {
+            let (seed, id, report, snap) = handle.join().expect("client thread");
+            assert_eq!(
+                report, offline[&seed],
+                "{id} (seed {seed}): served report must be byte-identical \
+                 to the offline run"
+            );
+            if let Some(leader) = &snap.coalesced_into {
+                assert_ne!(leader, &id, "a follower's leader is another job");
+                assert_eq!(snap.frames_built, 0, "{id}: followers never run");
+                followers += 1;
+            } else {
+                assert!(
+                    snap.frames_built > 0,
+                    "{id}: each distinct fingerprint builds its own frames"
+                );
+                leaders += 1;
+            }
+            out.push((seed, id));
+        }
+        assert_eq!(leaders, 4, "exactly one execution per distinct spec");
+        assert_eq!(followers, 12);
+        out
+    });
+
+    // Every follower's leader ran the same seed.
+    let seed_of: HashMap<&str, u64> = results
+        .iter()
+        .map(|(seed, id)| (id.as_str(), *seed))
+        .collect();
+    for (seed, id) in &results {
+        let snap = client.job(id).expect("snapshot");
+        if let Some(leader) = &snap.coalesced_into {
+            assert_eq!(
+                seed_of[leader.as_str()],
+                *seed,
+                "{id} must have coalesced onto a same-seed leader"
+            );
+        }
+    }
+
+    // jobs_done counts leaders and followers; jobs_coalesced counts
+    // followers only — together they pin the execution count at 4.
+    let metrics = client.metrics().expect("metrics");
+    assert!(metrics.contains("jobs_coalesced 12\n"), "{metrics}");
+    assert!(metrics.contains("jobs_done 16\n"), "{metrics}");
+    assert!(metrics.contains("jobs_failed 0\n"), "{metrics}");
+
+    client.shutdown().expect("graceful drain");
+    server.join();
+}
+
+/// `POST /shutdown` in the middle of a burst: every job accepted before
+/// the drain began — queued, running, or coalesced — finishes with a
+/// report before `Server::join` returns.
+#[test]
+fn graceful_drain_under_load_finishes_every_accepted_job() {
+    let (server, client) = boot(ServeConfig {
+        runners: 4,
+        queue_capacity: 8,
+        ..ServeConfig::default()
+    });
+
+    // A burst of 8: 4 distinct specs, each submitted twice, so the pool
+    // is busy and (depending on timing) some submissions coalesce.
+    let ids: Vec<String> = (0..8)
+        .map(|i| {
+            client
+                .submit(&smoke_request(SEEDS[i % SEEDS.len()]))
+                .expect("accepted")
+        })
+        .collect();
+
+    // Shutdown lands while runners are mid-job.
+    client.shutdown().expect("drain begins");
+    let service = server.service();
+    server.join(); // returns only after the drain finishes — "exit 0"
+
+    for id in &ids {
+        let snap = service
+            .snapshot(pd_serve::service::parse_job_id(id).expect("j-N id"))
+            .expect("job exists");
+        assert_eq!(snap.status, "done", "{id} must finish before join returns");
+        assert!(snap.has_report, "{id} kept its report through the drain");
+    }
+    assert!(
+        service.metrics_text().contains("jobs_done 8\n"),
+        "{}",
+        service.metrics_text()
+    );
+}
